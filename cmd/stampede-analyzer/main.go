@@ -1,0 +1,72 @@
+// stampede-analyzer is the troubleshooting CLI: a summary of succeeded
+// and failed jobs, detail for each failure (last known state, captured
+// stdout/stderr), and drill-down through the sub-workflow hierarchy.
+//
+//	stampede-analyzer -db test.db
+//	stampede-analyzer -db test.db -wf <uuid>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analyzer"
+	"repro/internal/archive"
+	"repro/internal/query"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "stampede.db", "archive database file")
+		wfUUID = flag.String("wf", "", "workflow uuid (default: every root workflow)")
+		quiet  = flag.Bool("q", false, "exit status only; print nothing")
+	)
+	flag.Parse()
+
+	arch, err := archive.Open(*dbPath)
+	if err != nil {
+		fatal("open archive: %v", err)
+	}
+	defer arch.Close()
+	q := query.New(arch)
+
+	var targets []query.Workflow
+	if *wfUUID != "" {
+		wf, err := q.WorkflowByUUID(*wfUUID)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if wf == nil {
+			fatal("no workflow %s", *wfUUID)
+		}
+		targets = []query.Workflow{*wf}
+	} else {
+		targets, err = q.RootWorkflows()
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	healthy := true
+	for _, wf := range targets {
+		report, err := analyzer.Analyze(q, wf.ID, true)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if !report.Healthy() {
+			healthy = false
+		}
+		if !*quiet {
+			fmt.Print(report.Render())
+		}
+	}
+	if !healthy {
+		os.Exit(2)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "stampede-analyzer: "+format+"\n", args...)
+	os.Exit(1)
+}

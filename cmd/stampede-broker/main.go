@@ -1,0 +1,51 @@
+// stampede-broker runs a standalone message-bus broker (the RabbitMQ role
+// in the published deployment): workflow engines publish NetLogger events
+// to it over TCP, and nl-load instances subscribe.
+//
+//	stampede-broker -listen :7000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/mq"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7000", "address to listen on")
+		stats  = flag.Duration("stats", 30*time.Second, "how often to print traffic counters (0 disables)")
+	)
+	flag.Parse()
+
+	broker := mq.NewBroker()
+	srv, err := mq.NewServer(broker, *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stampede-broker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("broker listening on %s\n", srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	if *stats > 0 {
+		ticker := time.NewTicker(*stats)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				st := broker.Stats()
+				fmt.Printf("published=%d routed=%d queues=%d\n", st.Published, st.Routed, st.Queues)
+			case <-stop:
+				srv.Close()
+				return
+			}
+		}
+	}
+	<-stop
+	srv.Close()
+}

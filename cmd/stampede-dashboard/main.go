@@ -1,0 +1,82 @@
+// stampede-dashboard serves the lightweight web dashboard over an archive
+// database: an HTML status page plus a JSON API for workflows, jobs,
+// statistics, progress curves and analyzer reports.
+//
+//	stampede-dashboard -db test.db -listen :8080
+//
+// With -follow the archive file is re-read periodically so a dashboard
+// can track a database an nl-load process is still writing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/dashboard"
+	"repro/internal/query"
+)
+
+// reloadingHandler swaps in a freshly replayed archive on an interval.
+type reloadingHandler struct {
+	mu      sync.RWMutex
+	current http.Handler
+}
+
+func (h *reloadingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.RLock()
+	cur := h.current
+	h.mu.RUnlock()
+	cur.ServeHTTP(w, r)
+}
+
+func (h *reloadingHandler) swap(next http.Handler) {
+	h.mu.Lock()
+	h.current = next
+	h.mu.Unlock()
+}
+
+func main() {
+	var (
+		dbPath = flag.String("db", "stampede.db", "archive database file")
+		listen = flag.String("listen", ":8080", "address to serve on")
+		follow = flag.Duration("follow", 0, "re-read the database at this interval (0 = once)")
+	)
+	flag.Parse()
+
+	load := func() (http.Handler, error) {
+		arch, err := archive.Open(*dbPath)
+		if err != nil {
+			return nil, err
+		}
+		// Read-only use: close the WAL writer, keep the in-memory state.
+		if err := arch.Close(); err != nil {
+			return nil, err
+		}
+		return dashboard.New(query.New(arch)), nil
+	}
+	first, err := load()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stampede-dashboard: %v\n", err)
+		os.Exit(1)
+	}
+	h := &reloadingHandler{current: first}
+	if *follow > 0 {
+		go func() {
+			for range time.Tick(*follow) {
+				if next, err := load(); err == nil {
+					h.swap(next)
+				}
+			}
+		}()
+	}
+	fmt.Printf("dashboard on http://%s (db %s)\n", *listen, *dbPath)
+	if err := http.ListenAndServe(*listen, h); err != nil {
+		fmt.Fprintf(os.Stderr, "stampede-dashboard: %v\n", err)
+		os.Exit(1)
+	}
+}

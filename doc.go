@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "A General Approach
+// to Real-Time Workflow Monitoring" (Vahi et al., SC 2012): the Stampede
+// monitoring infrastructure — common data model, high-performance log
+// loader, and query interface — together with the two workflow engines it
+// was demonstrated on (Pegasus over a Condor substrate and Triana over a
+// TrianaCloud), the DART music-information-retrieval workload, and the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go time each experiment and the ablations DESIGN.md calls
+// out.
+package repro

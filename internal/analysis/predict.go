@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+)
+
+// NaiveBayes is a Gaussian naive Bayes binary classifier over fixed-width
+// float feature vectors: the workflow-level failure predictor of the
+// Stampede analysis work. Features are aggregate workflow statistics
+// (failure fraction so far, retry rate, mean queue delay, ...).
+type NaiveBayes struct {
+	dim   int
+	stats [2][]Welford // per class, per feature
+	count [2]int
+}
+
+// NewNaiveBayes returns a classifier over dim-dimensional features.
+func NewNaiveBayes(dim int) *NaiveBayes {
+	nb := &NaiveBayes{dim: dim}
+	for c := 0; c < 2; c++ {
+		nb.stats[c] = make([]Welford, dim)
+	}
+	return nb
+}
+
+// Train folds in one labeled example (label true = positive class, e.g.
+// "workflow failed").
+func (nb *NaiveBayes) Train(features []float64, label bool) error {
+	if len(features) != nb.dim {
+		return errors.New("analysis: feature dimension mismatch")
+	}
+	c := 0
+	if label {
+		c = 1
+	}
+	nb.count[c]++
+	for i, f := range features {
+		nb.stats[c][i].Observe(f)
+	}
+	return nil
+}
+
+// Trained reports whether both classes have at least one example.
+func (nb *NaiveBayes) Trained() bool { return nb.count[0] > 0 && nb.count[1] > 0 }
+
+// Predict returns P(label=true | features). With an untrained class it
+// returns the prior of the trained data.
+func (nb *NaiveBayes) Predict(features []float64) (float64, error) {
+	if len(features) != nb.dim {
+		return 0, errors.New("analysis: feature dimension mismatch")
+	}
+	total := nb.count[0] + nb.count[1]
+	if total == 0 {
+		return 0.5, nil
+	}
+	if nb.count[0] == 0 {
+		return 1, nil
+	}
+	if nb.count[1] == 0 {
+		return 0, nil
+	}
+	var logp [2]float64
+	for c := 0; c < 2; c++ {
+		logp[c] = math.Log(float64(nb.count[c]) / float64(total))
+		for i, f := range features {
+			w := nb.stats[c][i]
+			mean := w.Mean()
+			// Variance smoothing keeps degenerate (constant) features from
+			// producing infinite likelihoods.
+			v := w.Var() + 1e-6
+			logp[c] += -0.5*math.Log(2*math.Pi*v) - (f-mean)*(f-mean)/(2*v)
+		}
+	}
+	// Softmax over the two log-probabilities.
+	m := math.Max(logp[0], logp[1])
+	p0 := math.Exp(logp[0] - m)
+	p1 := math.Exp(logp[1] - m)
+	return p1 / (p0 + p1), nil
+}
+
+// LinReg is simple least-squares linear regression y = a + b*x, used for
+// runtime prediction (e.g. workflow makespan vs job count, for the
+// provisioning estimates the paper motivates).
+type LinReg struct {
+	n        int
+	sx, sy   float64
+	sxx, sxy float64
+}
+
+// Observe folds in one (x, y) sample.
+func (r *LinReg) Observe(x, y float64) {
+	r.n++
+	r.sx += x
+	r.sy += y
+	r.sxx += x * x
+	r.sxy += x * y
+}
+
+// N returns the sample count.
+func (r *LinReg) N() int { return r.n }
+
+// Coeffs returns intercept a and slope b. With fewer than 2 samples or a
+// degenerate x spread it returns the mean of y as intercept and zero
+// slope.
+func (r *LinReg) Coeffs() (a, b float64) {
+	if r.n == 0 {
+		return 0, 0
+	}
+	nf := float64(r.n)
+	denom := nf*r.sxx - r.sx*r.sx
+	if r.n < 2 || math.Abs(denom) < 1e-12 {
+		return r.sy / nf, 0
+	}
+	b = (nf*r.sxy - r.sx*r.sy) / denom
+	a = (r.sy - b*r.sx) / nf
+	return a, b
+}
+
+// Predict evaluates the fitted line at x.
+func (r *LinReg) Predict(x float64) float64 {
+	a, b := r.Coeffs()
+	return a + b*x
+}
+
+// ETAEstimator predicts workflow completion from progress: given the
+// fraction of total work completed and the elapsed wall time, it
+// extrapolates the remaining time assuming steady throughput — the
+// "performance prediction of runtime" view the dashboard shows for
+// running workflows.
+type ETAEstimator struct {
+	TotalWork float64 // planned total (e.g. cumulative expected runtime or job count)
+}
+
+// Remaining estimates seconds left given completed work and elapsed
+// seconds. It returns +Inf before any progress exists.
+func (e ETAEstimator) Remaining(completed, elapsed float64) float64 {
+	if completed <= 0 || elapsed <= 0 {
+		return math.Inf(1)
+	}
+	if completed >= e.TotalWork {
+		return 0
+	}
+	rate := completed / elapsed
+	return (e.TotalWork - completed) / rate
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func exactQuantile(xs []float64, p float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	idx := int(p * float64(len(tmp)))
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+func TestP2AgainstExactUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []float64{0.5, 0.9, 0.95} {
+		q, err := NewP2Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var xs []float64
+		for i := 0; i < 20000; i++ {
+			x := rng.Float64() * 100
+			xs = append(xs, x)
+			q.Observe(x)
+		}
+		got := q.Value()
+		want := exactQuantile(xs, p)
+		if math.Abs(got-want) > 2.0 { // 2% of range on 20k uniform samples
+			t.Errorf("p=%v: estimate %.2f vs exact %.2f", p, got, want)
+		}
+	}
+}
+
+func TestP2AgainstExactSkewed(t *testing.T) {
+	// Runtime-like distribution: lognormal-ish via exp of normals.
+	rng := rand.New(rand.NewSource(2))
+	q, err := NewP2Quantile(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		x := 60 * math.Exp(0.3*rng.NormFloat64())
+		xs = append(xs, x)
+		q.Observe(x)
+	}
+	got := q.Value()
+	want := exactQuantile(xs, 0.95)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("p95 estimate %.2f vs exact %.2f", got, want)
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	q, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Value() != 0 {
+		t.Error("empty estimator nonzero")
+	}
+	q.Observe(10)
+	q.Observe(20)
+	q.Observe(30)
+	v := q.Value()
+	if v < 10 || v > 30 {
+		t.Errorf("small-sample median = %v", v)
+	}
+	if q.N() != 3 {
+		t.Errorf("N = %d", q.N())
+	}
+}
+
+func TestP2MonotoneInvariant(t *testing.T) {
+	// Marker heights must stay sorted whatever the input order.
+	rng := rand.New(rand.NewSource(3))
+	q, _ := NewP2Quantile(0.9)
+	for i := 0; i < 5000; i++ {
+		q.Observe(rng.ExpFloat64() * 50)
+		if q.n >= 5 {
+			for j := 1; j < 5; j++ {
+				if q.heights[j] < q.heights[j-1] {
+					t.Fatalf("heights out of order at n=%d: %v", q.n, q.heights)
+				}
+			}
+		}
+	}
+}
+
+func TestP2BadQuantile(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		if _, err := NewP2Quantile(p); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+}

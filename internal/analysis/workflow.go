@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/query"
+)
+
+// FeatureDim is the width of the workflow feature vector WorkflowFeatures
+// produces for the failure predictor.
+const FeatureDim = 5
+
+// WorkflowFeatures aggregates one workflow hierarchy into the feature
+// vector the failure predictor trains on:
+//
+//	[0] fraction of finished jobs that failed
+//	[1] retries per job
+//	[2] mean queue time (seconds)
+//	[3] mean invocation runtime (seconds)
+//	[4] runtime coefficient of variation (std/mean)
+func WorkflowFeatures(q *query.QI, wfID int64) ([]float64, error) {
+	ids := []int64{wfID}
+	desc, err := q.Descendants(wfID)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range desc {
+		ids = append(ids, d.ID)
+	}
+	var finished, failed, retries, jobs int
+	var queue Welford
+	var runtime Welford
+	for _, id := range ids {
+		js, err := q.Jobs(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range js {
+			jobs++
+			insts, err := q.JobInstances(j.ID)
+			if err != nil {
+				return nil, err
+			}
+			if len(insts) == 0 {
+				continue
+			}
+			retries += len(insts) - 1
+			last := insts[len(insts)-1]
+			if last.HasExitcode {
+				finished++
+				if last.Exitcode != 0 {
+					failed++
+				}
+			}
+			d, err := q.InstanceDelays(last.ID)
+			if err != nil {
+				return nil, err
+			}
+			queue.Observe(d.QueueTime.Seconds())
+			invs, err := q.InvocationsForInstance(last.ID)
+			if err != nil {
+				return nil, err
+			}
+			for _, inv := range invs {
+				runtime.Observe(inv.RemoteDuration)
+			}
+		}
+	}
+	f := make([]float64, FeatureDim)
+	if finished > 0 {
+		f[0] = float64(failed) / float64(finished)
+	}
+	if jobs > 0 {
+		f[1] = float64(retries) / float64(jobs)
+	}
+	f[2] = queue.Mean()
+	f[3] = runtime.Mean()
+	if runtime.Mean() > 0 {
+		f[4] = runtime.Std() / runtime.Mean()
+	}
+	return f, nil
+}
+
+// DetectRuntimeAnomalies replays a workflow hierarchy's invocations in
+// start-time order through a RuntimeDetector grouped by transformation
+// and returns everything it flags.
+func DetectRuntimeAnomalies(q *query.QI, wfID int64, det *RuntimeDetector) ([]Anomaly, error) {
+	if det == nil {
+		det = NewRuntimeDetector()
+	}
+	ids := []int64{wfID}
+	desc, err := q.Descendants(wfID)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range desc {
+		ids = append(ids, d.ID)
+	}
+	var invs []query.Invocation
+	for _, id := range ids {
+		batch, err := q.Invocations(id)
+		if err != nil {
+			return nil, err
+		}
+		invs = append(invs, batch...)
+	}
+	sort.Slice(invs, func(i, j int) bool { return invs[i].StartTime.Before(invs[j].StartTime) })
+	var out []Anomaly
+	for _, inv := range invs {
+		if a, bad := det.Observe(inv.Transformation, inv.RemoteDuration); bad {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// HostSamples collects invocation durations per execution host across a
+// workflow hierarchy, the input for StragglerHosts.
+func HostSamples(q *query.QI, wfID int64) (map[string][]float64, error) {
+	ids := []int64{wfID}
+	desc, err := q.Descendants(wfID)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range desc {
+		ids = append(ids, d.ID)
+	}
+	out := map[string][]float64{}
+	for _, id := range ids {
+		js, err := q.Jobs(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range js {
+			insts, err := q.JobInstances(j.ID)
+			if err != nil {
+				return nil, err
+			}
+			for _, inst := range insts {
+				if inst.Hostname == "" {
+					continue
+				}
+				invs, err := q.InvocationsForInstance(inst.ID)
+				if err != nil {
+					return nil, err
+				}
+				for _, inv := range invs {
+					out[inst.Hostname] = append(out[inst.Hostname], inv.RemoteDuration)
+				}
+			}
+		}
+	}
+	return out, nil
+}

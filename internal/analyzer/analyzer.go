@@ -1,0 +1,187 @@
+// Package analyzer implements stampede_analyzer, the troubleshooting tool
+// of the paper's §VII-B: a summary of how many jobs succeeded and failed,
+// detail for every failed job (last known state, output/error files, and
+// any captured stdout/stderr), and interactive-style drill-down through
+// the sub-workflow hierarchy so failures in layered workflows can be
+// localised level by level.
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/query"
+)
+
+// FailedJob is the per-failure detail block the analyzer prints.
+type FailedJob struct {
+	ExecJobID     string
+	Tries         int64
+	LastState     string
+	LastStateTime time.Time
+	Exitcode      int64
+	Site          string
+	Host          string
+	StdoutFile    string
+	StderrFile    string
+	StdoutText    string
+	StderrText    string
+}
+
+// Report is the analyzer's result for one workflow, with nested reports
+// for failed or incomplete sub-workflows when drilling down.
+type Report struct {
+	Workflow   query.Workflow
+	Total      int
+	Succeeded  int
+	Failed     int
+	Incomplete int
+	Held       int
+	FailedJobs []FailedJob
+	SubReports []*Report
+}
+
+// Analyze inspects a workflow. With recurse set it descends into every
+// sub-workflow that has failures or unfinished jobs, mirroring how the
+// interactive tool lets the user drill down the hierarchy.
+func Analyze(q *query.QI, wfID int64, recurse bool) (*Report, error) {
+	wf, err := q.Workflow(wfID)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{Workflow: *wf}
+	jobs, err := q.Jobs(wfID)
+	if err != nil {
+		return nil, err
+	}
+	subwfByJob := map[int64]string{}
+	for _, j := range jobs {
+		r.Total++
+		insts, err := q.JobInstances(j.ID)
+		if err != nil {
+			return nil, err
+		}
+		if len(insts) == 0 {
+			r.Incomplete++
+			continue
+		}
+		last := insts[len(insts)-1]
+		if last.SubwfUUID != "" {
+			subwfByJob[j.ID] = last.SubwfUUID
+		}
+		states, err := q.JobStates(last.ID)
+		if err != nil {
+			return nil, err
+		}
+		var lastState query.StateRecord
+		if len(states) > 0 {
+			lastState = states[len(states)-1]
+		}
+		switch {
+		case !last.HasExitcode:
+			r.Incomplete++
+			if lastState.State == "JOB_HELD" {
+				r.Held++
+			}
+		case last.Exitcode == 0:
+			r.Succeeded++
+		default:
+			r.Failed++
+			fj := FailedJob{
+				ExecJobID:     j.ExecJobID,
+				Tries:         last.SubmitSeq,
+				Exitcode:      last.Exitcode,
+				Site:          last.Site,
+				Host:          last.Hostname,
+				StdoutFile:    last.StdoutFile,
+				StderrFile:    last.StderrFile,
+				StdoutText:    last.StdoutText,
+				StderrText:    last.StderrText,
+				LastState:     lastState.State,
+				LastStateTime: lastState.Timestamp,
+			}
+			r.FailedJobs = append(r.FailedJobs, fj)
+		}
+	}
+	if recurse {
+		subs, err := q.SubWorkflows(wfID)
+		if err != nil {
+			return nil, err
+		}
+		for _, sub := range subs {
+			sr, err := Analyze(q, sub.ID, true)
+			if err != nil {
+				return nil, err
+			}
+			// The top level lists everything; deeper levels are retained
+			// only when something needs attention, as the interactive
+			// tool surfaces only failing branches.
+			if sr.Failed > 0 || sr.Incomplete > 0 || len(sr.SubReports) > 0 {
+				r.SubReports = append(r.SubReports, sr)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Healthy reports whether the workflow and its analyzed descendants have
+// no failures and no unfinished jobs.
+func (r *Report) Healthy() bool {
+	return r.Failed == 0 && r.Incomplete == 0 && len(r.SubReports) == 0
+}
+
+// Render formats the report in the analyzer's console style.
+func (r *Report) Render() string {
+	var b strings.Builder
+	r.render(&b, 0)
+	return b.String()
+}
+
+func (r *Report) render(b *strings.Builder, depth int) {
+	ind := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s************************************\n", ind)
+	fmt.Fprintf(b, "%s Workflow %s", ind, r.Workflow.UUID)
+	if r.Workflow.DaxLabel != "" {
+		fmt.Fprintf(b, " (%s)", r.Workflow.DaxLabel)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(b, "%s Total jobs       : %4d\n", ind, r.Total)
+	fmt.Fprintf(b, "%s # jobs succeeded : %4d\n", ind, r.Succeeded)
+	fmt.Fprintf(b, "%s # jobs failed    : %4d\n", ind, r.Failed)
+	fmt.Fprintf(b, "%s # jobs incomplete: %4d\n", ind, r.Incomplete)
+	if r.Held > 0 {
+		fmt.Fprintf(b, "%s # jobs held      : %4d\n", ind, r.Held)
+	}
+	for _, fj := range r.FailedJobs {
+		fmt.Fprintf(b, "%s ---- failed job %s ----\n", ind, fj.ExecJobID)
+		fmt.Fprintf(b, "%s   last state: %s at %s\n", ind, fj.LastState, fj.LastStateTime.Format(time.RFC3339))
+		fmt.Fprintf(b, "%s   exitcode  : %d (try %d)\n", ind, fj.Exitcode, fj.Tries)
+		if fj.Host != "" {
+			fmt.Fprintf(b, "%s   ran on    : %s (site %s)\n", ind, fj.Host, fj.Site)
+		}
+		if fj.StdoutFile != "" {
+			fmt.Fprintf(b, "%s   stdout    : %s\n", ind, fj.StdoutFile)
+		}
+		if fj.StderrFile != "" {
+			fmt.Fprintf(b, "%s   stderr    : %s\n", ind, fj.StderrFile)
+		}
+		if fj.StdoutText != "" {
+			fmt.Fprintf(b, "%s   captured stdout:\n%s\n", ind, indentText(fj.StdoutText, ind+"     "))
+		}
+		if fj.StderrText != "" {
+			fmt.Fprintf(b, "%s   captured stderr:\n%s\n", ind, indentText(fj.StderrText, ind+"     "))
+		}
+	}
+	for _, sr := range r.SubReports {
+		sr.render(b, depth+1)
+	}
+}
+
+func indentText(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,651 @@
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bp"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+)
+
+// Archive folds Stampede events into the relational store. It keeps small
+// identity caches (workflow uuid -> row id, job key -> row id, instance
+// key -> row id) so the per-event hot path costs O(1) map lookups instead
+// of index queries, which is what lets the loader keep up with large
+// workflows in real time.
+type Archive struct {
+	store *relstore.Store
+
+	mu        sync.Mutex
+	wfIDs     map[string]int64  // wf_uuid -> workflow row id
+	jobIDs    map[jobKey]int64  // (wf row, exec_job_id) -> job row id
+	instIDs   map[instKey]int64 // (job row, submit seq) -> job_instance row id
+	hostIDs   map[hostKey]int64 // (site, hostname, ip) -> host row id
+	stateSeqs map[int64]int64   // job_instance row id -> next jobstate seq
+	invSeqs   map[int64]int64   // job_instance row id -> next invocation seq fallback
+	applied   uint64
+}
+
+type jobKey struct {
+	wfID  int64
+	jobID string
+}
+
+type instKey struct {
+	jobRow int64
+	seq    int64
+}
+
+type hostKey struct {
+	site, hostname, ip string
+}
+
+// New creates the Figure 3 tables on store (idempotently) and returns an
+// archive over it.
+func New(store *relstore.Store) (*Archive, error) {
+	for _, ts := range Schemas() {
+		if err := store.CreateTable(ts); err != nil {
+			return nil, err
+		}
+	}
+	a := &Archive{
+		store:     store,
+		wfIDs:     map[string]int64{},
+		jobIDs:    map[jobKey]int64{},
+		instIDs:   map[instKey]int64{},
+		hostIDs:   map[hostKey]int64{},
+		stateSeqs: map[int64]int64{},
+		invSeqs:   map[int64]int64{},
+	}
+	if err := a.warmCaches(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewInMemory returns an archive over a fresh in-memory store.
+func NewInMemory() *Archive {
+	a, err := New(relstore.NewStore())
+	if err != nil {
+		// Static schemas failing to create is a build defect.
+		panic(err)
+	}
+	return a
+}
+
+// Open returns an archive over the persistent store at path, creating or
+// replaying it as needed.
+func Open(path string) (*Archive, error) {
+	store, err := relstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(store)
+}
+
+// warmCaches rebuilds the identity caches from an existing store so that
+// appending to a reopened database works.
+func (a *Archive) warmCaches() error {
+	wfs, err := a.store.Select(relstore.Query{Table: TWorkflow})
+	if err != nil {
+		return err
+	}
+	for _, r := range wfs {
+		a.wfIDs[r["wf_uuid"].(string)] = r.ID()
+	}
+	jobs, err := a.store.Select(relstore.Query{Table: TJob})
+	if err != nil {
+		return err
+	}
+	for _, r := range jobs {
+		a.jobIDs[jobKey{r["wf_id"].(int64), r["exec_job_id"].(string)}] = r.ID()
+	}
+	insts, err := a.store.Select(relstore.Query{Table: TJobInstance})
+	if err != nil {
+		return err
+	}
+	for _, r := range insts {
+		a.instIDs[instKey{r["job_id"].(int64), r["job_submit_seq"].(int64)}] = r.ID()
+	}
+	hosts, err := a.store.Select(relstore.Query{Table: THost})
+	if err != nil {
+		return err
+	}
+	for _, r := range hosts {
+		a.hostIDs[hostKey{r["site"].(string), r["hostname"].(string), r["ip"].(string)}] = r.ID()
+	}
+	states, err := a.store.Select(relstore.Query{Table: TJobState})
+	if err != nil {
+		return err
+	}
+	for _, r := range states {
+		ji := r["job_instance_id"].(int64)
+		if seq := r["jobstate_submit_seq"].(int64); seq >= a.stateSeqs[ji] {
+			a.stateSeqs[ji] = seq + 1
+		}
+	}
+	return nil
+}
+
+// Store exposes the underlying relational store for the query layer.
+func (a *Archive) Store() *relstore.Store { return a.store }
+
+// Applied reports how many events have been folded in.
+func (a *Archive) Applied() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied
+}
+
+// Flush persists buffered writes (no-op for in-memory stores).
+func (a *Archive) Flush() error { return a.store.Flush() }
+
+// Close flushes and closes the underlying store.
+func (a *Archive) Close() error { return a.store.Close() }
+
+// ErrUnknownEvent is wrapped by Apply for event types the archive does not
+// materialise. The loader counts and skips these rather than failing.
+var ErrUnknownEvent = errors.New("archive: event type not materialised")
+
+// Apply folds one event into the tables. Events must arrive in a causally
+// consistent order per workflow (the order engines emit them); duplicate
+// static events (workflow restarts re-emit task/job descriptions) are
+// tolerated and skipped.
+func (a *Archive) Apply(ev *bp.Event) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.applyLocked(ev); err != nil {
+		return fmt.Errorf("archive: %s at %s: %w", ev.Type, ev.TS.Format("15:04:05.000"), err)
+	}
+	a.applied++
+	return nil
+}
+
+// ApplyBatch folds a slice of events under one lock acquisition; the
+// loader's batching path. The first error aborts the rest of the batch;
+// the returned count is how many events were applied, so callers can
+// resume after the failing event without re-applying the prefix.
+func (a *Archive) ApplyBatch(evs []*bp.Event) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, ev := range evs {
+		if err := a.applyLocked(ev); err != nil {
+			return i, fmt.Errorf("archive: %s: %w", ev.Type, err)
+		}
+		a.applied++
+	}
+	return len(evs), nil
+}
+
+func (a *Archive) applyLocked(ev *bp.Event) error {
+	switch ev.Type {
+	case schema.WfPlan:
+		return a.applyPlan(ev)
+	case schema.StaticStart, schema.StaticEnd:
+		return nil // structural markers; nothing to materialise
+	case schema.XwfStart:
+		return a.applyWorkflowState(ev, WFStateStarted)
+	case schema.XwfEnd:
+		return a.applyWorkflowState(ev, WFStateTerminated)
+	case schema.TaskInfo:
+		return a.applyTaskInfo(ev)
+	case schema.TaskEdge:
+		return a.applyTaskEdge(ev)
+	case schema.JobInfo:
+		return a.applyJobInfo(ev)
+	case schema.JobEdge:
+		return a.applyJobEdge(ev)
+	case schema.MapTaskJob:
+		return a.applyMapTaskJob(ev)
+	case schema.MapSubwfJob:
+		return a.applyMapSubwfJob(ev)
+	case schema.JobInstPre:
+		return a.applyJobState(ev, JSPreStarted)
+	case schema.JobInstPreEnd:
+		return a.applyScriptEnd(ev, JSPreSuccess, JSPreFailure)
+	case schema.SubmitStart:
+		return a.applyJobState(ev, JSSubmit)
+	case schema.SubmitEnd:
+		return a.applyJobState(ev, JSSubmitted)
+	case schema.HeldStart:
+		return a.applyJobState(ev, JSHeld)
+	case schema.HeldEnd:
+		return a.applyJobState(ev, JSReleased)
+	case schema.MainStart:
+		return a.applyMainStart(ev)
+	case schema.MainTerm:
+		return a.applyJobState(ev, JSTerminated)
+	case schema.MainEnd:
+		return a.applyMainEnd(ev)
+	case schema.PostStart:
+		return a.applyJobState(ev, JSPostStarted)
+	case schema.PostEnd:
+		return a.applyScriptEnd(ev, JSPostSuccess, JSPostFailure)
+	case schema.HostInfo:
+		return a.applyHostInfo(ev)
+	case schema.ImageInfo:
+		return nil // image sizes are not used by any report we produce
+	case schema.AbortInfo:
+		return a.applyJobState(ev, JSAborted)
+	case schema.InvStart:
+		return nil // the inv.end record carries everything we store
+	case schema.InvEnd:
+		return a.applyInvEnd(ev)
+	default:
+		return fmt.Errorf("%w: %s", ErrUnknownEvent, ev.Type)
+	}
+}
+
+// wfRow returns the workflow row id for the event's xwf.id, creating a
+// minimal placeholder when the plan event has not been seen (events can
+// race ahead of the plan on multi-producer buses).
+func (a *Archive) wfRow(ev *bp.Event) (int64, error) {
+	uuid := ev.Get(schema.AttrXwfID)
+	if uuid == "" {
+		return 0, errors.New("event lacks xwf.id")
+	}
+	if id, ok := a.wfIDs[uuid]; ok {
+		return id, nil
+	}
+	id, err := a.store.Insert(TWorkflow, relstore.Row{
+		"wf_uuid":   uuid,
+		"timestamp": ev.TS,
+	})
+	if err != nil {
+		return 0, err
+	}
+	a.wfIDs[uuid] = id
+	return id, nil
+}
+
+func (a *Archive) applyPlan(ev *bp.Event) error {
+	uuid := ev.Get(schema.AttrXwfID)
+	if uuid == "" {
+		return errors.New("wf.plan lacks xwf.id")
+	}
+	var parentID any
+	if p := ev.Get(schema.AttrParentXwf); p != "" {
+		if id, ok := a.wfIDs[p]; ok {
+			parentID = id
+		}
+	}
+	fields := relstore.Row{
+		"wf_uuid":           uuid,
+		"timestamp":         ev.TS,
+		"submit_hostname":   ev.Get("submit.hostname"),
+		"dax_label":         ev.Get("dax.label"),
+		"dax_version":       ev.Get("dax.version"),
+		"dax_file":          ev.Get("dax.file"),
+		"dag_file_name":     ev.Get("dag.file.name"),
+		"submit_dir":        ev.Get("submit_dir"),
+		"planner_arguments": ev.Get(schema.AttrArgv),
+		"user":              ev.Get("user"),
+		"planner_version":   ev.Get("planner.version"),
+		"root_wf_uuid":      ev.Get(schema.AttrRootXwf),
+		"parent_wf_id":      parentID,
+	}
+	if id, ok := a.wfIDs[uuid]; ok {
+		// Replan of a known workflow (restart): refresh the metadata.
+		delete(fields, "wf_uuid")
+		return a.store.Update(TWorkflow, id, fields)
+	}
+	id, err := a.store.Insert(TWorkflow, fields)
+	if err != nil {
+		return err
+	}
+	a.wfIDs[uuid] = id
+	return nil
+}
+
+func (a *Archive) applyWorkflowState(ev *bp.Event, state string) error {
+	wf, err := a.wfRow(ev)
+	if err != nil {
+		return err
+	}
+	restart, _ := ev.Int("restart_count")
+	row := relstore.Row{
+		"wf_id":         wf,
+		"state":         state,
+		"timestamp":     ev.TS,
+		"restart_count": restart,
+	}
+	if ev.Has(schema.AttrStatus) {
+		st, err := ev.Int(schema.AttrStatus)
+		if err != nil {
+			return err
+		}
+		row["status"] = st
+	}
+	_, err = a.store.Insert(TWorkflowState, row)
+	return err
+}
+
+func (a *Archive) applyTaskInfo(ev *bp.Event) error {
+	wf, err := a.wfRow(ev)
+	if err != nil {
+		return err
+	}
+	_, err = a.store.Insert(TTask, relstore.Row{
+		"wf_id":          wf,
+		"abs_task_id":    ev.Get(schema.AttrTaskID),
+		"type_desc":      ev.Get("type_desc"),
+		"transformation": ev.Get(schema.AttrTransform),
+		"argv":           ev.Get(schema.AttrArgv),
+	})
+	return ignoreDuplicate(err)
+}
+
+func (a *Archive) applyTaskEdge(ev *bp.Event) error {
+	wf, err := a.wfRow(ev)
+	if err != nil {
+		return err
+	}
+	_, err = a.store.Insert(TTaskEdge, relstore.Row{
+		"wf_id":              wf,
+		"parent_abs_task_id": ev.Get("parent.task.id"),
+		"child_abs_task_id":  ev.Get("child.task.id"),
+	})
+	return ignoreDuplicate(err)
+}
+
+func (a *Archive) applyJobInfo(ev *bp.Event) error {
+	wf, err := a.wfRow(ev)
+	if err != nil {
+		return err
+	}
+	execID := ev.Get(schema.AttrJobID)
+	clustered, _ := ev.Int("clustered")
+	maxRetries, _ := ev.Int("max_retries")
+	taskCount, _ := ev.Int("task_count")
+	id, err := a.store.Insert(TJob, relstore.Row{
+		"wf_id":       wf,
+		"exec_job_id": execID,
+		"type_desc":   ev.Get("type_desc"),
+		"clustered":   clustered != 0,
+		"max_retries": maxRetries,
+		"executable":  ev.Get(schema.AttrExecutable),
+		"argv":        ev.Get(schema.AttrArgv),
+		"task_count":  taskCount,
+	})
+	if err != nil {
+		return ignoreDuplicate(err)
+	}
+	a.jobIDs[jobKey{wf, execID}] = id
+	return nil
+}
+
+func (a *Archive) applyJobEdge(ev *bp.Event) error {
+	wf, err := a.wfRow(ev)
+	if err != nil {
+		return err
+	}
+	_, err = a.store.Insert(TJobEdge, relstore.Row{
+		"wf_id":              wf,
+		"parent_exec_job_id": ev.Get("parent.job.id"),
+		"child_exec_job_id":  ev.Get("child.job.id"),
+	})
+	return ignoreDuplicate(err)
+}
+
+func (a *Archive) applyMapTaskJob(ev *bp.Event) error {
+	wf, err := a.wfRow(ev)
+	if err != nil {
+		return err
+	}
+	jobRow, err := a.jobRow(wf, ev.Get(schema.AttrJobID))
+	if err != nil {
+		return err
+	}
+	task, err := a.store.SelectOne(relstore.Query{
+		Table: TTask,
+		Conds: []relstore.Cond{relstore.Eq("wf_id", wf), relstore.Eq("abs_task_id", ev.Get(schema.AttrTaskID))},
+	})
+	if err != nil {
+		return err
+	}
+	if task == nil {
+		return fmt.Errorf("map.task_job references unknown task %q", ev.Get(schema.AttrTaskID))
+	}
+	return a.store.Update(TTask, task.ID(), relstore.Row{"job_id": jobRow})
+}
+
+func (a *Archive) applyMapSubwfJob(ev *bp.Event) error {
+	inst, err := a.instRow(ev)
+	if err != nil {
+		return err
+	}
+	return a.store.Update(TJobInstance, inst, relstore.Row{"subwf_uuid": ev.Get(schema.AttrSubwfID)})
+}
+
+// jobRow resolves (wf row, exec job id) to the job table row, creating a
+// placeholder when job.info has not been seen yet.
+func (a *Archive) jobRow(wf int64, execID string) (int64, error) {
+	if execID == "" {
+		return 0, errors.New("event lacks job.id")
+	}
+	k := jobKey{wf, execID}
+	if id, ok := a.jobIDs[k]; ok {
+		return id, nil
+	}
+	id, err := a.store.Insert(TJob, relstore.Row{"wf_id": wf, "exec_job_id": execID})
+	if err != nil {
+		return 0, err
+	}
+	a.jobIDs[k] = id
+	return id, nil
+}
+
+// instRow resolves the (job, submit seq) of a job_inst.* event to the
+// job_instance row, creating it on first reference.
+func (a *Archive) instRow(ev *bp.Event) (int64, error) {
+	wf, err := a.wfRow(ev)
+	if err != nil {
+		return 0, err
+	}
+	jobRow, err := a.jobRow(wf, ev.Get(schema.AttrJobID))
+	if err != nil {
+		return 0, err
+	}
+	seq, err := ev.Int(schema.AttrJobInstID)
+	if err != nil {
+		return 0, err
+	}
+	k := instKey{jobRow, seq}
+	if id, ok := a.instIDs[k]; ok {
+		return id, nil
+	}
+	id, err := a.store.Insert(TJobInstance, relstore.Row{
+		"job_id":         jobRow,
+		"job_submit_seq": seq,
+	})
+	if err != nil {
+		return 0, err
+	}
+	a.instIDs[k] = id
+	return id, nil
+}
+
+func (a *Archive) applyJobState(ev *bp.Event, state string) error {
+	inst, err := a.instRow(ev)
+	if err != nil {
+		return err
+	}
+	return a.insertJobState(inst, state, ev)
+}
+
+func (a *Archive) insertJobState(inst int64, state string, ev *bp.Event) error {
+	seq := a.stateSeqs[inst]
+	a.stateSeqs[inst] = seq + 1
+	_, err := a.store.Insert(TJobState, relstore.Row{
+		"job_instance_id":     inst,
+		"state":               state,
+		"timestamp":           ev.TS,
+		"jobstate_submit_seq": seq,
+	})
+	return err
+}
+
+func (a *Archive) applyScriptEnd(ev *bp.Event, okState, failState string) error {
+	inst, err := a.instRow(ev)
+	if err != nil {
+		return err
+	}
+	state := okState
+	if code, err := ev.Int(schema.AttrExitcode); err == nil && code != 0 {
+		state = failState
+	}
+	return a.insertJobState(inst, state, ev)
+}
+
+func (a *Archive) applyMainStart(ev *bp.Event) error {
+	inst, err := a.instRow(ev)
+	if err != nil {
+		return err
+	}
+	changes := relstore.Row{}
+	if f := ev.Get("stdout.file"); f != "" {
+		changes["stdout_file"] = f
+	}
+	if f := ev.Get("stderr.file"); f != "" {
+		changes["stderr_file"] = f
+	}
+	if len(changes) > 0 {
+		if err := a.store.Update(TJobInstance, inst, changes); err != nil {
+			return err
+		}
+	}
+	return a.insertJobState(inst, JSExecute, ev)
+}
+
+func (a *Archive) applyMainEnd(ev *bp.Event) error {
+	inst, err := a.instRow(ev)
+	if err != nil {
+		return err
+	}
+	exitcode, err := ev.Int(schema.AttrExitcode)
+	if err != nil {
+		return err
+	}
+	changes := relstore.Row{"exitcode": exitcode}
+	if s := ev.Get(schema.AttrSite); s != "" {
+		changes["site"] = s
+	}
+	if u := ev.Get("user"); u != "" {
+		changes["user"] = u
+	}
+	if s := ev.Get(schema.AttrStdoutText); s != "" {
+		changes["stdout_text"] = s
+	}
+	if s := ev.Get(schema.AttrStderrText); s != "" {
+		changes["stderr_text"] = s
+	}
+	if m, err := ev.Int("multiplier_factor"); err == nil {
+		changes["multiplier_factor"] = m
+	}
+	// local_duration = main.end ts - the matching EXECUTE state ts, the
+	// runtime "as measured by the workflow engine" in the paper's job
+	// statistics.
+	states, err := a.store.Select(relstore.Query{
+		Table: TJobState,
+		Conds: []relstore.Cond{relstore.Eq("job_instance_id", inst)},
+	})
+	if err != nil {
+		return err
+	}
+	for i := len(states) - 1; i >= 0; i-- {
+		if states[i]["state"] == JSExecute {
+			start := states[i]["timestamp"].(time.Time)
+			changes["local_duration"] = ev.TS.Sub(start).Seconds()
+			break
+		}
+	}
+	if err := a.store.Update(TJobInstance, inst, changes); err != nil {
+		return err
+	}
+	state := JSSuccess
+	if exitcode != 0 {
+		state = JSFailure
+	}
+	return a.insertJobState(inst, state, ev)
+}
+
+func (a *Archive) applyHostInfo(ev *bp.Event) error {
+	inst, err := a.instRow(ev)
+	if err != nil {
+		return err
+	}
+	k := hostKey{ev.Get(schema.AttrSite), ev.Get(schema.AttrHostname), ev.Get("ip")}
+	hid, ok := a.hostIDs[k]
+	if !ok {
+		row := relstore.Row{"site": k.site, "hostname": k.hostname, "ip": k.ip}
+		if u := ev.Get("uname"); u != "" {
+			row["uname"] = u
+		}
+		if m, err := ev.Int("total_memory"); err == nil {
+			row["total_memory"] = m
+		}
+		hid, err = a.store.Insert(THost, row)
+		if err != nil {
+			return err
+		}
+		a.hostIDs[k] = hid
+	}
+	return a.store.Update(TJobInstance, inst, relstore.Row{
+		"host_id": hid,
+		"site":    k.site,
+	})
+}
+
+func (a *Archive) applyInvEnd(ev *bp.Event) error {
+	wf, err := a.wfRow(ev)
+	if err != nil {
+		return err
+	}
+	inst, err := a.instRow(ev)
+	if err != nil {
+		return err
+	}
+	seq, err := ev.Int(schema.AttrInvID)
+	if err != nil {
+		seq = a.invSeqs[inst]
+		a.invSeqs[inst] = seq + 1
+	}
+	row := relstore.Row{
+		"job_instance_id": inst,
+		"wf_id":           wf,
+		"task_submit_seq": seq,
+		"transformation":  ev.Get(schema.AttrTransform),
+		"executable":      ev.Get(schema.AttrExecutable),
+		"argv":            ev.Get(schema.AttrArgv),
+		"abs_task_id":     ev.Get(schema.AttrTaskID),
+	}
+	if ts := ev.Get(schema.AttrStartTime); ts != "" {
+		if parsed, err := bp.Parse("ts=" + ts + " event=x"); err == nil {
+			row["start_time"] = parsed.TS
+		}
+	}
+	if d, err := ev.Float(schema.AttrDur); err == nil {
+		row["remote_duration"] = d
+	}
+	if c, err := ev.Float(schema.AttrRemoteCPU); err == nil {
+		row["remote_cpu_time"] = c
+	}
+	if x, err := ev.Int(schema.AttrExitcode); err == nil {
+		row["exitcode"] = x
+	}
+	_, err = a.store.Insert(TInvocation, row)
+	return ignoreDuplicate(err)
+}
+
+// ignoreDuplicate treats a unique-constraint violation as success: static
+// description events are re-emitted verbatim on workflow restarts.
+func ignoreDuplicate(err error) error {
+	var ue *relstore.UniqueError
+	if errors.As(err, &ue) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,297 @@
+// Package bp implements the NetLogger "Logging Best Practices" (BP) log
+// format used by Stampede for every monitoring message.
+//
+// A BP message is a single line of space-separated key=value pairs, e.g.
+//
+//	ts=2012-03-13T12:35:38.000000Z event=stampede.xwf.start level=Info \
+//	    xwf.id=ea17e8ac-02ac-4909-b5e3-16e367392556 restart_count=0
+//
+// Two attributes are special: "ts", an ISO 8601 timestamp (or seconds
+// since the epoch), and "event", a dot-separated hierarchical type name
+// that the message bus routes on. Values containing spaces, quotes or '='
+// are double-quoted with backslash escaping.
+//
+// The package provides the Event value type, single-line Format/Parse, and
+// buffered stream Reader/Writer types for log files and sockets.
+package bp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TimeFormat is the canonical BP timestamp layout: ISO 8601 in UTC with
+// microsecond precision, as emitted by the NetLogger toolkit.
+const TimeFormat = "2006-01-02T15:04:05.000000Z"
+
+// Reserved attribute names with dedicated struct fields on Event.
+const (
+	KeyTS    = "ts"
+	KeyEvent = "event"
+)
+
+// Level values conventionally carried in the "level" attribute.
+const (
+	LevelInfo  = "Info"
+	LevelWarn  = "Warn"
+	LevelError = "Error"
+	LevelDebug = "Debug"
+)
+
+// Event is one BP log message: a timestamp, a hierarchical event type, and
+// a flat set of string attributes. Attrs never contains the "ts" or
+// "event" keys; those live in the dedicated fields.
+type Event struct {
+	TS    time.Time
+	Type  string
+	Attrs map[string]string
+}
+
+// New returns an Event of the given type at the given time with no
+// attributes yet.
+func New(typ string, ts time.Time) *Event {
+	return &Event{TS: ts, Type: typ, Attrs: make(map[string]string, 8)}
+}
+
+// Set stores a string attribute and returns the event for chaining.
+// Setting "ts" or "event" through Set is a programming error and panics.
+func (e *Event) Set(key, value string) *Event {
+	if key == KeyTS || key == KeyEvent {
+		panic("bp: use the TS/Type fields for " + key)
+	}
+	if e.Attrs == nil {
+		e.Attrs = make(map[string]string, 8)
+	}
+	e.Attrs[key] = value
+	return e
+}
+
+// SetInt stores an integer attribute.
+func (e *Event) SetInt(key string, v int64) *Event { return e.Set(key, strconv.FormatInt(v, 10)) }
+
+// SetFloat stores a float attribute with the compact formatting NetLogger
+// uses (no exponent for typical durations).
+func (e *Event) SetFloat(key string, v float64) *Event {
+	return e.Set(key, strconv.FormatFloat(v, 'f', -1, 64))
+}
+
+// Get returns the attribute value, or "" when absent.
+func (e *Event) Get(key string) string { return e.Attrs[key] }
+
+// Has reports whether the attribute is present.
+func (e *Event) Has(key string) bool { _, ok := e.Attrs[key]; return ok }
+
+// Int parses the attribute as a base-10 integer.
+func (e *Event) Int(key string) (int64, error) {
+	v, ok := e.Attrs[key]
+	if !ok {
+		return 0, fmt.Errorf("bp: attribute %q missing on %s", key, e.Type)
+	}
+	return strconv.ParseInt(v, 10, 64)
+}
+
+// Float parses the attribute as a float64.
+func (e *Event) Float(key string) (float64, error) {
+	v, ok := e.Attrs[key]
+	if !ok {
+		return 0, fmt.Errorf("bp: attribute %q missing on %s", key, e.Type)
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// Clone returns a deep copy of the event.
+func (e *Event) Clone() *Event {
+	c := &Event{TS: e.TS, Type: e.Type, Attrs: make(map[string]string, len(e.Attrs))}
+	for k, v := range e.Attrs {
+		c.Attrs[k] = v
+	}
+	return c
+}
+
+// Format renders the event as one BP line without a trailing newline.
+// "ts" and "event" come first, then the remaining attributes in sorted
+// order so output is deterministic and diff-able.
+func (e *Event) Format() string {
+	var b strings.Builder
+	b.Grow(64 + 24*len(e.Attrs))
+	b.WriteString(KeyTS)
+	b.WriteByte('=')
+	b.WriteString(e.TS.UTC().Format(TimeFormat))
+	b.WriteByte(' ')
+	b.WriteString(KeyEvent)
+	b.WriteByte('=')
+	b.WriteString(e.Type)
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		writeValue(&b, e.Attrs[k])
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer as an alias of Format.
+func (e *Event) String() string { return e.Format() }
+
+func needsQuoting(v string) bool {
+	if v == "" {
+		return true
+	}
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case ' ', '\t', '"', '=', '\n', '\r', '\\':
+			return true
+		}
+	}
+	return false
+}
+
+func writeValue(b *strings.Builder, v string) {
+	if !needsQuoting(v) {
+		b.WriteString(v)
+		return
+	}
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '"', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+}
+
+// Parse decodes one BP line. Both the ISO 8601 layout and fractional
+// seconds-since-epoch timestamps are accepted, matching NetLogger's
+// tolerance. Lines missing ts or event are rejected.
+func Parse(line string) (*Event, error) {
+	e := &Event{Attrs: make(map[string]string, 8)}
+	i := 0
+	n := len(line)
+	sawTS, sawEvent := false, false
+	for i < n {
+		// Skip inter-pair whitespace.
+		for i < n && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		// Key runs to '='.
+		ks := i
+		for i < n && line[i] != '=' && line[i] != ' ' {
+			i++
+		}
+		if i >= n || line[i] != '=' {
+			return nil, fmt.Errorf("bp: malformed pair at byte %d of %q", ks, truncate(line))
+		}
+		key := line[ks:i]
+		if key == "" {
+			return nil, fmt.Errorf("bp: empty key at byte %d of %q", ks, truncate(line))
+		}
+		i++ // consume '='
+		var val string
+		if i < n && line[i] == '"' {
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				c := line[i]
+				if c == '\\' && i+1 < n {
+					switch nxt := line[i+1]; nxt {
+					case 'n':
+						sb.WriteByte('\n')
+					case 'r':
+						sb.WriteByte('\r')
+					case '"', '\\':
+						sb.WriteByte(nxt)
+					default:
+						sb.WriteByte('\\')
+						sb.WriteByte(nxt)
+					}
+					i += 2
+					continue
+				}
+				if c == '"' {
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(c)
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("bp: unterminated quote in %q", truncate(line))
+			}
+			val = sb.String()
+		} else {
+			vs := i
+			for i < n && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+			val = line[vs:i]
+		}
+		switch key {
+		case KeyTS:
+			ts, err := parseTS(val)
+			if err != nil {
+				return nil, err
+			}
+			e.TS = ts
+			sawTS = true
+		case KeyEvent:
+			if val == "" {
+				return nil, fmt.Errorf("bp: empty event type in %q", truncate(line))
+			}
+			e.Type = val
+			sawEvent = true
+		default:
+			e.Attrs[key] = val
+		}
+	}
+	if !sawTS {
+		return nil, fmt.Errorf("bp: missing ts in %q", truncate(line))
+	}
+	if !sawEvent {
+		return nil, fmt.Errorf("bp: missing event in %q", truncate(line))
+	}
+	return e, nil
+}
+
+func parseTS(v string) (time.Time, error) {
+	if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
+		return t.UTC(), nil
+	}
+	if t, err := time.Parse(TimeFormat, v); err == nil {
+		return t.UTC(), nil
+	}
+	// Seconds since the epoch, possibly fractional.
+	if f, err := strconv.ParseFloat(v, 64); err == nil {
+		sec := int64(f)
+		nsec := int64((f - float64(sec)) * 1e9)
+		return time.Unix(sec, nsec).UTC(), nil
+	}
+	return time.Time{}, fmt.Errorf("bp: unparseable timestamp %q", v)
+}
+
+func truncate(s string) string {
+	if len(s) > 120 {
+		return s[:120] + "..."
+	}
+	return s
+}

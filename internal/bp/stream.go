@@ -1,0 +1,120 @@
+package bp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Reader decodes a stream of BP log lines. Blank lines and lines starting
+// with '#' are skipped, matching the behaviour of nl_load on log files
+// that interleave comments with events.
+type Reader struct {
+	s       *bufio.Scanner
+	line    int
+	lenient bool
+	skipped int
+}
+
+// NewReader wraps r for line-oriented BP decoding. The scanner buffer
+// accepts individual lines up to 1 MiB, comfortably above any event the
+// Stampede schema can produce.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Reader{s: s}
+}
+
+// SetLenient makes Read skip malformed lines instead of failing the
+// stream. Production log directories routinely contain partial last lines
+// from crashed writers; the loader turns this on and reports the skip
+// count afterwards.
+func (r *Reader) SetLenient(on bool) { r.lenient = on }
+
+// Skipped reports how many malformed lines were dropped in lenient mode.
+func (r *Reader) Skipped() int { return r.skipped }
+
+// Read returns the next event, or io.EOF at end of stream.
+func (r *Reader) Read() (*Event, error) {
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := Parse(line)
+		if err != nil {
+			if r.lenient {
+				r.skipped++
+				continue
+			}
+			return nil, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return ev, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// ReadAll drains the stream into a slice. It stops at the first error in
+// strict mode.
+func (r *Reader) ReadAll() ([]*Event, error) {
+	var out []*Event
+	for {
+		ev, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// Writer encodes events as BP lines to an io.Writer. It is safe for use by
+// multiple goroutines: engines log from many worker threads into one file,
+// exactly as Triana's LOG4J appenders do.
+type Writer struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	n  int
+}
+
+// NewWriter wraps w for BP encoding.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64*1024)}
+}
+
+// Write appends one event as a line.
+func (w *Writer) Write(e *Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.WriteString(e.Format()); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of events written.
+func (w *Writer) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Flush forces buffered lines to the underlying writer.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.w.Flush()
+}

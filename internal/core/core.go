@@ -1,0 +1,270 @@
+// Package core is the top-level Stampede facade: it assembles the
+// paper's three-layer model — message bus, high-performance loader over
+// the common data model, and the query interface with its analysis tools
+// — into one monitoring service that a workflow engine plugs into with a
+// single Appender.
+//
+// The typical wiring, mirroring Figure 1:
+//
+//	st, _ := core.Start(core.Config{})          // bus + loader + archive
+//	defer st.Stop()
+//	log := triana.NewStampedeLog(st.Appender()) // engine-side normalizer
+//	... run workflows; events stream through the bus into the archive ...
+//	st.WaitLoaded(ctx, log.Appended())          // real-time, not post-mortem
+//	summary, _ := st.Statistics(log.WorkflowUUID(), true)
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/archive"
+	"repro/internal/bp"
+	"repro/internal/dashboard"
+	"repro/internal/loader"
+	"repro/internal/mq"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Config tunes the monitoring service.
+type Config struct {
+	// DatabasePath persists the archive to a WAL file; empty keeps it in
+	// memory.
+	DatabasePath string
+	// QueueName and Topic configure the bus binding (defaults: "stampede"
+	// bound to "stampede.#", exactly the published deployment).
+	QueueName string
+	Topic     string
+	// BatchSize and FlushEvery tune the loader (see loader.Options).
+	BatchSize  int
+	FlushEvery time.Duration
+	// Validate runs schema validation on every event (default on; set
+	// SkipValidation to disable for trusted producers).
+	SkipValidation bool
+	// Lenient makes malformed or invalid events non-fatal.
+	Lenient bool
+}
+
+// Stampede is a running monitoring service.
+type Stampede struct {
+	broker *mq.Broker
+	arch   *archive.Archive
+	ldr    *loader.Loader
+	qi     *query.QI
+	queue  *mq.Queue
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	stats  loader.Stats
+	runErr error
+}
+
+// Start brings up the service: an in-process topic broker, a durable
+// queue bound to the Stampede topic space, and a loader consuming it into
+// the archive.
+func Start(cfg Config) (*Stampede, error) {
+	if cfg.QueueName == "" {
+		cfg.QueueName = "stampede"
+	}
+	if cfg.Topic == "" {
+		cfg.Topic = "stampede.#"
+	}
+	var arch *archive.Archive
+	var err error
+	if cfg.DatabasePath != "" {
+		arch, err = archive.Open(cfg.DatabasePath)
+	} else {
+		arch = archive.NewInMemory()
+	}
+	if err != nil {
+		return nil, err
+	}
+	ldr, err := loader.New(arch, loader.Options{
+		BatchSize:  cfg.BatchSize,
+		FlushEvery: cfg.FlushEvery,
+		Validate:   !cfg.SkipValidation,
+		Lenient:    cfg.Lenient,
+	})
+	if err != nil {
+		arch.Close()
+		return nil, err
+	}
+	broker := mq.NewBroker()
+	q, err := broker.DeclareQueue(cfg.QueueName, mq.QueueOpts{Durable: true})
+	if err != nil {
+		arch.Close()
+		return nil, err
+	}
+	if err := broker.Bind(cfg.QueueName, cfg.Topic); err != nil {
+		arch.Close()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Stampede{
+		broker: broker,
+		arch:   arch,
+		ldr:    ldr,
+		qi:     query.New(arch),
+		queue:  q,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		st, err := ldr.ConsumeQueue(ctx, q)
+		s.stats = st
+		if err != nil && ctx.Err() == nil {
+			s.runErr = err
+		}
+	}()
+	return s, nil
+}
+
+// Broker exposes the bus for additional consumers (live dashboards,
+// anomaly detectors) or for a TCP server front-end.
+func (s *Stampede) Broker() *mq.Broker { return s.broker }
+
+// Archive exposes the relational archive.
+func (s *Stampede) Archive() *archive.Archive { return s.arch }
+
+// Query returns the query interface over the live archive.
+func (s *Stampede) Query() *query.QI { return s.qi }
+
+// Appender returns an appender that publishes events onto the bus; hand
+// it to a triana.StampedeLog or pegasus.Monitord.
+func (s *Stampede) Appender() BusAppender { return BusAppender{broker: s.broker} }
+
+// BusAppender publishes BP events to the service's broker. It satisfies
+// both engines' Appender interfaces.
+type BusAppender struct {
+	broker *mq.Broker
+}
+
+// Append implements the Appender contract.
+func (a BusAppender) Append(ev *bp.Event) error {
+	a.broker.Publish(ev.Type, []byte(ev.Format()))
+	return nil
+}
+
+// WaitLoaded blocks until the loader has folded at least n events into
+// the archive (or ctx ends). Producers know how many events they emitted;
+// this is how tests and examples establish "the archive is caught up".
+func (s *Stampede) WaitLoaded(ctx context.Context, n uint64) error {
+	for {
+		if s.arch.Applied() >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: archive at %d/%d events: %w", s.arch.Applied(), n, ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Serve exposes the service's bus over TCP so engines in other processes
+// can publish events to it (the remote-AMQP deployment of the paper).
+// The returned address is "host:port"; call the returned stop function to
+// close the listener.
+func (s *Stampede) Serve(addr string) (string, func() error, error) {
+	srv, err := mq.NewServer(s.broker, addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return srv.Addr(), srv.Close, nil
+}
+
+// WaitQuiesced blocks until every event published to the bus so far has
+// been folded into the archive: the queue is drained and the loader's
+// batch buffer flushed. Use it after a workflow engine finishes to make
+// "the archive is caught up" explicit without counting events by hand.
+func (s *Stampede) WaitQuiesced(ctx context.Context) error {
+	for {
+		published := s.broker.Stats().Published
+		if s.queue.Len() == 0 && s.arch.Applied() >= published {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: archive at %d/%d events: %w",
+				s.arch.Applied(), published, ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Stop shuts down the loader and closes the archive, returning the load
+// statistics.
+func (s *Stampede) Stop() (loader.Stats, error) {
+	s.cancel()
+	<-s.done
+	err := s.runErr
+	if cerr := s.arch.Close(); err == nil {
+		err = cerr
+	}
+	return s.stats, err
+}
+
+// workflowID resolves a UUID to the archive row id.
+func (s *Stampede) workflowID(wfUUID string) (int64, error) {
+	wf, err := s.qi.WorkflowByUUID(wfUUID)
+	if err != nil {
+		return 0, err
+	}
+	if wf == nil {
+		return 0, fmt.Errorf("core: no workflow %s in archive", wfUUID)
+	}
+	return wf.ID, nil
+}
+
+// Statistics computes the stampede_statistics summary for a workflow.
+func (s *Stampede) Statistics(wfUUID string, recurse bool) (*stats.Summary, error) {
+	id, err := s.workflowID(wfUUID)
+	if err != nil {
+		return nil, err
+	}
+	return stats.Compute(s.qi, id, recurse)
+}
+
+// Breakdown computes the per-transformation breakdown (breakdown.txt).
+func (s *Stampede) Breakdown(wfUUID string, recurse bool) ([]stats.BreakdownRow, error) {
+	id, err := s.workflowID(wfUUID)
+	if err != nil {
+		return nil, err
+	}
+	return stats.Breakdown(s.qi, id, recurse)
+}
+
+// JobsReport computes the per-job report (jobs.txt).
+func (s *Stampede) JobsReport(wfUUID string) ([]stats.JobRow, error) {
+	id, err := s.workflowID(wfUUID)
+	if err != nil {
+		return nil, err
+	}
+	return stats.JobsReport(s.qi, id)
+}
+
+// Analyze runs the stampede_analyzer over a workflow hierarchy.
+func (s *Stampede) Analyze(wfUUID string) (*analyzer.Report, error) {
+	id, err := s.workflowID(wfUUID)
+	if err != nil {
+		return nil, err
+	}
+	return analyzer.Analyze(s.qi, id, true)
+}
+
+// Progress computes the Figure 7 progress series for a workflow.
+func (s *Stampede) Progress(wfUUID string) (map[string][]stats.ProgressPoint, error) {
+	id, err := s.workflowID(wfUUID)
+	if err != nil {
+		return nil, err
+	}
+	return stats.ProgressSeries(s.qi, id)
+}
+
+// Dashboard returns the HTTP handler of the live web dashboard.
+func (s *Stampede) Dashboard() http.Handler { return dashboard.New(s.qi) }

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/mq"
+	"repro/internal/triana"
+)
+
+func runGraph(t *testing.T, st *Stampede, g *triana.TaskGraph) *triana.StampedeLog {
+	t.Helper()
+	before := st.Archive().Applied()
+	log := triana.NewStampedeLog(st.Appender())
+	sched := triana.NewScheduler(g, triana.Options{Mode: triana.SingleStep, Listeners: []triana.Listener{log}})
+	if _, err := sched.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := st.WaitLoaded(ctx, before+uint64(log.Appended())); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func demoGraph() *triana.TaskGraph {
+	g := triana.NewTaskGraph("demo")
+	a := g.MustAddTask("src", &triana.FuncUnit{UnitName: "src", Fn: func(*triana.ProcessContext) ([]any, error) {
+		return []any{1}, nil
+	}})
+	b := g.MustAddTask("sink", &triana.FuncUnit{UnitName: "sink", Fn: func(*triana.ProcessContext) ([]any, error) {
+		return nil, nil
+	}})
+	_, _ = g.Connect(a, b)
+	return g
+}
+
+func TestStartRunQueryStop(t *testing.T) {
+	st, err := Start(Config{FlushEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := runGraph(t, st, demoGraph())
+
+	summary, err := st.Statistics(log.WorkflowUUID(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Jobs.Total != 2 || summary.Jobs.Succeeded != 2 {
+		t.Errorf("summary = %+v", summary.Jobs)
+	}
+	rows, err := st.Breakdown(log.WorkflowUUID(), true)
+	if err != nil || len(rows) == 0 {
+		t.Errorf("breakdown: %d rows, %v", len(rows), err)
+	}
+	jobs, err := st.JobsReport(log.WorkflowUUID())
+	if err != nil || len(jobs) != 2 {
+		t.Errorf("jobs report: %d rows, %v", len(jobs), err)
+	}
+	rep, err := st.Analyze(log.WorkflowUUID())
+	if err != nil || !rep.Healthy() {
+		t.Errorf("analyze: %+v, %v", rep, err)
+	}
+	prog, err := st.Progress(log.WorkflowUUID())
+	if err != nil || len(prog) != 1 {
+		t.Errorf("progress: %d series, %v", len(prog), err)
+	}
+	loadStats, err := st.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadStats.Loaded != uint64(log.Appended()) {
+		t.Errorf("loaded %d, appended %d", loadStats.Loaded, log.Appended())
+	}
+	if loadStats.Invalid != 0 {
+		t.Errorf("invalid = %d", loadStats.Invalid)
+	}
+}
+
+func TestPersistentArchiveAcrossRestarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stampede.db")
+	st, err := Start(Config{DatabasePath: path, FlushEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := runGraph(t, st, demoGraph())
+	if _, err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Start(Config{DatabasePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Stop()
+	summary, err := re.Statistics(log.WorkflowUUID(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Jobs.Total != 2 {
+		t.Errorf("persisted jobs = %d", summary.Jobs.Total)
+	}
+}
+
+func TestDashboardServesLiveArchive(t *testing.T) {
+	st, err := Start(Config{FlushEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	runGraph(t, st, demoGraph())
+	srv := httptest.NewServer(st.Dashboard())
+	defer srv.Close()
+	resp, err := httptestGet(srv.URL + "/api/workflows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) < 10 {
+		t.Fatalf("dashboard response too small: %q", resp)
+	}
+}
+
+func TestUnknownWorkflowErrors(t *testing.T) {
+	st, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	if _, err := st.Statistics("00000000-0000-0000-0000-000000000000", true); err == nil {
+		t.Error("statistics for unknown workflow succeeded")
+	}
+	if _, err := st.Analyze("00000000-0000-0000-0000-000000000000"); err == nil {
+		t.Error("analyze for unknown workflow succeeded")
+	}
+}
+
+func TestTwoEnginesOneArchive(t *testing.T) {
+	// The paper's headline: independently developed engines sharing one
+	// monitoring infrastructure. Run two separate Triana graphs (standing
+	// in for separate engine processes) into the same service and check
+	// both appear.
+	st, err := Start(Config{FlushEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	log1 := runGraph(t, st, demoGraph())
+	log2 := runGraph(t, st, demoGraph())
+	if log1.WorkflowUUID() == log2.WorkflowUUID() {
+		t.Fatal("runs share a uuid")
+	}
+	wfs, err := st.Query().Workflows()
+	if err != nil || len(wfs) != 2 {
+		t.Fatalf("workflows = %d, %v", len(wfs), err)
+	}
+	if n, _ := st.Archive().Store().Count(archive.TJobInstance); n != 4 {
+		t.Errorf("instances = %d", n)
+	}
+}
+
+func TestServeTCPRemoteEngine(t *testing.T) {
+	// Full remote deployment: the engine publishes over TCP to the
+	// service's bus; the loader consumes it into the archive.
+	st, err := Start(Config{FlushEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	addr, stop, err := st.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	client, err := mq.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	wfLog := triana.NewStampedeLog(&triana.ClientAppender{Client: client})
+	sched := triana.NewScheduler(demoGraph(), triana.Options{
+		Mode: triana.SingleStep, Listeners: []triana.Listener{wfLog},
+	})
+	if _, err := sched.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Events may still be in TCP flight when the engine returns, so wait
+	// on the explicit count (WaitQuiesced only covers events that have
+	// already reached the bus).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := st.WaitLoaded(ctx, uint64(wfLog.Appended())); err != nil {
+		t.Fatal(err)
+	}
+	summary, err := st.Statistics(wfLog.WorkflowUUID(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Jobs.Succeeded != 2 {
+		t.Fatalf("summary over TCP = %+v", summary.Jobs)
+	}
+}
+
+func TestWaitQuiescedTimesOut(t *testing.T) {
+	st, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unreachable target with a dead context must fail promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := st.WaitLoaded(ctx, 10); err == nil {
+		t.Error("WaitLoaded with dead context succeeded")
+	}
+	st.Stop()
+}
+
+func httptestGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(body), nil
+}

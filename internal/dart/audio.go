@@ -1,0 +1,83 @@
+package dart
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Signal is mono PCM audio with a sample rate.
+type Signal struct {
+	Rate    int
+	Samples []float64
+}
+
+// ToneSpec describes one synthesized note: a fundamental with decaying
+// harmonics plus optional noise — the stand-in for the paper's audio
+// corpus.
+type ToneSpec struct {
+	F0        float64 // fundamental frequency, Hz
+	Harmonics int     // number of harmonics including the fundamental
+	Decay     float64 // amplitude ratio between successive harmonics (0..1)
+	Noise     float64 // white-noise amplitude relative to the fundamental
+	Seconds   float64
+	Rate      int
+	Seed      int64
+}
+
+// Synthesize renders the tone.
+func Synthesize(spec ToneSpec) Signal {
+	if spec.Rate == 0 {
+		spec.Rate = 8000
+	}
+	if spec.Harmonics < 1 {
+		spec.Harmonics = 1
+	}
+	if spec.Seconds == 0 {
+		spec.Seconds = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := int(spec.Seconds * float64(spec.Rate))
+	s := Signal{Rate: spec.Rate, Samples: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(spec.Rate)
+		var v float64
+		amp := 1.0
+		for h := 1; h <= spec.Harmonics; h++ {
+			v += amp * math.Sin(2*math.Pi*spec.F0*float64(h)*t)
+			amp *= spec.Decay
+		}
+		if spec.Noise > 0 {
+			v += spec.Noise * (2*rng.Float64() - 1)
+		}
+		s.Samples[i] = v
+	}
+	return s
+}
+
+// MissingFundamental renders a tone whose fundamental component is
+// removed, the classic case where naive peak-picking fails but
+// sub-harmonic summation still recovers the pitch.
+func MissingFundamental(spec ToneSpec) Signal {
+	if spec.Rate == 0 {
+		spec.Rate = 8000
+	}
+	if spec.Harmonics < 3 {
+		spec.Harmonics = 3
+	}
+	if spec.Seconds == 0 {
+		spec.Seconds = 1
+	}
+	n := int(spec.Seconds * float64(spec.Rate))
+	s := Signal{Rate: spec.Rate, Samples: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(spec.Rate)
+		var v float64
+		amp := spec.Decay // start at the 2nd harmonic's amplitude
+		for h := 2; h <= spec.Harmonics; h++ {
+			v += amp * math.Sin(2*math.Pi*spec.F0*float64(h)*t)
+			amp *= spec.Decay
+		}
+		s.Samples[i] = v
+	}
+	return s
+}

@@ -1,0 +1,223 @@
+package dart
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+)
+
+func TestFFTKnownTransform(t *testing.T) {
+	// DFT of [1,0,0,0] is [1,1,1,1].
+	x := []complex128{1, 0, 0, 0}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSineProducesPeak(t *testing.T) {
+	const n = 1024
+	const rate = 8000.0
+	const f = 500.0
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(2*math.Pi*f*float64(i)/rate), 0)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	peak, peakBin := 0.0, 0
+	for i := 0; i < n/2; i++ {
+		if m := cmplx.Abs(x[i]); m > peak {
+			peak, peakBin = m, i
+		}
+	}
+	wantBin := int(f / rate * n)
+	if peakBin < wantBin-1 || peakBin > wantBin+1 {
+		t.Fatalf("peak at bin %d, want ~%d", peakBin, wantBin)
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	const n = 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(0.3*float64(i))+0.5*math.Cos(1.7*float64(i)), 0)
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / n
+			sum += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		want[k] = sum
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for k := range x {
+		if cmplx.Abs(x[k]-want[k]) > 1e-9 {
+			t.Fatalf("bin %d: fft %v vs dft %v", k, x[k], want[k])
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 12, 1000} {
+		if err := FFT(make([]complex128, n)); err == nil {
+			t.Errorf("FFT accepted length %d", n)
+		}
+	}
+}
+
+func TestSpectrumErrors(t *testing.T) {
+	if _, err := Spectrum(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+}
+
+func TestDetectPitchPureTones(t *testing.T) {
+	for _, f0 := range []float64{110, 220, 440, 880} {
+		sig := Synthesize(ToneSpec{F0: f0, Harmonics: 5, Decay: 0.7, Seconds: 0.5, Seed: 42})
+		track, err := DetectPitch(sig, SHSParams{})
+		if err != nil {
+			t.Fatalf("f0=%v: %v", f0, err)
+		}
+		got := track.Median()
+		if math.Abs(got-f0)/f0 > 0.03 {
+			t.Errorf("f0=%v: detected %v", f0, got)
+		}
+	}
+}
+
+func TestDetectPitchMissingFundamental(t *testing.T) {
+	// SHS's defining property: recovering the pitch when the fundamental
+	// is absent from the spectrum.
+	sig := MissingFundamental(ToneSpec{F0: 330, Harmonics: 6, Decay: 0.8, Seconds: 0.5})
+	track, err := DetectPitch(sig, SHSParams{NumHarmonics: 8, Compression: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := track.Median()
+	if math.Abs(got-330)/330 > 0.05 {
+		t.Errorf("missing fundamental: detected %v, want ~330", got)
+	}
+}
+
+func TestDetectPitchNoisy(t *testing.T) {
+	sig := Synthesize(ToneSpec{F0: 220, Harmonics: 6, Decay: 0.7, Noise: 0.5, Seconds: 0.5, Seed: 7})
+	track, err := DetectPitch(sig, SHSParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := track.Median()
+	if math.Abs(got-220)/220 > 0.05 {
+		t.Errorf("noisy tone: detected %v", got)
+	}
+}
+
+func TestDetectPitchErrors(t *testing.T) {
+	short := Signal{Rate: 8000, Samples: make([]float64, 10)}
+	if _, err := DetectPitch(short, SHSParams{}); err == nil {
+		t.Error("short signal accepted")
+	}
+	sig := Synthesize(ToneSpec{F0: 220, Seconds: 0.3})
+	if _, err := DetectPitch(sig, SHSParams{MinF0: 500, MaxF0: 100}); err == nil {
+		t.Error("inverted F0 range accepted")
+	}
+}
+
+func TestAccuracyMetric(t *testing.T) {
+	track := PitchTrack{Frames: []float64{220, 221, 219, 0, 440}}
+	// 3 of 4 voiced frames within 5% of 220.
+	if got := Accuracy(track, 220, 0.05); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("accuracy = %v, want 0.75", got)
+	}
+	if Accuracy(track, 0, 0.05) != 0 {
+		t.Error("zero truth accepted")
+	}
+	if Accuracy(PitchTrack{Frames: []float64{0, 0}}, 220, 0.05) != 0 {
+		t.Error("unvoiced track nonzero")
+	}
+}
+
+func TestSweepHas306Points(t *testing.T) {
+	pts := Sweep()
+	if len(pts) != 306 {
+		t.Fatalf("sweep = %d points, want 306", len(pts))
+	}
+	seen := map[[2]int]bool{}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Fatalf("point %d has index %d", i, p.Index)
+		}
+		key := [2]int{p.Harmonics, int(p.Compression * 100)}
+		if seen[key] {
+			t.Fatalf("duplicate point %+v", p)
+		}
+		seen[key] = true
+	}
+	lines := strings.Split(strings.TrimSpace(InputFile()), "\n")
+	if len(lines) != 306 {
+		t.Fatalf("input file has %d lines", len(lines))
+	}
+}
+
+func TestCommandRoundTrip(t *testing.T) {
+	for _, p := range Sweep()[:20] {
+		back, err := ParseCommand(p.Command())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Harmonics != p.Harmonics || math.Abs(back.Compression-p.Compression) > 0.005 {
+			t.Fatalf("round trip %+v -> %+v", p, back)
+		}
+	}
+	if _, err := ParseCommand("java -jar dart.jar"); err == nil {
+		t.Error("command without params accepted")
+	}
+}
+
+func TestCostModelInPaperBand(t *testing.T) {
+	for _, p := range Sweep() {
+		c := p.CostSeconds()
+		if c < 36 || c > 75 {
+			t.Fatalf("cost %v outside the paper's 36-75s band for %+v", c, p)
+		}
+	}
+	// More harmonics must not be cheaper.
+	lo := SweepPoint{Harmonics: 2, Compression: 0.5}.CostSeconds()
+	hi := SweepPoint{Harmonics: 16, Compression: 0.5}.CostSeconds()
+	if hi < lo {
+		t.Fatalf("cost model not monotone in harmonics: %v vs %v", lo, hi)
+	}
+}
+
+func TestRunProducesAccuracy(t *testing.T) {
+	// A reasonable operating point should detect well on the corpus.
+	res, err := Run(SweepPoint{Harmonics: 8, Compression: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.6 {
+		t.Errorf("accuracy = %v at a good operating point", res.Accuracy)
+	}
+	if res.Frames == 0 {
+		t.Error("no frames analyzed")
+	}
+	// A degenerate operating point (single harmonic) must do worse on the
+	// missing-fundamental corpus than the good one.
+	bad, err := Run(SweepPoint{Harmonics: 1, Compression: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Accuracy > res.Accuracy {
+		t.Errorf("1-harmonic sweep point (%v) beat 8-harmonic (%v)", bad.Accuracy, res.Accuracy)
+	}
+}

@@ -1,0 +1,190 @@
+package dart
+
+import (
+	"fmt"
+	"math"
+)
+
+// SHSParams are the Sub-Harmonic Summation parameters the DART experiment
+// sweeps to find optimal settings.
+type SHSParams struct {
+	// NumHarmonics is how many harmonics contribute to each candidate's
+	// score.
+	NumHarmonics int
+	// Compression is the per-harmonic weight decay h^(n-1) factor: the
+	// n-th harmonic contributes Compression^(n-1) of its magnitude.
+	Compression float64
+	// FrameSize is the analysis window in samples (rounded up to a power
+	// of two internally).
+	FrameSize int
+	// HopSize is the stride between frames; defaults to FrameSize/2.
+	HopSize int
+	// MinF0 and MaxF0 bound the pitch search range in Hz.
+	MinF0, MaxF0 float64
+}
+
+// Defaults fills unset fields with the DART-like defaults.
+func (p SHSParams) Defaults() SHSParams {
+	if p.NumHarmonics == 0 {
+		p.NumHarmonics = 5
+	}
+	if p.Compression == 0 {
+		p.Compression = 0.8
+	}
+	if p.FrameSize == 0 {
+		p.FrameSize = 1024
+	}
+	if p.HopSize == 0 {
+		p.HopSize = p.FrameSize / 2
+	}
+	if p.MinF0 == 0 {
+		p.MinF0 = 60
+	}
+	if p.MaxF0 == 0 {
+		p.MaxF0 = 1500
+	}
+	return p
+}
+
+// PitchTrack is the per-frame pitch estimate sequence.
+type PitchTrack struct {
+	Frames []float64 // estimated F0 per frame, Hz; 0 for unvoiced/empty
+	Params SHSParams
+}
+
+// Median returns the median voiced pitch estimate, 0 when no frame was
+// voiced.
+func (t PitchTrack) Median() float64 {
+	voiced := make([]float64, 0, len(t.Frames))
+	for _, f := range t.Frames {
+		if f > 0 {
+			voiced = append(voiced, f)
+		}
+	}
+	if len(voiced) == 0 {
+		return 0
+	}
+	// Insertion sort: frames counts are small.
+	for i := 1; i < len(voiced); i++ {
+		for j := i; j > 0 && voiced[j] < voiced[j-1]; j-- {
+			voiced[j], voiced[j-1] = voiced[j-1], voiced[j]
+		}
+	}
+	return voiced[len(voiced)/2]
+}
+
+// DetectPitch runs sub-harmonic summation over the signal and returns the
+// per-frame pitch track. For each frame's magnitude spectrum, every
+// candidate F0 bin is scored as the compressed sum of the magnitudes at
+// its harmonic multiples; the best-scoring candidate wins the frame.
+func DetectPitch(s Signal, params SHSParams) (PitchTrack, error) {
+	p := params.Defaults()
+	if len(s.Samples) < p.FrameSize {
+		return PitchTrack{}, fmt.Errorf("dart: signal shorter (%d) than frame (%d)", len(s.Samples), p.FrameSize)
+	}
+	if p.MinF0 <= 0 || p.MaxF0 <= p.MinF0 {
+		return PitchTrack{}, fmt.Errorf("dart: bad F0 range [%g, %g]", p.MinF0, p.MaxF0)
+	}
+	track := PitchTrack{Params: p}
+	for off := 0; off+p.FrameSize <= len(s.Samples); off += p.HopSize {
+		frame := s.Samples[off : off+p.FrameSize]
+		mag, err := Spectrum(frame)
+		if err != nil {
+			return PitchTrack{}, err
+		}
+		f0 := shsFrame(mag, s.Rate, p)
+		track.Frames = append(track.Frames, f0)
+	}
+	if len(track.Frames) == 0 {
+		return PitchTrack{}, fmt.Errorf("dart: no frames produced")
+	}
+	return track, nil
+}
+
+// shsFrame scores candidate fundamentals over one magnitude spectrum.
+func shsFrame(mag []float64, rate int, p SHSParams) float64 {
+	nfft := len(mag) * 2
+	binHz := float64(rate) / float64(nfft)
+	minBin := int(p.MinF0 / binHz)
+	if minBin < 1 {
+		minBin = 1
+	}
+	maxBin := int(p.MaxF0 / binHz)
+	if maxBin >= len(mag) {
+		maxBin = len(mag) - 1
+	}
+	if maxBin <= minBin {
+		return 0
+	}
+	scores := make([]float64, maxBin+1)
+	var bestScore float64
+	bestBin := 0
+	for b := minBin; b <= maxBin; b++ {
+		var score float64
+		w := 1.0
+		for h := 1; h <= p.NumHarmonics; h++ {
+			hb := b * h
+			if hb >= len(mag) {
+				break
+			}
+			score += w * mag[hb]
+			w *= p.Compression
+		}
+		scores[b] = score
+		if score > bestScore {
+			bestScore, bestBin = score, b
+		}
+	}
+	// Voicing gate: a frame whose best score is indistinguishable from
+	// the spectrum's mean energy is unvoiced.
+	var mean float64
+	for _, m := range mag {
+		mean += m
+	}
+	mean /= float64(len(mag))
+	if bestScore < 4*mean {
+		return 0
+	}
+	// Parabolic interpolation on the SHS score around the winning bin
+	// refines the estimate below bin resolution. The offset is clamped to
+	// half a bin: beyond that the parabola model is meaningless.
+	f := float64(bestBin)
+	if bestBin > minBin && bestBin < maxBin {
+		a, b, c := scores[bestBin-1], scores[bestBin], scores[bestBin+1]
+		denom := a - 2*b + c
+		if math.Abs(denom) > 1e-12 {
+			off := 0.5 * (a - c) / denom
+			if off > 0.5 {
+				off = 0.5
+			}
+			if off < -0.5 {
+				off = -0.5
+			}
+			f += off
+		}
+	}
+	return f * binHz
+}
+
+// Accuracy scores a pitch track against a known ground-truth F0: the
+// fraction of voiced frames whose estimate is within tol (relative). This
+// is the metric the DART sweep optimises over its parameter space.
+func Accuracy(track PitchTrack, truth float64, tol float64) float64 {
+	if truth <= 0 || len(track.Frames) == 0 {
+		return 0
+	}
+	good, voiced := 0, 0
+	for _, f := range track.Frames {
+		if f <= 0 {
+			continue
+		}
+		voiced++
+		if math.Abs(f-truth)/truth <= tol {
+			good++
+		}
+	}
+	if voiced == 0 {
+		return 0
+	}
+	return float64(good) / float64(voiced)
+}

@@ -1,0 +1,159 @@
+package dart
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The DART experiment sweeps the SHS parameter space with 306 runs (the
+// paper's input file lists 306 command lines). The sweep here crosses 17
+// harmonic counts with 18 compression factors: 17 × 18 = 306 points, the
+// same cardinality with the same two head-line knobs the SHS algorithm
+// exposes.
+
+// SweepHarmonics and SweepCompressions define the grid.
+var (
+	SweepHarmonics    = harmonicsRange(1, 17) // 1..17
+	SweepCompressions = compressionRange(18)  // 0.05, 0.10, ... 0.90
+)
+
+func harmonicsRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for h := lo; h <= hi; h++ {
+		out = append(out, h)
+	}
+	return out
+}
+
+func compressionRange(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.05 * float64(i+1)
+	}
+	return out
+}
+
+// SweepPoint is one execution of the DART experiment.
+type SweepPoint struct {
+	Index       int
+	Harmonics   int
+	Compression float64
+}
+
+// Params returns the SHS parameters for this point.
+func (p SweepPoint) Params() SHSParams {
+	return SHSParams{NumHarmonics: p.Harmonics, Compression: p.Compression}.Defaults()
+}
+
+// Command renders the point as the command-line string format the
+// workflow input file carries (one line per execution).
+func (p SweepPoint) Command() string {
+	return fmt.Sprintf("java -jar dart.jar -shs -harmonics %d -compression %.2f -input audio_corpus", p.Harmonics, p.Compression)
+}
+
+// ParseCommand recovers a SweepPoint from its command line.
+func ParseCommand(line string) (SweepPoint, error) {
+	fields := strings.Fields(line)
+	var p SweepPoint
+	sawH, sawC := false, false
+	for i := 0; i < len(fields)-1; i++ {
+		switch fields[i] {
+		case "-harmonics":
+			h, err := strconv.Atoi(fields[i+1])
+			if err != nil {
+				return p, fmt.Errorf("dart: bad -harmonics in %q: %v", line, err)
+			}
+			p.Harmonics = h
+			sawH = true
+		case "-compression":
+			c, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return p, fmt.Errorf("dart: bad -compression in %q: %v", line, err)
+			}
+			p.Compression = c
+			sawC = true
+		}
+	}
+	if !sawH || !sawC {
+		return p, fmt.Errorf("dart: command %q lacks sweep parameters", line)
+	}
+	return p, nil
+}
+
+// Sweep enumerates all 306 sweep points in input-file order.
+func Sweep() []SweepPoint {
+	out := make([]SweepPoint, 0, len(SweepHarmonics)*len(SweepCompressions))
+	i := 0
+	for _, h := range SweepHarmonics {
+		for _, c := range SweepCompressions {
+			out = append(out, SweepPoint{Index: i, Harmonics: h, Compression: c})
+			i++
+		}
+	}
+	return out
+}
+
+// InputFile renders the sweep as the newline-separated command list that
+// is the parent workflow's single input file in the paper.
+func InputFile() string {
+	pts := Sweep()
+	var b strings.Builder
+	for _, p := range pts {
+		b.WriteString(p.Command())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CostSeconds is the calibrated runtime model for one sweep point on a
+// TrianaCloud worker: the paper's exec tasks take roughly 36–75 seconds,
+// growing with the number of harmonics each candidate must sum. The model
+// is base + per-harmonic cost, clamped to the observed band.
+func (p SweepPoint) CostSeconds() float64 {
+	cost := 32.0 + 2.6*float64(p.Harmonics) + 4.0*p.Compression
+	if cost < 36 {
+		cost = 36
+	}
+	if cost > 75 {
+		cost = 75
+	}
+	return cost
+}
+
+// RunResult is what one DART execution writes to its output file.
+type RunResult struct {
+	Point    SweepPoint
+	Accuracy float64
+	Frames   int
+}
+
+// Run executes one sweep point against the evaluation corpus: a set of
+// synthesized tones (including missing-fundamental cases) with known
+// pitch. It returns the measured detection accuracy. This is the real
+// work each exec task performs in the reproduced workflow.
+func Run(p SweepPoint) (RunResult, error) {
+	params := p.Params()
+	corpus := []struct {
+		sig   Signal
+		truth float64
+	}{
+		{Synthesize(ToneSpec{F0: 220, Harmonics: 6, Decay: 0.7, Noise: 0.1, Seconds: 0.5, Seed: 1}), 220},
+		{Synthesize(ToneSpec{F0: 440, Harmonics: 5, Decay: 0.6, Noise: 0.2, Seconds: 0.5, Seed: 2}), 440},
+		{Synthesize(ToneSpec{F0: 110, Harmonics: 8, Decay: 0.8, Noise: 0.1, Seconds: 0.5, Seed: 3}), 110},
+		{MissingFundamental(ToneSpec{F0: 330, Harmonics: 6, Decay: 0.7, Seconds: 0.5}), 330},
+	}
+	var res RunResult
+	res.Point = p
+	var accSum float64
+	for _, c := range corpus {
+		track, err := DetectPitch(c.sig, params)
+		if err != nil {
+			return res, err
+		}
+		res.Frames += len(track.Frames)
+		accSum += Accuracy(track, c.truth, 0.05)
+	}
+	res.Accuracy = accSum / float64(len(corpus))
+	return res, nil
+}

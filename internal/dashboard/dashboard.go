@@ -1,0 +1,285 @@
+// Package dashboard implements the lightweight performance dashboard the
+// paper describes in §IV-F: an embedded web server for monitoring and
+// online exploration of workflows, serving both a human-readable HTML
+// status page and a JSON API over the live archive. Because the loader
+// and the dashboard can share one in-process archive, status reflects
+// events within one loader flush interval of real time.
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/archive"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Server is the dashboard HTTP handler set.
+type Server struct {
+	q   *query.QI
+	mux *http.ServeMux
+}
+
+// New builds a dashboard over a query interface.
+func New(q *query.QI) *Server {
+	s := &Server{q: q, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /api/workflows", s.handleWorkflows)
+	s.mux.HandleFunc("GET /api/workflow/{uuid}", s.handleWorkflow)
+	s.mux.HandleFunc("GET /api/workflow/{uuid}/statistics", s.handleStatistics)
+	s.mux.HandleFunc("GET /api/workflow/{uuid}/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /api/workflow/{uuid}/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /api/workflow/{uuid}/analyzer", s.handleAnalyzer)
+	s.mux.HandleFunc("GET /api/workflow/{uuid}/gantt", s.handleGantt)
+	s.mux.HandleFunc("GET /api/workflow/{uuid}/hosts", s.handleHosts)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// WorkflowStatus is one row of the workflow listing.
+type WorkflowStatus struct {
+	UUID       string    `json:"uuid"`
+	Label      string    `json:"label"`
+	SubmitHost string    `json:"submit_host"`
+	State      string    `json:"state"` // RUNNING, SUCCESS, FAILURE, UNKNOWN
+	Planned    time.Time `json:"planned"`
+	WallSecs   float64   `json:"wall_seconds"`
+	IsRoot     bool      `json:"is_root"`
+}
+
+func (s *Server) workflowStatus(wf query.Workflow) (WorkflowStatus, error) {
+	ws := WorkflowStatus{
+		UUID:       wf.UUID,
+		Label:      wf.DaxLabel,
+		SubmitHost: wf.SubmitHost,
+		Planned:    wf.Timestamp,
+		IsRoot:     wf.ParentID == 0,
+		State:      "UNKNOWN",
+	}
+	states, err := s.q.WorkflowStates(wf.ID)
+	if err != nil {
+		return ws, err
+	}
+	for _, st := range states {
+		switch st.State {
+		case archive.WFStateStarted:
+			ws.State = "RUNNING"
+		case archive.WFStateTerminated:
+			if st.HasStatus && st.Status != 0 {
+				ws.State = "FAILURE"
+			} else {
+				ws.State = "SUCCESS"
+			}
+		}
+	}
+	wall, err := s.q.Walltime(wf.ID)
+	if err != nil {
+		return ws, err
+	}
+	ws.WallSecs = wall.Seconds()
+	return ws, nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing to do but log-level reporting, which
+		// the dashboard deliberately omits (stdlib-only, no logger dep).
+		_ = err
+	}
+}
+
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*query.Workflow, bool) {
+	uuid := r.PathValue("uuid")
+	wf, err := s.q.WorkflowByUUID(uuid)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "lookup failed: %v", err)
+		return nil, false
+	}
+	if wf == nil {
+		s.httpError(w, http.StatusNotFound, "no workflow %s", uuid)
+		return nil, false
+	}
+	return wf, true
+}
+
+func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
+	wfs, err := s.q.Workflows()
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]WorkflowStatus, 0, len(wfs))
+	for _, wf := range wfs {
+		ws, err := s.workflowStatus(wf)
+		if err != nil {
+			s.httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		out = append(out, ws)
+	}
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
+	wf, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	ws, err := s.workflowStatus(*wf)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	subs, err := s.q.SubWorkflows(wf.ID)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	subStatuses := make([]WorkflowStatus, 0, len(subs))
+	for _, sub := range subs {
+		st, err := s.workflowStatus(sub)
+		if err != nil {
+			s.httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		subStatuses = append(subStatuses, st)
+	}
+	s.writeJSON(w, struct {
+		WorkflowStatus
+		SubWorkflows []WorkflowStatus `json:"sub_workflows"`
+	}{ws, subStatuses})
+}
+
+func (s *Server) handleStatistics(w http.ResponseWriter, r *http.Request) {
+	wf, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	recurse := r.URL.Query().Get("recurse") != "false"
+	summary, err := stats.Compute(s.q, wf.ID, recurse)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	breakdown, err := stats.Breakdown(s.q, wf.ID, recurse)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeJSON(w, struct {
+		Summary   *stats.Summary       `json:"summary"`
+		Breakdown []stats.BreakdownRow `json:"breakdown"`
+	}{summary, breakdown})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	wf, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	rows, err := stats.JobsReport(s.q, wf.ID)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.httpError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	s.writeJSON(w, rows)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	wf, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	series, err := stats.ProgressSeries(s.q, wf.ID)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeJSON(w, series)
+}
+
+func (s *Server) handleAnalyzer(w http.ResponseWriter, r *http.Request) {
+	wf, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	report, err := analyzer.Analyze(s.q, wf.ID, true)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeJSON(w, report)
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>Stampede Dashboard</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #999; padding: 4px 10px; text-align: left; }
+.SUCCESS { color: #0a0; } .FAILURE { color: #a00; } .RUNNING { color: #06c; }
+</style></head><body>
+<h1>Stampede Workflow Dashboard</h1>
+<table>
+<tr><th>Workflow</th><th>Label</th><th>State</th><th>Wall (s)</th><th>Submit host</th></tr>
+{{range .}}<tr>
+<td><a href="/api/workflow/{{.UUID}}">{{.UUID}}</a></td>
+<td>{{.Label}}</td>
+<td class="{{.State}}">{{.State}}</td>
+<td>{{printf "%.1f" .WallSecs}}</td>
+<td>{{.SubmitHost}}</td>
+</tr>{{end}}
+</table></body></html>
+`))
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	wfs, err := s.q.Workflows()
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	statuses := make([]WorkflowStatus, 0, len(wfs))
+	for _, wf := range wfs {
+		st, err := s.workflowStatus(wf)
+		if err != nil {
+			s.httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		statuses = append(statuses, st)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTmpl.Execute(w, statuses); err != nil {
+		_ = err // response already partially written
+	}
+}

@@ -1,0 +1,133 @@
+package dashboard
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/stats"
+)
+
+// GanttRow is one bar of the workflow's execution timeline: a job
+// instance's submit → execute → terminal trajectory, in seconds relative
+// to the workflow start, ready for timeline rendering.
+type GanttRow struct {
+	Job       string  `json:"job"`
+	Try       int64   `json:"try"`
+	Host      string  `json:"host"`
+	SubmitT   float64 `json:"submit_t"`
+	ExecT     float64 `json:"exec_t"`
+	EndT      float64 `json:"end_t"`
+	QueueSecs float64 `json:"queue_seconds"`
+	RunSecs   float64 `json:"run_seconds"`
+	State     string  `json:"state"` // final state name
+	Exit      *int64  `json:"exit,omitempty"`
+}
+
+// ganttRows computes the timeline for one workflow (non-recursive; the
+// UI requests each sub-workflow separately, as the drill-down does).
+func (s *Server) ganttRows(wfID int64) ([]GanttRow, error) {
+	states, err := s.q.WorkflowStates(wfID)
+	if err != nil {
+		return nil, err
+	}
+	var start time.Time
+	for _, st := range states {
+		if st.State == archive.WFStateStarted {
+			start = st.Timestamp
+			break
+		}
+	}
+	jobs, err := s.q.Jobs(wfID)
+	if err != nil {
+		return nil, err
+	}
+	var rows []GanttRow
+	for _, j := range jobs {
+		insts, err := s.q.JobInstances(j.ID)
+		if err != nil {
+			return nil, err
+		}
+		for _, inst := range insts {
+			jstates, err := s.q.JobStates(inst.ID)
+			if err != nil {
+				return nil, err
+			}
+			row := GanttRow{Job: j.ExecJobID, Try: inst.SubmitSeq, Host: inst.Hostname}
+			if start.IsZero() && len(jstates) > 0 {
+				start = jstates[0].Timestamp
+			}
+			rel := func(t time.Time) float64 { return t.Sub(start).Seconds() }
+			for _, st := range jstates {
+				switch st.State {
+				case archive.JSSubmit:
+					row.SubmitT = rel(st.Timestamp)
+				case archive.JSExecute:
+					row.ExecT = rel(st.Timestamp)
+				case archive.JSSuccess, archive.JSFailure, archive.JSAborted:
+					row.EndT = rel(st.Timestamp)
+					row.State = st.State
+				}
+			}
+			if len(jstates) > 0 && row.State == "" {
+				row.State = jstates[len(jstates)-1].State
+			}
+			if row.ExecT > 0 && row.SubmitT >= 0 {
+				row.QueueSecs = row.ExecT - row.SubmitT
+			}
+			if row.EndT > 0 && row.ExecT > 0 {
+				row.RunSecs = row.EndT - row.ExecT
+			}
+			if inst.HasExitcode {
+				code := inst.Exitcode
+				row.Exit = &code
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
+	wf, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	rows, err := s.ganttRows(wf.ID)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeJSON(w, rows)
+}
+
+func (s *Server) handleHosts(w http.ResponseWriter, r *http.Request) {
+	wf, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	recurse := r.URL.Query().Get("recurse") != "false"
+	usage, err := stats.HostsBreakdown(s.q, wf.ID, recurse)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if bucketStr := r.URL.Query().Get("bucket"); bucketStr != "" {
+		bucket, err := time.ParseDuration(bucketStr)
+		if err != nil || bucket <= 0 {
+			s.httpError(w, http.StatusBadRequest, "bad bucket %q", bucketStr)
+			return
+		}
+		series, err := stats.HostTimeSeries(s.q, wf.ID, recurse, bucket)
+		if err != nil {
+			s.httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.writeJSON(w, struct {
+			Totals []stats.HostUsage      `json:"totals"`
+			Series []stats.HostTimeBucket `json:"series"`
+		}{usage, series})
+		return
+	}
+	s.writeJSON(w, usage)
+}

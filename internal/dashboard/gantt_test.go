@@ -1,0 +1,75 @@
+package dashboard
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+func TestGanttEndpoint(t *testing.T) {
+	srv, tr := serve(t, synth.Config{Seed: 31, Jobs: 8, Hosts: 2, SlotsPerHost: 1, QueueDelayMean: 2})
+	var rows []GanttRow
+	getJSON(t, srv.URL+"/api/workflow/"+tr.RootUUID+"/gantt", &rows)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Job == "" || r.Host == "" {
+			t.Errorf("incomplete row %+v", r)
+		}
+		if r.ExecT < r.SubmitT {
+			t.Errorf("%s executes before submit: %+v", r.Job, r)
+		}
+		if r.EndT < r.ExecT {
+			t.Errorf("%s ends before executing: %+v", r.Job, r)
+		}
+		if r.State != "JOB_SUCCESS" {
+			t.Errorf("%s state %q", r.Job, r.State)
+		}
+		if r.Exit == nil || *r.Exit != 0 {
+			t.Errorf("%s exit %v", r.Job, r.Exit)
+		}
+		if r.QueueSecs < 0 || r.RunSecs <= 0 {
+			t.Errorf("%s timings %+v", r.Job, r)
+		}
+	}
+	// Single-slot hosts: two executions on the same host must never
+	// overlap.
+	for i, a := range rows {
+		for j, b := range rows {
+			if i >= j || a.Host != b.Host {
+				continue
+			}
+			if a.ExecT < b.EndT && b.ExecT < a.EndT {
+				t.Errorf("%s and %s overlap on single-slot host %s", a.Job, b.Job, a.Host)
+			}
+		}
+	}
+}
+
+func TestHostsEndpoint(t *testing.T) {
+	srv, tr := serve(t, synth.Config{Seed: 32, Jobs: 20, Hosts: 4})
+	var usage []stats.HostUsage
+	getJSON(t, srv.URL+"/api/workflow/"+tr.RootUUID+"/hosts", &usage)
+	if len(usage) != 4 {
+		t.Fatalf("hosts = %d", len(usage))
+	}
+	var withSeries struct {
+		Totals []stats.HostUsage      `json:"totals"`
+		Series []stats.HostTimeBucket `json:"series"`
+	}
+	getJSON(t, srv.URL+"/api/workflow/"+tr.RootUUID+"/hosts?bucket=60s", &withSeries)
+	if len(withSeries.Totals) != 4 || len(withSeries.Series) == 0 {
+		t.Fatalf("series response: %d totals, %d buckets", len(withSeries.Totals), len(withSeries.Series))
+	}
+	resp, err := http.Get(srv.URL + "/api/workflow/" + tr.RootUUID + "/hosts?bucket=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad bucket -> %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/bp"
+	"repro/internal/condor"
+	"repro/internal/pegasus"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/triana"
+	"repro/internal/wfclock"
+)
+
+// CrossEngineResult compares the same abstract computation run through
+// the two engines into one shared archive — the paper's central "generic
+// approach" demonstration (E6).
+type CrossEngineResult struct {
+	Q           *query.QI
+	PegasusUUID string
+	TrianaUUID  string
+	Pegasus     *stats.Summary
+	Triana      *stats.Summary
+}
+
+// RunCrossEngine executes the diamond workflow on Pegasus (planned onto a
+// Condor site, with clustering disabled so the task sets match) and on
+// Triana (1:1 task-to-job), loading both event streams into one archive.
+func RunCrossEngine(scale float64) (*CrossEngineResult, error) {
+	if scale == 0 {
+		scale = 2000
+	}
+	clk := wfclock.NewScaled(Epoch, scale)
+	app := &triana.CollectAppender{}
+
+	// Pegasus side.
+	ew, err := pegasus.Plan(pegasus.Diamond(20), pegasus.PlanConfig{
+		Site: "cluster", StageIn: true, StageOut: true, MaxRetries: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool, err := condor.NewPool(clk, time.Second, []condor.Site{{
+		Name: "cluster",
+		Hosts: []condor.HostSpec{
+			{Hostname: "node1", IP: "10.0.0.1", Slots: 2},
+			{Hostname: "node2", IP: "10.0.0.2", Slots: 2},
+		},
+	}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+	eng, err := pegasus.NewEngine(pegasus.ExecConfig{
+		Pool: pool, Clock: clk, Appender: app, SubmitHost: "pegasus-submit",
+	})
+	if err != nil {
+		return nil, err
+	}
+	pegReport, err := eng.Run(context.Background(), ew)
+	if err != nil {
+		return nil, err
+	}
+
+	// Triana side: the same diamond as a dataflow of units.
+	g := triana.NewTaskGraph("diamond")
+	mk := func(name string, dur float64) *triana.Task {
+		return g.MustAddTask(name, &triana.WorkUnit{
+			UnitName: name, Desc: "processing",
+			Duration: wfclock.DurationSeconds(dur), Clock: clk,
+		})
+	}
+	pre := mk("preprocess", 10)
+	fa := mk("findrange_a", 20)
+	fb := mk("findrange_b", 20)
+	an := mk("analyze", 10)
+	g.Connect(pre, fa)
+	g.Connect(pre, fb)
+	g.Connect(fa, an)
+	g.Connect(fb, an)
+	tlog := triana.NewStampedeLog(app)
+	sched := triana.NewScheduler(g, triana.Options{Mode: triana.SingleStep, Clock: clk, Listeners: []triana.Listener{tlog}})
+	if _, err := sched.Run(context.Background()); err != nil {
+		return nil, err
+	}
+
+	// One archive for both runs: the Stampede data model does not care
+	// which engine produced the events.
+	a := archive.NewInMemory()
+	for _, ev := range app.Events() {
+		parsed, err := bp.Parse(ev.Format())
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Apply(parsed); err != nil {
+			return nil, err
+		}
+	}
+	q := query.New(a)
+	res := &CrossEngineResult{Q: q, PegasusUUID: pegReport.WfUUID, TrianaUUID: tlog.WorkflowUUID()}
+	for _, pair := range []struct {
+		uuid string
+		dst  **stats.Summary
+	}{{res.PegasusUUID, &res.Pegasus}, {res.TrianaUUID, &res.Triana}} {
+		wf, err := q.WorkflowByUUID(pair.uuid)
+		if err != nil || wf == nil {
+			return nil, fmt.Errorf("workflow %s missing: %v", pair.uuid, err)
+		}
+		s, err := stats.Compute(q, wf.ID, true)
+		if err != nil {
+			return nil, err
+		}
+		*pair.dst = s
+	}
+	return res, nil
+}
+
+// RenderCrossEngine formats the side-by-side comparison.
+func RenderCrossEngine(r *CrossEngineResult) string {
+	var b strings.Builder
+	b.WriteString("Cross-engine demonstration — the same diamond computation through both engines,\n")
+	b.WriteString("one archive, one set of tools (the paper's generic-approach claim)\n\n")
+	fmt.Fprintf(&b, "%-24s %12s %12s\n", "", "Pegasus", "Triana")
+	row := func(name string, p, t any) { fmt.Fprintf(&b, "%-24s %12v %12v\n", name, p, t) }
+	row("abstract tasks", r.Pegasus.Tasks.Total, r.Triana.Tasks.Total)
+	row("tasks succeeded", r.Pegasus.Tasks.Succeeded, r.Triana.Tasks.Succeeded)
+	row("executable jobs", r.Pegasus.Jobs.Total, r.Triana.Jobs.Total)
+	row("jobs succeeded", r.Pegasus.Jobs.Succeeded, r.Triana.Jobs.Succeeded)
+	row("wall time (s)", int(r.Pegasus.WallTime.Seconds()), int(r.Triana.WallTime.Seconds()))
+	row("cumulative (s)", int(r.Pegasus.CumulativeJobWallTime.Seconds()), int(r.Triana.CumulativeJobWallTime.Seconds()))
+	b.WriteString("\nPegasus plans auxiliary stage-in/stage-out jobs (6 jobs for 4 tasks);\n")
+	b.WriteString("Triana maps tasks to jobs 1:1 (4 jobs) — both served by the same schema.\n")
+	return b.String()
+}

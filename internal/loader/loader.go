@@ -1,0 +1,287 @@
+// Package loader implements nl_load with the stampede_loader module: it
+// consumes NetLogger BP event streams (from files, readers or the message
+// bus), validates them against the Stampede YANG schema, and folds them
+// into the relational archive in batches.
+//
+// Batching is the paper's key loader design decision (§V-D notes inserts
+// are batched "to improve the performance of Pegasus workflows logging");
+// BenchmarkLoaderBatchSize at the repository root quantifies it.
+package loader
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/bp"
+	"repro/internal/mq"
+	"repro/internal/schema"
+)
+
+// Options configures a Loader.
+type Options struct {
+	// BatchSize is how many events are folded into the archive per batch.
+	// Zero means DefaultBatchSize; 1 disables batching.
+	BatchSize int
+	// FlushEvery bounds how long a streamed event may sit in the batch
+	// buffer before being made visible in the archive. Zero means
+	// DefaultFlushEvery. Only Consume uses it; file loads flush at EOF.
+	FlushEvery time.Duration
+	// Validate runs every event through the YANG schema validator before
+	// loading (on by default in the published tooling). Invalid events
+	// are rejected and counted.
+	Validate bool
+	// Lenient makes malformed BP lines and schema-invalid or unknown
+	// events non-fatal: they are counted and skipped.
+	Lenient bool
+}
+
+// Default tuning, matched to the loader-scaling bench.
+const (
+	DefaultBatchSize  = 512
+	DefaultFlushEvery = 500 * time.Millisecond
+)
+
+// Stats counts what happened during a load.
+type Stats struct {
+	Read      uint64 // events parsed from the source
+	Loaded    uint64 // events folded into the archive
+	Invalid   uint64 // events rejected by schema validation
+	Unknown   uint64 // events whose type the archive does not materialise
+	Malformed uint64 // unparseable BP lines (lenient mode only)
+	Elapsed   time.Duration
+}
+
+// Rate returns loaded events per second.
+func (s Stats) Rate() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Loaded) / s.Elapsed.Seconds()
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("read=%d loaded=%d invalid=%d unknown=%d malformed=%d elapsed=%s rate=%.0f/s",
+		s.Read, s.Loaded, s.Invalid, s.Unknown, s.Malformed, s.Elapsed, s.Rate())
+}
+
+// Loader loads BP event streams into one archive. A Loader may be used by
+// one goroutine at a time per call, but separate calls (e.g. Consume on
+// two queues) may run concurrently; the batch buffer is per-call.
+type Loader struct {
+	arch *archive.Archive
+	val  *schema.Validator
+	opts Options
+
+	mu    sync.Mutex
+	total Stats
+}
+
+// New returns a loader over arch.
+func New(arch *archive.Archive, opts Options) (*Loader, error) {
+	if opts.BatchSize == 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.BatchSize < 1 {
+		return nil, fmt.Errorf("loader: batch size %d out of range", opts.BatchSize)
+	}
+	if opts.FlushEvery == 0 {
+		opts.FlushEvery = DefaultFlushEvery
+	}
+	l := &Loader{arch: arch, opts: opts}
+	if opts.Validate {
+		v, err := schema.NewValidator()
+		if err != nil {
+			return nil, err
+		}
+		l.val = v
+	}
+	return l, nil
+}
+
+// TotalStats returns counters accumulated across every call on this
+// loader.
+func (l *Loader) TotalStats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+func (l *Loader) account(s Stats) {
+	l.mu.Lock()
+	l.total.Read += s.Read
+	l.total.Loaded += s.Loaded
+	l.total.Invalid += s.Invalid
+	l.total.Unknown += s.Unknown
+	l.total.Malformed += s.Malformed
+	l.total.Elapsed += s.Elapsed
+	l.mu.Unlock()
+}
+
+// batch is the per-call accumulation state.
+type batch struct {
+	l     *Loader
+	buf   []*bp.Event
+	stats Stats
+}
+
+func (b *batch) add(ev *bp.Event) error {
+	b.stats.Read++
+	if b.l.val != nil {
+		if err := b.l.val.Validate(ev); err != nil {
+			b.stats.Invalid++
+			if b.l.opts.Lenient {
+				return nil
+			}
+			return err
+		}
+	}
+	b.buf = append(b.buf, ev)
+	if len(b.buf) >= b.l.opts.BatchSize {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *batch) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	// The batch path aborts at the first bad event; resume past it event
+	// by event, classifying failures, until the tail is clean.
+	rest := b.buf
+	for len(rest) > 0 {
+		n, err := b.l.arch.ApplyBatch(rest)
+		b.stats.Loaded += uint64(n)
+		if err == nil {
+			break
+		}
+		// rest[n] is the offender.
+		rest = rest[n:]
+		bad := rest[0]
+		rest = rest[1:]
+		switch {
+		case errors.Is(err, archive.ErrUnknownEvent):
+			b.stats.Unknown++
+			if !b.l.opts.Lenient {
+				b.buf = b.buf[:0]
+				return fmt.Errorf("loader: %s: %w", bad.Type, err)
+			}
+		default:
+			b.stats.Invalid++
+			if !b.l.opts.Lenient {
+				b.buf = b.buf[:0]
+				return fmt.Errorf("loader: %s: %w", bad.Type, err)
+			}
+		}
+	}
+	b.buf = b.buf[:0]
+	// Each batch is a transaction: committed data must reach the store's
+	// durability layer before the next batch. In-memory archives make
+	// this a no-op; persistent ones pay one write per batch, which is
+	// exactly the cost the paper's batched inserts amortize.
+	return b.l.arch.Flush()
+}
+
+// LoadReader loads a complete BP stream from r, flushing at EOF.
+func (l *Loader) LoadReader(r io.Reader) (Stats, error) {
+	start := time.Now()
+	br := bp.NewReader(r)
+	br.SetLenient(l.opts.Lenient)
+	b := &batch{l: l}
+	for {
+		ev, err := br.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			b.stats.Elapsed = time.Since(start)
+			l.account(b.stats)
+			return b.stats, err
+		}
+		if err := b.add(ev); err != nil {
+			b.stats.Elapsed = time.Since(start)
+			l.account(b.stats)
+			return b.stats, err
+		}
+	}
+	err := b.flush()
+	b.stats.Malformed = uint64(br.Skipped())
+	b.stats.Elapsed = time.Since(start)
+	l.account(b.stats)
+	return b.stats, err
+}
+
+// LoadFile loads a BP log file.
+func (l *Loader) LoadFile(path string) (Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer f.Close()
+	return l.LoadReader(f)
+}
+
+// Consume drains messages from an mq delivery channel until the channel
+// closes or ctx is done, folding message bodies (BP lines) into the
+// archive. Batches are flushed by size and by the FlushEvery ticker so
+// live dashboards see events promptly; this is the realtime path the
+// paper's DART run used.
+func (l *Loader) Consume(ctx context.Context, msgs <-chan mq.Message) (Stats, error) {
+	start := time.Now()
+	b := &batch{l: l}
+	ticker := time.NewTicker(l.opts.FlushEvery)
+	defer ticker.Stop()
+	finish := func(err error) (Stats, error) {
+		if ferr := b.flush(); err == nil {
+			err = ferr
+		}
+		if ferr := l.arch.Flush(); err == nil {
+			err = ferr
+		}
+		b.stats.Elapsed = time.Since(start)
+		l.account(b.stats)
+		return b.stats, err
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return finish(ctx.Err())
+		case <-ticker.C:
+			if err := b.flush(); err != nil {
+				return finish(err)
+			}
+			if err := l.arch.Flush(); err != nil {
+				return finish(err)
+			}
+		case m, ok := <-msgs:
+			if !ok {
+				return finish(nil)
+			}
+			ev, err := bp.Parse(string(m.Body))
+			if err != nil {
+				b.stats.Malformed++
+				if l.opts.Lenient {
+					continue
+				}
+				return finish(err)
+			}
+			if err := b.add(ev); err != nil {
+				return finish(err)
+			}
+		}
+	}
+}
+
+// ConsumeQueue is Consume over an in-process broker queue; it cancels the
+// queue subscription when done.
+func (l *Loader) ConsumeQueue(ctx context.Context, q *mq.Queue) (Stats, error) {
+	ch := q.Consume()
+	defer q.Cancel()
+	return l.Consume(ctx, ch)
+}

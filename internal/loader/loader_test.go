@@ -1,0 +1,322 @@
+package loader
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/bp"
+	"repro/internal/mq"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+	"repro/internal/uuid"
+)
+
+var t0 = time.Date(2012, 3, 13, 12, 35, 38, 0, time.UTC)
+
+// workflowStream renders a small but complete workflow as BP text: one
+// workflow, n jobs each with one instance and one invocation.
+func workflowStream(wf string, n int) string {
+	var buf bytes.Buffer
+	w := bp.NewWriter(&buf)
+	at := func(sec int) time.Time { return t0.Add(time.Duration(sec) * time.Second) }
+	emit := func(e *bp.Event) { _ = w.Write(e) }
+	mk := func(typ string, sec int) *bp.Event {
+		return bp.New(typ, at(sec)).Set(schema.AttrXwfID, wf)
+	}
+	emit(mk(schema.WfPlan, 0).Set("submit.hostname", "desktop").Set(schema.AttrRootXwf, wf))
+	emit(mk(schema.XwfStart, 0).SetInt("restart_count", 0))
+	for i := 0; i < n; i++ {
+		job := fmt.Sprintf("job%03d", i)
+		emit(mk(schema.JobInfo, 0).Set(schema.AttrJobID, job).Set("type_desc", "compute").
+			SetInt("clustered", 0).SetInt("max_retries", 0).Set(schema.AttrExecutable, "/bin/x").SetInt("task_count", 1))
+		ji := func(typ string, sec int) *bp.Event {
+			return mk(typ, sec).Set(schema.AttrJobID, job).SetInt(schema.AttrJobInstID, 1)
+		}
+		emit(ji(schema.SubmitStart, i+1))
+		emit(ji(schema.MainStart, i+2))
+		emit(ji(schema.InvEnd, i+3).SetInt(schema.AttrInvID, 1).
+			Set(schema.AttrStartTime, at(i+2).Format(bp.TimeFormat)).
+			SetFloat(schema.AttrDur, 1).SetInt(schema.AttrExitcode, 0).Set(schema.AttrTransform, "x"))
+		emit(ji(schema.MainEnd, i+3).SetInt(schema.AttrStatus, 0).SetInt(schema.AttrExitcode, 0))
+	}
+	emit(mk(schema.XwfEnd, n+5).SetInt("restart_count", 0).SetInt(schema.AttrStatus, 0))
+	_ = w.Flush()
+	return buf.String()
+}
+
+func TestLoadReaderEndToEnd(t *testing.T) {
+	a := archive.NewInMemory()
+	l, err := New(a, Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := uuid.New().String()
+	stats, err := l.LoadReader(strings.NewReader(workflowStream(wf, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvents := uint64(3 + 10*5) // plan+start+end plus 5 per job
+	if stats.Read != wantEvents || stats.Loaded != wantEvents {
+		t.Fatalf("stats = %+v, want read=loaded=%d", stats, wantEvents)
+	}
+	if n, _ := a.Store().Count(archive.TJob); n != 10 {
+		t.Errorf("jobs = %d", n)
+	}
+	if n, _ := a.Store().Count(archive.TInvocation); n != 10 {
+		t.Errorf("invocations = %d", n)
+	}
+	if stats.Rate() <= 0 {
+		t.Error("rate not computed")
+	}
+}
+
+func TestLoadFileMatchesReader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.bp")
+	wf := uuid.New().String()
+	if err := os.WriteFile(path, []byte(workflowStream(wf, 3)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := archive.NewInMemory()
+	l, _ := New(a, Options{Validate: true})
+	stats, err := l.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded == 0 {
+		t.Fatal("nothing loaded from file")
+	}
+	if _, err := l.LoadFile(filepath.Join(dir, "missing.bp")); err == nil {
+		t.Error("missing file load succeeded")
+	}
+}
+
+func TestValidationRejectsStrict(t *testing.T) {
+	a := archive.NewInMemory()
+	l, _ := New(a, Options{Validate: true})
+	// xwf.start without mandatory restart_count.
+	line := "ts=2012-03-13T12:35:38.000000Z event=stampede.xwf.start xwf.id=" + uuid.New().String() + "\n"
+	stats, err := l.LoadReader(strings.NewReader(line))
+	if err == nil {
+		t.Fatal("invalid event loaded in strict mode")
+	}
+	if stats.Invalid != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestLenientSkipsBadLinesAndEvents(t *testing.T) {
+	a := archive.NewInMemory()
+	l, _ := New(a, Options{Validate: true, Lenient: true, BatchSize: 2})
+	wf := uuid.New().String()
+	input := "this is not bp\n" +
+		"ts=2012-03-13T12:35:38.000000Z event=stampede.xwf.start xwf.id=" + wf + "\n" + // invalid: no restart_count
+		"ts=2012-03-13T12:35:38.000000Z event=not.a.stampede.event\n" + // unknown type -> schema invalid
+		workflowStream(wf, 2)
+	stats, err := l.LoadReader(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("lenient load failed: %v", err)
+	}
+	if stats.Malformed != 1 {
+		t.Errorf("malformed = %d, want 1", stats.Malformed)
+	}
+	if stats.Invalid != 2 {
+		t.Errorf("invalid = %d, want 2", stats.Invalid)
+	}
+	if n, _ := a.Store().Count(archive.TJob); n != 2 {
+		t.Errorf("jobs = %d", n)
+	}
+}
+
+func TestLenientWithoutValidationCountsUnknown(t *testing.T) {
+	a := archive.NewInMemory()
+	l, _ := New(a, Options{Validate: false, Lenient: true, BatchSize: 4})
+	wf := uuid.New().String()
+	input := "ts=2012-03-13T12:35:38.000000Z event=custom.engine.event xwf.id=" + wf + "\n" +
+		workflowStream(wf, 1)
+	stats, err := l.LoadReader(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Unknown != 1 {
+		t.Errorf("unknown = %d, want 1; stats=%+v", stats.Unknown, stats)
+	}
+	if n, _ := a.Store().Count(archive.TInvocation); n != 1 {
+		t.Errorf("invocations = %d", n)
+	}
+}
+
+func TestBatchSizesProduceIdenticalArchives(t *testing.T) {
+	wf := uuid.New().String()
+	input := workflowStream(wf, 20)
+	var counts []map[string]int
+	for _, bs := range []int{1, 7, 512} {
+		a := archive.NewInMemory()
+		l, _ := New(a, Options{Validate: true, BatchSize: bs})
+		if _, err := l.LoadReader(strings.NewReader(input)); err != nil {
+			t.Fatalf("batch size %d: %v", bs, err)
+		}
+		m := map[string]int{}
+		for _, table := range a.Store().TableNames() {
+			m[table], _ = a.Store().Count(table)
+		}
+		counts = append(counts, m)
+	}
+	for i := 1; i < len(counts); i++ {
+		for table, n := range counts[0] {
+			if counts[i][table] != n {
+				t.Errorf("table %s differs across batch sizes: %d vs %d", table, n, counts[i][table])
+			}
+		}
+	}
+}
+
+func TestConsumeFromBus(t *testing.T) {
+	// Full realtime pipeline: publisher -> broker -> loader -> archive.
+	broker := mq.NewBroker()
+	q, err := broker.DeclareQueue("stampede", mq.QueueOpts{Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.Bind("stampede", "stampede.#"); err != nil {
+		t.Fatal(err)
+	}
+	a := archive.NewInMemory()
+	l, _ := New(a, Options{Validate: true, FlushEvery: 10 * time.Millisecond})
+
+	wf := uuid.New().String()
+	lines := strings.Split(strings.TrimSpace(workflowStream(wf, 5)), "\n")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, line := range lines {
+			ev, err := bp.Parse(line)
+			if err != nil {
+				t.Errorf("parse: %v", err)
+				return
+			}
+			broker.Publish(ev.Type, []byte(line))
+		}
+		// Give the flush ticker a chance, then close the stream.
+		time.Sleep(50 * time.Millisecond)
+		broker.DeleteQueue("stampede")
+	}()
+
+	stats, err := l.ConsumeQueue(context.Background(), q)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != uint64(len(lines)) {
+		t.Fatalf("loaded %d, want %d", stats.Loaded, len(lines))
+	}
+	if n, _ := a.Store().Count(archive.TJob); n != 5 {
+		t.Errorf("jobs = %d", n)
+	}
+}
+
+func TestConsumeContextCancel(t *testing.T) {
+	broker := mq.NewBroker()
+	q, _ := broker.DeclareQueue("q", mq.QueueOpts{Durable: true})
+	_ = broker.Bind("q", "#")
+	a := archive.NewInMemory()
+	l, _ := New(a, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := l.ConsumeQueue(ctx, q)
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("err = %v, want context canceled", err)
+	}
+}
+
+func TestConsumeFlushTickerMakesDataVisible(t *testing.T) {
+	broker := mq.NewBroker()
+	q, _ := broker.DeclareQueue("q", mq.QueueOpts{Durable: true})
+	_ = broker.Bind("q", "stampede.#")
+	a := archive.NewInMemory()
+	// Huge batch size: only the ticker can flush.
+	l, _ := New(a, Options{BatchSize: 100000, FlushEvery: 10 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		_, _ = l.ConsumeQueue(ctx, q)
+	}()
+	wf := uuid.New().String()
+	ev := bp.New(schema.XwfStart, t0).Set(schema.AttrXwfID, wf).SetInt("restart_count", 0)
+	broker.Publish(ev.Type, []byte(ev.Format()))
+	deadline := time.After(3 * time.Second)
+	for {
+		if n, _ := a.Store().Count(archive.TWorkflowState); n == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("ticker flush did not make event visible")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	cancel()
+	<-loadDone
+}
+
+func TestLoaderTotalStatsAccumulate(t *testing.T) {
+	a := archive.NewInMemory()
+	l, _ := New(a, Options{Validate: true})
+	for i := 0; i < 3; i++ {
+		wf := uuid.New().String()
+		if _, err := l.LoadReader(strings.NewReader(workflowStream(wf, 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := l.TotalStats()
+	if total.Loaded != 3*8 {
+		t.Fatalf("total loaded = %d, want 24", total.Loaded)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	a := archive.NewInMemory()
+	if _, err := New(a, Options{BatchSize: -1}); err == nil {
+		t.Error("negative batch size accepted")
+	}
+}
+
+func TestRelstoreIntegrationPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.db")
+	st, err := relstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := archive.New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := New(a, Options{Validate: true})
+	wf := uuid.New().String()
+	if _, err := l.LoadReader(strings.NewReader(workflowStream(wf, 4))); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := archive.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n, _ := re.Store().Count(archive.TJob); n != 4 {
+		t.Fatalf("persisted jobs = %d", n)
+	}
+}

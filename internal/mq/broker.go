@@ -1,0 +1,236 @@
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is one routed payload: the routing key (the BP event type), the
+// body (one BP-formatted line) and the broker-side enqueue time.
+type Message struct {
+	Key  string
+	Body []byte
+	TS   time.Time
+}
+
+// DefaultQueueCapacity bounds a queue's buffer when QueueOpts.Capacity is
+// zero. Publishing never blocks: beyond capacity, the newest message is
+// dropped and counted, the trade the paper's architecture makes to keep
+// producers (workflow engines) unaffected by slow consumers.
+const DefaultQueueCapacity = 65536
+
+// QueueOpts configures a declared queue.
+type QueueOpts struct {
+	// Durable queues survive their last consumer going away; transient
+	// queues are deleted when the final subscription is cancelled.
+	Durable bool
+	// Capacity bounds buffered messages; 0 means DefaultQueueCapacity.
+	Capacity int
+}
+
+// Queue is a named buffer bound to one or more topic patterns. Multiple
+// consumers on one queue compete for messages (AMQP queue semantics);
+// multiple queues bound to the same pattern each get a copy.
+type Queue struct {
+	name    string
+	broker  *Broker
+	ch      chan Message
+	opts    QueueOpts
+	mu      sync.Mutex
+	subs    int
+	dropped uint64
+	closed  bool
+}
+
+// Name returns the queue's declared name.
+func (q *Queue) Name() string { return q.name }
+
+// Dropped reports how many messages were discarded because the queue was
+// full.
+func (q *Queue) Dropped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}
+
+// Consume registers a consumer and returns the shared delivery channel.
+// The channel is closed when the queue is deleted.
+func (q *Queue) Consume() <-chan Message {
+	q.mu.Lock()
+	q.subs++
+	q.mu.Unlock()
+	return q.ch
+}
+
+// Cancel unregisters one consumer. Transient queues are deleted when the
+// last consumer cancels.
+func (q *Queue) Cancel() {
+	q.mu.Lock()
+	if q.subs > 0 {
+		q.subs--
+	}
+	lastGone := q.subs == 0 && !q.opts.Durable
+	q.mu.Unlock()
+	if lastGone {
+		q.broker.DeleteQueue(q.name)
+	}
+}
+
+// offer enqueues without blocking, dropping on overflow.
+func (q *Queue) offer(m Message) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.mu.Unlock()
+	select {
+	case q.ch <- m:
+	default:
+		q.mu.Lock()
+		q.dropped++
+		q.mu.Unlock()
+	}
+}
+
+// Len returns the number of currently buffered messages.
+func (q *Queue) Len() int { return len(q.ch) }
+
+// Broker is an in-process topic exchange: queues declare bindings, and
+// Publish copies each message to every queue with a matching binding.
+type Broker struct {
+	mu        sync.RWMutex
+	queues    map[string]*Queue
+	bindings  map[string][]string // queue name -> patterns
+	published uint64
+	routed    uint64
+	subSeq    uint64
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		queues:   make(map[string]*Queue),
+		bindings: make(map[string][]string),
+	}
+}
+
+// DeclareQueue creates the queue if it does not exist, or returns the
+// existing one. Re-declaring with different options is an error, matching
+// AMQP's precondition-failed behaviour.
+func (b *Broker) DeclareQueue(name string, opts QueueOpts) (*Queue, error) {
+	if name == "" {
+		return nil, errors.New("mq: queue name must be non-empty")
+	}
+	if opts.Capacity == 0 {
+		opts.Capacity = DefaultQueueCapacity
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if q, ok := b.queues[name]; ok {
+		if q.opts != opts {
+			return nil, fmt.Errorf("mq: queue %q exists with different options", name)
+		}
+		return q, nil
+	}
+	q := &Queue{name: name, broker: b, opts: opts, ch: make(chan Message, opts.Capacity)}
+	b.queues[name] = q
+	return q, nil
+}
+
+// Bind routes messages whose key matches pattern to the named queue.
+// Duplicate bindings are collapsed.
+func (b *Broker) Bind(queueName, pattern string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.queues[queueName]; !ok {
+		return fmt.Errorf("mq: bind to undeclared queue %q", queueName)
+	}
+	for _, p := range b.bindings[queueName] {
+		if p == pattern {
+			return nil
+		}
+	}
+	b.bindings[queueName] = append(b.bindings[queueName], pattern)
+	return nil
+}
+
+// DeleteQueue removes the queue and its bindings and closes its delivery
+// channel. Deleting an unknown queue is a no-op.
+func (b *Broker) DeleteQueue(name string) {
+	b.mu.Lock()
+	q, ok := b.queues[name]
+	if ok {
+		delete(b.queues, name)
+		delete(b.bindings, name)
+	}
+	b.mu.Unlock()
+	if ok {
+		q.mu.Lock()
+		alreadyClosed := q.closed
+		q.closed = true
+		q.mu.Unlock()
+		if !alreadyClosed {
+			close(q.ch)
+		}
+	}
+}
+
+// Publish routes one message to every queue with a matching binding. It
+// never blocks; full queues drop and count.
+func (b *Broker) Publish(key string, body []byte) {
+	m := Message{Key: key, Body: body, TS: time.Now()}
+	b.mu.RLock()
+	var targets []*Queue
+	for name, patterns := range b.bindings {
+		for _, p := range patterns {
+			if MatchTopic(p, key) {
+				targets = append(targets, b.queues[name])
+				break
+			}
+		}
+	}
+	b.mu.RUnlock()
+	b.mu.Lock()
+	b.published++
+	b.routed += uint64(len(targets))
+	b.mu.Unlock()
+	for _, q := range targets {
+		q.offer(m)
+	}
+}
+
+// Stats summarises broker traffic.
+type Stats struct {
+	Published uint64 // messages accepted from producers
+	Routed    uint64 // message copies delivered to queues
+	Queues    int
+}
+
+// Stats returns a snapshot of the broker's counters.
+func (b *Broker) Stats() Stats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return Stats{Published: b.published, Routed: b.routed, Queues: len(b.queues)}
+}
+
+// Subscribe is the convenience path for a single consumer: it declares a
+// transient uniquely-suffixed queue, binds it to the pattern, and returns
+// the queue. Callers use q.Consume() for the channel and q.Cancel() when
+// done.
+func (b *Broker) Subscribe(pattern string) (*Queue, error) {
+	b.mu.Lock()
+	b.subSeq++
+	name := fmt.Sprintf("sub-%d", b.subSeq)
+	b.mu.Unlock()
+	q, err := b.DeclareQueue(name, QueueOpts{})
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Bind(name, pattern); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

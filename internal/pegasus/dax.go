@@ -1,0 +1,175 @@
+// Package pegasus implements a Pegasus-style workflow management system:
+// abstract workflows (DAX), a planner that maps them onto executable
+// workflows for a target site — clustering tasks into jobs (the
+// many-to-many task-to-job cardinality of the Stampede model) and adding
+// auxiliary data-staging jobs that exist only in the executable workflow —
+// a DAGMan-like executor that runs jobs on the condor substrate with
+// retries, and a monitord normalizer that emits the Stampede event stream.
+//
+// Together with the triana package this demonstrates the paper's central
+// claim: two very different engines feeding one monitoring data model.
+package pegasus
+
+import (
+	"fmt"
+)
+
+// AbsTask is one task of the abstract workflow: a logical transformation
+// plus a workload model (how long its invocation takes on the target
+// resources).
+type AbsTask struct {
+	ID             string
+	Transformation string
+	Args           string
+	// RuntimeSeconds is the modeled invocation duration.
+	RuntimeSeconds float64
+	// SubDAX makes this a sub-workflow task: instead of an executable,
+	// the planner produces a dax job that recursively plans and runs the
+	// nested abstract workflow — Pegasus's layered hierarchical
+	// workflows, which the analyzer drills down through.
+	SubDAX *DAX
+}
+
+// DAX is the abstract workflow: tasks and dependencies, independent of
+// any resources. It must be a directed acyclic graph.
+type DAX struct {
+	Label string
+	Tasks []AbsTask
+	// Edges are (parent, child) task-ID pairs.
+	Edges [][2]string
+}
+
+// Validate checks structural invariants: unique non-empty task IDs, edges
+// referencing known tasks, and acyclicity.
+func (d *DAX) Validate() error {
+	if d.Label == "" {
+		return fmt.Errorf("pegasus: DAX without a label")
+	}
+	if len(d.Tasks) == 0 {
+		return fmt.Errorf("pegasus: DAX %q has no tasks", d.Label)
+	}
+	ids := make(map[string]bool, len(d.Tasks))
+	for _, t := range d.Tasks {
+		if t.ID == "" {
+			return fmt.Errorf("pegasus: DAX %q has a task with empty id", d.Label)
+		}
+		if ids[t.ID] {
+			return fmt.Errorf("pegasus: DAX %q has duplicate task %q", d.Label, t.ID)
+		}
+		if t.Transformation == "" && t.SubDAX == nil {
+			return fmt.Errorf("pegasus: task %q has no transformation", t.ID)
+		}
+		if t.SubDAX != nil {
+			if err := t.SubDAX.Validate(); err != nil {
+				return fmt.Errorf("pegasus: sub-workflow of task %q: %w", t.ID, err)
+			}
+		}
+		ids[t.ID] = true
+	}
+	adj := make(map[string][]string)
+	indeg := make(map[string]int)
+	for _, e := range d.Edges {
+		if !ids[e[0]] || !ids[e[1]] {
+			return fmt.Errorf("pegasus: edge %v references unknown task", e)
+		}
+		if e[0] == e[1] {
+			return fmt.Errorf("pegasus: self-edge on %q", e[0])
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	// Kahn's algorithm detects cycles.
+	var queue []string
+	for _, t := range d.Tasks {
+		if indeg[t.ID] == 0 {
+			queue = append(queue, t.ID)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, c := range adj[n] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if seen != len(d.Tasks) {
+		return fmt.Errorf("pegasus: DAX %q contains a cycle", d.Label)
+	}
+	return nil
+}
+
+// Levels returns each task's depth: the longest path from any root, so
+// horizontal clustering groups tasks that can run concurrently.
+func (d *DAX) Levels() map[string]int {
+	parents := make(map[string][]string)
+	children := make(map[string][]string)
+	indeg := make(map[string]int)
+	for _, e := range d.Edges {
+		parents[e[1]] = append(parents[e[1]], e[0])
+		children[e[0]] = append(children[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	level := make(map[string]int, len(d.Tasks))
+	var queue []string
+	for _, t := range d.Tasks {
+		if indeg[t.ID] == 0 {
+			queue = append(queue, t.ID)
+			level[t.ID] = 0
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range children[n] {
+			if level[n]+1 > level[c] {
+				level[c] = level[n] + 1
+			}
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	return level
+}
+
+// Diamond returns the canonical four-task diamond workflow (preprocess,
+// two parallel analyses, combine) used across examples and the
+// cross-engine experiment.
+func Diamond(runtime float64) *DAX {
+	return &DAX{
+		Label: "diamond",
+		Tasks: []AbsTask{
+			{ID: "preprocess", Transformation: "preprocess", RuntimeSeconds: runtime / 2},
+			{ID: "findrange_a", Transformation: "findrange", RuntimeSeconds: runtime},
+			{ID: "findrange_b", Transformation: "findrange", RuntimeSeconds: runtime},
+			{ID: "analyze", Transformation: "analyze", RuntimeSeconds: runtime / 2},
+		},
+		Edges: [][2]string{
+			{"preprocess", "findrange_a"},
+			{"preprocess", "findrange_b"},
+			{"findrange_a", "analyze"},
+			{"findrange_b", "analyze"},
+		},
+	}
+}
+
+// Sweep returns a wide fan-out DAX: a prepare task, n parallel workers of
+// the given transformation, and a collect task — the montage/CyberShake
+// shape at adjustable scale.
+func Sweep(label string, n int, workerRuntime float64) *DAX {
+	d := &DAX{Label: label}
+	d.Tasks = append(d.Tasks, AbsTask{ID: "prepare", Transformation: "prepare", RuntimeSeconds: 2})
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("work_%04d", i)
+		d.Tasks = append(d.Tasks, AbsTask{ID: id, Transformation: "work", RuntimeSeconds: workerRuntime})
+		d.Edges = append(d.Edges, [2]string{"prepare", id}, [2]string{id, "collect"})
+	}
+	d.Tasks = append(d.Tasks, AbsTask{ID: "collect", Transformation: "collect", RuntimeSeconds: 2})
+	return d
+}

@@ -1,0 +1,227 @@
+package pegasus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Job is one node of the executable workflow. A compute job carries one
+// or more abstract tasks (clustering makes the mapping many-to-many);
+// auxiliary jobs (stage-in, stage-out) carry none and exist only in the
+// executable workflow, exactly the case the Stampede model calls out.
+type Job struct {
+	ID             string
+	TypeDesc       string // "compute", "stage-in", "stage-out"
+	Transformation string
+	Executable     string
+	Args           string
+	TaskIDs        []string
+	Clustered      bool
+	// SubDAX marks a dax job: the executor recursively plans and runs
+	// this nested workflow instead of submitting to the pool.
+	SubDAX *DAX
+	// RuntimeSeconds is the modeled execution time: the sum of member
+	// task runtimes for clustered jobs.
+	RuntimeSeconds float64
+	MaxRetries     int
+}
+
+// EW is the executable workflow produced by the planner.
+type EW struct {
+	Label string
+	DAX   *DAX
+	Site  string
+	Jobs  []*Job
+	// Edges are (parent, child) job-ID pairs.
+	Edges [][2]string
+	// PlanCfg records the configuration this workflow was planned with;
+	// sub-workflows are planned with the same configuration.
+	PlanCfg PlanConfig
+
+	byID map[string]*Job
+}
+
+// Job returns a job by ID, nil when absent.
+func (ew *EW) Job(id string) *Job { return ew.byID[id] }
+
+// PlanConfig drives the mapping from abstract to executable workflow.
+type PlanConfig struct {
+	// Site is the target execution site.
+	Site string
+	// ClusterSize groups up to this many same-transformation tasks of the
+	// same workflow level into one clustered job; 0 or 1 disables
+	// clustering.
+	ClusterSize int
+	// StageIn/StageOut add the auxiliary data-staging jobs.
+	StageIn  bool
+	StageOut bool
+	// MaxRetries is recorded on every job for the DAGMan retry logic.
+	MaxRetries int
+	// AuxRuntimeSeconds models the staging jobs' duration (default 1s).
+	AuxRuntimeSeconds float64
+}
+
+// Plan maps the abstract workflow onto an executable workflow:
+// horizontal clustering by (level, transformation), then auxiliary
+// stage-in/stage-out jobs fencing the compute jobs.
+func Plan(dax *DAX, cfg PlanConfig) (*EW, error) {
+	if err := dax.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Site == "" {
+		return nil, fmt.Errorf("pegasus: plan needs a target site")
+	}
+	if cfg.AuxRuntimeSeconds == 0 {
+		cfg.AuxRuntimeSeconds = 1
+	}
+	ew := &EW{Label: dax.Label, DAX: dax, Site: cfg.Site, PlanCfg: cfg, byID: map[string]*Job{}}
+
+	taskByID := make(map[string]AbsTask, len(dax.Tasks))
+	for _, t := range dax.Tasks {
+		taskByID[t.ID] = t
+	}
+	levels := dax.Levels()
+
+	// Group tasks into clusters.
+	type groupKey struct {
+		level int
+		xform string
+	}
+	groups := map[groupKey][]string{}
+	var keys []groupKey
+	var subdaxTasks []AbsTask
+	for _, t := range dax.Tasks {
+		if t.SubDAX != nil {
+			subdaxTasks = append(subdaxTasks, t)
+			continue
+		}
+		k := groupKey{levels[t.ID], t.Transformation}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], t.ID)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].level != keys[j].level {
+			return keys[i].level < keys[j].level
+		}
+		return keys[i].xform < keys[j].xform
+	})
+
+	jobOfTask := map[string]*Job{}
+	addJob := func(j *Job) {
+		ew.Jobs = append(ew.Jobs, j)
+		ew.byID[j.ID] = j
+	}
+	for _, k := range keys {
+		tasks := groups[k]
+		size := cfg.ClusterSize
+		if size <= 1 {
+			size = 1
+		}
+		for start := 0; start < len(tasks); start += size {
+			end := start + size
+			if end > len(tasks) {
+				end = len(tasks)
+			}
+			chunk := tasks[start:end]
+			var job *Job
+			if len(chunk) == 1 {
+				t := taskByID[chunk[0]]
+				job = &Job{
+					ID:             t.ID,
+					TypeDesc:       "compute",
+					Transformation: t.Transformation,
+					Executable:     "/opt/" + t.Transformation,
+					Args:           t.Args,
+					TaskIDs:        []string{t.ID},
+					RuntimeSeconds: t.RuntimeSeconds,
+					MaxRetries:     cfg.MaxRetries,
+				}
+			} else {
+				job = &Job{
+					ID:             fmt.Sprintf("merge_%s_l%d_%d", k.xform, k.level, start/size),
+					TypeDesc:       "compute",
+					Transformation: k.xform,
+					Executable:     "/opt/pegasus-cluster",
+					TaskIDs:        append([]string(nil), chunk...),
+					Clustered:      len(chunk) > 1,
+					MaxRetries:     cfg.MaxRetries,
+				}
+				for _, tid := range chunk {
+					job.RuntimeSeconds += taskByID[tid].RuntimeSeconds
+				}
+			}
+			addJob(job)
+			for _, tid := range chunk {
+				jobOfTask[tid] = job
+			}
+		}
+	}
+
+	// Sub-workflow tasks become dedicated dax jobs, never clustered.
+	for _, t := range subdaxTasks {
+		job := &Job{
+			ID:             t.ID,
+			TypeDesc:       "dax",
+			Transformation: "pegasus::subdax",
+			Executable:     "/opt/pegasus-plan",
+			TaskIDs:        []string{t.ID},
+			SubDAX:         t.SubDAX,
+			MaxRetries:     cfg.MaxRetries,
+		}
+		addJob(job)
+		jobOfTask[t.ID] = job
+	}
+
+	// Job edges derived from task edges, deduplicated, intra-job edges
+	// dropped (clustering subsumes them).
+	seen := map[[2]string]bool{}
+	for _, e := range dax.Edges {
+		pj, cj := jobOfTask[e[0]], jobOfTask[e[1]]
+		if pj == cj {
+			continue
+		}
+		k := [2]string{pj.ID, cj.ID}
+		if !seen[k] {
+			seen[k] = true
+			ew.Edges = append(ew.Edges, k)
+		}
+	}
+
+	// Auxiliary staging jobs fence the computation.
+	indeg := map[string]int{}
+	outdeg := map[string]int{}
+	for _, e := range ew.Edges {
+		outdeg[e[0]]++
+		indeg[e[1]]++
+	}
+	computeJobs := append([]*Job(nil), ew.Jobs...)
+	if cfg.StageIn {
+		si := &Job{
+			ID: "stage_in_0", TypeDesc: "stage-in", Transformation: "pegasus::transfer",
+			Executable: "/opt/pegasus-transfer", RuntimeSeconds: cfg.AuxRuntimeSeconds,
+			MaxRetries: cfg.MaxRetries,
+		}
+		addJob(si)
+		for _, j := range computeJobs {
+			if indeg[j.ID] == 0 {
+				ew.Edges = append(ew.Edges, [2]string{si.ID, j.ID})
+			}
+		}
+	}
+	if cfg.StageOut {
+		so := &Job{
+			ID: "stage_out_0", TypeDesc: "stage-out", Transformation: "pegasus::transfer",
+			Executable: "/opt/pegasus-transfer", RuntimeSeconds: cfg.AuxRuntimeSeconds,
+			MaxRetries: cfg.MaxRetries,
+		}
+		addJob(so)
+		for _, j := range computeJobs {
+			if outdeg[j.ID] == 0 {
+				ew.Edges = append(ew.Edges, [2]string{j.ID, so.ID})
+			}
+		}
+	}
+	return ew, nil
+}

@@ -1,0 +1,184 @@
+package pegasus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/stats"
+)
+
+// hierarchicalDAX builds a two-level workflow: a prepare task, two
+// sub-workflow tasks each wrapping a diamond, and a collect task.
+func hierarchicalDAX() *DAX {
+	return &DAX{
+		Label: "hierarchical",
+		Tasks: []AbsTask{
+			{ID: "prepare", Transformation: "prepare", RuntimeSeconds: 2},
+			{ID: "subwf_a", SubDAX: Diamond(10)},
+			{ID: "subwf_b", SubDAX: Diamond(10)},
+			{ID: "collect", Transformation: "collect", RuntimeSeconds: 2},
+		},
+		Edges: [][2]string{
+			{"prepare", "subwf_a"},
+			{"prepare", "subwf_b"},
+			{"subwf_a", "collect"},
+			{"subwf_b", "collect"},
+		},
+	}
+}
+
+func TestSubDAXValidateAndPlan(t *testing.T) {
+	dax := hierarchicalDAX()
+	if err := dax.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A broken nested DAX must fail validation at the parent.
+	bad := &DAX{Label: "p", Tasks: []AbsTask{{ID: "s", SubDAX: &DAX{Label: "child"}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty nested dax accepted")
+	}
+
+	ew, err := Plan(dax, PlanConfig{Site: "cluster", MaxRetries: 1, ClusterSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var daxJobs int
+	for _, j := range ew.Jobs {
+		if j.SubDAX != nil {
+			daxJobs++
+			if j.TypeDesc != "dax" || j.Clustered {
+				t.Errorf("dax job = %+v", j)
+			}
+		}
+	}
+	if daxJobs != 2 {
+		t.Fatalf("dax jobs = %d", daxJobs)
+	}
+	// Edges must route through the dax jobs.
+	found := false
+	for _, e := range ew.Edges {
+		if e[0] == "prepare" && e[1] == "subwf_a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("edge into dax job missing")
+	}
+}
+
+func TestHierarchicalRunEndToEnd(t *testing.T) {
+	ew, err := Plan(hierarchicalDAX(), PlanConfig{Site: "cluster", MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, report := runWorkflow(t, ew, 0, 1)
+	if report.Status != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	if len(report.SubReports) != 2 {
+		t.Fatalf("sub reports = %d", len(report.SubReports))
+	}
+	for _, sr := range report.SubReports {
+		if sr.Status != 0 || sr.Succeeded != 4 {
+			t.Errorf("sub report = %+v", sr)
+		}
+	}
+
+	q := loadInto(t, app)
+	root, _ := q.WorkflowByUUID(report.WfUUID)
+	if root == nil {
+		t.Fatal("root missing")
+	}
+	subs, err := q.SubWorkflows(root.ID)
+	if err != nil || len(subs) != 2 {
+		t.Fatalf("archive subs = %d, %v", len(subs), err)
+	}
+	for _, sub := range subs {
+		if sub.RootUUID != report.WfUUID {
+			t.Errorf("sub root = %s", sub.RootUUID)
+		}
+	}
+	summary, _ := stats.Compute(q, root.ID, true)
+	// Root: 4 tasks; each diamond: 4 tasks => 12 total.
+	if summary.Tasks.Total != 12 || summary.Tasks.Succeeded != 12 {
+		t.Errorf("tasks = %+v", summary.Tasks)
+	}
+	if summary.SubWorkflows.Total != 2 || summary.SubWorkflows.Succeeded != 2 {
+		t.Errorf("subwf = %+v", summary.SubWorkflows)
+	}
+	// Jobs: root 4 + 2 diamonds x 4 = 12.
+	if summary.Jobs.Total != 12 {
+		t.Errorf("jobs = %+v", summary.Jobs)
+	}
+}
+
+func TestHierarchicalFailureDrillDown(t *testing.T) {
+	// Every instance fails: the sub-workflows fail, the dax jobs fail,
+	// and the analyzer must surface the failing branches.
+	ew, err := Plan(hierarchicalDAX(), PlanConfig{Site: "cluster", MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, report := runWorkflow(t, ew, 1.0, 5)
+	if report.Status != -1 {
+		t.Fatalf("report = %+v", report)
+	}
+	q := loadInto(t, app)
+	root, _ := q.WorkflowByUUID(report.WfUUID)
+	rep, err := analyzer.Analyze(q, root.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() {
+		t.Fatal("failing hierarchy reported healthy")
+	}
+	// prepare fails at the root level, so the dax jobs never launch and
+	// there are no sub-workflows; rerun with only the root task healthy
+	// is covered by the targeted case below.
+	if rep.Failed == 0 {
+		t.Error("no root-level failure")
+	}
+}
+
+func TestHierarchicalSubFailureSurfaces(t *testing.T) {
+	// A hierarchy whose only failure is inside a sub-workflow: the dax
+	// job must fail, the analyzer must drill into the child.
+	dax := &DAX{
+		Label: "one-sub",
+		Tasks: []AbsTask{
+			{ID: "subwf", SubDAX: Diamond(5)},
+		},
+	}
+	ew, err := Plan(dax, PlanConfig{Site: "cluster", MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, report := runWorkflow(t, ew, 1.0, 7)
+	if report.Status != -1 {
+		t.Fatalf("status = %d", report.Status)
+	}
+	q := loadInto(t, app)
+	root, _ := q.WorkflowByUUID(report.WfUUID)
+	rep, err := analyzer.Analyze(q, root.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 {
+		t.Errorf("root failed jobs = %d (the dax job)", rep.Failed)
+	}
+	if len(rep.FailedJobs) != 1 || !strings.Contains(rep.FailedJobs[0].StderrText, "sub-workflow") {
+		t.Errorf("dax job failure detail = %+v", rep.FailedJobs)
+	}
+	if len(rep.SubReports) != 1 {
+		t.Fatalf("analyzer did not drill into the child: %d sub-reports", len(rep.SubReports))
+	}
+	child := rep.SubReports[0]
+	if child.Failed == 0 {
+		t.Error("child report shows no failures")
+	}
+	text := rep.Render()
+	if !strings.Contains(text, child.Workflow.UUID) {
+		t.Error("render does not include the child workflow")
+	}
+}

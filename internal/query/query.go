@@ -1,0 +1,537 @@
+// Package query implements the Stampede query interface: the standard
+// API for extracting workflow, job and invocation information from the
+// relational archive (the third layer of the paper's three-layer model).
+// The statistics, analyzer, anomaly-detection and dashboard tools all go
+// through this package rather than touching tables directly.
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/relstore"
+)
+
+// QI is a query interface over one archive store.
+type QI struct {
+	store *relstore.Store
+}
+
+// New returns a query interface over the archive.
+func New(a *archive.Archive) *QI { return &QI{store: a.Store()} }
+
+// NewFromStore returns a query interface over a raw store (e.g. one
+// replayed from a database file by a read-only tool).
+func NewFromStore(s *relstore.Store) *QI { return &QI{store: s} }
+
+// Workflow is one workflow run.
+type Workflow struct {
+	ID         int64
+	UUID       string
+	DaxLabel   string
+	SubmitHost string
+	User       string
+	Timestamp  time.Time
+	RootUUID   string
+	ParentID   int64 // 0 for root workflows
+}
+
+// StateRecord is one timestamped state of a workflow or job instance.
+type StateRecord struct {
+	State     string
+	Timestamp time.Time
+	Status    int64
+	HasStatus bool
+}
+
+// Job is one executable-workflow node.
+type Job struct {
+	ID        int64
+	WfID      int64
+	ExecJobID string
+	TypeDesc  string
+	Clustered bool
+	TaskCount int64
+	Exec      string
+}
+
+// JobInstance is one scheduled attempt of a job.
+type JobInstance struct {
+	ID            int64
+	JobID         int64
+	SubmitSeq     int64
+	Site          string
+	Hostname      string
+	SubwfUUID     string
+	Exitcode      int64
+	HasExitcode   bool
+	LocalDuration float64
+	StdoutText    string
+	StderrText    string
+	StdoutFile    string
+	StderrFile    string
+}
+
+// Invocation is one executable invocation on a resource.
+type Invocation struct {
+	ID             int64
+	JobInstanceID  int64
+	WfID           int64
+	TaskSubmitSeq  int64
+	StartTime      time.Time
+	RemoteDuration float64
+	RemoteCPUTime  float64
+	HasCPUTime     bool
+	Exitcode       int64
+	Transformation string
+	AbsTaskID      string
+}
+
+// Task is one abstract-workflow node.
+type Task struct {
+	ID             int64
+	WfID           int64
+	AbsTaskID      string
+	TypeDesc       string
+	Transformation string
+	JobID          int64 // 0 when unmapped
+}
+
+// Host is one execution host.
+type Host struct {
+	ID       int64
+	Site     string
+	Hostname string
+	IP       string
+}
+
+func str(r relstore.Row, k string) string {
+	s, _ := r[k].(string)
+	return s
+}
+
+func i64(r relstore.Row, k string) int64 {
+	v, _ := r[k].(int64)
+	return v
+}
+
+func f64(r relstore.Row, k string) float64 {
+	v, _ := r[k].(float64)
+	return v
+}
+
+func ts(r relstore.Row, k string) time.Time {
+	v, _ := r[k].(time.Time)
+	return v
+}
+
+func wfFromRow(r relstore.Row) Workflow {
+	return Workflow{
+		ID:         r.ID(),
+		UUID:       str(r, "wf_uuid"),
+		DaxLabel:   str(r, "dax_label"),
+		SubmitHost: str(r, "submit_hostname"),
+		User:       str(r, "user"),
+		Timestamp:  ts(r, "timestamp"),
+		RootUUID:   str(r, "root_wf_uuid"),
+		ParentID:   i64(r, "parent_wf_id"),
+	}
+}
+
+// Workflows lists every workflow in the archive in insertion order.
+func (q *QI) Workflows() ([]Workflow, error) {
+	rows, err := q.store.Select(relstore.Query{Table: archive.TWorkflow})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Workflow, len(rows))
+	for i, r := range rows {
+		out[i] = wfFromRow(r)
+	}
+	return out, nil
+}
+
+// WorkflowByUUID resolves one workflow; nil when absent.
+func (q *QI) WorkflowByUUID(uuid string) (*Workflow, error) {
+	r, err := q.store.SelectOne(relstore.Query{
+		Table: archive.TWorkflow,
+		Conds: []relstore.Cond{relstore.Eq("wf_uuid", uuid)},
+	})
+	if err != nil || r == nil {
+		return nil, err
+	}
+	w := wfFromRow(r)
+	return &w, nil
+}
+
+// Workflow resolves one workflow by row id; error when absent.
+func (q *QI) Workflow(id int64) (*Workflow, error) {
+	r, err := q.store.Get(archive.TWorkflow, id)
+	if err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, fmt.Errorf("query: no workflow %d", id)
+	}
+	w := wfFromRow(r)
+	return &w, nil
+}
+
+// RootWorkflows lists workflows without a parent.
+func (q *QI) RootWorkflows() ([]Workflow, error) {
+	rows, err := q.store.Select(relstore.Query{
+		Table: archive.TWorkflow,
+		Where: func(r relstore.Row) bool { return r["parent_wf_id"] == nil },
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Workflow, len(rows))
+	for i, r := range rows {
+		out[i] = wfFromRow(r)
+	}
+	return out, nil
+}
+
+// SubWorkflows lists direct children of a workflow.
+func (q *QI) SubWorkflows(parentID int64) ([]Workflow, error) {
+	rows, err := q.store.Select(relstore.Query{
+		Table: archive.TWorkflow,
+		Conds: []relstore.Cond{relstore.Eq("parent_wf_id", parentID)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Workflow, len(rows))
+	for i, r := range rows {
+		out[i] = wfFromRow(r)
+	}
+	return out, nil
+}
+
+// Descendants returns the workflow hierarchy rooted at id (excluding the
+// root itself), breadth first — how the analyzer drills down.
+func (q *QI) Descendants(id int64) ([]Workflow, error) {
+	var out []Workflow
+	frontier := []int64{id}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, p := range frontier {
+			children, err := q.SubWorkflows(p)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range children {
+				out = append(out, c)
+				next = append(next, c.ID)
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+func statesFromRows(rows []relstore.Row) []StateRecord {
+	out := make([]StateRecord, len(rows))
+	for i, r := range rows {
+		out[i] = StateRecord{
+			State:     str(r, "state"),
+			Timestamp: ts(r, "timestamp"),
+		}
+		if v, ok := r["status"].(int64); ok {
+			out[i].Status = v
+			out[i].HasStatus = true
+		}
+	}
+	return out
+}
+
+// WorkflowStates returns a workflow's state timeline in time order.
+func (q *QI) WorkflowStates(wfID int64) ([]StateRecord, error) {
+	rows, err := q.store.Select(relstore.Query{
+		Table:   archive.TWorkflowState,
+		Conds:   []relstore.Cond{relstore.Eq("wf_id", wfID)},
+		OrderBy: "timestamp",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return statesFromRows(rows), nil
+}
+
+// Walltime returns the workflow wall time: last termination minus first
+// start, as reported by the workflow engine. Running workflows (no
+// termination yet) report the time to the latest recorded state.
+func (q *QI) Walltime(wfID int64) (time.Duration, error) {
+	states, err := q.WorkflowStates(wfID)
+	if err != nil {
+		return 0, err
+	}
+	if len(states) == 0 {
+		return 0, nil
+	}
+	var start, end time.Time
+	for _, s := range states {
+		if s.State == archive.WFStateStarted && (start.IsZero() || s.Timestamp.Before(start)) {
+			start = s.Timestamp
+		}
+		if s.Timestamp.After(end) {
+			end = s.Timestamp
+		}
+	}
+	if start.IsZero() {
+		return 0, nil
+	}
+	return end.Sub(start), nil
+}
+
+// Tasks lists a workflow's abstract tasks.
+func (q *QI) Tasks(wfID int64) ([]Task, error) {
+	rows, err := q.store.Select(relstore.Query{
+		Table: archive.TTask,
+		Conds: []relstore.Cond{relstore.Eq("wf_id", wfID)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Task, len(rows))
+	for i, r := range rows {
+		out[i] = Task{
+			ID:             r.ID(),
+			WfID:           wfID,
+			AbsTaskID:      str(r, "abs_task_id"),
+			TypeDesc:       str(r, "type_desc"),
+			Transformation: str(r, "transformation"),
+			JobID:          i64(r, "job_id"),
+		}
+	}
+	return out, nil
+}
+
+// TaskEdges returns the abstract dependency edges of a workflow as
+// (parent, child) pairs.
+func (q *QI) TaskEdges(wfID int64) ([][2]string, error) {
+	rows, err := q.store.Select(relstore.Query{
+		Table: archive.TTaskEdge,
+		Conds: []relstore.Cond{relstore.Eq("wf_id", wfID)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][2]string, len(rows))
+	for i, r := range rows {
+		out[i] = [2]string{str(r, "parent_abs_task_id"), str(r, "child_abs_task_id")}
+	}
+	return out, nil
+}
+
+// Jobs lists a workflow's executable jobs.
+func (q *QI) Jobs(wfID int64) ([]Job, error) {
+	rows, err := q.store.Select(relstore.Query{
+		Table: archive.TJob,
+		Conds: []relstore.Cond{relstore.Eq("wf_id", wfID)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Job, len(rows))
+	for i, r := range rows {
+		clustered, _ := r["clustered"].(bool)
+		out[i] = Job{
+			ID:        r.ID(),
+			WfID:      wfID,
+			ExecJobID: str(r, "exec_job_id"),
+			TypeDesc:  str(r, "type_desc"),
+			Clustered: clustered,
+			TaskCount: i64(r, "task_count"),
+			Exec:      str(r, "executable"),
+		}
+	}
+	return out, nil
+}
+
+// JobEdges returns the executable dependency edges of a workflow.
+func (q *QI) JobEdges(wfID int64) ([][2]string, error) {
+	rows, err := q.store.Select(relstore.Query{
+		Table: archive.TJobEdge,
+		Conds: []relstore.Cond{relstore.Eq("wf_id", wfID)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][2]string, len(rows))
+	for i, r := range rows {
+		out[i] = [2]string{str(r, "parent_exec_job_id"), str(r, "child_exec_job_id")}
+	}
+	return out, nil
+}
+
+func instFromRow(q *QI, r relstore.Row) JobInstance {
+	inst := JobInstance{
+		ID:            r.ID(),
+		JobID:         i64(r, "job_id"),
+		SubmitSeq:     i64(r, "job_submit_seq"),
+		Site:          str(r, "site"),
+		SubwfUUID:     str(r, "subwf_uuid"),
+		LocalDuration: f64(r, "local_duration"),
+		StdoutText:    str(r, "stdout_text"),
+		StderrText:    str(r, "stderr_text"),
+		StdoutFile:    str(r, "stdout_file"),
+		StderrFile:    str(r, "stderr_file"),
+	}
+	if v, ok := r["exitcode"].(int64); ok {
+		inst.Exitcode = v
+		inst.HasExitcode = true
+	}
+	if hid, ok := r["host_id"].(int64); ok {
+		if h, err := q.store.Get(archive.THost, hid); err == nil && h != nil {
+			inst.Hostname = str(h, "hostname")
+		}
+	}
+	return inst
+}
+
+// JobInstances lists every attempt of one job, in submit-sequence order.
+func (q *QI) JobInstances(jobID int64) ([]JobInstance, error) {
+	rows, err := q.store.Select(relstore.Query{
+		Table:   archive.TJobInstance,
+		Conds:   []relstore.Cond{relstore.Eq("job_id", jobID)},
+		OrderBy: "job_submit_seq",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]JobInstance, len(rows))
+	for i, r := range rows {
+		out[i] = instFromRow(q, r)
+	}
+	return out, nil
+}
+
+// JobStates returns a job instance's state timeline in sequence order.
+func (q *QI) JobStates(instanceID int64) ([]StateRecord, error) {
+	rows, err := q.store.Select(relstore.Query{
+		Table:   archive.TJobState,
+		Conds:   []relstore.Cond{relstore.Eq("job_instance_id", instanceID)},
+		OrderBy: "jobstate_submit_seq",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return statesFromRows(rows), nil
+}
+
+// Invocations lists every invocation of a workflow.
+func (q *QI) Invocations(wfID int64) ([]Invocation, error) {
+	rows, err := q.store.Select(relstore.Query{
+		Table: archive.TInvocation,
+		Conds: []relstore.Cond{relstore.Eq("wf_id", wfID)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Invocation, len(rows))
+	for i, r := range rows {
+		out[i] = invFromRow(r)
+	}
+	return out, nil
+}
+
+// InvocationsForInstance lists the invocations of one job instance.
+func (q *QI) InvocationsForInstance(instanceID int64) ([]Invocation, error) {
+	rows, err := q.store.Select(relstore.Query{
+		Table:   archive.TInvocation,
+		Conds:   []relstore.Cond{relstore.Eq("job_instance_id", instanceID)},
+		OrderBy: "task_submit_seq",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Invocation, len(rows))
+	for i, r := range rows {
+		out[i] = invFromRow(r)
+	}
+	return out, nil
+}
+
+func invFromRow(r relstore.Row) Invocation {
+	inv := Invocation{
+		ID:             r.ID(),
+		JobInstanceID:  i64(r, "job_instance_id"),
+		WfID:           i64(r, "wf_id"),
+		TaskSubmitSeq:  i64(r, "task_submit_seq"),
+		StartTime:      ts(r, "start_time"),
+		RemoteDuration: f64(r, "remote_duration"),
+		Exitcode:       i64(r, "exitcode"),
+		Transformation: str(r, "transformation"),
+		AbsTaskID:      str(r, "abs_task_id"),
+	}
+	if v, ok := r["remote_cpu_time"].(float64); ok {
+		inv.RemoteCPUTime = v
+		inv.HasCPUTime = true
+	}
+	return inv
+}
+
+// Hosts lists every host the archive has seen.
+func (q *QI) Hosts() ([]Host, error) {
+	rows, err := q.store.Select(relstore.Query{Table: archive.THost})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Host, len(rows))
+	for i, r := range rows {
+		out[i] = Host{ID: r.ID(), Site: str(r, "site"), Hostname: str(r, "hostname"), IP: str(r, "ip")}
+	}
+	return out, nil
+}
+
+// Delays decomposes where a job instance spent its time, the per-job
+// metrics the paper's jobs.txt reports (queue time, runtime).
+type Delays struct {
+	// QueueTime is SUBMIT -> EXECUTE: time in the remote queue.
+	QueueTime time.Duration
+	// Runtime is EXECUTE -> terminal state, the engine-measured runtime.
+	Runtime time.Duration
+	// HeldTime totals JOB_HELD -> JOB_RELEASED intervals.
+	HeldTime time.Duration
+}
+
+// InstanceDelays computes the delay decomposition for one job instance
+// from its state timeline.
+func (q *QI) InstanceDelays(instanceID int64) (Delays, error) {
+	states, err := q.JobStates(instanceID)
+	if err != nil {
+		return Delays{}, err
+	}
+	var d Delays
+	var submitAt, execAt, heldAt time.Time
+	for _, s := range states {
+		switch s.State {
+		case archive.JSSubmit:
+			if submitAt.IsZero() {
+				submitAt = s.Timestamp
+			}
+		case archive.JSExecute:
+			if execAt.IsZero() {
+				execAt = s.Timestamp
+				if !submitAt.IsZero() {
+					d.QueueTime = execAt.Sub(submitAt)
+				}
+			}
+		case archive.JSHeld:
+			heldAt = s.Timestamp
+		case archive.JSReleased:
+			if !heldAt.IsZero() {
+				d.HeldTime += s.Timestamp.Sub(heldAt)
+				heldAt = time.Time{}
+			}
+		case archive.JSSuccess, archive.JSFailure, archive.JSAborted:
+			if !execAt.IsZero() {
+				d.Runtime = s.Timestamp.Sub(execAt)
+			}
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,175 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// Model-based test: a random sequence of inserts, updates, deletes and
+// lookups runs against both the store and a plain-map reference model;
+// any divergence is a bug. A final WAL round trip checks that the
+// persisted state replays to the same contents.
+
+type modelRow struct {
+	name string
+	wf   int64
+	run  float64
+}
+
+func TestStoreAgainstModel(t *testing.T) {
+	const (
+		ops  = 4000
+		wfs  = 5
+		seed = 99
+	)
+	rng := rand.New(rand.NewSource(seed))
+	path := filepath.Join(t.TempDir(), "model.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable(TableSchema{
+		Name: "m",
+		Columns: []Column{
+			{Name: "name", Type: Str},
+			{Name: "wf", Type: Int},
+			{Name: "run", Type: Float, Nullable: true},
+		},
+		Unique:  [][]string{{"wf", "name"}},
+		Indexes: [][]string{{"wf"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	model := map[int64]modelRow{} // id -> row
+	byKey := map[string]int64{}   // wf/name -> id
+	key := func(wf int64, name string) string { return fmt.Sprintf("%d/%s", wf, name) }
+
+	for op := 0; op < ops; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // insert
+			r := modelRow{
+				name: fmt.Sprintf("job%03d", rng.Intn(200)),
+				wf:   int64(rng.Intn(wfs)),
+				run:  float64(rng.Intn(100)),
+			}
+			id, err := s.Insert("m", Row{"name": r.name, "wf": r.wf, "run": r.run})
+			_, dup := byKey[key(r.wf, r.name)]
+			if dup {
+				if err == nil {
+					t.Fatalf("op %d: duplicate accepted", op)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d: insert: %v", op, err)
+			}
+			model[id] = r
+			byKey[key(r.wf, r.name)] = id
+		case 4, 5: // update run of a random live row
+			id := randomID(rng, model)
+			if id == 0 {
+				continue
+			}
+			newRun := float64(rng.Intn(1000))
+			if err := s.Update("m", id, Row{"run": newRun}); err != nil {
+				t.Fatalf("op %d: update: %v", op, err)
+			}
+			r := model[id]
+			r.run = newRun
+			model[id] = r
+		case 6: // delete
+			id := randomID(rng, model)
+			if id == 0 {
+				continue
+			}
+			if err := s.Delete("m", id); err != nil {
+				t.Fatalf("op %d: delete: %v", op, err)
+			}
+			r := model[id]
+			delete(byKey, key(r.wf, r.name))
+			delete(model, id)
+		case 7: // point lookup by pk
+			id := randomID(rng, model)
+			if id == 0 {
+				continue
+			}
+			row, err := s.Get("m", id)
+			if err != nil || row == nil {
+				t.Fatalf("op %d: get %d: %v %v", op, id, row, err)
+			}
+			want := model[id]
+			if row["name"] != want.name || row["wf"] != want.wf || row["run"] != want.run {
+				t.Fatalf("op %d: row %d = %v, want %+v", op, id, row, want)
+			}
+		case 8: // indexed query by wf
+			wf := int64(rng.Intn(wfs))
+			rows, err := s.Select(Query{Table: "m", Conds: []Cond{Eq("wf", wf)}})
+			if err != nil {
+				t.Fatalf("op %d: select: %v", op, err)
+			}
+			wantCount := 0
+			for _, r := range model {
+				if r.wf == wf {
+					wantCount++
+				}
+			}
+			if len(rows) != wantCount {
+				t.Fatalf("op %d: wf=%d rows=%d want=%d", op, wf, len(rows), wantCount)
+			}
+		case 9: // unique lookup
+			id := randomID(rng, model)
+			if id == 0 {
+				continue
+			}
+			r := model[id]
+			row, err := s.SelectOne(Query{Table: "m", Conds: []Cond{Eq("wf", r.wf), Eq("name", r.name)}})
+			if err != nil || row == nil || row.ID() != id {
+				t.Fatalf("op %d: unique lookup: %v %v", op, row, err)
+			}
+		}
+	}
+
+	// Full-state comparison.
+	verify := func(st *Store, label string) {
+		n, err := st.Count("m")
+		if err != nil || n != len(model) {
+			t.Fatalf("%s: count %d, want %d (%v)", label, n, len(model), err)
+		}
+		for id, want := range model {
+			row, err := st.Get("m", id)
+			if err != nil || row == nil {
+				t.Fatalf("%s: lost row %d", label, id)
+			}
+			if row["name"] != want.name || row["wf"] != want.wf || row["run"] != want.run {
+				t.Fatalf("%s: row %d = %v, want %+v", label, id, row, want)
+			}
+		}
+	}
+	verify(s, "live store")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	verify(re, "replayed store")
+}
+
+func randomID(rng *rand.Rand, model map[int64]modelRow) int64 {
+	if len(model) == 0 {
+		return 0
+	}
+	n := rng.Intn(len(model))
+	for id := range model {
+		if n == 0 {
+			return id
+		}
+		n--
+	}
+	return 0
+}

@@ -1,0 +1,186 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Cond is an equality condition on one column. Select uses an index when
+// the conditions exactly cover one; otherwise it scans.
+type Cond struct {
+	Column string
+	Value  any
+}
+
+// Eq builds an equality condition.
+func Eq(column string, value any) Cond { return Cond{Column: column, Value: value} }
+
+// Query describes a select over one table: equality conditions (ANDed), an
+// optional arbitrary predicate applied after them, ordering and limit.
+type Query struct {
+	Table   string
+	Conds   []Cond
+	Where   func(Row) bool // optional, applied after Conds
+	OrderBy string         // optional column; rows sort ascending by it
+	Desc    bool
+	Limit   int // 0 = unlimited
+}
+
+// Select returns copies of all rows matching the query. Rows come back in
+// OrderBy order when set, otherwise in primary-key order, so results are
+// deterministic either way.
+func (s *Store) Select(q Query) ([]Row, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %s", q.Table)
+	}
+	for _, c := range q.Conds {
+		if _, ok := t.colType[c.Column]; !ok {
+			return nil, fmt.Errorf("relstore: table %s has no column %s", q.Table, c.Column)
+		}
+	}
+
+	var candidates []int64
+	matched := false
+	if len(q.Conds) > 0 {
+		cols := make([]string, len(q.Conds))
+		probe := Row{}
+		for i, c := range q.Conds {
+			cols[i] = c.Column
+			cv, err := coerce(q.Table, c.Column, t.colType[c.Column], c.Value)
+			if err != nil {
+				return nil, err
+			}
+			probe[c.Column] = cv
+		}
+		if ix := t.findIndex(cols); ix >= 0 {
+			candidates = append([]int64(nil), t.indexes[ix][compositeKey(probe, cols)]...)
+			sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+			matched = true
+		} else {
+			for u, ucols := range t.schema.Unique {
+				if len(ucols) == len(cols) && sameCols(ucols, cols) {
+					if id, ok := t.uniques[u][compositeKey(probe, ucols)]; ok {
+						candidates = []int64{id}
+					}
+					matched = true
+					break
+				}
+			}
+		}
+	}
+	if !matched {
+		candidates = t.sortedIDs()
+	}
+
+	var out []Row
+	for _, id := range candidates {
+		row, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		if !condsMatch(t, q.Table, q.Conds, row) {
+			continue
+		}
+		if q.Where != nil && !q.Where(row) {
+			continue
+		}
+		out = append(out, row.Clone())
+	}
+	if q.OrderBy != "" {
+		if _, ok := t.colType[q.OrderBy]; !ok {
+			return nil, fmt.Errorf("relstore: table %s has no column %s to order by", q.Table, q.OrderBy)
+		}
+		col := q.OrderBy
+		sort.SliceStable(out, func(i, j int) bool {
+			less := valueLess(out[i][col], out[j][col])
+			if q.Desc {
+				return valueLess(out[j][col], out[i][col])
+			}
+			return less
+		})
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// SelectOne returns the single matching row, nil when none match, and an
+// error when more than one matches.
+func (s *Store) SelectOne(q Query) (Row, error) {
+	q.Limit = 2
+	rows, err := s.Select(q)
+	if err != nil {
+		return nil, err
+	}
+	switch len(rows) {
+	case 0:
+		return nil, nil
+	case 1:
+		return rows[0], nil
+	default:
+		return nil, fmt.Errorf("relstore: query on %s matched more than one row", q.Table)
+	}
+}
+
+func sameCols(a, b []string) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func condsMatch(t *table, tableName string, conds []Cond, row Row) bool {
+	for _, c := range conds {
+		cv, err := coerce(tableName, c.Column, t.colType[c.Column], c.Value)
+		if err != nil {
+			return false
+		}
+		if !valueEq(row[c.Column], cv) {
+			return false
+		}
+	}
+	return true
+}
+
+func valueEq(a, b any) bool {
+	if ta, ok := a.(time.Time); ok {
+		tb, ok := b.(time.Time)
+		return ok && ta.Equal(tb)
+	}
+	return a == b
+}
+
+// valueLess orders values of the same type; nil sorts first.
+func valueLess(a, b any) bool {
+	if a == nil {
+		return b != nil
+	}
+	if b == nil {
+		return false
+	}
+	switch x := a.(type) {
+	case int64:
+		y, ok := b.(int64)
+		return ok && x < y
+	case float64:
+		y, ok := b.(float64)
+		return ok && x < y
+	case string:
+		y, ok := b.(string)
+		return ok && x < y
+	case bool:
+		y, ok := b.(bool)
+		return ok && !x && y
+	case time.Time:
+		y, ok := b.(time.Time)
+		return ok && x.Before(y)
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+// Package relstore is an embedded, in-process relational store: typed
+// tables with auto-increment primary keys, unique and secondary indexes,
+// foreign-key checks, predicate queries, and write-ahead-log persistence.
+//
+// The published Stampede loader writes to SQLite/MySQL/PostgreSQL through
+// SQLAlchemy; this repository is stdlib-only, so relstore supplies the
+// relational semantics the archive layer (the paper's Figure 3 schema)
+// needs: indexed point lookups for the high-rate load path and scans with
+// filters for the query interface.
+package relstore
+
+import (
+	"fmt"
+	"time"
+)
+
+// ColType enumerates column value types.
+type ColType int
+
+const (
+	Int ColType = iota
+	Float
+	Str
+	Time
+	Bool
+)
+
+func (t ColType) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Str:
+		return "string"
+	case Time:
+		return "time"
+	case Bool:
+		return "bool"
+	}
+	return "unknown"
+}
+
+// Column describes one column of a table.
+type Column struct {
+	Name     string
+	Type     ColType
+	Nullable bool
+}
+
+// ForeignKey declares that values of Column must exist in RefTable's
+// RefColumn (which must be unique or the primary key there).
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// TableSchema describes a table. Every table gets an implicit integer
+// primary-key column named "id" that auto-increments; declaring a column
+// named "id" explicitly is an error.
+type TableSchema struct {
+	Name    string
+	Columns []Column
+	// Unique constraints; each entry is a list of column names whose
+	// combined value must be unique across rows (nulls compare equal,
+	// intentionally stricter than SQL).
+	Unique [][]string
+	// Indexes are non-unique secondary indexes for fast equality lookup.
+	Indexes [][]string
+	// ForeignKeys are checked on insert and update.
+	ForeignKeys []ForeignKey
+}
+
+func (s *TableSchema) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("relstore: table with empty name")
+	}
+	seen := map[string]ColType{}
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("relstore: table %s has a column with empty name", s.Name)
+		}
+		if c.Name == "id" {
+			return fmt.Errorf("relstore: table %s declares reserved column id", s.Name)
+		}
+		if _, dup := seen[c.Name]; dup {
+			return fmt.Errorf("relstore: table %s has duplicate column %s", s.Name, c.Name)
+		}
+		seen[c.Name] = c.Type
+	}
+	check := func(kind string, cols []string) error {
+		if len(cols) == 0 {
+			return fmt.Errorf("relstore: table %s has an empty %s", s.Name, kind)
+		}
+		for _, c := range cols {
+			if _, ok := seen[c]; !ok && c != "id" {
+				return fmt.Errorf("relstore: table %s %s references unknown column %s", s.Name, kind, c)
+			}
+		}
+		return nil
+	}
+	for _, u := range s.Unique {
+		if err := check("unique constraint", u); err != nil {
+			return err
+		}
+	}
+	for _, ix := range s.Indexes {
+		if err := check("index", ix); err != nil {
+			return err
+		}
+	}
+	for _, fk := range s.ForeignKeys {
+		if _, ok := seen[fk.Column]; !ok {
+			return fmt.Errorf("relstore: table %s foreign key on unknown column %s", s.Name, fk.Column)
+		}
+	}
+	return nil
+}
+
+// Row is one record: column name to value. Values are int64, float64,
+// string, time.Time, bool, or nil. The primary key appears under "id"
+// after insert.
+type Row map[string]any
+
+// Clone returns a shallow copy of the row (values are immutable types).
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	for k, v := range r {
+		c[k] = v
+	}
+	return c
+}
+
+// ID returns the row's primary key.
+func (r Row) ID() int64 {
+	id, _ := r["id"].(int64)
+	return id
+}
+
+// coerce normalises a dynamic value to the column's canonical Go type.
+// Numeric widening (int->int64, int64->float64 for Float columns, JSON's
+// float64 -> int64 for Int columns when integral) is permitted; anything
+// else is a type error.
+func coerce(table, col string, t ColType, v any) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch t {
+	case Int:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case int:
+			return int64(x), nil
+		case int32:
+			return int64(x), nil
+		case float64:
+			if x == float64(int64(x)) {
+				return int64(x), nil
+			}
+		}
+	case Float:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case float32:
+			return float64(x), nil
+		case int64:
+			return float64(x), nil
+		case int:
+			return float64(x), nil
+		}
+	case Str:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	case Time:
+		switch x := v.(type) {
+		case time.Time:
+			return x.UTC(), nil
+		case string:
+			ts, err := time.Parse(time.RFC3339Nano, x)
+			if err == nil {
+				return ts.UTC(), nil
+			}
+		}
+	case Bool:
+		if x, ok := v.(bool); ok {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("relstore: %s.%s: value %v (%T) is not a %s", table, col, v, v, t)
+}

@@ -1,0 +1,318 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is a set of tables guarded by one RW mutex. A coarse lock keeps
+// multi-table invariants (foreign keys) simple; the loader batches inserts
+// so lock acquisition is off the per-event critical path.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	order  []string
+	wal    *walWriter // nil for purely in-memory stores
+	// checkFKs can be disabled for bulk replay of already-validated data.
+	checkFKs bool
+}
+
+// NewStore returns an empty in-memory store with foreign-key checking on.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*table), checkFKs: true}
+}
+
+// SetForeignKeyChecks toggles FK enforcement (on by default).
+func (s *Store) SetForeignKeyChecks(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkFKs = on
+}
+
+// CreateTable registers a table. Creating a table that already exists with
+// an identical schema is a no-op, so archive initialisation is idempotent.
+func (s *Store) CreateTable(schema TableSchema) error {
+	if err := schema.validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.tables[schema.Name]; ok {
+		if fmt.Sprintf("%+v", *existing.schema) == fmt.Sprintf("%+v", schema) {
+			return nil
+		}
+		return fmt.Errorf("relstore: table %s already exists with a different schema", schema.Name)
+	}
+	cp := schema
+	s.tables[schema.Name] = newTable(&cp)
+	s.order = append(s.order, schema.Name)
+	if s.wal != nil {
+		if err := s.wal.logCreate(&cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableNames lists tables in creation order.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
+
+// Count returns the number of rows in a table.
+func (s *Store) Count(tableName string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %s", tableName)
+	}
+	return len(t.rows), nil
+}
+
+// Insert adds one row and returns its assigned primary key.
+func (s *Store) Insert(tableName string, row Row) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insertLocked(tableName, row)
+}
+
+// InsertBatch adds many rows under one lock acquisition and one WAL write,
+// the fast path the stampede loader batches into. It fails atomically: on
+// any error no row from the batch is applied.
+func (s *Store) InsertBatch(tableName string, rows []Row) ([]int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %s", tableName)
+	}
+	normalized := make([]Row, len(rows))
+	// Validate everything before mutating, so failure is atomic. Unique
+	// checks must also consider earlier rows in the same batch.
+	batchKeys := make([]map[string]bool, len(t.schema.Unique))
+	for i := range batchKeys {
+		batchKeys[i] = make(map[string]bool)
+	}
+	for i, r := range rows {
+		n, err := t.normalize(r)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		if err := t.checkUnique(n, 0); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		for u, cols := range t.schema.Unique {
+			key := compositeKey(n, cols)
+			if batchKeys[u][key] {
+				return nil, fmt.Errorf("row %d: %w", i, &UniqueError{Table: tableName, Columns: cols})
+			}
+			batchKeys[u][key] = true
+		}
+		if err := s.checkForeignKeysLocked(t, n); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		normalized[i] = n
+	}
+	ids := make([]int64, len(normalized))
+	for i, n := range normalized {
+		id := t.nextID
+		t.nextID++
+		n["id"] = id
+		t.rows[id] = n
+		t.indexRow(n)
+		ids[i] = id
+	}
+	if s.wal != nil {
+		if err := s.wal.logInsertBatch(tableName, normalized); err != nil {
+			return ids, err
+		}
+	}
+	return ids, nil
+}
+
+func (s *Store) insertLocked(tableName string, row Row) (int64, error) {
+	t, ok := s.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %s", tableName)
+	}
+	n, err := t.normalize(row)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.checkUnique(n, 0); err != nil {
+		return 0, err
+	}
+	if err := s.checkForeignKeysLocked(t, n); err != nil {
+		return 0, err
+	}
+	id := t.nextID
+	t.nextID++
+	n["id"] = id
+	t.rows[id] = n
+	t.indexRow(n)
+	if s.wal != nil {
+		if err := s.wal.logInsertBatch(tableName, []Row{n}); err != nil {
+			return id, err
+		}
+	}
+	return id, nil
+}
+
+func (s *Store) checkForeignKeysLocked(t *table, row Row) error {
+	if !s.checkFKs {
+		return nil
+	}
+	for _, fk := range t.schema.ForeignKeys {
+		v := row[fk.Column]
+		if v == nil {
+			continue // null FK means "no reference", as in SQL
+		}
+		ref, ok := s.tables[fk.RefTable]
+		if !ok {
+			return fmt.Errorf("relstore: %s.%s references missing table %s", t.schema.Name, fk.Column, fk.RefTable)
+		}
+		if !s.refExistsLocked(ref, fk.RefColumn, v) {
+			return &FKError{
+				Table: t.schema.Name, Column: fk.Column,
+				RefTable: fk.RefTable, RefColumn: fk.RefColumn, Value: v,
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) refExistsLocked(ref *table, col string, v any) bool {
+	if col == "id" {
+		id, ok := v.(int64)
+		if !ok {
+			return false
+		}
+		_, exists := ref.rows[id]
+		return exists
+	}
+	// Try a unique constraint or index covering exactly this column.
+	probe := Row{col: v}
+	for i, cols := range ref.schema.Unique {
+		if len(cols) == 1 && cols[0] == col {
+			_, ok := ref.uniques[i][compositeKey(probe, cols)]
+			return ok
+		}
+	}
+	if ix := ref.findIndex([]string{col}); ix >= 0 {
+		return len(ref.indexes[ix][compositeKey(probe, []string{col})]) > 0
+	}
+	for _, row := range ref.rows {
+		if row[col] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the row with the given primary key, or nil when absent. The
+// returned row is a copy; mutating it does not affect the store.
+func (s *Store) Get(tableName string, id int64) (Row, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %s", tableName)
+	}
+	r, ok := t.rows[id]
+	if !ok {
+		return nil, nil
+	}
+	return r.Clone(), nil
+}
+
+// Update rewrites the named columns of the row with primary key id.
+func (s *Store) Update(tableName string, id int64, changes Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no table %s", tableName)
+	}
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("relstore: %s has no row %d", tableName, id)
+	}
+	merged := old.Clone()
+	for k, v := range changes {
+		if k == "id" {
+			return fmt.Errorf("relstore: cannot update primary key")
+		}
+		ct, ok := t.colType[k]
+		if !ok {
+			return fmt.Errorf("relstore: table %s has no column %s", tableName, k)
+		}
+		cv, err := coerce(tableName, k, ct, v)
+		if err != nil {
+			return err
+		}
+		if cv == nil {
+			nullable := false
+			for _, c := range t.schema.Columns {
+				if c.Name == k {
+					nullable = c.Nullable
+					break
+				}
+			}
+			if !nullable {
+				return fmt.Errorf("relstore: table %s: column %s may not be null", tableName, k)
+			}
+		}
+		merged[k] = cv
+	}
+	if err := t.checkUnique(merged, id); err != nil {
+		return err
+	}
+	if err := s.checkForeignKeysLocked(t, merged); err != nil {
+		return err
+	}
+	t.unindexRow(old)
+	t.rows[id] = merged
+	t.indexRow(merged)
+	if s.wal != nil {
+		if err := s.wal.logUpdate(tableName, id, merged); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes a row; deleting an absent row is a no-op.
+func (s *Store) Delete(tableName string, id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no table %s", tableName)
+	}
+	old, ok := t.rows[id]
+	if !ok {
+		return nil
+	}
+	t.unindexRow(old)
+	delete(t.rows, id)
+	if s.wal != nil {
+		if err := s.wal.logDelete(tableName, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FKError reports a foreign-key violation.
+type FKError struct {
+	Table, Column, RefTable, RefColumn string
+	Value                              any
+}
+
+func (e *FKError) Error() string {
+	return fmt.Sprintf("relstore: %s.%s=%v has no match in %s.%s",
+		e.Table, e.Column, e.Value, e.RefTable, e.RefColumn)
+}

@@ -1,0 +1,313 @@
+package relstore
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func wfSchema() TableSchema {
+	return TableSchema{
+		Name: "workflow",
+		Columns: []Column{
+			{Name: "wf_uuid", Type: Str},
+			{Name: "dax_label", Type: Str, Nullable: true},
+			{Name: "submit_hostname", Type: Str, Nullable: true},
+			{Name: "ts", Type: Time},
+		},
+		Unique:  [][]string{{"wf_uuid"}},
+		Indexes: [][]string{{"submit_hostname"}},
+	}
+}
+
+func jobSchema() TableSchema {
+	return TableSchema{
+		Name: "job",
+		Columns: []Column{
+			{Name: "wf_id", Type: Int},
+			{Name: "exec_job_id", Type: Str},
+			{Name: "runtime", Type: Float, Nullable: true},
+			{Name: "done", Type: Bool, Nullable: true},
+		},
+		Unique:      [][]string{{"wf_id", "exec_job_id"}},
+		Indexes:     [][]string{{"wf_id"}},
+		ForeignKeys: []ForeignKey{{Column: "wf_id", RefTable: "workflow", RefColumn: "id"}},
+	}
+}
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	if err := s.CreateTable(wfSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable(jobSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var now = time.Date(2012, 3, 13, 12, 35, 38, 0, time.UTC)
+
+func TestInsertGetRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	id, err := s.Insert("workflow", Row{"wf_uuid": "u1", "dax_label": "dart", "ts": now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("first id = %d", id)
+	}
+	row, err := s.Get("workflow", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row["wf_uuid"] != "u1" || row["dax_label"] != "dart" {
+		t.Fatalf("row = %v", row)
+	}
+	if ts := row["ts"].(time.Time); !ts.Equal(now) {
+		t.Fatalf("ts = %v", ts)
+	}
+	if row["submit_hostname"] != nil {
+		t.Fatalf("absent nullable column = %v, want nil", row["submit_hostname"])
+	}
+	if missing, err := s.Get("workflow", 99); err != nil || missing != nil {
+		t.Fatalf("Get(99) = %v, %v", missing, err)
+	}
+}
+
+func TestInsertTypeErrors(t *testing.T) {
+	s := newTestStore(t)
+	cases := []Row{
+		{"wf_uuid": 42, "ts": now},                  // int into string
+		{"wf_uuid": "u", "ts": "not-a-time"},        // bad time string
+		{"wf_uuid": "u"},                            // missing required ts
+		{"wf_uuid": nil, "ts": now},                 // null into non-nullable
+		{"wf_uuid": "u", "ts": now, "ghost": 1},     // unknown column
+		{"wf_uuid": "u", "ts": now, "id": int64(5)}, // id is assigned, not an error but ignored
+	}
+	for i, r := range cases[:5] {
+		if _, err := s.Insert("workflow", r); err == nil {
+			t.Errorf("case %d: insert succeeded, want error", i)
+		}
+	}
+	if id, err := s.Insert("workflow", cases[5]); err != nil || id != 1 {
+		t.Errorf("explicit id not ignored: id=%d err=%v", id, err)
+	}
+}
+
+func TestUniqueConstraint(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	var ue *UniqueError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want UniqueError", err)
+	}
+	if ue.Table != "workflow" || ue.ExistingID != 1 {
+		t.Fatalf("UniqueError = %+v", ue)
+	}
+}
+
+func TestCompositeUniqueAcrossColumns(t *testing.T) {
+	s := newTestStore(t)
+	wf, _ := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	if _, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": "a"}); err == nil {
+		t.Fatal("composite duplicate accepted")
+	}
+	// Length-prefixed keys: ("a","bc") vs ("ab","c") must not collide.
+	if _, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": "x"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForeignKeyEnforced(t *testing.T) {
+	s := newTestStore(t)
+	_, err := s.Insert("job", Row{"wf_id": int64(7), "exec_job_id": "a"})
+	var fe *FKError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want FKError", err)
+	}
+	s.SetForeignKeyChecks(false)
+	if _, err := s.Insert("job", Row{"wf_id": int64(7), "exec_job_id": "a"}); err != nil {
+		t.Fatalf("FK check not disabled: %v", err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	s := newTestStore(t)
+	wf, _ := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	jid, _ := s.Insert("job", Row{"wf_id": wf, "exec_job_id": "a"})
+	if err := s.Update("job", jid, Row{"runtime": 74.0, "done": true}); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := s.Get("job", jid)
+	if row["runtime"] != 74.0 || row["done"] != true {
+		t.Fatalf("row after update = %v", row)
+	}
+	if err := s.Update("job", jid, Row{"id": int64(9)}); err == nil {
+		t.Error("pk update accepted")
+	}
+	if err := s.Update("job", 999, Row{"runtime": 1.0}); err == nil {
+		t.Error("update of missing row accepted")
+	}
+	if err := s.Update("job", jid, Row{"exec_job_id": nil}); err == nil {
+		t.Error("null into non-nullable accepted on update")
+	}
+}
+
+func TestUpdateMaintainsIndexes(t *testing.T) {
+	s := newTestStore(t)
+	id1, _ := s.Insert("workflow", Row{"wf_uuid": "u1", "submit_hostname": "h1", "ts": now})
+	id2, _ := s.Insert("workflow", Row{"wf_uuid": "u2", "submit_hostname": "h1", "ts": now})
+	if err := s.Update("workflow", id1, Row{"submit_hostname": "h2"}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Select(Query{Table: "workflow", Conds: []Cond{Eq("submit_hostname", "h1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].ID() != id2 {
+		t.Fatalf("index stale after update: %v", rows)
+	}
+	// Unique index must move too: reusing u1 fails, but the old slot frees
+	// after an update away from it.
+	if err := s.Update("workflow", id2, Row{"wf_uuid": "u1"}); err == nil {
+		t.Fatal("duplicate unique value accepted after update")
+	}
+	if err := s.Update("workflow", id1, Row{"wf_uuid": "u9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update("workflow", id2, Row{"wf_uuid": "u1"}); err != nil {
+		t.Fatalf("unique slot not freed by update: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newTestStore(t)
+	id, _ := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	if err := s.Delete("workflow", id); err != nil {
+		t.Fatal(err)
+	}
+	if row, _ := s.Get("workflow", id); row != nil {
+		t.Fatal("row survived delete")
+	}
+	if err := s.Delete("workflow", id); err != nil {
+		t.Fatal("second delete errored")
+	}
+	// Unique slot released.
+	if _, err := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now}); err != nil {
+		t.Fatalf("unique not released by delete: %v", err)
+	}
+}
+
+func TestInsertBatchAtomic(t *testing.T) {
+	s := newTestStore(t)
+	wf, _ := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	rows := []Row{
+		{"wf_id": wf, "exec_job_id": "a"},
+		{"wf_id": wf, "exec_job_id": "b"},
+		{"wf_id": wf, "exec_job_id": "a"}, // dup within batch
+	}
+	if _, err := s.InsertBatch("job", rows); err == nil {
+		t.Fatal("batch with internal duplicate accepted")
+	}
+	if n, _ := s.Count("job"); n != 0 {
+		t.Fatalf("failed batch left %d rows", n)
+	}
+	ids, err := s.InsertBatch("job", rows[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	s := NewStore()
+	bad := []TableSchema{
+		{Name: ""},
+		{Name: "t", Columns: []Column{{Name: "id", Type: Int}}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: Int}, {Name: "a", Type: Str}}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: Int}}, Unique: [][]string{{"ghost"}}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: Int}}, Indexes: [][]string{{}}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: Int}}, ForeignKeys: []ForeignKey{{Column: "ghost"}}},
+	}
+	for i, sch := range bad {
+		if err := s.CreateTable(sch); err == nil {
+			t.Errorf("case %d: bad schema accepted", i)
+		}
+	}
+	good := wfSchema()
+	if err := s.CreateTable(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable(good); err != nil {
+		t.Errorf("idempotent re-create failed: %v", err)
+	}
+	good.Indexes = nil
+	if err := s.CreateTable(good); err == nil || !strings.Contains(err.Error(), "different schema") {
+		t.Errorf("conflicting re-create: %v", err)
+	}
+}
+
+func TestConcurrentInsertsAndReads(t *testing.T) {
+	s := newTestStore(t)
+	wf, _ := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	var wg sync.WaitGroup
+	const writers, per = 4, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_, err := s.Insert("job", Row{
+					"wf_id":       wf,
+					"exec_job_id": strings.Repeat("x", w+1) + "-" + string(rune('0'+i%10)) + string(rune('0'+i/10)),
+				})
+				if err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := s.Select(Query{Table: "job", Conds: []Cond{Eq("wf_id", wf)}}); err != nil {
+					t.Errorf("select: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n, _ := s.Count("job"); n != writers*per {
+		t.Fatalf("count = %d, want %d", n, writers*per)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := newTestStore(t)
+	id, _ := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	row, _ := s.Get("workflow", id)
+	row["wf_uuid"] = "mutated"
+	again, _ := s.Get("workflow", id)
+	if again["wf_uuid"] != "u1" {
+		t.Fatal("Get leaked internal row reference")
+	}
+}

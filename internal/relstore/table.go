@@ -1,0 +1,194 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// table holds rows and index structures for one TableSchema.
+type table struct {
+	schema  *TableSchema
+	colType map[string]ColType
+	rows    map[int64]Row
+	nextID  int64
+	// uniques and indexes map a composite key string to row ids.
+	uniques []map[string]int64
+	indexes []map[string][]int64
+}
+
+func newTable(s *TableSchema) *table {
+	t := &table{
+		schema:  s,
+		colType: make(map[string]ColType, len(s.Columns)+1),
+		rows:    make(map[int64]Row),
+		nextID:  1,
+	}
+	t.colType["id"] = Int
+	for _, c := range s.Columns {
+		t.colType[c.Name] = c.Type
+	}
+	for range s.Unique {
+		t.uniques = append(t.uniques, make(map[string]int64))
+	}
+	for range s.Indexes {
+		t.indexes = append(t.indexes, make(map[string][]int64))
+	}
+	return t
+}
+
+// compositeKey encodes the values of cols from row into one string key.
+// A length-prefixed encoding keeps ("a","bc") distinct from ("ab","c").
+func compositeKey(row Row, cols []string) string {
+	var b strings.Builder
+	for _, c := range cols {
+		v := row[c]
+		var s string
+		switch x := v.(type) {
+		case nil:
+			s = "\x00nil"
+		case int64:
+			s = strconv.FormatInt(x, 10)
+		case float64:
+			s = strconv.FormatFloat(x, 'g', -1, 64)
+		case string:
+			s = x
+		case bool:
+			s = strconv.FormatBool(x)
+		case time.Time:
+			s = x.UTC().Format(time.RFC3339Nano)
+		default:
+			s = fmt.Sprint(x)
+		}
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// normalize coerces every value in r to canonical types, checks that all
+// columns exist, and fills absent nullable columns with nil. The returned
+// row is a fresh copy owned by the table.
+func (t *table) normalize(r Row) (Row, error) {
+	out := make(Row, len(t.schema.Columns)+1)
+	for k, v := range r {
+		if k == "id" {
+			continue // assigned by the table
+		}
+		ct, ok := t.colType[k]
+		if !ok {
+			return nil, fmt.Errorf("relstore: table %s has no column %s", t.schema.Name, k)
+		}
+		cv, err := coerce(t.schema.Name, k, ct, v)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = cv
+	}
+	for _, c := range t.schema.Columns {
+		if _, present := out[c.Name]; !present {
+			if !c.Nullable {
+				return nil, fmt.Errorf("relstore: table %s: column %s is required", t.schema.Name, c.Name)
+			}
+			out[c.Name] = nil
+		} else if out[c.Name] == nil && !c.Nullable {
+			return nil, fmt.Errorf("relstore: table %s: column %s may not be null", t.schema.Name, c.Name)
+		}
+	}
+	return out, nil
+}
+
+// checkUnique verifies unique constraints for row (excluding the row with
+// id exclude, for updates).
+func (t *table) checkUnique(row Row, exclude int64) error {
+	for i, cols := range t.schema.Unique {
+		key := compositeKey(row, cols)
+		if existing, ok := t.uniques[i][key]; ok && existing != exclude {
+			return &UniqueError{Table: t.schema.Name, Columns: cols, ExistingID: existing}
+		}
+	}
+	return nil
+}
+
+func (t *table) indexRow(row Row) {
+	id := row.ID()
+	for i, cols := range t.schema.Unique {
+		t.uniques[i][compositeKey(row, cols)] = id
+	}
+	for i, cols := range t.schema.Indexes {
+		key := compositeKey(row, cols)
+		t.indexes[i][key] = append(t.indexes[i][key], id)
+	}
+}
+
+func (t *table) unindexRow(row Row) {
+	id := row.ID()
+	for i, cols := range t.schema.Unique {
+		key := compositeKey(row, cols)
+		if t.uniques[i][key] == id {
+			delete(t.uniques[i], key)
+		}
+	}
+	for i, cols := range t.schema.Indexes {
+		key := compositeKey(row, cols)
+		ids := t.indexes[i][key]
+		for j, x := range ids {
+			if x == id {
+				t.indexes[i][key] = append(ids[:j], ids[j+1:]...)
+				break
+			}
+		}
+		if len(t.indexes[i][key]) == 0 {
+			delete(t.indexes[i], key)
+		}
+	}
+}
+
+// findIndex returns the position of an index exactly covering cols (order
+// sensitive), or -1.
+func (t *table) findIndex(cols []string) int {
+	for i, ix := range t.schema.Indexes {
+		if len(ix) != len(cols) {
+			continue
+		}
+		match := true
+		for j := range ix {
+			if ix[j] != cols[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+// sortedIDs returns all row ids ascending; scans use it for deterministic
+// iteration order.
+func (t *table) sortedIDs() []int64 {
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// UniqueError reports a unique-constraint violation. The loader relies on
+// it to implement idempotent replay (duplicate static events on workflow
+// restart are skipped, not fatal).
+type UniqueError struct {
+	Table      string
+	Columns    []string
+	ExistingID int64
+}
+
+func (e *UniqueError) Error() string {
+	return fmt.Sprintf("relstore: unique constraint on %s(%s) violated (existing row %d)",
+		e.Table, strings.Join(e.Columns, ","), e.ExistingID)
+}

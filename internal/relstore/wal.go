@@ -1,0 +1,267 @@
+package relstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Persistence: every mutation appends one JSON record to a write-ahead
+// log. Open replays the log to rebuild the store, so a database file is
+// exactly the history of committed mutations — simple, crash-tolerant
+// (a torn final line is detected and ignored), and adequate for the
+// monitoring archive's append-mostly workload.
+
+type walRecord struct {
+	Op    string           `json:"op"` // create, insert, update, delete
+	Table string           `json:"table"`
+	Rows  []map[string]any `json:"rows,omitempty"`
+	ID    int64            `json:"id,omitempty"`
+	Sch   *TableSchema     `json:"schema,omitempty"`
+}
+
+type walWriter struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	sync bool
+}
+
+func (w *walWriter) append(rec walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	return w.w.WriteByte('\n')
+}
+
+func (w *walWriter) logCreate(s *TableSchema) error {
+	return w.append(walRecord{Op: "create", Table: s.Name, Sch: s})
+}
+
+func (w *walWriter) logInsertBatch(tbl string, rows []Row) error {
+	enc := make([]map[string]any, len(rows))
+	for i, r := range rows {
+		enc[i] = encodeRow(r)
+	}
+	return w.append(walRecord{Op: "insert", Table: tbl, Rows: enc})
+}
+
+func (w *walWriter) logUpdate(tbl string, id int64, full Row) error {
+	return w.append(walRecord{Op: "update", Table: tbl, ID: id, Rows: []map[string]any{encodeRow(full)}})
+}
+
+func (w *walWriter) logDelete(tbl string, id int64) error {
+	return w.append(walRecord{Op: "delete", Table: tbl, ID: id})
+}
+
+func (w *walWriter) flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// encodeRow renders times as RFC 3339 strings so JSON round-trips; the
+// schema's column types drive decoding on replay.
+func encodeRow(r Row) map[string]any {
+	out := make(map[string]any, len(r))
+	for k, v := range r {
+		if t, ok := v.(time.Time); ok {
+			out[k] = t.UTC().Format(time.RFC3339Nano)
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Open opens (or creates) a persistent store backed by the WAL file at
+// path, replaying any existing history first.
+func Open(path string) (*Store, error) {
+	s := NewStore()
+	if f, err := os.Open(path); err == nil {
+		err = s.replay(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("relstore: replaying %s: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = &walWriter{f: f, w: bufio.NewWriterSize(f, 256*1024)}
+	return s, nil
+}
+
+// SetSync makes every Flush also fsync the WAL file: full durability at
+// the cost of one disk sync per commit, the trade a production archive
+// makes and the reason the loader batches inserts. No-op for in-memory
+// stores.
+func (s *Store) SetSync(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		s.wal.sync = on
+	}
+}
+
+// Flush forces buffered WAL records to the OS. In-memory stores return nil.
+func (s *Store) Flush() error {
+	s.mu.RLock()
+	w := s.wal
+	s.mu.RUnlock()
+	if w == nil {
+		return nil
+	}
+	return w.flush()
+}
+
+// Close flushes and closes the WAL. The store remains usable in memory but
+// stops persisting. In-memory stores return nil.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	w := s.wal
+	s.wal = nil
+	s.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.close()
+}
+
+// replay applies WAL records to an empty store. Replay bypasses FK and
+// unique re-validation (the records were valid when written) but rebuilds
+// all indexes. A torn trailing record (crash mid-write) ends the replay
+// cleanly.
+func (s *Store) replay(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 256*1024), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// Only tolerate a torn *final* line; corruption mid-file is an error.
+			if !sc.Scan() {
+				return nil
+			}
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		if err := s.apply(rec); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	return sc.Err()
+}
+
+func (s *Store) apply(rec walRecord) error {
+	switch rec.Op {
+	case "create":
+		if rec.Sch == nil {
+			return errors.New("create record without schema")
+		}
+		return s.CreateTable(*rec.Sch)
+	case "insert":
+		t, ok := s.tables[rec.Table]
+		if !ok {
+			return fmt.Errorf("insert into unknown table %s", rec.Table)
+		}
+		for _, enc := range rec.Rows {
+			row, err := t.decodeRow(enc)
+			if err != nil {
+				return err
+			}
+			id := row.ID()
+			if id == 0 {
+				return fmt.Errorf("insert record without id in %s", rec.Table)
+			}
+			t.rows[id] = row
+			t.indexRow(row)
+			if id >= t.nextID {
+				t.nextID = id + 1
+			}
+		}
+		return nil
+	case "update":
+		t, ok := s.tables[rec.Table]
+		if !ok {
+			return fmt.Errorf("update of unknown table %s", rec.Table)
+		}
+		if len(rec.Rows) != 1 {
+			return errors.New("update record without full row")
+		}
+		row, err := t.decodeRow(rec.Rows[0])
+		if err != nil {
+			return err
+		}
+		if old, ok := t.rows[rec.ID]; ok {
+			t.unindexRow(old)
+		}
+		row["id"] = rec.ID
+		t.rows[rec.ID] = row
+		t.indexRow(row)
+		return nil
+	case "delete":
+		t, ok := s.tables[rec.Table]
+		if !ok {
+			return fmt.Errorf("delete from unknown table %s", rec.Table)
+		}
+		if old, ok := t.rows[rec.ID]; ok {
+			t.unindexRow(old)
+			delete(t.rows, rec.ID)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown WAL op %q", rec.Op)
+	}
+}
+
+// decodeRow converts a JSON-decoded map back to canonical column types.
+func (t *table) decodeRow(enc map[string]any) (Row, error) {
+	row := make(Row, len(enc))
+	for k, v := range enc {
+		ct, ok := t.colType[k]
+		if !ok {
+			return nil, fmt.Errorf("table %s: WAL row has unknown column %s", t.schema.Name, k)
+		}
+		cv, err := coerce(t.schema.Name, k, ct, v)
+		if err != nil {
+			return nil, err
+		}
+		row[k] = cv
+	}
+	return row, nil
+}

@@ -1,0 +1,166 @@
+package relstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestOpenPersistReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable(wfSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable(jobSchema()); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := s.Insert("workflow", Row{"wf_uuid": "u1", "dax_label": "dart", "ts": now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Row, 10)
+	for i := range jobs {
+		jobs[i] = Row{"wf_id": wf, "exec_job_id": fmt.Sprintf("j%d", i), "runtime": float64(i)}
+	}
+	ids, err := s.InsertBatch("job", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update("job", ids[3], Row{"runtime": 74.0, "done": true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("job", ids[7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n, _ := re.Count("job"); n != 9 {
+		t.Fatalf("job count after reopen = %d, want 9", n)
+	}
+	row, err := re.Get("job", ids[3])
+	if err != nil || row == nil {
+		t.Fatalf("Get after reopen: %v, %v", row, err)
+	}
+	if row["runtime"] != 74.0 || row["done"] != true {
+		t.Fatalf("update lost: %v", row)
+	}
+	if gone, _ := re.Get("job", ids[7]); gone != nil {
+		t.Fatal("deleted row resurrected")
+	}
+	wfRow, _ := re.Get("workflow", wf)
+	if ts := wfRow["ts"].(time.Time); !ts.Equal(now) {
+		t.Fatalf("time corrupted across reopen: %v", ts)
+	}
+	// Indexes rebuilt: indexed select and unique enforcement both work.
+	rows, err := re.Select(Query{Table: "job", Conds: []Cond{Eq("wf_id", wf)}})
+	if err != nil || len(rows) != 9 {
+		t.Fatalf("indexed select after reopen: %d rows, %v", len(rows), err)
+	}
+	if _, err := re.Insert("workflow", Row{"wf_uuid": "u1", "ts": now}); err == nil {
+		t.Fatal("unique constraint not rebuilt")
+	}
+	// New inserts continue the id sequence rather than reusing ids.
+	nid, err := re.Insert("job", Row{"wf_id": wf, "exec_job_id": "new"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nid <= ids[len(ids)-1] {
+		t.Fatalf("id sequence reset: new id %d", nid)
+	}
+}
+
+func TestOpenTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.CreateTable(wfSchema())
+	_, _ = s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write of the final record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"insert","table":"workflow","rows":[{"wf_uu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn final line not tolerated: %v", err)
+	}
+	defer re.Close()
+	if n, _ := re.Count("workflow"); n != 1 {
+		t.Fatalf("count = %d, want 1", n)
+	}
+}
+
+func TestOpenCorruptionMidFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.db")
+	content := `{"op":"create","table":"w","schema":{"Name":"w","Columns":[{"Name":"a","Type":0,"Nullable":true}]}}
+THIS IS NOT JSON
+{"op":"insert","table":"w","rows":[{"id":1,"a":5}]}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestFlushMakesDataVisibleToReaderProcess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flush.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_ = s.CreateTable(wfSchema())
+	_, _ = s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A second store opened on the same (flushed) file sees the data —
+	// how the dashboard reads a database the loader is still writing.
+	re := NewStore()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := re.replay(f); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := re.Count("workflow"); n != 1 {
+		t.Fatalf("reader sees %d rows, want 1", n)
+	}
+}
+
+func TestInMemoryFlushCloseNoops(t *testing.T) {
+	s := NewStore()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package schema defines the Stampede workflow-monitoring data model as a
+// YANG schema (the paper's §IV-B) and validates NetLogger BP log messages
+// against it, playing the role pyang plays in the published toolchain.
+//
+// The schema text in Text covers every event the Stampede loader
+// understands: workflow planning and lifecycle (stampede.wf.*,
+// stampede.xwf.*), abstract-workflow structure (stampede.task.*),
+// executable-workflow structure (stampede.job.*), job-instance lifecycle
+// (stampede.job_inst.*) and invocations (stampede.inv.*).
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/bp"
+	"repro/internal/yang"
+)
+
+// Event type names, one constant per container in the schema. Engines and
+// normalizers emit these; the loader and archive dispatch on them.
+const (
+	WfPlan        = "stampede.wf.plan"
+	StaticStart   = "stampede.static.start"
+	StaticEnd     = "stampede.static.end"
+	XwfStart      = "stampede.xwf.start"
+	XwfEnd        = "stampede.xwf.end"
+	TaskInfo      = "stampede.task.info"
+	TaskEdge      = "stampede.task.edge"
+	JobInfo       = "stampede.job.info"
+	JobEdge       = "stampede.job.edge"
+	MapTaskJob    = "stampede.wf.map.task_job"
+	MapSubwfJob   = "stampede.xwf.map.subwf_job"
+	JobInstPre    = "stampede.job_inst.pre.start"
+	JobInstPreEnd = "stampede.job_inst.pre.end"
+	SubmitStart   = "stampede.job_inst.submit.start"
+	SubmitEnd     = "stampede.job_inst.submit.end"
+	HeldStart     = "stampede.job_inst.held.start"
+	HeldEnd       = "stampede.job_inst.held.end"
+	MainStart     = "stampede.job_inst.main.start"
+	MainTerm      = "stampede.job_inst.main.term"
+	MainEnd       = "stampede.job_inst.main.end"
+	PostStart     = "stampede.job_inst.post.start"
+	PostEnd       = "stampede.job_inst.post.end"
+	HostInfo      = "stampede.job_inst.host.info"
+	ImageInfo     = "stampede.job_inst.image.info"
+	AbortInfo     = "stampede.job_inst.abort.info"
+	InvStart      = "stampede.inv.start"
+	InvEnd        = "stampede.inv.end"
+)
+
+// Attribute keys shared across events.
+const (
+	AttrLevel      = "level"
+	AttrXwfID      = "xwf.id"
+	AttrTaskID     = "task.id"
+	AttrJobID      = "job.id"
+	AttrJobInstID  = "job_inst.id"
+	AttrInvID      = "inv.id"
+	AttrStatus     = "status"
+	AttrExitcode   = "exitcode"
+	AttrSite       = "site"
+	AttrHostname   = "hostname"
+	AttrDur        = "dur"
+	AttrStartTime  = "start_time"
+	AttrParentXwf  = "parent.xwf.id"
+	AttrRootXwf    = "root.xwf.id"
+	AttrSubwfID    = "subwf.id"
+	AttrRemoteCPU  = "remote_cpu_time"
+	AttrTransform  = "transformation"
+	AttrExecutable = "executable"
+	AttrArgv       = "argv"
+	AttrStdoutText = "stdout.text"
+	AttrStderrText = "stderr.text"
+)
+
+var (
+	once  sync.Once
+	model *yang.Model
+	mErr  error
+)
+
+// Model returns the resolved Stampede data model. The schema text is
+// parsed once; a parse failure is a build defect and is reported on every
+// call.
+func Model() (*yang.Model, error) {
+	once.Do(func() {
+		root, err := yang.Parse(Text)
+		if err != nil {
+			mErr = err
+			return
+		}
+		model, mErr = yang.Resolve(root)
+	})
+	return model, mErr
+}
+
+// MustModel is Model for initialisation paths where the embedded schema
+// being unparseable should stop the program.
+func MustModel() *yang.Model {
+	m, err := Model()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Validator checks BP events against the Stampede model.
+type Validator struct {
+	model *yang.Model
+	// Strict rejects attributes that the event's container does not
+	// declare. The published loader ignores extras, so Strict defaults to
+	// false; tests for normalizers turn it on to catch typos.
+	Strict bool
+}
+
+// NewValidator returns a validator over the embedded schema.
+func NewValidator() (*Validator, error) {
+	m, err := Model()
+	if err != nil {
+		return nil, err
+	}
+	return &Validator{model: m}, nil
+}
+
+// ValidationError aggregates everything wrong with one event.
+type ValidationError struct {
+	EventType string
+	Problems  []string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("schema: event %s invalid: %s", e.EventType, strings.Join(e.Problems, "; "))
+}
+
+// Validate checks ev against its container definition: the event type must
+// exist, mandatory leaves must be present, and every present attribute
+// must type-check. It returns nil when the event conforms.
+func (v *Validator) Validate(ev *bp.Event) error {
+	c, ok := v.model.Containers[ev.Type]
+	if !ok {
+		return &ValidationError{EventType: ev.Type, Problems: []string{"unknown event type"}}
+	}
+	var problems []string
+	c.EachLeaf(func(leaf *yang.Leaf) bool {
+		// ts is carried on the Event struct, not in Attrs.
+		if leaf.Name == bp.KeyTS {
+			return true
+		}
+		val, present := ev.Attrs[leaf.Name]
+		if !present {
+			if leaf.Mandatory {
+				problems = append(problems, fmt.Sprintf("missing mandatory attribute %q", leaf.Name))
+			}
+			return true
+		}
+		if err := leaf.CheckValue(val); err != nil {
+			problems = append(problems, fmt.Sprintf("attribute %q: %v", leaf.Name, err))
+		}
+		return true
+	})
+	if ev.TS.IsZero() {
+		problems = append(problems, "zero timestamp")
+	}
+	if v.Strict {
+		for k := range ev.Attrs {
+			if _, declared := c.Leaves[k]; !declared {
+				problems = append(problems, fmt.Sprintf("undeclared attribute %q", k))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		return &ValidationError{EventType: ev.Type, Problems: problems}
+	}
+	return nil
+}
+
+// Known reports whether the event type exists in the model.
+func (v *Validator) Known(eventType string) bool {
+	_, ok := v.model.Containers[eventType]
+	return ok
+}
+
+// EventTypes returns all event type names in schema order.
+func (v *Validator) EventTypes() []string { return v.model.ContainerNames() }

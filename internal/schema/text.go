@@ -1,0 +1,355 @@
+package schema
+
+// Text is the Stampede log-message schema, authored in the YANG subset of
+// internal/yang. It mirrors the structure of the published schema (the
+// paper's [35]): a base-event grouping shared by every message, a
+// job-instance reference grouping, and one container per event type.
+const Text = `
+module stampede {
+    typedef nl_ts {
+        type string;
+        description "Timestamp, ISO8601 or seconds since 1/1/1970";
+    }
+    typedef uuid {
+        type string;
+        description "RFC 4122 canonical form";
+    }
+
+    grouping base-event {
+        description "Common components in all events";
+        leaf ts {
+            type nl_ts;
+            mandatory "true";
+            description "Timestamp, ISO8601 or seconds since 1/1/1970";
+        }
+        leaf level {
+            type string;
+            description "Severity: Info, Warn, Error or Debug";
+        }
+        leaf xwf.id {
+            type uuid;
+            description "Executable workflow id";
+        }
+    }
+
+    grouping job-inst-ref {
+        description "Reference to one scheduled instance of a job";
+        leaf job.id {
+            type string;
+            mandatory "true";
+            description "Identifier of the job in the executable workflow";
+        }
+        leaf job_inst.id {
+            type int32;
+            mandatory "true";
+            description "Submit sequence number of this instance (retries increment it)";
+        }
+    }
+
+    container stampede.wf.plan {
+        description "Workflow planned: static description is about to follow";
+        uses base-event;
+        leaf submit.hostname {
+            type string;
+            mandatory "true";
+            description "Host from which the workflow was planned/submitted";
+        }
+        leaf dax.label { type string; }
+        leaf dax.version { type string; }
+        leaf dax.file { type string; }
+        leaf dag.file.name { type string; }
+        leaf planner.version { type string; }
+        leaf submit_dir { type string; }
+        leaf user { type string; }
+        leaf argv { type string; }
+        leaf parent.xwf.id {
+            type uuid;
+            description "Executable workflow id of the parent, for sub-workflows";
+        }
+        leaf root.xwf.id {
+            type uuid;
+            mandatory "true";
+            description "Executable workflow id of the root of the hierarchy";
+        }
+    }
+
+    container stampede.static.start {
+        description "Start of the static (task/job/edge) description block";
+        uses base-event;
+    }
+    container stampede.static.end {
+        description "End of the static description block";
+        uses base-event;
+    }
+
+    container stampede.xwf.start {
+        description "Executable workflow execution started";
+        uses base-event;
+        leaf restart_count {
+            type uint32;
+            mandatory "true";
+            description "Number of times workflow was restarted (due to failures)";
+        }
+    }
+    container stampede.xwf.end {
+        description "Executable workflow execution finished";
+        uses base-event;
+        leaf restart_count {
+            type uint32;
+            mandatory "true";
+        }
+        leaf status {
+            type int32;
+            mandatory "true";
+            description "0 on success, -1 on failure";
+        }
+    }
+
+    container stampede.task.info {
+        description "One task of the abstract workflow";
+        uses base-event;
+        leaf task.id {
+            type string;
+            mandatory "true";
+        }
+        leaf type {
+            type uint32;
+            description "Numeric task type code";
+        }
+        leaf type_desc {
+            type string;
+            mandatory "true";
+            description "Human-readable task type, e.g. compute or processing";
+        }
+        leaf transformation {
+            type string;
+            mandatory "true";
+            description "Logical name of the executable/unit";
+        }
+        leaf argv { type string; }
+    }
+    container stampede.task.edge {
+        description "Dependency between two abstract-workflow tasks";
+        uses base-event;
+        leaf parent.task.id {
+            type string;
+            mandatory "true";
+        }
+        leaf child.task.id {
+            type string;
+            mandatory "true";
+        }
+    }
+
+    container stampede.job.info {
+        description "One job (node) of the executable workflow";
+        uses base-event;
+        leaf job.id {
+            type string;
+            mandatory "true";
+        }
+        leaf type_desc {
+            type string;
+            mandatory "true";
+        }
+        leaf clustered {
+            type uint32;
+            mandatory "true";
+            description "1 when several tasks were clustered into this job";
+        }
+        leaf max_retries {
+            type uint32;
+            mandatory "true";
+        }
+        leaf executable {
+            type string;
+            mandatory "true";
+        }
+        leaf argv { type string; }
+        leaf task_count {
+            type uint32;
+            mandatory "true";
+            description "Number of abstract tasks mapped into this job";
+        }
+    }
+    container stampede.job.edge {
+        description "Dependency between two executable-workflow jobs";
+        uses base-event;
+        leaf parent.job.id {
+            type string;
+            mandatory "true";
+        }
+        leaf child.job.id {
+            type string;
+            mandatory "true";
+        }
+    }
+
+    container stampede.wf.map.task_job {
+        description "Many-to-many mapping from abstract task to executable job";
+        uses base-event;
+        leaf task.id {
+            type string;
+            mandatory "true";
+        }
+        leaf job.id {
+            type string;
+            mandatory "true";
+        }
+    }
+    container stampede.xwf.map.subwf_job {
+        description "Associates a sub-workflow with the job that spawned it";
+        uses base-event;
+        leaf subwf.id {
+            type uuid;
+            mandatory "true";
+            description "Executable workflow id of the sub-workflow";
+        }
+        uses job-inst-ref;
+    }
+
+    container stampede.job_inst.pre.start {
+        description "Pre-script of a job instance started";
+        uses base-event;
+        uses job-inst-ref;
+    }
+    container stampede.job_inst.pre.end {
+        description "Pre-script of a job instance finished";
+        uses base-event;
+        uses job-inst-ref;
+        leaf status { type int32; mandatory "true"; }
+        leaf exitcode { type int32; mandatory "true"; }
+    }
+
+    container stampede.job_inst.submit.start {
+        description "Job instance is being submitted to the scheduling substrate";
+        uses base-event;
+        uses job-inst-ref;
+    }
+    container stampede.job_inst.submit.end {
+        description "Submission finished (acknowledged by the scheduler)";
+        uses base-event;
+        uses job-inst-ref;
+        leaf status { type int32; mandatory "true"; }
+    }
+
+    container stampede.job_inst.held.start {
+        description "Job instance was held/paused";
+        uses base-event;
+        uses job-inst-ref;
+    }
+    container stampede.job_inst.held.end {
+        description "Job instance was released from hold";
+        uses base-event;
+        uses job-inst-ref;
+        leaf status { type int32; }
+    }
+
+    container stampede.job_inst.main.start {
+        description "Main part of the job instance started executing";
+        uses base-event;
+        uses job-inst-ref;
+        leaf stdout.file { type string; }
+        leaf stderr.file { type string; }
+    }
+    container stampede.job_inst.main.term {
+        description "Main part terminated (before postscript evaluation)";
+        uses base-event;
+        uses job-inst-ref;
+        leaf status { type int32; mandatory "true"; }
+    }
+    container stampede.job_inst.main.end {
+        description "Main part of the job instance finished";
+        uses base-event;
+        uses job-inst-ref;
+        leaf stdout.file { type string; }
+        leaf stdout.text { type string; }
+        leaf stderr.file { type string; }
+        leaf stderr.text { type string; }
+        leaf user { type string; }
+        leaf site { type string; }
+        leaf multiplier_factor {
+            type int32;
+            description "Factor applied to runtimes for cumulative statistics";
+        }
+        leaf status { type int32; mandatory "true"; }
+        leaf exitcode { type int32; mandatory "true"; }
+    }
+
+    container stampede.job_inst.post.start {
+        description "Post-script of a job instance started";
+        uses base-event;
+        uses job-inst-ref;
+    }
+    container stampede.job_inst.post.end {
+        description "Post-script of a job instance finished";
+        uses base-event;
+        uses job-inst-ref;
+        leaf status { type int32; mandatory "true"; }
+        leaf exitcode { type int32; mandatory "true"; }
+    }
+
+    container stampede.job_inst.host.info {
+        description "Host where the job instance ran";
+        uses base-event;
+        uses job-inst-ref;
+        leaf site { type string; mandatory "true"; }
+        leaf hostname { type string; mandatory "true"; }
+        leaf ip { type string; mandatory "true"; }
+        leaf total_memory { type int64; }
+        leaf uname { type string; }
+    }
+    container stampede.job_inst.image.info {
+        description "Memory image size of the running job instance";
+        uses base-event;
+        uses job-inst-ref;
+        leaf size { type int64; }
+    }
+    container stampede.job_inst.abort.info {
+        description "Job instance was aborted by the engine or user";
+        uses base-event;
+        uses job-inst-ref;
+    }
+
+    container stampede.inv.start {
+        description "Invocation of an executable on a resource started";
+        uses base-event;
+        uses job-inst-ref;
+        leaf inv.id {
+            type int32;
+            mandatory "true";
+            description "Index of this invocation within the job instance";
+        }
+    }
+    container stampede.inv.end {
+        description "Invocation finished; carries the measured performance record";
+        uses base-event;
+        uses job-inst-ref;
+        leaf inv.id { type int32; mandatory "true"; }
+        leaf start_time {
+            type nl_ts;
+            mandatory "true";
+            description "When the invocation began on the remote host";
+        }
+        leaf dur {
+            type decimal64;
+            mandatory "true";
+            description "Invocation duration in seconds on the remote host";
+        }
+        leaf remote_cpu_time {
+            type decimal64;
+            description "CPU seconds consumed, when captured";
+        }
+        leaf exitcode { type int32; mandatory "true"; }
+        leaf transformation { type string; mandatory "true"; }
+        leaf executable { type string; }
+        leaf argv { type string; }
+        leaf task.id {
+            type string;
+            description "Abstract task this invocation instantiates, when any";
+        }
+        leaf site { type string; }
+        leaf hostname { type string; }
+    }
+}
+`

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/query"
+)
+
+// HostTimeBucket is one cell of the "tasks and jobs over time on hosts"
+// breakdown: how many invocations each host completed, and how much
+// runtime they accumulated, within one time window of the run.
+type HostTimeBucket struct {
+	Host        string
+	BucketStart time.Time
+	Offset      float64 // seconds from the workflow start
+	Invocations int
+	Runtime     float64 // seconds of invocation runtime finishing in this bucket
+}
+
+// HostTimeSeries computes the per-host activity timeline over the
+// workflow hierarchy, bucketed into the given window. A zero window
+// defaults to 60 seconds (the granularity the published tool uses).
+func HostTimeSeries(q *query.QI, wfID int64, recurse bool, bucket time.Duration) ([]HostTimeBucket, error) {
+	if bucket <= 0 {
+		bucket = time.Minute
+	}
+	ids, err := scope(q, wfID, recurse)
+	if err != nil {
+		return nil, err
+	}
+	states, err := q.WorkflowStates(wfID)
+	if err != nil {
+		return nil, err
+	}
+	var start time.Time
+	for _, s := range states {
+		if s.State == "WORKFLOW_STARTED" {
+			start = s.Timestamp
+			break
+		}
+	}
+	type key struct {
+		host   string
+		bucket int64
+	}
+	acc := map[key]*HostTimeBucket{}
+	for _, id := range ids {
+		jobs, err := q.Jobs(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range jobs {
+			insts, err := q.JobInstances(j.ID)
+			if err != nil {
+				return nil, err
+			}
+			for _, inst := range insts {
+				host := inst.Hostname
+				if host == "" {
+					host = "None"
+				}
+				invs, err := q.InvocationsForInstance(inst.ID)
+				if err != nil {
+					return nil, err
+				}
+				for _, inv := range invs {
+					end := inv.StartTime.Add(time.Duration(inv.RemoteDuration * float64(time.Second)))
+					if start.IsZero() {
+						start = inv.StartTime
+					}
+					b := int64(end.Sub(start) / bucket)
+					if b < 0 {
+						b = 0
+					}
+					k := key{host, b}
+					cell, ok := acc[k]
+					if !ok {
+						cell = &HostTimeBucket{
+							Host:        host,
+							BucketStart: start.Add(time.Duration(b) * bucket),
+							Offset:      (time.Duration(b) * bucket).Seconds(),
+						}
+						acc[k] = cell
+					}
+					cell.Invocations++
+					cell.Runtime += inv.RemoteDuration
+				}
+			}
+		}
+	}
+	out := make([]HostTimeBucket, 0, len(acc))
+	for _, cell := range acc {
+		out = append(out, *cell)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host != out[j].Host {
+			return out[i].Host < out[j].Host
+		}
+		return out[i].Offset < out[j].Offset
+	})
+	return out, nil
+}
+
+// RenderHostTimeSeries formats the timeline as aligned columns.
+func RenderHostTimeSeries(buckets []HostTimeBucket) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %12s %12s\n", "Host", "t_start_s", "invocations", "runtime_s")
+	for _, c := range buckets {
+		fmt.Fprintf(&b, "%-16s %10.0f %12d %12.1f\n", c.Host, c.Offset, c.Invocations, c.Runtime)
+	}
+	return b.String()
+}

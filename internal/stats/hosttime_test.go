@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/synth"
+)
+
+func TestHostTimeSeries(t *testing.T) {
+	q, tr, root := load(t, synth.Config{
+		Seed: 21, Jobs: 60, Hosts: 3, SlotsPerHost: 2,
+		JobTypes: []synth.JobType{{Name: "exec", MeanSeconds: 50, StddevPct: 0.1, Weight: 1}},
+	})
+	buckets, err := HostTimeSeries(q, root, true, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	hosts := map[string]bool{}
+	totalInv := 0
+	var totalRuntime float64
+	for _, b := range buckets {
+		hosts[b.Host] = true
+		totalInv += b.Invocations
+		totalRuntime += b.Runtime
+		if b.Offset < 0 {
+			t.Errorf("negative offset %v", b.Offset)
+		}
+		if b.Invocations == 0 {
+			t.Errorf("empty bucket emitted: %+v", b)
+		}
+	}
+	if len(hosts) != 3 {
+		t.Errorf("hosts = %d, want 3", len(hosts))
+	}
+	if totalInv != 60 {
+		t.Errorf("invocations across buckets = %d, want 60", totalInv)
+	}
+	// Cross-check against the untimed host breakdown.
+	usage, err := HostsBreakdown(q, root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var usageRuntime float64
+	for _, u := range usage {
+		usageRuntime += u.TotalRuntime
+	}
+	if diff := totalRuntime - usageRuntime; diff > 1 || diff < -1 {
+		t.Errorf("time-bucketed runtime %.1f != total %.1f", totalRuntime, usageRuntime)
+	}
+	// Buckets for one host are in time order.
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].Host == buckets[i-1].Host && buckets[i].Offset <= buckets[i-1].Offset {
+			t.Errorf("buckets out of order at %d", i)
+		}
+	}
+	// A multi-minute run spans more than one bucket.
+	multi := false
+	for _, b := range buckets {
+		if b.Offset >= 60 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Error("run collapsed into a single bucket")
+	}
+	text := RenderHostTimeSeries(buckets)
+	if !strings.Contains(text, "t_start_s") || !strings.Contains(text, tr.Hostnames[0]) {
+		t.Errorf("render incomplete:\n%s", text)
+	}
+}
+
+func TestHostTimeSeriesDefaultBucket(t *testing.T) {
+	q, _, root := load(t, synth.Config{Seed: 22, Jobs: 10})
+	a, err := HostTimeSeries(q, root, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HostTimeSeries(q, root, true, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Errorf("default bucket differs from 1m: %d vs %d", len(a), len(b))
+	}
+}

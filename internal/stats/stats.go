@@ -1,0 +1,514 @@
+// Package stats implements stampede_statistics: workflow- and job-level
+// performance statistics extracted through the Stampede query interface
+// (the paper's §VII). Each report corresponds to a published artifact:
+//
+//   - Summary          -> Table I   (counts, wall time, cumulative time)
+//   - Breakdown        -> Table II  (breakdown.txt, per-transformation)
+//   - JobsReport       -> Tables III & IV (jobs.txt, per-job)
+//   - HostsBreakdown   -> "jobs and runtime per host over time"
+//   - ProgressSeries   -> Figure 7  (cumulative runtime per sub-workflow)
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/query"
+)
+
+// Counts is one row of the Table I summary.
+type Counts struct {
+	Succeeded  int
+	Failed     int
+	Incomplete int
+	Total      int
+	Retries    int
+}
+
+// Summary is the stampede-statistics summary block (Table I).
+type Summary struct {
+	Tasks        Counts
+	Jobs         Counts
+	SubWorkflows Counts
+	// WallTime is the root workflow's start-to-end duration as reported
+	// by the engine.
+	WallTime time.Duration
+	// CumulativeJobWallTime sums every invocation's remote duration
+	// across the hierarchy — the "perfect system without delays" resource
+	// estimate.
+	CumulativeJobWallTime time.Duration
+}
+
+// scope resolves which workflow row ids a report covers.
+func scope(q *query.QI, wfID int64, recurse bool) ([]int64, error) {
+	ids := []int64{wfID}
+	if !recurse {
+		return ids, nil
+	}
+	desc, err := q.Descendants(wfID)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range desc {
+		ids = append(ids, d.ID)
+	}
+	return ids, nil
+}
+
+// Compute builds the Table I summary for the workflow, aggregating over
+// its whole sub-workflow hierarchy when recurse is set (the paper's DART
+// numbers are hierarchy-wide).
+func Compute(q *query.QI, wfID int64, recurse bool) (*Summary, error) {
+	ids, err := scope(q, wfID, recurse)
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{}
+	for _, id := range ids {
+		if err := s.addWorkflow(q, id); err != nil {
+			return nil, err
+		}
+	}
+	// Sub-workflow counts come from the hierarchy itself.
+	if recurse {
+		desc, err := q.Descendants(wfID)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range desc {
+			s.SubWorkflows.Total++
+			states, err := q.WorkflowStates(d.ID)
+			if err != nil {
+				return nil, err
+			}
+			final := finalWfStatus(states)
+			switch {
+			case final == nil:
+				s.SubWorkflows.Incomplete++
+			case *final == 0:
+				s.SubWorkflows.Succeeded++
+			default:
+				s.SubWorkflows.Failed++
+			}
+		}
+	}
+	wall, err := q.Walltime(wfID)
+	if err != nil {
+		return nil, err
+	}
+	s.WallTime = wall
+	return s, nil
+}
+
+func finalWfStatus(states []query.StateRecord) *int64 {
+	for i := len(states) - 1; i >= 0; i-- {
+		if states[i].State == archive.WFStateTerminated && states[i].HasStatus {
+			v := states[i].Status
+			return &v
+		}
+	}
+	return nil
+}
+
+func (s *Summary) addWorkflow(q *query.QI, wfID int64) error {
+	jobs, err := q.Jobs(wfID)
+	if err != nil {
+		return err
+	}
+	tasks, err := q.Tasks(wfID)
+	if err != nil {
+		return err
+	}
+	invs, err := q.Invocations(wfID)
+	if err != nil {
+		return err
+	}
+	// Task outcomes come from the invocations that instantiated them.
+	taskExit := map[string]int64{}
+	taskSeen := map[string]bool{}
+	for _, inv := range invs {
+		if inv.AbsTaskID == "" {
+			continue
+		}
+		taskSeen[inv.AbsTaskID] = true
+		taskExit[inv.AbsTaskID] = inv.Exitcode
+		s.CumulativeJobWallTime += time.Duration(inv.RemoteDuration * float64(time.Second))
+	}
+	for _, inv := range invs {
+		if inv.AbsTaskID == "" {
+			s.CumulativeJobWallTime += time.Duration(inv.RemoteDuration * float64(time.Second))
+		}
+	}
+	for _, task := range tasks {
+		s.Tasks.Total++
+		switch {
+		case !taskSeen[task.AbsTaskID]:
+			s.Tasks.Incomplete++
+		case taskExit[task.AbsTaskID] == 0:
+			s.Tasks.Succeeded++
+		default:
+			s.Tasks.Failed++
+		}
+	}
+	for _, j := range jobs {
+		s.Jobs.Total++
+		insts, err := q.JobInstances(j.ID)
+		if err != nil {
+			return err
+		}
+		if len(insts) == 0 {
+			s.Jobs.Incomplete++
+			continue
+		}
+		s.Jobs.Retries += len(insts) - 1
+		last := insts[len(insts)-1]
+		switch {
+		case !last.HasExitcode:
+			s.Jobs.Incomplete++
+		case last.Exitcode == 0:
+			s.Jobs.Succeeded++
+		default:
+			s.Jobs.Failed++
+		}
+	}
+	return nil
+}
+
+// Render formats the summary as the published tool's text block (Table I).
+func (s *Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s %6s %10s %5s %7s\n", "Type", "Succeeded", "Failed", "Incomplete", "Total", "Retries")
+	row := func(name string, c Counts) {
+		fmt.Fprintf(&b, "%-8s %9d %6d %10d %5d %7d\n", name, c.Succeeded, c.Failed, c.Incomplete, c.Total, c.Retries)
+	}
+	row("Tasks", s.Tasks)
+	row("Jobs", s.Jobs)
+	row("Sub WF", s.SubWorkflows)
+	fmt.Fprintf(&b, "Workflow wall time : %s (%d seconds)\n", humanDuration(s.WallTime), int(s.WallTime.Seconds()))
+	fmt.Fprintf(&b, "Workflow cumulative job wall time : %s (%d seconds)\n",
+		humanDuration(s.CumulativeJobWallTime), int(s.CumulativeJobWallTime.Seconds()))
+	return b.String()
+}
+
+func humanDuration(d time.Duration) string {
+	total := int(d.Seconds())
+	h, m, sec := total/3600, (total%3600)/60, total%60
+	switch {
+	case h > 0:
+		return fmt.Sprintf("%d hrs, %d mins", h, m)
+	case m > 0:
+		return fmt.Sprintf("%d mins, %d sec", m, sec)
+	default:
+		return fmt.Sprintf("%d sec", sec)
+	}
+}
+
+// BreakdownRow is one line of breakdown.txt (Table II): per-transformation
+// invocation statistics within a workflow scope.
+type BreakdownRow struct {
+	Type    string
+	Count   int
+	Success int
+	Failed  int
+	Min     float64
+	Max     float64
+	Mean    float64
+	Total   float64
+}
+
+// Breakdown computes Table II over the workflow (and its hierarchy when
+// recurse is set), grouped by transformation and sorted by name.
+func Breakdown(q *query.QI, wfID int64, recurse bool) ([]BreakdownRow, error) {
+	ids, err := scope(q, wfID, recurse)
+	if err != nil {
+		return nil, err
+	}
+	acc := map[string]*BreakdownRow{}
+	for _, id := range ids {
+		invs, err := q.Invocations(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, inv := range invs {
+			r, ok := acc[inv.Transformation]
+			if !ok {
+				r = &BreakdownRow{Type: inv.Transformation, Min: math.Inf(1), Max: math.Inf(-1)}
+				acc[inv.Transformation] = r
+			}
+			r.Count++
+			if inv.Exitcode == 0 {
+				r.Success++
+			} else {
+				r.Failed++
+			}
+			d := inv.RemoteDuration
+			r.Total += d
+			if d < r.Min {
+				r.Min = d
+			}
+			if d > r.Max {
+				r.Max = d
+			}
+		}
+	}
+	out := make([]BreakdownRow, 0, len(acc))
+	for _, r := range acc {
+		if r.Count > 0 {
+			r.Mean = r.Total / float64(r.Count)
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out, nil
+}
+
+// RenderBreakdown formats breakdown rows as the breakdown.txt table.
+func RenderBreakdown(rows []BreakdownRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %5s %7s %6s %8s %8s %8s %9s\n",
+		"Type", "Count", "Success", "Failed", "Min", "Max", "Mean", "Total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %5d %7d %6d %8.1f %8.1f %8.1f %9.1f\n",
+			r.Type, r.Count, r.Success, r.Failed, r.Min, r.Max, r.Mean, r.Total)
+	}
+	return b.String()
+}
+
+// JobRow is one line of jobs.txt (Tables III and IV merged): the job's
+// final attempt with both remote-view and engine-view timings.
+type JobRow struct {
+	Job                string
+	Try                int64
+	Site               string
+	InvocationDuration float64 // Table III: duration on the remote host
+	QueueTime          float64 // Table IV: seconds in the remote queue
+	Runtime            float64 // Table IV: engine-measured runtime
+	CPUTime            float64 // actual CPU seconds used, when captured
+	HasCPUTime         bool
+	Exit               int64
+	Host               string
+}
+
+// JobsReport computes jobs.txt for one workflow (not recursive: the
+// published tool reports each sub-workflow's jobs separately).
+func JobsReport(q *query.QI, wfID int64) ([]JobRow, error) {
+	jobs, err := q.Jobs(wfID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]JobRow, 0, len(jobs))
+	for _, j := range jobs {
+		insts, err := q.JobInstances(j.ID)
+		if err != nil {
+			return nil, err
+		}
+		if len(insts) == 0 {
+			out = append(out, JobRow{Job: j.ExecJobID, Host: "None"})
+			continue
+		}
+		last := insts[len(insts)-1]
+		row := JobRow{
+			Job:     j.ExecJobID,
+			Try:     last.SubmitSeq,
+			Site:    last.Site,
+			Runtime: last.LocalDuration,
+			Host:    last.Hostname,
+		}
+		if row.Host == "" {
+			row.Host = "None"
+		}
+		if last.HasExitcode {
+			row.Exit = last.Exitcode
+		}
+		invs, err := q.InvocationsForInstance(last.ID)
+		if err != nil {
+			return nil, err
+		}
+		for _, inv := range invs {
+			row.InvocationDuration += inv.RemoteDuration
+			if inv.HasCPUTime {
+				row.CPUTime += inv.RemoteCPUTime
+				row.HasCPUTime = true
+			}
+		}
+		delays, err := q.InstanceDelays(last.ID)
+		if err != nil {
+			return nil, err
+		}
+		row.QueueTime = delays.QueueTime.Seconds()
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
+	return out, nil
+}
+
+// RenderJobs formats job rows as the two jobs.txt sections (Tables III
+// and IV).
+func RenderJobs(rows []JobRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %4s %-14s %s\n", "Job", "Try", "Site", "Invocation Duration")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %4d %-14s %.1f\n", r.Job, r.Try, r.Site, r.InvocationDuration)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-24s %10s %8s %9s %5s %-14s\n", "Job", "Queue Time", "Runtime", "CPU Time", "Exit", "Host")
+	for _, r := range rows {
+		cpu := "-"
+		if r.HasCPUTime {
+			cpu = fmt.Sprintf("%.1f", r.CPUTime)
+		}
+		fmt.Fprintf(&b, "%-24s %10.2f %8.1f %9s %5d %-14s\n", r.Job, r.QueueTime, r.Runtime, cpu, r.Exit, r.Host)
+	}
+	return b.String()
+}
+
+// HostUsage aggregates work per execution host (the paper's "breakdown of
+// tasks and jobs over time on hosts").
+type HostUsage struct {
+	Host         string
+	Jobs         int
+	Invocations  int
+	TotalRuntime float64
+}
+
+// HostsBreakdown aggregates invocation work by host across the hierarchy.
+// Instances without host information are reported under "None".
+func HostsBreakdown(q *query.QI, wfID int64, recurse bool) ([]HostUsage, error) {
+	ids, err := scope(q, wfID, recurse)
+	if err != nil {
+		return nil, err
+	}
+	acc := map[string]*HostUsage{}
+	for _, id := range ids {
+		jobs, err := q.Jobs(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range jobs {
+			insts, err := q.JobInstances(j.ID)
+			if err != nil {
+				return nil, err
+			}
+			for _, inst := range insts {
+				host := inst.Hostname
+				if host == "" {
+					host = "None"
+				}
+				u, ok := acc[host]
+				if !ok {
+					u = &HostUsage{Host: host}
+					acc[host] = u
+				}
+				u.Jobs++
+				invs, err := q.InvocationsForInstance(inst.ID)
+				if err != nil {
+					return nil, err
+				}
+				for _, inv := range invs {
+					u.Invocations++
+					u.TotalRuntime += inv.RemoteDuration
+				}
+			}
+		}
+	}
+	out := make([]HostUsage, 0, len(acc))
+	for _, u := range acc {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out, nil
+}
+
+// ProgressPoint is one point of a Figure 7 curve: wall-clock offset from
+// the root workflow's start, and the cumulative invocation runtime of the
+// bundle at that moment.
+type ProgressPoint struct {
+	T           float64 // seconds since root start
+	CumRuntime  float64 // seconds of completed invocation work
+	Invocations int     // completed invocations so far
+}
+
+// ProgressSeries computes the Figure 7 progress-to-completion curves: one
+// series per direct sub-workflow ("bundle") of the root, each tracking
+// cumulative completed runtime against wall-clock time. When the root has
+// no sub-workflows, a single series for the root itself is returned under
+// its UUID.
+func ProgressSeries(q *query.QI, rootID int64) (map[string][]ProgressPoint, error) {
+	root, err := q.Workflow(rootID)
+	if err != nil {
+		return nil, err
+	}
+	states, err := q.WorkflowStates(rootID)
+	if err != nil {
+		return nil, err
+	}
+	var start time.Time
+	for _, s := range states {
+		if s.State == archive.WFStateStarted {
+			start = s.Timestamp
+			break
+		}
+	}
+	if start.IsZero() {
+		start = root.Timestamp
+	}
+	subs, err := q.SubWorkflows(rootID)
+	if err != nil {
+		return nil, err
+	}
+	if len(subs) == 0 {
+		subs = []query.Workflow{*root}
+	}
+	out := make(map[string][]ProgressPoint, len(subs))
+	for _, sub := range subs {
+		invs, err := q.Invocations(sub.ID)
+		if err != nil {
+			return nil, err
+		}
+		type done struct {
+			at  time.Time
+			dur float64
+		}
+		events := make([]done, 0, len(invs))
+		for _, inv := range invs {
+			end := inv.StartTime.Add(time.Duration(inv.RemoteDuration * float64(time.Second)))
+			events = append(events, done{at: end, dur: inv.RemoteDuration})
+		}
+		sort.Slice(events, func(i, j int) bool { return events[i].at.Before(events[j].at) })
+		series := make([]ProgressPoint, 0, len(events)+1)
+		series = append(series, ProgressPoint{T: 0})
+		var cum float64
+		for i, e := range events {
+			cum += e.dur
+			series = append(series, ProgressPoint{
+				T:           e.at.Sub(start).Seconds(),
+				CumRuntime:  cum,
+				Invocations: i + 1,
+			})
+		}
+		out[sub.UUID] = series
+	}
+	return out, nil
+}
+
+// RenderProgress renders progress series as aligned columns for plotting:
+// one line per point, "series_index t cum_runtime".
+func RenderProgress(series map[string][]ProgressPoint) string {
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %14s %6s\n", "bundle", "t_sec", "cum_runtime_s", "done")
+	for i, k := range keys {
+		for _, p := range series[k] {
+			fmt.Fprintf(&b, "%-8d %10.1f %14.1f %6d\n", i, p.T, p.CumRuntime, p.Invocations)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,473 @@
+// Package synth generates synthetic workflow-engine traces: complete,
+// schema-valid Stampede BP event streams for workflows of parameterized
+// size, shape, failure rate and host behaviour.
+//
+// The paper's loader-scaling claims rest on production workflows
+// (CyberShake, O(10^6) tasks) that are not available here; per the
+// reproduction plan, this synthesizer is the substitute. It simulates a
+// FIFO list-scheduler over a pool of hosts with bounded slots, so queue
+// delays, host imbalance and retry behaviour emerge from the same
+// generating process the real systems have, not from sampled constants.
+package synth
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/bp"
+	"repro/internal/schema"
+	"repro/internal/uuid"
+)
+
+// JobType describes one class of jobs in the synthetic workflow.
+type JobType struct {
+	Name        string  // type_desc and transformation prefix
+	MeanSeconds float64 // mean runtime
+	StddevPct   float64 // runtime stddev as a fraction of the mean
+	Weight      int     // relative share of jobs of this type
+}
+
+// Config parameterizes a synthetic trace.
+type Config struct {
+	Seed  int64
+	Label string
+	Start time.Time
+
+	Jobs  int // number of executable jobs
+	Width int // jobs per DAG level (levels = ceil(Jobs/Width)); 0 = no edges
+
+	JobTypes []JobType // defaults to one "compute" type of 60s ± 20%
+
+	TasksPerJob int // abstract tasks clustered per job (>=1); 1 = unclustered
+
+	Hosts        int // execution hosts; default 4
+	SlotsPerHost int // concurrent jobs per host; default 2
+
+	QueueDelayMean float64 // extra per-job scheduling latency, seconds
+
+	FailureRate float64 // probability an instance fails with exit code 1
+	MaxRetries  int     // retries per job before giving up
+
+	// HostSlowdown maps host index -> runtime multiplier, for injecting
+	// the stragglers the anomaly-detection experiment must find.
+	HostSlowdown map[int]float64
+
+	// SubWorkflows splits jobs into this many sub-workflows under a root
+	// workflow, as the DART meta-workflow does. 0 or 1 = single flat
+	// workflow.
+	SubWorkflows int
+}
+
+func (c *Config) fill() {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2012, 3, 13, 12, 0, 0, 0, time.UTC)
+	}
+	if c.Label == "" {
+		c.Label = "synthetic"
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 10
+	}
+	if len(c.JobTypes) == 0 {
+		c.JobTypes = []JobType{{Name: "compute", MeanSeconds: 60, StddevPct: 0.2, Weight: 1}}
+	}
+	if c.TasksPerJob < 1 {
+		c.TasksPerJob = 1
+	}
+	if c.Hosts == 0 {
+		c.Hosts = 4
+	}
+	if c.SlotsPerHost == 0 {
+		c.SlotsPerHost = 2
+	}
+}
+
+// Trace is a generated event stream plus the identifiers experiments need
+// to locate things in the archive afterwards.
+type Trace struct {
+	Events    []*bp.Event
+	RootUUID  string
+	SubUUIDs  []string
+	Hostnames []string
+	// FailedJobs counts jobs whose final instance failed.
+	FailedJobs int
+	// TotalRetries counts extra instances beyond the first per job.
+	TotalRetries int
+	// MakespanSeconds is the simulated wall time of the root workflow.
+	MakespanSeconds float64
+}
+
+// WriteTo renders the trace as BP lines.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bp.NewWriter(w)
+	for _, ev := range t.Events {
+		if err := bw.Write(ev); err != nil {
+			return 0, err
+		}
+	}
+	return int64(bw.Count()), bw.Flush()
+}
+
+// Generate builds the trace. The same Config (including Seed) always
+// produces the identical event stream.
+func Generate(cfg Config) *Trace {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{}
+
+	hostNames := make([]string, cfg.Hosts)
+	for i := range hostNames {
+		hostNames[i] = fmt.Sprintf("worker%d", i+1)
+	}
+	tr.Hostnames = hostNames
+
+	rootUUID := uuid.NewV5(uuid.NamespaceStampede, fmt.Sprintf("%s-%d-root", cfg.Label, cfg.Seed)).String()
+	tr.RootUUID = rootUUID
+
+	nSub := cfg.SubWorkflows
+	if nSub <= 1 {
+		g := newGen(&cfg, rng, tr)
+		g.emitWorkflow(rootUUID, rootUUID, "", cfg.Jobs, 0, newSlots(hostNames, cfg.SlotsPerHost))
+		tr.MakespanSeconds = g.makespan
+		sortEvents(tr.Events)
+		return tr
+	}
+
+	// Meta-workflow: root has one submission job per sub-workflow; each
+	// sub-workflow carries its share of the exec jobs.
+	g := newGen(&cfg, rng, tr)
+	per := cfg.Jobs / nSub
+	extra := cfg.Jobs % nSub
+	subJobs := make([]int, nSub)
+	for i := range subJobs {
+		subJobs[i] = per
+		if i < extra {
+			subJobs[i]++
+		}
+	}
+	g.emitMetaRoot(rootUUID, subJobs, cfg.Start, hostNames)
+	tr.MakespanSeconds = g.makespan
+	sortEvents(tr.Events)
+	return tr
+}
+
+func sortEvents(evs []*bp.Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS.Before(evs[j].TS) })
+}
+
+// gen carries generation state across one trace.
+type gen struct {
+	cfg *Config
+	rng *rand.Rand
+	tr  *Trace
+	// makespan tracks the latest event time relative to Start, seconds.
+	makespan float64
+}
+
+func newGen(cfg *Config, rng *rand.Rand, tr *Trace) *gen {
+	return &gen{cfg: cfg, rng: rng, tr: tr}
+}
+
+func (g *gen) emit(ev *bp.Event) {
+	g.tr.Events = append(g.tr.Events, ev)
+	if d := ev.TS.Sub(g.cfg.Start).Seconds(); d > g.makespan {
+		g.makespan = d
+	}
+}
+
+func (g *gen) pickType(i int) JobType {
+	total := 0
+	for _, jt := range g.cfg.JobTypes {
+		total += jt.Weight
+	}
+	k := i % total
+	for _, jt := range g.cfg.JobTypes {
+		if k < jt.Weight {
+			return jt
+		}
+		k -= jt.Weight
+	}
+	return g.cfg.JobTypes[0]
+}
+
+func (g *gen) runtime(jt JobType, host int) float64 {
+	d := jt.MeanSeconds * (1 + jt.StddevPct*g.rng.NormFloat64())
+	if d < 0.1 {
+		d = 0.1
+	}
+	if m, ok := g.cfg.HostSlowdown[host]; ok {
+		d *= m
+	}
+	return d
+}
+
+// slotState tracks when each host slot frees up (seconds from Start).
+type slotState struct {
+	free  [][]float64 // per host, per slot
+	hosts []string
+}
+
+func newSlots(hosts []string, perHost int) *slotState {
+	s := &slotState{hosts: hosts}
+	s.free = make([][]float64, len(hosts))
+	for i := range s.free {
+		s.free[i] = make([]float64, perHost)
+	}
+	return s
+}
+
+// acquire finds the earliest-available slot at or after ready and returns
+// the host index, slot index and start time. The caller books the slot
+// with book once it knows the placement-dependent duration.
+func (s *slotState) acquire(ready float64) (host, slot int, start float64) {
+	best := s.free[0][0]
+	for h := range s.free {
+		for sl := range s.free[h] {
+			if s.free[h][sl] < best {
+				best, host, slot = s.free[h][sl], h, sl
+			}
+		}
+	}
+	start = best
+	if ready > start {
+		start = ready
+	}
+	return host, slot, start
+}
+
+// book marks the slot busy until end.
+func (s *slotState) book(host, slot int, end float64) { s.free[host][slot] = end }
+
+// emitWorkflow generates one complete workflow of n exec jobs. startSec
+// is the workflow's start offset in seconds from cfg.Start; slots is the
+// (possibly shared) host pool, whose free times are also global seconds,
+// so concurrent sub-workflows contend for the same hosts.
+// It returns the workflow's end offset in global seconds.
+func (g *gen) emitWorkflow(wfUUID, rootUUID, parentUUID string, n int, startSec float64, slots *slotState) float64 {
+	cfg := g.cfg
+	hosts := slots.hosts
+	at := func(sec float64) time.Time {
+		return cfg.Start.Add(time.Duration(sec * float64(time.Second)))
+	}
+	base := func(typ string, sec float64) *bp.Event {
+		return bp.New(typ, at(startSec+sec)).Set(schema.AttrXwfID, wfUUID).Set(schema.AttrLevel, bp.LevelInfo)
+	}
+
+	plan := base(schema.WfPlan, 0).
+		Set("submit.hostname", "submit-host").
+		Set("dax.label", cfg.Label).
+		Set(schema.AttrRootXwf, rootUUID)
+	if parentUUID != "" {
+		plan.Set(schema.AttrParentXwf, parentUUID)
+	}
+	g.emit(plan)
+	g.emit(base(schema.StaticStart, 0))
+
+	type jobSpec struct {
+		id    string
+		jt    JobType
+		tasks []string
+	}
+	jobs := make([]jobSpec, n)
+	for i := 0; i < n; i++ {
+		jt := g.pickType(i)
+		js := jobSpec{id: fmt.Sprintf("%s_j%04d", jt.Name, i), jt: jt}
+		for t := 0; t < cfg.TasksPerJob; t++ {
+			taskID := fmt.Sprintf("t_%s_%04d_%d", jt.Name, i, t)
+			js.tasks = append(js.tasks, taskID)
+			g.emit(base(schema.TaskInfo, 0).
+				Set(schema.AttrTaskID, taskID).
+				Set("type_desc", jt.Name).
+				Set(schema.AttrTransform, jt.Name))
+		}
+		jobs[i] = js
+		g.emit(base(schema.JobInfo, 0).
+			Set(schema.AttrJobID, js.id).
+			Set("type_desc", jt.Name).
+			SetInt("clustered", boolInt(cfg.TasksPerJob > 1)).
+			SetInt("max_retries", int64(cfg.MaxRetries)).
+			Set(schema.AttrExecutable, "/opt/"+jt.Name).
+			SetInt("task_count", int64(cfg.TasksPerJob)))
+		for _, taskID := range js.tasks {
+			g.emit(base(schema.MapTaskJob, 0).Set(schema.AttrTaskID, taskID).Set(schema.AttrJobID, js.id))
+		}
+	}
+	// DAG edges: layered by Width.
+	if cfg.Width > 0 {
+		for i := cfg.Width; i < n; i++ {
+			parent := jobs[i-cfg.Width]
+			g.emit(base(schema.JobEdge, 0).
+				Set("parent.job.id", parent.id).
+				Set("child.job.id", jobs[i].id))
+			g.emit(base(schema.TaskEdge, 0).
+				Set("parent.task.id", parent.tasks[0]).
+				Set("child.task.id", jobs[i].tasks[0]))
+		}
+	}
+	g.emit(base(schema.StaticEnd, 0))
+	g.emit(base(schema.XwfStart, 0.5).SetInt("restart_count", 0))
+
+	// Execution events are timestamped in global seconds because the slot
+	// pool (possibly shared with sibling sub-workflows) is global.
+	gbase := func(typ string, gsec float64) *bp.Event {
+		return bp.New(typ, at(gsec)).Set(schema.AttrXwfID, wfUUID).Set(schema.AttrLevel, bp.LevelInfo)
+	}
+	wfEnd := startSec + 0.5
+	anyFailed := false
+	for _, js := range jobs {
+		// ready time: after parents finish would be exact; the layered
+		// schedule approximates it via slot contention, which dominates.
+		ready := startSec + 0.5
+		done := false
+		var seq int64
+		for attempt := 0; attempt <= cfg.MaxRetries && !done; attempt++ {
+			seq++
+			fails := g.rng.Float64() < cfg.FailureRate
+			queueDelay := cfg.QueueDelayMean * (0.5 + g.rng.Float64())
+			host, slot, execStart := slots.acquire(ready + queueDelay)
+			dur := g.runtime(js.jt, host) // runtime depends on placement
+			endT := execStart + dur
+			slots.book(host, slot, endT)
+
+			ji := func(typ string, gsec float64) *bp.Event {
+				return gbase(typ, gsec).Set(schema.AttrJobID, js.id).SetInt(schema.AttrJobInstID, seq)
+			}
+			g.emit(ji(schema.SubmitStart, ready))
+			g.emit(ji(schema.SubmitEnd, ready+0.01).SetInt(schema.AttrStatus, 0))
+			g.emit(ji(schema.MainStart, execStart))
+			g.emit(ji(schema.HostInfo, execStart).
+				Set(schema.AttrSite, "cloud").
+				Set(schema.AttrHostname, hosts[host]).
+				Set("ip", fmt.Sprintf("10.0.0.%d", host+1)))
+			exit := int64(0)
+			if fails {
+				exit = 1
+			}
+			for ti, taskID := range js.tasks {
+				share := dur / float64(len(js.tasks))
+				invStart := execStart + float64(ti)*share
+				g.emit(ji(schema.InvStart, invStart).SetInt(schema.AttrInvID, int64(ti+1)))
+				g.emit(ji(schema.InvEnd, invStart+share).
+					SetInt(schema.AttrInvID, int64(ti+1)).
+					Set(schema.AttrStartTime, at(invStart).Format(bp.TimeFormat)).
+					SetFloat(schema.AttrDur, round2(share)).
+					SetFloat(schema.AttrRemoteCPU, round2(share*0.97)).
+					SetInt(schema.AttrExitcode, exit).
+					Set(schema.AttrTransform, js.jt.Name).
+					Set(schema.AttrTaskID, taskID).
+					Set(schema.AttrHostname, hosts[host]).
+					Set(schema.AttrSite, "cloud"))
+			}
+			mainEnd := ji(schema.MainEnd, endT).
+				SetInt(schema.AttrStatus, int64(exitStatus(exit))).
+				SetInt(schema.AttrExitcode, exit).
+				Set(schema.AttrSite, "cloud")
+			if exit != 0 {
+				mainEnd.Set(schema.AttrStderrText, "synthetic failure injected")
+			}
+			g.emit(mainEnd)
+			if endT > wfEnd {
+				wfEnd = endT
+			}
+			if fails {
+				if attempt == cfg.MaxRetries {
+					anyFailed = true
+					g.tr.FailedJobs++
+				} else {
+					g.tr.TotalRetries++
+					ready = endT
+				}
+			} else {
+				done = true
+			}
+		}
+	}
+	status := int64(0)
+	if anyFailed {
+		status = -1
+	}
+	g.emit(gbase(schema.XwfEnd, wfEnd+0.5).SetInt("restart_count", 0).SetInt(schema.AttrStatus, status))
+	return wfEnd + 0.5
+}
+
+// emitMetaRoot generates a root workflow whose jobs each spawn one
+// sub-workflow, then generates the sub-workflows themselves. Hosts are
+// shared across sub-workflows through one slot pool, matching how the
+// DART bundles competed for the TrianaCloud nodes.
+func (g *gen) emitMetaRoot(rootUUID string, subJobs []int, start time.Time, hosts []string) {
+	cfg := g.cfg
+	at := func(sec float64) time.Time { return start.Add(time.Duration(sec * float64(time.Second))) }
+	base := func(typ string, sec float64) *bp.Event {
+		return bp.New(typ, at(sec)).Set(schema.AttrXwfID, rootUUID).Set(schema.AttrLevel, bp.LevelInfo)
+	}
+	slots := newSlots(hosts, cfg.SlotsPerHost)
+	g.emit(base(schema.WfPlan, 0).
+		Set("submit.hostname", "desktop").
+		Set("dax.label", cfg.Label+"-meta").
+		Set(schema.AttrRootXwf, rootUUID))
+	g.emit(base(schema.StaticStart, 0))
+	subUUIDs := make([]string, len(subJobs))
+	for i := range subJobs {
+		jobID := fmt.Sprintf("subwf_j%03d", i)
+		subUUIDs[i] = uuid.NewV5(uuid.NamespaceStampede,
+			fmt.Sprintf("%s-%d-sub%d", cfg.Label, cfg.Seed, i)).String()
+		g.emit(base(schema.JobInfo, 0).
+			Set(schema.AttrJobID, jobID).
+			Set("type_desc", "sub-workflow").
+			SetInt("clustered", 0).
+			SetInt("max_retries", 0).
+			Set(schema.AttrExecutable, "triana-bundle").
+			SetInt("task_count", 0))
+	}
+	g.emit(base(schema.StaticEnd, 0))
+	g.emit(base(schema.XwfStart, 0.2).SetInt("restart_count", 0))
+	g.tr.SubUUIDs = subUUIDs
+
+	wfEnd := 0.2
+	for i, n := range subJobs {
+		jobID := fmt.Sprintf("subwf_j%03d", i)
+		ji := func(typ string, sec float64) *bp.Event {
+			return base(typ, sec).Set(schema.AttrJobID, jobID).SetInt(schema.AttrJobInstID, 1)
+		}
+		subStart := 0.3 + 0.05*float64(i) // staggered HTTP POSTs
+		g.emit(ji(schema.SubmitStart, subStart))
+		g.emit(ji(schema.SubmitEnd, subStart+0.02).SetInt(schema.AttrStatus, 0))
+		g.emit(base(schema.MapSubwfJob, subStart+0.02).
+			Set(schema.AttrSubwfID, subUUIDs[i]).
+			Set(schema.AttrJobID, jobID).
+			SetInt(schema.AttrJobInstID, 1))
+		g.emit(ji(schema.MainStart, subStart+0.05))
+
+		subEnd := g.emitWorkflow(subUUIDs[i], rootUUID, rootUUID, n, subStart+0.1, slots)
+
+		g.emit(ji(schema.MainEnd, subEnd+0.05).
+			SetInt(schema.AttrStatus, 0).
+			SetInt(schema.AttrExitcode, 0).
+			Set(schema.AttrSite, "cloud"))
+		if subEnd+0.05 > wfEnd {
+			wfEnd = subEnd + 0.05
+		}
+	}
+	g.emit(base(schema.XwfEnd, wfEnd+0.2).SetInt("restart_count", 0).SetInt(schema.AttrStatus, 0))
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func exitStatus(exit int64) int {
+	if exit == 0 {
+		return 0
+	}
+	return -1
+}
+
+func round2(f float64) float64 {
+	return float64(int64(f*100+0.5)) / 100
+}

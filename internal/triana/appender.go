@@ -1,0 +1,87 @@
+package triana
+
+import (
+	"sync"
+
+	"repro/internal/bp"
+	"repro/internal/mq"
+)
+
+// Appender receives the Stampede events the StampedeLog produces and
+// delivers them somewhere: a BP log file for later loading, or the
+// message bus for real-time processing — the two paths of the paper's
+// Figure 5 ("recorded to either a file for later evaluation, or posted
+// directly to an AMQP queue").
+type Appender interface {
+	Append(ev *bp.Event) error
+}
+
+// WriterAppender writes events as BP lines through a bp.Writer.
+type WriterAppender struct {
+	W *bp.Writer
+}
+
+// Append implements Appender.
+func (a *WriterAppender) Append(ev *bp.Event) error { return a.W.Write(ev) }
+
+// BusAppender publishes events to an in-process broker, routing on the
+// event type — the RabbitMQ appender of the paper, minus the network hop.
+type BusAppender struct {
+	Broker *mq.Broker
+}
+
+// Append implements Appender.
+func (a *BusAppender) Append(ev *bp.Event) error {
+	a.Broker.Publish(ev.Type, []byte(ev.Format()))
+	return nil
+}
+
+// ClientAppender publishes events over a TCP connection to a broker
+// server: the full remote-AMQP deployment. It uses the fire-and-forget
+// path so logging never blocks the engine on a bus round trip.
+type ClientAppender struct {
+	Client *mq.Client
+}
+
+// Append implements Appender.
+func (a *ClientAppender) Append(ev *bp.Event) error {
+	return a.Client.PublishAsync(ev.Type, []byte(ev.Format()))
+}
+
+// MultiAppender fans one event out to several appenders (the DART run
+// kept the plain-text log AND fed the queue). The first error wins but
+// every appender still sees the event.
+type MultiAppender []Appender
+
+// Append implements Appender.
+func (m MultiAppender) Append(ev *bp.Event) error {
+	var first error
+	for _, a := range m {
+		if err := a.Append(ev); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CollectAppender buffers events in memory; tests and the analyzer's
+// in-process pipelines use it.
+type CollectAppender struct {
+	mu     sync.Mutex
+	events []*bp.Event
+}
+
+// Append implements Appender.
+func (c *CollectAppender) Append(ev *bp.Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev.Clone())
+	return nil
+}
+
+// Events returns a snapshot of everything appended so far.
+func (c *CollectAppender) Events() []*bp.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*bp.Event(nil), c.events...)
+}

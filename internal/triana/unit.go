@@ -1,0 +1,121 @@
+package triana
+
+import (
+	"time"
+
+	"repro/internal/wfclock"
+)
+
+// FuncUnit adapts a function to the Unit interface; most workflow
+// components in the examples are built from it, the way Triana units wrap
+// small pieces of Java code.
+type FuncUnit struct {
+	UnitName string
+	Desc     string // Stampede type_desc; "unit" when empty
+	Fn       func(ctx *ProcessContext) ([]any, error)
+}
+
+// Name implements Unit.
+func (u *FuncUnit) Name() string { return u.UnitName }
+
+// TypeDesc implements the TypeDesc extension.
+func (u *FuncUnit) TypeDesc() string {
+	if u.Desc == "" {
+		return "unit"
+	}
+	return u.Desc
+}
+
+// Process implements Unit.
+func (u *FuncUnit) Process(ctx *ProcessContext) ([]any, error) { return u.Fn(ctx) }
+
+// SliceSource emits the elements of a slice one per invocation in
+// continuous mode, then stops — the streaming "chunks of data from
+// previous tasks" source. In single-step mode it emits the whole slice as
+// one value.
+type SliceSource struct {
+	UnitName string
+	Items    []any
+	// Streaming selects per-item emission (continuous mode).
+	Streaming bool
+}
+
+// Name implements Unit.
+func (u *SliceSource) Name() string { return u.UnitName }
+
+// TypeDesc implements the TypeDesc extension.
+func (u *SliceSource) TypeDesc() string { return "source" }
+
+// Process implements Unit.
+func (u *SliceSource) Process(ctx *ProcessContext) ([]any, error) {
+	if !u.Streaming {
+		return []any{u.Items}, nil
+	}
+	i := ctx.Invocation - 1
+	if i >= len(u.Items) {
+		return nil, ErrStopIteration
+	}
+	return []any{u.Items[i]}, nil
+}
+
+// WorkUnit simulates a computation of fixed duration on the scheduler's
+// clock and passes its input through. Workloads with a calibrated cost
+// model (the DART sweep) use it so virtual-clock runs reproduce the
+// paper's timing tables.
+type WorkUnit struct {
+	UnitName string
+	Desc     string
+	Duration time.Duration
+	Clock    wfclock.Clock
+	// Fn optionally performs real work with the inputs; its outputs are
+	// forwarded. When nil the inputs pass through unchanged.
+	Fn func(ctx *ProcessContext) ([]any, error)
+}
+
+// Name implements Unit.
+func (u *WorkUnit) Name() string { return u.UnitName }
+
+// TypeDesc implements the TypeDesc extension.
+func (u *WorkUnit) TypeDesc() string {
+	if u.Desc == "" {
+		return "processing"
+	}
+	return u.Desc
+}
+
+// Process implements Unit.
+func (u *WorkUnit) Process(ctx *ProcessContext) ([]any, error) {
+	clk := u.Clock
+	if clk == nil {
+		clk = wfclock.Real
+	}
+	clk.Sleep(u.Duration)
+	if u.Fn != nil {
+		return u.Fn(ctx)
+	}
+	out := make([]any, len(ctx.Inputs))
+	copy(out, ctx.Inputs)
+	if len(out) == 0 {
+		out = []any{nil}
+	}
+	return out, nil
+}
+
+// GatherUnit collects all its inputs into one slice output — the pattern
+// of the DART Zipper task that collates results.
+type GatherUnit struct {
+	UnitName string
+}
+
+// Name implements Unit.
+func (u *GatherUnit) Name() string { return u.UnitName }
+
+// TypeDesc implements the TypeDesc extension.
+func (u *GatherUnit) TypeDesc() string { return "file" }
+
+// Process implements Unit.
+func (u *GatherUnit) Process(ctx *ProcessContext) ([]any, error) {
+	gathered := make([]any, len(ctx.Inputs))
+	copy(gathered, ctx.Inputs)
+	return []any{gathered}, nil
+}

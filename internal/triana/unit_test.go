@@ -1,0 +1,102 @@
+package triana
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/wfclock"
+)
+
+func TestGatherUnitCollectsAllInputs(t *testing.T) {
+	g := NewTaskGraph("gather")
+	mk := func(name string, v int) *Task {
+		return g.MustAddTask(name, &FuncUnit{UnitName: name, Fn: func(*ProcessContext) ([]any, error) {
+			return []any{v}, nil
+		}})
+	}
+	a := mk("a", 1)
+	b := mk("b", 2)
+	c := mk("c", 3)
+	gather := g.MustAddTask("gather", &GatherUnit{UnitName: "gather"})
+	var got []any
+	sink := g.MustAddTask("sink", &FuncUnit{UnitName: "sink", Fn: func(ctx *ProcessContext) ([]any, error) {
+		got, _ = ctx.Inputs[0].([]any)
+		return nil, nil
+	}})
+	for _, src := range []*Task{a, b, c} {
+		if _, err := g.Connect(src, gather); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Connect(gather, sink); err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(g, Options{Mode: SingleStep})
+	report, err := s.Run(context.Background())
+	if err != nil || report.Err != nil {
+		t.Fatalf("run: %v %v", err, report)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("gathered = %v", got)
+	}
+	if (&GatherUnit{}).TypeDesc() != "file" {
+		t.Error("type desc changed")
+	}
+}
+
+func TestSliceSourceSingleStepEmitsWholeSlice(t *testing.T) {
+	g := NewTaskGraph("batch")
+	src := g.MustAddTask("src", &SliceSource{UnitName: "src", Items: []any{1, 2, 3}})
+	var got []any
+	sink := g.MustAddTask("sink", &FuncUnit{UnitName: "sink", Fn: func(ctx *ProcessContext) ([]any, error) {
+		got, _ = ctx.Inputs[0].([]any)
+		return nil, nil
+	}})
+	_, _ = g.Connect(src, sink)
+	s := NewScheduler(g, Options{Mode: SingleStep})
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("single-step slice source emitted %v", got)
+	}
+}
+
+func TestWorkUnitPassthroughAndDefaults(t *testing.T) {
+	clk := wfclock.NewScaled(time.Unix(0, 0).UTC(), 10000)
+	g := NewTaskGraph("work")
+	src := g.MustAddTask("src", &FuncUnit{UnitName: "src", Fn: func(*ProcessContext) ([]any, error) {
+		return []any{"payload"}, nil
+	}})
+	work := g.MustAddTask("work", &WorkUnit{UnitName: "work", Duration: 5 * time.Second, Clock: clk})
+	var got any
+	sink := g.MustAddTask("sink", &FuncUnit{UnitName: "sink", Fn: func(ctx *ProcessContext) ([]any, error) {
+		got = ctx.Inputs[0]
+		return nil, nil
+	}})
+	_, _ = g.Connect(src, work)
+	_, _ = g.Connect(work, sink)
+	s := NewScheduler(g, Options{Mode: SingleStep, Clock: clk})
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != "payload" {
+		t.Fatalf("workunit did not pass input through: %v", got)
+	}
+	if (&WorkUnit{}).TypeDesc() != "processing" {
+		t.Error("default type desc changed")
+	}
+	if (&WorkUnit{Desc: "file"}).TypeDesc() != "file" {
+		t.Error("explicit type desc ignored")
+	}
+}
+
+func TestFuncUnitTypeDescDefault(t *testing.T) {
+	if (&FuncUnit{}).TypeDesc() != "unit" {
+		t.Error("FuncUnit default type desc changed")
+	}
+	if (&FuncUnit{Desc: "source"}).TypeDesc() != "source" {
+		t.Error("FuncUnit explicit type desc ignored")
+	}
+}

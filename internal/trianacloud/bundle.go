@@ -1,0 +1,144 @@
+// Package trianacloud implements the TrianaCloud distributed-execution
+// substrate of the paper's §V-D and §VI: a broker that receives workflow
+// "bundles" over HTTP POST and a pool of worker nodes that execute each
+// bundle as a Triana sub-workflow, with per-node concurrency limits (the
+// DART deployment ran 16-task bundles four tasks at a time on each of
+// eight cloud nodes).
+package trianacloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/dart"
+	"repro/internal/triana"
+	"repro/internal/wfclock"
+)
+
+// workUnitSecond is the modeled duration of the lightweight auxiliary
+// tasks (input preparation, Output_0): the paper's tables report them at
+// 1.0 second.
+const workUnitSecond = time.Second
+
+// Bundle is the unit of distribution: a named sub-workflow carrying the
+// command lines of its executable tasks plus the Stampede hierarchy
+// linkage. It is the SHIWA-bundle stand-in, serialized as JSON for the
+// HTTP POST.
+type Bundle struct {
+	// Name is the parent job's identifier for this sub-workflow, e.g.
+	// "bundle-03".
+	Name string `json:"name"`
+	// Commands are the DART command lines this bundle executes.
+	Commands []string `json:"commands"`
+	// ParentUUID and RootUUID wire the sub-workflow into the Stampede
+	// hierarchy; ParentJobID is the job in the parent workflow that
+	// submitted this bundle.
+	ParentUUID  string `json:"parent_uuid"`
+	RootUUID    string `json:"root_uuid"`
+	ParentJobID string `json:"parent_job_id"`
+	// MaxConcurrent bounds how many executable tasks run at once on the
+	// node (the paper's 4). Zero means unlimited.
+	MaxConcurrent int `json:"max_concurrent"`
+	// SimulateOnly skips the real SHS computation and only occupies the
+	// slot for the cost-model duration. High-speedup virtual-clock runs
+	// use it so real compute time (amplified by the clock scale) cannot
+	// distort the recorded durations.
+	SimulateOnly bool `json:"simulate_only"`
+}
+
+// Marshal renders the bundle as JSON.
+func (b Bundle) Marshal() ([]byte, error) { return json.Marshal(b) }
+
+// UnmarshalBundle parses a JSON bundle.
+func UnmarshalBundle(data []byte) (Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("trianacloud: bad bundle: %w", err)
+	}
+	if b.Name == "" {
+		return b, fmt.Errorf("trianacloud: bundle without a name")
+	}
+	if len(b.Commands) == 0 {
+		return b, fmt.Errorf("trianacloud: bundle %q has no commands", b.Name)
+	}
+	return b, nil
+}
+
+// buildGraph constructs the bundle's Triana task graph, mirroring the
+// paper's sub-workflow shape: a unit task that prepares the inputs, one
+// exec task per command (throttled by the node's slot semaphore), and a
+// zipper task that collates outputs into the results folder.
+func buildGraph(b Bundle, clk wfclock.Clock, slots chan struct{}) (*triana.TaskGraph, error) {
+	g := triana.NewTaskGraph(b.Name)
+	lo := 0
+	hi := len(b.Commands) - 1
+	prep := g.MustAddTask(fmt.Sprintf("unit:%d-%d", lo, hi), &triana.WorkUnit{
+		UnitName: "prepare-inputs",
+		Desc:     "unit",
+		Duration: workUnitSecond,
+		Clock:    clk,
+		Fn: func(*triana.ProcessContext) ([]any, error) {
+			return []any{b.Commands}, nil
+		},
+	})
+	// The zipper collates every exec output into the results folder; the
+	// paper's tables report it at ~1 second.
+	zipper := g.MustAddTask("file.zipper", &triana.WorkUnit{
+		UnitName: "zipper",
+		Desc:     "file",
+		Duration: workUnitSecond,
+		Clock:    clk,
+		Fn: func(ctx *triana.ProcessContext) ([]any, error) {
+			gathered := make([]any, len(ctx.Inputs))
+			copy(gathered, ctx.Inputs)
+			return []any{gathered}, nil
+		},
+	})
+	for i, cmd := range b.Commands {
+		point, err := dart.ParseCommand(cmd)
+		if err != nil {
+			return nil, err
+		}
+		point.Index = i
+		exec := g.MustAddTask(fmt.Sprintf("processing.exec%d", i), newExecUnit(point, clk, slots, b.SimulateOnly))
+		if _, err := g.Connect(prep, exec); err != nil {
+			return nil, err
+		}
+		if _, err := g.Connect(exec, zipper); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// newExecUnit builds the unit for one DART execution: it waits for a node
+// slot, performs the real SHS computation (unless simulateOnly), and
+// occupies the slot until the cost-model duration has elapsed on the
+// virtual clock, so recorded durations follow the calibrated model even
+// when the real computation finishes earlier.
+func newExecUnit(point dart.SweepPoint, clk wfclock.Clock, slots chan struct{}, simulateOnly bool) triana.Unit {
+	return &triana.FuncUnit{
+		UnitName: "dart-exec",
+		Desc:     "processing",
+		Fn: func(ctx *triana.ProcessContext) ([]any, error) {
+			if slots != nil {
+				slots <- struct{}{}
+				defer func() { <-slots }()
+			}
+			start := clk.Now()
+			var result any
+			if !simulateOnly {
+				res, err := dart.Run(point)
+				if err != nil {
+					return nil, err
+				}
+				result = res
+			}
+			if remaining := wfclock.DurationSeconds(point.CostSeconds()) - clk.Since(start); remaining > 0 {
+				clk.Sleep(remaining)
+			}
+			return []any{result}, nil
+		},
+	}
+}

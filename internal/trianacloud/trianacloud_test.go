@@ -1,0 +1,305 @@
+package trianacloud
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/bp"
+	"repro/internal/dart"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/triana"
+	"repro/internal/wfclock"
+)
+
+var epoch = time.Date(2012, 3, 13, 12, 0, 0, 0, time.UTC)
+
+func TestBundleMarshalRoundTrip(t *testing.T) {
+	b := Bundle{
+		Name:          "bundle-00",
+		Commands:      []string{"java -jar dart.jar -shs -harmonics 5 -compression 0.40 -input audio_corpus"},
+		ParentUUID:    "ea17e8ac-02ac-4909-b5e3-16e367392556",
+		RootUUID:      "ea17e8ac-02ac-4909-b5e3-16e367392556",
+		ParentJobID:   "submit-bundle-00",
+		MaxConcurrent: 4,
+	}
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != b.Name || len(back.Commands) != 1 || back.MaxConcurrent != 4 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := UnmarshalBundle([]byte(`{"name":""}`)); err == nil {
+		t.Error("nameless bundle accepted")
+	}
+	if _, err := UnmarshalBundle([]byte(`{"name":"x"}`)); err == nil {
+		t.Error("commandless bundle accepted")
+	}
+	if _, err := UnmarshalBundle([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSplitBundles(t *testing.T) {
+	cmds := make([]string, 306)
+	chunks := SplitBundles(cmds, 16)
+	if len(chunks) != 20 {
+		t.Fatalf("chunks = %d, want 20 (the paper's bundle count)", len(chunks))
+	}
+	total := 0
+	for i, c := range chunks {
+		total += len(c)
+		if i < 19 && len(c) != 16 {
+			t.Errorf("chunk %d has %d", i, len(c))
+		}
+	}
+	if total != 306 || len(chunks[19]) != 2 {
+		t.Fatalf("total=%d last=%d", total, len(chunks[19]))
+	}
+	if got := SplitBundles(cmds, 0); len(got) != 1 {
+		t.Errorf("per=0 chunks = %d", len(got))
+	}
+}
+
+func TestNodeRunsBundle(t *testing.T) {
+	clk := wfclock.NewScaled(epoch, 2000)
+	app := &triana.CollectAppender{}
+	node := &Node{Hostname: "trianaworker1", Site: "trianacloud", Clock: clk, Appender: app}
+	cmds := make([]string, 4)
+	for i, p := range dart.Sweep()[:4] {
+		cmds[i] = p.Command()
+	}
+	res := node.RunBundle(context.Background(), Bundle{
+		Name: "bundle-x", Commands: cmds, MaxConcurrent: 2,
+	})
+	if !res.Succeeded {
+		t.Fatalf("bundle failed: %s", res.Error)
+	}
+	if res.Tasks != 6 { // prep + 4 exec + zipper
+		t.Errorf("tasks = %d, want 6", res.Tasks)
+	}
+	if res.WfUUID == "" || res.Node != "trianaworker1" {
+		t.Errorf("result = %+v", res)
+	}
+	// 4 execs of >=36s, 2 at a time => at least ~72 virtual seconds.
+	if res.Seconds < 60 {
+		t.Errorf("bundle took %.0f virtual seconds, implausibly fast", res.Seconds)
+	}
+	// Events carry the worker hostname.
+	sawHost := false
+	for _, ev := range app.Events() {
+		if ev.Type == schema.HostInfo && ev.Get(schema.AttrHostname) == "trianaworker1" {
+			sawHost = true
+		}
+	}
+	if !sawHost {
+		t.Error("no host.info with worker hostname")
+	}
+}
+
+func TestBrokerHTTPFlow(t *testing.T) {
+	clk := wfclock.NewScaled(epoch, 5000)
+	app := &triana.CollectAppender{}
+	nodes := []*Node{
+		{Hostname: "w1", Clock: clk, Appender: app},
+		{Hostname: "w2", Clock: clk, Appender: app},
+	}
+	broker, err := NewBroker("127.0.0.1:0", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	client := &Client{BaseURL: broker.URL()}
+
+	pts := dart.Sweep()
+	for i := 0; i < 3; i++ {
+		bundle := Bundle{
+			Name:          fmt.Sprintf("bundle-%02d", i),
+			Commands:      []string{pts[i].Command(), pts[i+3].Command()},
+			MaxConcurrent: 2,
+		}
+		if err := client.Submit(context.Background(), bundle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results, err := broker.WaitFinished(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	usedNodes := map[string]bool{}
+	for _, r := range results {
+		if !r.Succeeded {
+			t.Errorf("bundle %s failed: %s", r.Bundle, r.Error)
+		}
+		usedNodes[r.Node] = true
+	}
+	if len(usedNodes) != 2 {
+		t.Errorf("3 bundles on 2 nodes used %d nodes", len(usedNodes))
+	}
+	nodesN, accepted, finished, _, err := client.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodesN != 2 || accepted != 3 || finished != 3 {
+		t.Errorf("status = %d %d %d", nodesN, accepted, finished)
+	}
+}
+
+func TestBrokerRejectsBadBundle(t *testing.T) {
+	broker, err := NewBroker("127.0.0.1:0", []*Node{{Hostname: "w1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	c := &Client{BaseURL: broker.URL()}
+	if err := c.Submit(context.Background(), Bundle{Name: "x"}); err == nil {
+		t.Error("empty bundle accepted by broker")
+	}
+}
+
+// runDARTScaled executes a complete (scaled-down or full) DART experiment
+// and loads all events into an archive.
+func runDARTScaled(t *testing.T, commands []string, perBundle, nNodes int, scale float64) (*query.QI, *DARTResult) {
+	t.Helper()
+	clk := wfclock.NewScaled(epoch, scale)
+	app := &triana.CollectAppender{}
+	nodes := make([]*Node, nNodes)
+	for i := range nodes {
+		nodes[i] = &Node{
+			Hostname: fmt.Sprintf("trianaworker%d", i+1),
+			Site:     "trianacloud",
+			Clock:    clk,
+			Appender: app,
+		}
+	}
+	broker, err := NewBroker("127.0.0.1:0", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	cfg := DARTConfig{
+		Commands:             commands,
+		TasksPerBundle:       perBundle,
+		MaxConcurrentPerNode: 4,
+		SimulateOnly:         true,
+		Broker:               &Client{BaseURL: broker.URL()},
+		Appender:             app,
+		Clock:                clk,
+		Hostname:             "desktop",
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	result, err := RunDART(ctx, cfg, broker)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := archive.NewInMemory()
+	for _, ev := range app.Events() {
+		parsed, err := bp.Parse(ev.Format())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Apply(parsed); err != nil {
+			t.Fatalf("apply %s: %v", ev.Type, err)
+		}
+	}
+	return query.New(a), result
+}
+
+func TestDARTSmallEndToEnd(t *testing.T) {
+	cmds := make([]string, 12)
+	for i, p := range dart.Sweep()[:12] {
+		cmds[i] = p.Command()
+	}
+	q, result := runDARTScaled(t, cmds, 4, 2, 5000)
+	if len(result.Bundles) != 3 {
+		t.Fatalf("bundles = %d", len(result.Bundles))
+	}
+	root, err := q.WorkflowByUUID(result.RootUUID)
+	if err != nil || root == nil {
+		t.Fatalf("root: %v %v", root, err)
+	}
+	subs, _ := q.SubWorkflows(root.ID)
+	if len(subs) != 3 {
+		t.Fatalf("sub-workflows in archive = %d", len(subs))
+	}
+	summary, err := stats.Compute(q, root.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root: 3 submit + 1 monitor; subs: 12 exec + 3 prep + 3 zipper.
+	wantTasks := 12 + 3 + 3 + 3 + 1
+	if summary.Tasks.Total != wantTasks || summary.Tasks.Succeeded != wantTasks {
+		t.Errorf("tasks = %+v, want %d", summary.Tasks, wantTasks)
+	}
+	if summary.SubWorkflows.Succeeded != 3 {
+		t.Errorf("subwf = %+v", summary.SubWorkflows)
+	}
+	if summary.Jobs.Failed != 0 || summary.Jobs.Retries != 0 {
+		t.Errorf("jobs = %+v", summary.Jobs)
+	}
+	if summary.WallTime <= 0 || summary.CumulativeJobWallTime <= summary.WallTime {
+		t.Errorf("walltime=%v cumulative=%v", summary.WallTime, summary.CumulativeJobWallTime)
+	}
+	// Breakdown: exec durations must sit in the paper's band.
+	rows, _ := stats.Breakdown(q, root.ID, true)
+	for _, r := range rows {
+		if r.Type == "dart-exec" {
+			if r.Min < 30 || r.Max > 90 {
+				t.Errorf("exec durations [%.0f, %.0f] outside plausible band", r.Min, r.Max)
+			}
+			if r.Count != 12 {
+				t.Errorf("exec count = %d", r.Count)
+			}
+		}
+	}
+	// Figure 7 series: one per bundle, all completing.
+	series, err := stats.ProgressSeries(q, root.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("progress series = %d", len(series))
+	}
+}
+
+func TestDARTWorkerQueueTimeVisible(t *testing.T) {
+	// More bundles than nodes: later bundles must show submission->execute
+	// delay at the job level (the remote queue time of Table IV).
+	cmds := make([]string, 8)
+	for i, p := range dart.Sweep()[:8] {
+		cmds[i] = p.Command()
+	}
+	q, result := runDARTScaled(t, cmds, 2, 1, 5000) // 4 bundles, 1 node
+	root, _ := q.WorkflowByUUID(result.RootUUID)
+	subs, _ := q.SubWorkflows(root.ID)
+	if len(subs) != 4 {
+		t.Fatalf("subs = %d", len(subs))
+	}
+	// Bundle start times on one node must be serialized: total virtual
+	// span >= sum of per-bundle spans (roughly).
+	var totalSpan float64
+	for _, b := range result.Bundles {
+		totalSpan += b.Seconds
+	}
+	wall, _ := q.Walltime(root.ID)
+	if wall.Seconds() < totalSpan*0.8 {
+		t.Errorf("wall %.0fs but serialized bundles need %.0fs", wall.Seconds(), totalSpan)
+	}
+}

@@ -1,0 +1,173 @@
+// Package yang implements the subset of the YANG data-modeling language
+// (RFC 6020) that the Stampede log-message schema uses: module, typedef,
+// grouping, uses, container, leaf, type, mandatory, and description
+// statements.
+//
+// The paper models every NetLogger event in YANG and validates log
+// messages against that schema with pyang. This package plays both roles:
+// Parse builds the statement tree from schema text, and the schema
+// package resolves it into an event registry with a validator.
+package yang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota
+	tokString
+	tokLBrace
+	tokRBrace
+	tokSemi
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("yang: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token, skipping whitespace and both comment forms
+// YANG allows (// line and /* block */).
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("unterminated block comment")
+			}
+			l.pos += 2
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) lexToken() (token, error) {
+	c := l.src[l.pos]
+	switch c {
+	case '{':
+		l.pos++
+		return token{kind: tokLBrace, text: "{", line: l.line}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, text: "}", line: l.line}, nil
+	case ';':
+		l.pos++
+		return token{kind: tokSemi, text: ";", line: l.line}, nil
+	case '"', '\'':
+		return l.lexString(c)
+	}
+	start := l.pos
+	for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos == start {
+		return token{}, l.errf("unexpected character %q", c)
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+}
+
+// lexString handles quoted strings including YANG's "a" + "b"
+// concatenation form, which long descriptions in real schemas use.
+func (l *lexer) lexString(quote byte) (token, error) {
+	var sb strings.Builder
+	startLine := l.line
+	for {
+		l.pos++ // consume opening quote
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			c := l.src[l.pos]
+			if c == '\\' && quote == '"' && l.pos+1 < len(l.src) {
+				switch nxt := l.src[l.pos+1]; nxt {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"', '\\':
+					sb.WriteByte(nxt)
+				default:
+					sb.WriteByte(c)
+					sb.WriteByte(nxt)
+				}
+				l.pos += 2
+				continue
+			}
+			if c == '\n' {
+				l.line++
+			}
+			sb.WriteByte(c)
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string starting at line %d", startLine)
+		}
+		l.pos++ // consume closing quote
+		// Look ahead for concatenation: optional whitespace, '+', whitespace, quote.
+		save, saveLine := l.pos, l.line
+		for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+			if l.src[l.pos] == '\n' {
+				l.line++
+			}
+			l.pos++
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '+' {
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos < len(l.src) && (l.src[l.pos] == '"' || l.src[l.pos] == '\'') {
+				quote = l.src[l.pos]
+				continue
+			}
+			return token{}, l.errf("dangling '+' after string")
+		}
+		l.pos, l.line = save, saveLine
+		return token{kind: tokString, text: sb.String(), line: startLine}, nil
+	}
+}
+
+func isIdentByte(c byte) bool {
+	if c == '{' || c == '}' || c == ';' || c == '"' || c == '\'' {
+		return false
+	}
+	r := rune(c)
+	return !unicode.IsSpace(r) && c < 0x80
+}

@@ -1,0 +1,128 @@
+package yang
+
+import (
+	"fmt"
+)
+
+// Statement is one YANG statement: a keyword, an optional argument, and
+// zero or more sub-statements. The whole schema is a tree of these, rooted
+// at the module statement.
+type Statement struct {
+	Keyword string
+	Arg     string
+	Line    int
+	Subs    []*Statement
+}
+
+// Find returns the first sub-statement with the given keyword, or nil.
+func (s *Statement) Find(keyword string) *Statement {
+	for _, sub := range s.Subs {
+		if sub.Keyword == keyword {
+			return sub
+		}
+	}
+	return nil
+}
+
+// FindAll returns every sub-statement with the given keyword.
+func (s *Statement) FindAll(keyword string) []*Statement {
+	var out []*Statement
+	for _, sub := range s.Subs {
+		if sub.Keyword == keyword {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// ArgOf returns the argument of the first sub-statement with the keyword,
+// or "" when absent.
+func (s *Statement) ArgOf(keyword string) string {
+	if sub := s.Find(keyword); sub != nil {
+		return sub.Arg
+	}
+	return ""
+}
+
+// Parse reads YANG text and returns the root module statement. Exactly one
+// top-level module statement is required, matching how the Stampede schema
+// is published.
+func Parse(src string) (*Statement, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	stmts, err := p.statements()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, fmt.Errorf("yang: line %d: trailing %q after top-level statements", p.cur.line, p.cur.text)
+	}
+	if len(stmts) != 1 || stmts[0].Keyword != "module" {
+		return nil, fmt.Errorf("yang: expected a single top-level module statement, got %d statements", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+// statements parses a run of statements until '}' or EOF.
+func (p *parser) statements() ([]*Statement, error) {
+	var out []*Statement
+	for p.cur.kind == tokIdent {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// statement parses: keyword [arg] (';' | '{' statements '}').
+func (p *parser) statement() (*Statement, error) {
+	st := &Statement{Keyword: p.cur.text, Line: p.cur.line}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.cur.kind == tokIdent || p.cur.kind == tokString {
+		st.Arg = p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	switch p.cur.kind {
+	case tokSemi:
+		return st, p.advance()
+	case tokLBrace:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		subs, err := p.statements()
+		if err != nil {
+			return nil, err
+		}
+		st.Subs = subs
+		if p.cur.kind != tokRBrace {
+			return nil, fmt.Errorf("yang: line %d: expected '}' closing %q (line %d), got %q",
+				p.cur.line, st.Keyword, st.Line, p.cur.text)
+		}
+		return st, p.advance()
+	default:
+		return nil, fmt.Errorf("yang: line %d: expected ';' or '{' after %q, got %q",
+			p.cur.line, st.Keyword, p.cur.text)
+	}
+}

@@ -1,0 +1,72 @@
+package yang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tree renders the resolved model in a pyang-like tree format, the
+// human-readable catalog developers consult when writing a normalizer:
+//
+//	module: stampede
+//	  +--rw stampede.xwf.start
+//	  |  +--rw ts               nl_ts (mandatory)
+//	  |  +--rw level?           string
+//	  ...
+func Tree(m *Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module: %s\n", m.ModuleName)
+	names := m.ContainerNames()
+	for ci, name := range names {
+		c := m.Containers[name]
+		last := ci == len(names)-1
+		branch := "+--"
+		fmt.Fprintf(&b, "  %s %s\n", branch, c.Name)
+		prefix := "  |  "
+		if last {
+			prefix = "     "
+		}
+		leaves := c.LeafNames()
+		for _, ln := range leaves {
+			leaf := c.Leaves[ln]
+			opt := "?"
+			mand := ""
+			if leaf.Mandatory {
+				opt = ""
+				mand = " (mandatory)"
+			}
+			fmt.Fprintf(&b, "%s+-- %-24s %s%s\n", prefix, leaf.Name+opt, leaf.Type, mand)
+		}
+	}
+	return b.String()
+}
+
+// Describe renders one container with its descriptions: the long-form
+// reference entry for a single event type.
+func Describe(m *Model, name string) (string, error) {
+	c, ok := m.Containers[name]
+	if !ok {
+		return "", fmt.Errorf("yang: no container %q in module %s", name, m.ModuleName)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "event %s\n", c.Name)
+	if c.Description != "" {
+		fmt.Fprintf(&b, "  %s\n", c.Description)
+	}
+	b.WriteString("  attributes:\n")
+	for _, ln := range c.LeafNames() {
+		leaf := c.Leaves[ln]
+		mand := "optional"
+		if leaf.Mandatory {
+			mand = "mandatory"
+		}
+		fmt.Fprintf(&b, "    %-24s %-12s %s\n", leaf.Name, leaf.Type, mand)
+		if leaf.Description != "" {
+			fmt.Fprintf(&b, "      %s\n", leaf.Description)
+		}
+		if len(leaf.EnumValues) > 0 {
+			fmt.Fprintf(&b, "      one of: %s\n", strings.Join(leaf.EnumValues, ", "))
+		}
+	}
+	return b.String(), nil
+}

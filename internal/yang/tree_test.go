@@ -1,0 +1,42 @@
+package yang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTreeRendersAllContainers(t *testing.T) {
+	m := mustModel(t, sampleSchema)
+	out := Tree(m)
+	if !strings.HasPrefix(out, "module: stampede-sample") {
+		t.Fatalf("header: %q", out[:40])
+	}
+	for _, want := range []string{"stampede.xwf.start", "stampede.xwf.end", "restart_count", "(mandatory)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q", want)
+		}
+	}
+	// Optional leaves carry the '?' marker, mandatory ones don't.
+	if !strings.Contains(out, "level?") {
+		t.Error("optional marker missing")
+	}
+	if strings.Contains(out, "restart_count?") {
+		t.Error("mandatory leaf marked optional")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	m := mustModel(t, sampleSchema)
+	out, err := Describe(m, "stampede.xwf.end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stampede.xwf.end", "status", "mandatory", "WORKFLOW_TERMINATED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Describe(m, "ghost"); err == nil {
+		t.Error("unknown container described")
+	}
+}
