@@ -1,0 +1,32 @@
+# Standard verification entry points. `make verify` is what CI runs:
+# build + tests + the race detector + a short fuzz burst on the BP parser.
+
+GO ?= go
+
+.PHONY: build test race fuzz bench bench-parallel verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency suites (loader pipeline, mq churn, relstore writers)
+# are written to be meaningful under the race detector; run them with it.
+race:
+	$(GO) test -race ./...
+
+# A few seconds of coverage-guided fuzzing on the BP wire format:
+# round-trips Format→Parse on everything the fuzzer finds.
+fuzz:
+	$(GO) test ./internal/bp -run FuzzParse -fuzz FuzzParse -fuzztime 10s
+
+bench:
+	$(GO) test -bench . -benchmem -run XXX .
+
+# The sharded-loader ablation: throughput at 1/2/4/8 apply shards
+# against a durable (fsynced) archive.
+bench-parallel:
+	$(GO) test -bench 'BenchmarkLoaderParallel' -benchtime 10x -run XXX .
+
+verify: build test race fuzz

@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/relstore"
 	"repro/internal/schema"
 	"repro/internal/stats"
+	"repro/internal/synth"
 	"repro/internal/uuid"
 )
 
@@ -163,6 +165,99 @@ func BenchmarkLoaderBatchSize1(b *testing.B)    { benchLoadDurable(b, 1000, 1) }
 func BenchmarkLoaderBatchSize64(b *testing.B)   { benchLoadDurable(b, 1000, 64) }
 func BenchmarkLoaderBatchSize512(b *testing.B)  { benchLoadDurable(b, 1000, 512) }
 func BenchmarkLoaderBatchSize4096(b *testing.B) { benchLoadDurable(b, 1000, 4096) }
+
+// BenchmarkLoaderParallel is the sharded-pipeline ablation: an interleaved
+// multi-workflow trace loaded into a durable (synced) archive with 1..8
+// apply shards. Events route to shards by workflow id, so distinct
+// workflows commit in parallel and their WAL fsyncs group-commit into
+// shared syncs; the single-shard case is the seed's sequential path.
+// BatchSize 1 models the strictest real-time configuration — every event
+// durable before the next — where commit latency, not CPU, bounds
+// throughput even on one core. The fsyncs/op metric shows the coalescing
+// directly: one fsync per event sequentially, events/shards when sharded.
+var parallelTraceOnce struct {
+	sync.Once
+	trace []byte
+}
+
+// parallelTrace round-robin interleaves the event streams of independent
+// synthetic workflows, the worst case for per-workflow batching locality
+// and the realistic shape of a shared message bus feed. Workflows are
+// picked so their uuids spread evenly over 8 stripe classes — a skewed
+// handful of workflows would measure hash luck, not the pipeline.
+func parallelTrace(workflows, jobs int) []byte {
+	parallelTraceOnce.Do(func() {
+		perClass := workflows / 8
+		classCount := make([]int, 8)
+		streams := make([][]string, 0, workflows)
+		for seed := int64(1); len(streams) < workflows && seed < 10000; seed++ {
+			tr := synth.Generate(synth.Config{Seed: seed, Jobs: jobs})
+			cls := archive.StripeFor(tr.RootUUID) % 8
+			if classCount[cls] >= perClass {
+				continue
+			}
+			classCount[cls]++
+			var buf bytes.Buffer
+			if _, err := tr.WriteTo(&buf); err != nil {
+				panic(err)
+			}
+			streams = append(streams, strings.Split(strings.TrimRight(buf.String(), "\n"), "\n"))
+		}
+		var out bytes.Buffer
+		for i := 0; ; i++ {
+			wrote := false
+			for _, s := range streams {
+				if i < len(s) {
+					out.WriteString(s[i])
+					out.WriteByte('\n')
+					wrote = true
+				}
+			}
+			if !wrote {
+				break
+			}
+		}
+		parallelTraceOnce.trace = out.Bytes()
+	})
+	return parallelTraceOnce.trace
+}
+
+func benchLoadParallel(b *testing.B, shards int) {
+	trace := parallelTrace(32, 15)
+	var events int
+	var syncs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		path := filepath.Join(b.TempDir(), "bench.db")
+		a, err := archive.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Store().SetSync(true)
+		l, err := loader.New(a, loader.Options{BatchSize: 1, Validate: false, Shards: shards, QueueDepth: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err := l.LoadReader(bytes.NewReader(trace))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		events = int(st.Loaded)
+		syncs += a.Store().Syncs()
+		a.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(syncs)/float64(b.N), "fsyncs/op")
+}
+
+func BenchmarkLoaderParallel1(b *testing.B) { benchLoadParallel(b, 1) }
+func BenchmarkLoaderParallel2(b *testing.B) { benchLoadParallel(b, 2) }
+func BenchmarkLoaderParallel4(b *testing.B) { benchLoadParallel(b, 4) }
+func BenchmarkLoaderParallel8(b *testing.B) { benchLoadParallel(b, 8) }
 
 // BenchmarkLoaderValidation isolates the YANG-validation cost in the load
 // path.

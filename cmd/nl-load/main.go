@@ -27,6 +27,7 @@ func main() {
 		queueName  = flag.String("queue", "stampede", "queue to consume from the broker")
 		topic      = flag.String("topic", "stampede.#", "topic binding for the queue")
 		batchSize  = flag.Int("batch", loader.DefaultBatchSize, "insert batch size")
+		shards     = flag.Int("shards", 1, "parallel apply shards (events route by workflow id)")
 		noValidate = flag.Bool("no-validate", false, "skip schema validation")
 		lenient    = flag.Bool("lenient", false, "skip malformed/invalid events instead of failing")
 		verbose    = flag.Bool("v", false, "print per-source statistics")
@@ -42,6 +43,7 @@ func main() {
 		BatchSize: *batchSize,
 		Validate:  !*noValidate,
 		Lenient:   *lenient,
+		Shards:    *shards,
 	})
 	if err != nil {
 		fatal("%v", err)

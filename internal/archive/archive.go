@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bp"
@@ -11,22 +12,46 @@ import (
 	"repro/internal/schema"
 )
 
+// numStripes is the lock-striping width. Events are routed to a stripe by
+// their workflow uuid, so per-workflow event order is serialized by one
+// mutex while distinct workflows fold in concurrently. 64 is far above
+// any realistic apply-shard count, keeping cross-workflow collisions rare.
+const numStripes = 64
+
+// stripe holds the identity caches whose keys are scoped to a single
+// workflow (jobs, job instances and their sequence counters). Because all
+// events of one workflow hash to one stripe, these maps need no further
+// synchronisation than the stripe mutex.
+type stripe struct {
+	mu        sync.Mutex
+	jobIDs    map[jobKey]int64  // (wf row, exec_job_id) -> job row id
+	instIDs   map[instKey]int64 // (job row, submit seq) -> job_instance row id
+	stateSeqs map[int64]int64   // job_instance row id -> next jobstate seq
+	invSeqs   map[int64]int64   // job_instance row id -> next invocation seq fallback
+}
+
 // Archive folds Stampede events into the relational store. It keeps small
 // identity caches (workflow uuid -> row id, job key -> row id, instance
 // key -> row id) so the per-event hot path costs O(1) map lookups instead
 // of index queries, which is what lets the loader keep up with large
 // workflows in real time.
+//
+// Concurrency contract: Apply and ApplyBatch may be called from many
+// goroutines, provided all events of one workflow (one xwf.id) are applied
+// from a single goroutine at a time — exactly what the sharded loader
+// guarantees by routing events to shards by xwf.id. Cross-workflow caches
+// (workflow uuid map, host map) take their own short-lived locks.
 type Archive struct {
 	store *relstore.Store
 
-	mu        sync.Mutex
-	wfIDs     map[string]int64  // wf_uuid -> workflow row id
-	jobIDs    map[jobKey]int64  // (wf row, exec_job_id) -> job row id
-	instIDs   map[instKey]int64 // (job row, submit seq) -> job_instance row id
-	hostIDs   map[hostKey]int64 // (site, hostname, ip) -> host row id
-	stateSeqs map[int64]int64   // job_instance row id -> next jobstate seq
-	invSeqs   map[int64]int64   // job_instance row id -> next invocation seq fallback
-	applied   uint64
+	wfMu  sync.RWMutex
+	wfIDs map[string]int64 // wf_uuid -> workflow row id
+
+	hostMu  sync.Mutex
+	hostIDs map[hostKey]int64 // (site, hostname, ip) -> host row id
+
+	stripes [numStripes]stripe
+	applied atomic.Uint64
 }
 
 type jobKey struct {
@@ -43,6 +68,22 @@ type hostKey struct {
 	site, hostname, ip string
 }
 
+// StripeFor maps a workflow uuid to its stripe index (FNV-1a). The loader
+// uses the same function to route events to apply shards so that shard
+// parallelism and stripe parallelism line up.
+func StripeFor(uuid string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(uuid); i++ {
+		h ^= uint32(uuid[i])
+		h *= 16777619
+	}
+	return int(h % numStripes)
+}
+
+func (a *Archive) stripeOf(ev *bp.Event) *stripe {
+	return &a.stripes[StripeFor(ev.Get(schema.AttrXwfID))]
+}
+
 // New creates the Figure 3 tables on store (idempotently) and returns an
 // archive over it.
 func New(store *relstore.Store) (*Archive, error) {
@@ -52,13 +93,17 @@ func New(store *relstore.Store) (*Archive, error) {
 		}
 	}
 	a := &Archive{
-		store:     store,
-		wfIDs:     map[string]int64{},
-		jobIDs:    map[jobKey]int64{},
-		instIDs:   map[instKey]int64{},
-		hostIDs:   map[hostKey]int64{},
-		stateSeqs: map[int64]int64{},
-		invSeqs:   map[int64]int64{},
+		store:   store,
+		wfIDs:   map[string]int64{},
+		hostIDs: map[hostKey]int64{},
+	}
+	for i := range a.stripes {
+		a.stripes[i] = stripe{
+			jobIDs:    map[jobKey]int64{},
+			instIDs:   map[instKey]int64{},
+			stateSeqs: map[int64]int64{},
+			invSeqs:   map[int64]int64{},
+		}
 	}
 	if err := a.warmCaches(); err != nil {
 		return nil, err
@@ -87,28 +132,41 @@ func Open(path string) (*Archive, error) {
 }
 
 // warmCaches rebuilds the identity caches from an existing store so that
-// appending to a reopened database works.
+// appending to a reopened database works. Per-workflow entries are routed
+// to the stripe their workflow uuid hashes to; warmCaches runs before the
+// archive is shared, so no locks are needed.
 func (a *Archive) warmCaches() error {
 	wfs, err := a.store.Select(relstore.Query{Table: TWorkflow})
 	if err != nil {
 		return err
 	}
+	wfUUID := make(map[int64]string, len(wfs)) // workflow row id -> uuid
 	for _, r := range wfs {
-		a.wfIDs[r["wf_uuid"].(string)] = r.ID()
+		uuid := r["wf_uuid"].(string)
+		a.wfIDs[uuid] = r.ID()
+		wfUUID[r.ID()] = uuid
 	}
 	jobs, err := a.store.Select(relstore.Query{Table: TJob})
 	if err != nil {
 		return err
 	}
+	jobWF := make(map[int64]int64, len(jobs)) // job row id -> workflow row id
 	for _, r := range jobs {
-		a.jobIDs[jobKey{r["wf_id"].(int64), r["exec_job_id"].(string)}] = r.ID()
+		wf := r["wf_id"].(int64)
+		jobWF[r.ID()] = wf
+		st := &a.stripes[StripeFor(wfUUID[wf])]
+		st.jobIDs[jobKey{wf, r["exec_job_id"].(string)}] = r.ID()
 	}
 	insts, err := a.store.Select(relstore.Query{Table: TJobInstance})
 	if err != nil {
 		return err
 	}
+	instWF := make(map[int64]int64, len(insts)) // job_instance row id -> workflow row id
 	for _, r := range insts {
-		a.instIDs[instKey{r["job_id"].(int64), r["job_submit_seq"].(int64)}] = r.ID()
+		job := r["job_id"].(int64)
+		instWF[r.ID()] = jobWF[job]
+		st := &a.stripes[StripeFor(wfUUID[jobWF[job]])]
+		st.instIDs[instKey{job, r["job_submit_seq"].(int64)}] = r.ID()
 	}
 	hosts, err := a.store.Select(relstore.Query{Table: THost})
 	if err != nil {
@@ -123,8 +181,9 @@ func (a *Archive) warmCaches() error {
 	}
 	for _, r := range states {
 		ji := r["job_instance_id"].(int64)
-		if seq := r["jobstate_submit_seq"].(int64); seq >= a.stateSeqs[ji] {
-			a.stateSeqs[ji] = seq + 1
+		st := &a.stripes[StripeFor(wfUUID[instWF[ji]])]
+		if seq := r["jobstate_submit_seq"].(int64); seq >= st.stateSeqs[ji] {
+			st.stateSeqs[ji] = seq + 1
 		}
 	}
 	return nil
@@ -134,11 +193,7 @@ func (a *Archive) warmCaches() error {
 func (a *Archive) Store() *relstore.Store { return a.store }
 
 // Applied reports how many events have been folded in.
-func (a *Archive) Applied() uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.applied
-}
+func (a *Archive) Applied() uint64 { return a.applied.Load() }
 
 // Flush persists buffered writes (no-op for in-memory stores).
 func (a *Archive) Flush() error { return a.store.Flush() }
@@ -155,32 +210,46 @@ var ErrUnknownEvent = errors.New("archive: event type not materialised")
 // static events (workflow restarts re-emit task/job descriptions) are
 // tolerated and skipped.
 func (a *Archive) Apply(ev *bp.Event) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if err := a.applyLocked(ev); err != nil {
+	st := a.stripeOf(ev)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := a.applyLocked(st, ev); err != nil {
 		return fmt.Errorf("archive: %s at %s: %w", ev.Type, ev.TS.Format("15:04:05.000"), err)
 	}
-	a.applied++
+	a.applied.Add(1)
 	return nil
 }
 
-// ApplyBatch folds a slice of events under one lock acquisition; the
-// loader's batching path. The first error aborts the rest of the batch;
-// the returned count is how many events were applied, so callers can
-// resume after the failing event without re-applying the prefix.
-func (a *Archive) ApplyBatch(evs []*bp.Event) (int, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+// ApplyBatch folds a slice of events, holding each workflow stripe's lock
+// across runs of consecutive same-stripe events; the loader's batching
+// path. The first error aborts the rest of the batch; the returned count
+// is how many events were applied, so callers can resume after the
+// failing event without re-applying the prefix.
+func (a *Archive) ApplyBatch(evs []*bp.Event) (n int, err error) {
+	var cur *stripe
+	defer func() {
+		if cur != nil {
+			cur.mu.Unlock()
+		}
+	}()
 	for i, ev := range evs {
-		if err := a.applyLocked(ev); err != nil {
+		st := a.stripeOf(ev)
+		if st != cur {
+			if cur != nil {
+				cur.mu.Unlock()
+			}
+			st.mu.Lock()
+			cur = st
+		}
+		if err := a.applyLocked(st, ev); err != nil {
 			return i, fmt.Errorf("archive: %s: %w", ev.Type, err)
 		}
-		a.applied++
+		a.applied.Add(1)
 	}
 	return len(evs), nil
 }
 
-func (a *Archive) applyLocked(ev *bp.Event) error {
+func (a *Archive) applyLocked(st *stripe, ev *bp.Event) error {
 	switch ev.Type {
 	case schema.WfPlan:
 		return a.applyPlan(ev)
@@ -195,48 +264,80 @@ func (a *Archive) applyLocked(ev *bp.Event) error {
 	case schema.TaskEdge:
 		return a.applyTaskEdge(ev)
 	case schema.JobInfo:
-		return a.applyJobInfo(ev)
+		return a.applyJobInfo(st, ev)
 	case schema.JobEdge:
 		return a.applyJobEdge(ev)
 	case schema.MapTaskJob:
-		return a.applyMapTaskJob(ev)
+		return a.applyMapTaskJob(st, ev)
 	case schema.MapSubwfJob:
-		return a.applyMapSubwfJob(ev)
+		return a.applyMapSubwfJob(st, ev)
 	case schema.JobInstPre:
-		return a.applyJobState(ev, JSPreStarted)
+		return a.applyJobState(st, ev, JSPreStarted)
 	case schema.JobInstPreEnd:
-		return a.applyScriptEnd(ev, JSPreSuccess, JSPreFailure)
+		return a.applyScriptEnd(st, ev, JSPreSuccess, JSPreFailure)
 	case schema.SubmitStart:
-		return a.applyJobState(ev, JSSubmit)
+		return a.applyJobState(st, ev, JSSubmit)
 	case schema.SubmitEnd:
-		return a.applyJobState(ev, JSSubmitted)
+		return a.applyJobState(st, ev, JSSubmitted)
 	case schema.HeldStart:
-		return a.applyJobState(ev, JSHeld)
+		return a.applyJobState(st, ev, JSHeld)
 	case schema.HeldEnd:
-		return a.applyJobState(ev, JSReleased)
+		return a.applyJobState(st, ev, JSReleased)
 	case schema.MainStart:
-		return a.applyMainStart(ev)
+		return a.applyMainStart(st, ev)
 	case schema.MainTerm:
-		return a.applyJobState(ev, JSTerminated)
+		return a.applyJobState(st, ev, JSTerminated)
 	case schema.MainEnd:
-		return a.applyMainEnd(ev)
+		return a.applyMainEnd(st, ev)
 	case schema.PostStart:
-		return a.applyJobState(ev, JSPostStarted)
+		return a.applyJobState(st, ev, JSPostStarted)
 	case schema.PostEnd:
-		return a.applyScriptEnd(ev, JSPostSuccess, JSPostFailure)
+		return a.applyScriptEnd(st, ev, JSPostSuccess, JSPostFailure)
 	case schema.HostInfo:
-		return a.applyHostInfo(ev)
+		return a.applyHostInfo(st, ev)
 	case schema.ImageInfo:
 		return nil // image sizes are not used by any report we produce
 	case schema.AbortInfo:
-		return a.applyJobState(ev, JSAborted)
+		return a.applyJobState(st, ev, JSAborted)
 	case schema.InvStart:
 		return nil // the inv.end record carries everything we store
 	case schema.InvEnd:
-		return a.applyInvEnd(ev)
+		return a.applyInvEnd(st, ev)
 	default:
 		return fmt.Errorf("%w: %s", ErrUnknownEvent, ev.Type)
 	}
+}
+
+// lookupWF returns the cached workflow row id for uuid, if present.
+func (a *Archive) lookupWF(uuid string) (int64, bool) {
+	a.wfMu.RLock()
+	id, ok := a.wfIDs[uuid]
+	a.wfMu.RUnlock()
+	return id, ok
+}
+
+// ensureWF returns the row id for uuid, inserting a minimal placeholder
+// row when absent. Check-and-insert holds the workflow mutex so any
+// stripe may safely materialise any workflow — a child's plan event can
+// reference its parent before the parent's own events have been applied
+// (routine under sharded loading, where parent and child stream through
+// different shards), and two stripes racing on one uuid still produce
+// exactly one row.
+func (a *Archive) ensureWF(uuid string, ts time.Time) (int64, error) {
+	a.wfMu.Lock()
+	defer a.wfMu.Unlock()
+	if id, ok := a.wfIDs[uuid]; ok {
+		return id, nil
+	}
+	id, err := a.store.Insert(TWorkflow, relstore.Row{
+		"wf_uuid":   uuid,
+		"timestamp": ts,
+	})
+	if err != nil {
+		return 0, err
+	}
+	a.wfIDs[uuid] = id
+	return id, nil
 }
 
 // wfRow returns the workflow row id for the event's xwf.id, creating a
@@ -247,18 +348,10 @@ func (a *Archive) wfRow(ev *bp.Event) (int64, error) {
 	if uuid == "" {
 		return 0, errors.New("event lacks xwf.id")
 	}
-	if id, ok := a.wfIDs[uuid]; ok {
+	if id, ok := a.lookupWF(uuid); ok {
 		return id, nil
 	}
-	id, err := a.store.Insert(TWorkflow, relstore.Row{
-		"wf_uuid":   uuid,
-		"timestamp": ev.TS,
-	})
-	if err != nil {
-		return 0, err
-	}
-	a.wfIDs[uuid] = id
-	return id, nil
+	return a.ensureWF(uuid, ev.TS)
 }
 
 func (a *Archive) applyPlan(ev *bp.Event) error {
@@ -268,9 +361,11 @@ func (a *Archive) applyPlan(ev *bp.Event) error {
 	}
 	var parentID any
 	if p := ev.Get(schema.AttrParentXwf); p != "" {
-		if id, ok := a.wfIDs[p]; ok {
-			parentID = id
+		id, err := a.ensureWF(p, ev.TS)
+		if err != nil {
+			return err
 		}
+		parentID = id
 	}
 	fields := relstore.Row{
 		"wf_uuid":           uuid,
@@ -287,17 +382,15 @@ func (a *Archive) applyPlan(ev *bp.Event) error {
 		"root_wf_uuid":      ev.Get(schema.AttrRootXwf),
 		"parent_wf_id":      parentID,
 	}
-	if id, ok := a.wfIDs[uuid]; ok {
-		// Replan of a known workflow (restart): refresh the metadata.
-		delete(fields, "wf_uuid")
-		return a.store.Update(TWorkflow, id, fields)
-	}
-	id, err := a.store.Insert(TWorkflow, fields)
+	// Materialise (or find) the row, then write the plan metadata onto it.
+	// One path covers first plan, replan after restart, and a placeholder
+	// created earlier by a child or out-of-order event.
+	id, err := a.ensureWF(uuid, ev.TS)
 	if err != nil {
 		return err
 	}
-	a.wfIDs[uuid] = id
-	return nil
+	delete(fields, "wf_uuid")
+	return a.store.Update(TWorkflow, id, fields)
 }
 
 func (a *Archive) applyWorkflowState(ev *bp.Event, state string) error {
@@ -351,7 +444,7 @@ func (a *Archive) applyTaskEdge(ev *bp.Event) error {
 	return ignoreDuplicate(err)
 }
 
-func (a *Archive) applyJobInfo(ev *bp.Event) error {
+func (a *Archive) applyJobInfo(st *stripe, ev *bp.Event) error {
 	wf, err := a.wfRow(ev)
 	if err != nil {
 		return err
@@ -373,7 +466,7 @@ func (a *Archive) applyJobInfo(ev *bp.Event) error {
 	if err != nil {
 		return ignoreDuplicate(err)
 	}
-	a.jobIDs[jobKey{wf, execID}] = id
+	st.jobIDs[jobKey{wf, execID}] = id
 	return nil
 }
 
@@ -390,12 +483,12 @@ func (a *Archive) applyJobEdge(ev *bp.Event) error {
 	return ignoreDuplicate(err)
 }
 
-func (a *Archive) applyMapTaskJob(ev *bp.Event) error {
+func (a *Archive) applyMapTaskJob(st *stripe, ev *bp.Event) error {
 	wf, err := a.wfRow(ev)
 	if err != nil {
 		return err
 	}
-	jobRow, err := a.jobRow(wf, ev.Get(schema.AttrJobID))
+	jobRow, err := a.jobRow(st, wf, ev.Get(schema.AttrJobID))
 	if err != nil {
 		return err
 	}
@@ -412,8 +505,8 @@ func (a *Archive) applyMapTaskJob(ev *bp.Event) error {
 	return a.store.Update(TTask, task.ID(), relstore.Row{"job_id": jobRow})
 }
 
-func (a *Archive) applyMapSubwfJob(ev *bp.Event) error {
-	inst, err := a.instRow(ev)
+func (a *Archive) applyMapSubwfJob(st *stripe, ev *bp.Event) error {
+	inst, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
@@ -422,30 +515,30 @@ func (a *Archive) applyMapSubwfJob(ev *bp.Event) error {
 
 // jobRow resolves (wf row, exec job id) to the job table row, creating a
 // placeholder when job.info has not been seen yet.
-func (a *Archive) jobRow(wf int64, execID string) (int64, error) {
+func (a *Archive) jobRow(st *stripe, wf int64, execID string) (int64, error) {
 	if execID == "" {
 		return 0, errors.New("event lacks job.id")
 	}
 	k := jobKey{wf, execID}
-	if id, ok := a.jobIDs[k]; ok {
+	if id, ok := st.jobIDs[k]; ok {
 		return id, nil
 	}
 	id, err := a.store.Insert(TJob, relstore.Row{"wf_id": wf, "exec_job_id": execID})
 	if err != nil {
 		return 0, err
 	}
-	a.jobIDs[k] = id
+	st.jobIDs[k] = id
 	return id, nil
 }
 
 // instRow resolves the (job, submit seq) of a job_inst.* event to the
 // job_instance row, creating it on first reference.
-func (a *Archive) instRow(ev *bp.Event) (int64, error) {
+func (a *Archive) instRow(st *stripe, ev *bp.Event) (int64, error) {
 	wf, err := a.wfRow(ev)
 	if err != nil {
 		return 0, err
 	}
-	jobRow, err := a.jobRow(wf, ev.Get(schema.AttrJobID))
+	jobRow, err := a.jobRow(st, wf, ev.Get(schema.AttrJobID))
 	if err != nil {
 		return 0, err
 	}
@@ -454,7 +547,7 @@ func (a *Archive) instRow(ev *bp.Event) (int64, error) {
 		return 0, err
 	}
 	k := instKey{jobRow, seq}
-	if id, ok := a.instIDs[k]; ok {
+	if id, ok := st.instIDs[k]; ok {
 		return id, nil
 	}
 	id, err := a.store.Insert(TJobInstance, relstore.Row{
@@ -464,21 +557,21 @@ func (a *Archive) instRow(ev *bp.Event) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	a.instIDs[k] = id
+	st.instIDs[k] = id
 	return id, nil
 }
 
-func (a *Archive) applyJobState(ev *bp.Event, state string) error {
-	inst, err := a.instRow(ev)
+func (a *Archive) applyJobState(st *stripe, ev *bp.Event, state string) error {
+	inst, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
-	return a.insertJobState(inst, state, ev)
+	return a.insertJobState(st, inst, state, ev)
 }
 
-func (a *Archive) insertJobState(inst int64, state string, ev *bp.Event) error {
-	seq := a.stateSeqs[inst]
-	a.stateSeqs[inst] = seq + 1
+func (a *Archive) insertJobState(st *stripe, inst int64, state string, ev *bp.Event) error {
+	seq := st.stateSeqs[inst]
+	st.stateSeqs[inst] = seq + 1
 	_, err := a.store.Insert(TJobState, relstore.Row{
 		"job_instance_id":     inst,
 		"state":               state,
@@ -488,8 +581,8 @@ func (a *Archive) insertJobState(inst int64, state string, ev *bp.Event) error {
 	return err
 }
 
-func (a *Archive) applyScriptEnd(ev *bp.Event, okState, failState string) error {
-	inst, err := a.instRow(ev)
+func (a *Archive) applyScriptEnd(st *stripe, ev *bp.Event, okState, failState string) error {
+	inst, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
@@ -497,11 +590,11 @@ func (a *Archive) applyScriptEnd(ev *bp.Event, okState, failState string) error 
 	if code, err := ev.Int(schema.AttrExitcode); err == nil && code != 0 {
 		state = failState
 	}
-	return a.insertJobState(inst, state, ev)
+	return a.insertJobState(st, inst, state, ev)
 }
 
-func (a *Archive) applyMainStart(ev *bp.Event) error {
-	inst, err := a.instRow(ev)
+func (a *Archive) applyMainStart(st *stripe, ev *bp.Event) error {
+	inst, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
@@ -517,11 +610,11 @@ func (a *Archive) applyMainStart(ev *bp.Event) error {
 			return err
 		}
 	}
-	return a.insertJobState(inst, JSExecute, ev)
+	return a.insertJobState(st, inst, JSExecute, ev)
 }
 
-func (a *Archive) applyMainEnd(ev *bp.Event) error {
-	inst, err := a.instRow(ev)
+func (a *Archive) applyMainEnd(st *stripe, ev *bp.Event) error {
+	inst, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
@@ -569,15 +662,19 @@ func (a *Archive) applyMainEnd(ev *bp.Event) error {
 	if exitcode != 0 {
 		state = JSFailure
 	}
-	return a.insertJobState(inst, state, ev)
+	return a.insertJobState(st, inst, state, ev)
 }
 
-func (a *Archive) applyHostInfo(ev *bp.Event) error {
-	inst, err := a.instRow(ev)
+func (a *Archive) applyHostInfo(st *stripe, ev *bp.Event) error {
+	inst, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
 	k := hostKey{ev.Get(schema.AttrSite), ev.Get(schema.AttrHostname), ev.Get("ip")}
+	// Hosts are shared across workflows, so the lookup-or-insert must be
+	// atomic under its own lock to keep concurrent stripes from racing
+	// the unique constraint.
+	a.hostMu.Lock()
 	hid, ok := a.hostIDs[k]
 	if !ok {
 		row := relstore.Row{"site": k.site, "hostname": k.hostname, "ip": k.ip}
@@ -589,29 +686,31 @@ func (a *Archive) applyHostInfo(ev *bp.Event) error {
 		}
 		hid, err = a.store.Insert(THost, row)
 		if err != nil {
+			a.hostMu.Unlock()
 			return err
 		}
 		a.hostIDs[k] = hid
 	}
+	a.hostMu.Unlock()
 	return a.store.Update(TJobInstance, inst, relstore.Row{
 		"host_id": hid,
 		"site":    k.site,
 	})
 }
 
-func (a *Archive) applyInvEnd(ev *bp.Event) error {
+func (a *Archive) applyInvEnd(st *stripe, ev *bp.Event) error {
 	wf, err := a.wfRow(ev)
 	if err != nil {
 		return err
 	}
-	inst, err := a.instRow(ev)
+	inst, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
 	seq, err := ev.Int(schema.AttrInvID)
 	if err != nil {
-		seq = a.invSeqs[inst]
-		a.invSeqs[inst] = seq + 1
+		seq = st.invSeqs[inst]
+		st.invSeqs[inst] = seq + 1
 	}
 	row := relstore.Row{
 		"job_instance_id": inst,

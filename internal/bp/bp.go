@@ -123,7 +123,9 @@ func (e *Event) Format() string {
 	b.WriteByte(' ')
 	b.WriteString(KeyEvent)
 	b.WriteByte('=')
-	b.WriteString(e.Type)
+	// Event types are dot-separated identifiers in practice, but quote
+	// defensively so any parsed event formats back to a parseable line.
+	writeValue(&b, e.Type)
 	keys := make([]string, 0, len(e.Attrs))
 	for k := range e.Attrs {
 		keys = append(keys, k)
@@ -280,8 +282,14 @@ func parseTS(v string) (time.Time, error) {
 	if t, err := time.Parse(TimeFormat, v); err == nil {
 		return t.UTC(), nil
 	}
-	// Seconds since the epoch, possibly fractional.
+	// Seconds since the epoch, possibly fractional. The range check keeps
+	// the result inside years 1–9999 (and rejects NaN/±Inf), so every
+	// accepted timestamp can be re-formatted as ISO 8601 and re-parsed.
+	const minEpoch, maxEpoch = -62135596800, 253402300799
 	if f, err := strconv.ParseFloat(v, 64); err == nil {
+		if !(f >= minEpoch && f <= maxEpoch) { // negated so NaN is rejected too
+			return time.Time{}, fmt.Errorf("bp: epoch timestamp %q out of range", v)
+		}
 		sec := int64(f)
 		nsec := int64((f - float64(sec)) * 1e9)
 		return time.Unix(sec, nsec).UTC(), nil

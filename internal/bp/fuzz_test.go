@@ -1,0 +1,74 @@
+package bp_test
+
+import (
+	"testing"
+
+	"repro/internal/bp"
+	"repro/internal/synth"
+)
+
+// FuzzParse checks that Parse never panics on arbitrary lines and that
+// every line Parse accepts reaches a canonical fixed point: the parsed
+// event's Format output re-parses, formats identically, and preserves the
+// type and every attribute. This is the property the loader and broker
+// rely on when events cross process boundaries as formatted lines.
+func FuzzParse(f *testing.F) {
+	// Seed with realistic lines from the deterministic trace synthesizer
+	// so the fuzzer starts from the full event-type vocabulary.
+	tr := synth.Generate(synth.Config{Seed: 7, Jobs: 5, Hosts: 2, FailureRate: 0.3, MaxRetries: 2})
+	for i, ev := range tr.Events {
+		if i >= 80 {
+			break
+		}
+		f.Add(ev.Format())
+	}
+	// Hand-picked edge cases: epoch timestamps, quoting, escapes, empty
+	// values, duplicate keys, whitespace runs.
+	for _, s := range []string{
+		`ts=2012-03-13T12:35:38.000000Z event=stampede.xwf.start xwf.id=ea17e8ac restart_count=0`,
+		`ts=1331642138.25 event=x`,
+		`ts=-1.5 event=x a=""`,
+		`ts=0 event=x a="quoted \"value\"" b="line\nbreak" c="back\\slash"`,
+		"ts=1 event=x \t a=1 \t\t b=2  a=3",
+		`ts=1 event="spaced type" k==v`,
+		`ts="2012-03-13T12:35:38.000000Z" event=x`,
+		`ts=1e300 event=x`,
+		`ts=NaN event=x`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		ev, err := bp.Parse(line)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		canon := ev.Format()
+		ev2, err := bp.Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical line of %q failed to re-parse: %q: %v", line, canon, err)
+		}
+		if again := ev2.Format(); again != canon {
+			t.Fatalf("canonical form unstable:\n first: %q\nsecond: %q", canon, again)
+		}
+		if ev2.Type != ev.Type {
+			t.Fatalf("type changed across round-trip: %q -> %q", ev.Type, ev2.Type)
+		}
+		if len(ev2.Attrs) != len(ev.Attrs) {
+			t.Fatalf("attr count changed: %v -> %v", ev.Attrs, ev2.Attrs)
+		}
+		for k, v := range ev.Attrs {
+			if got, ok := ev2.Attrs[k]; !ok || got != v {
+				t.Fatalf("attr %q changed across round-trip: %q -> %q", k, v, got)
+			}
+		}
+		// The canonical timestamp has microsecond precision; once at that
+		// precision it must be exact.
+		ev3, err := bp.Parse(ev2.Format())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ev3.TS.Equal(ev2.TS) {
+			t.Fatalf("timestamp drifts after canonicalisation: %v -> %v", ev2.TS, ev3.TS)
+		}
+	})
+}

@@ -42,6 +42,10 @@ type Config struct {
 	// BatchSize and FlushEvery tune the loader (see loader.Options).
 	BatchSize  int
 	FlushEvery time.Duration
+	// Shards is the loader's apply-shard count; 0 or 1 keeps the
+	// sequential path, N > 1 loads distinct workflows in parallel (see
+	// loader.Options.Shards).
+	Shards int
 	// Validate runs schema validation on every event (default on; set
 	// SkipValidation to disable for trusted producers).
 	SkipValidation bool
@@ -88,6 +92,7 @@ func Start(cfg Config) (*Stampede, error) {
 		FlushEvery: cfg.FlushEvery,
 		Validate:   !cfg.SkipValidation,
 		Lenient:    cfg.Lenient,
+		Shards:     cfg.Shards,
 	})
 	if err != nil {
 		arch.Close()

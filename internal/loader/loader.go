@@ -5,7 +5,11 @@
 //
 // Batching is the paper's key loader design decision (§V-D notes inserts
 // are batched "to improve the performance of Pegasus workflows logging");
-// BenchmarkLoaderBatchSize at the repository root quantifies it.
+// BenchmarkLoaderBatchSize at the repository root quantifies it. With
+// Options.Shards > 1 the loader runs as a staged pipeline — parse stage,
+// per-shard validators, per-shard batching appliers — routing events by
+// xwf.id so per-workflow order is preserved while distinct workflows load
+// in parallel (see pipeline.go).
 package loader
 
 import (
@@ -21,12 +25,14 @@ import (
 	"repro/internal/bp"
 	"repro/internal/mq"
 	"repro/internal/schema"
+	"repro/internal/wfclock"
 )
 
 // Options configures a Loader.
 type Options struct {
 	// BatchSize is how many events are folded into the archive per batch.
-	// Zero means DefaultBatchSize; 1 disables batching.
+	// Zero means DefaultBatchSize; 1 disables batching. With shards, each
+	// shard keeps its own batch buffer of this size.
 	BatchSize int
 	// FlushEvery bounds how long a streamed event may sit in the batch
 	// buffer before being made visible in the archive. Zero means
@@ -39,13 +45,37 @@ type Options struct {
 	// Lenient makes malformed BP lines and schema-invalid or unknown
 	// events non-fatal: they are counted and skipped.
 	Lenient bool
+	// Shards is the number of parallel apply shards. Zero or one keeps
+	// the classic single-goroutine path, byte-for-byte identical in
+	// behaviour. With N > 1, events route to shards by xwf.id, so each
+	// workflow's events stay ordered while different workflows apply in
+	// parallel.
+	Shards int
+	// QueueDepth bounds the per-shard pipeline channels; a slow archive
+	// backpressures producers instead of growing memory. Zero means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// Clock drives the FlushEvery ticker. Nil means the wall clock;
+	// tests inject a wfclock.Manual to make timer flushes deterministic.
+	Clock wfclock.Clock
 }
 
 // Default tuning, matched to the loader-scaling bench.
 const (
 	DefaultBatchSize  = 512
 	DefaultFlushEvery = 500 * time.Millisecond
+	DefaultQueueDepth = 256
 )
+
+// ShardStats reports one apply shard's share of a load.
+type ShardStats struct {
+	Shard        int           // shard index
+	Applied      uint64        // events folded by this shard
+	Batches      uint64        // batch flushes performed
+	MaxQueue     int           // apply-queue depth high-water mark
+	FlushTime    time.Duration // cumulative time inside flushes
+	MaxFlushTime time.Duration // worst single flush
+}
 
 // Stats counts what happened during a load.
 type Stats struct {
@@ -55,6 +85,10 @@ type Stats struct {
 	Unknown   uint64 // events whose type the archive does not materialise
 	Malformed uint64 // unparseable BP lines (lenient mode only)
 	Elapsed   time.Duration
+	// Shards holds per-shard counters when the load ran sharded (empty on
+	// the sequential path), so the scaling experiment can report where
+	// time goes.
+	Shards []ShardStats
 }
 
 // Rate returns loaded events per second.
@@ -93,6 +127,21 @@ func New(arch *archive.Archive, opts Options) (*Loader, error) {
 	if opts.FlushEvery == 0 {
 		opts.FlushEvery = DefaultFlushEvery
 	}
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("loader: shard count %d out of range", opts.Shards)
+	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.QueueDepth < 1 {
+		return nil, fmt.Errorf("loader: queue depth %d out of range", opts.QueueDepth)
+	}
+	if opts.Clock == nil {
+		opts.Clock = wfclock.Real
+	}
 	l := &Loader{arch: arch, opts: opts}
 	if opts.Validate {
 		v, err := schema.NewValidator()
@@ -123,26 +172,39 @@ func (l *Loader) account(s Stats) {
 	l.mu.Unlock()
 }
 
-// batch is the per-call accumulation state.
+// batch is one goroutine's accumulation state. The sequential path owns a
+// single batch with the validator attached; each pipeline shard owns one
+// with val == nil (validation already happened upstream).
 type batch struct {
-	l     *Loader
+	arch  *archive.Archive
+	val   *schema.Validator
+	opts  Options
 	buf   []*bp.Event
 	stats Stats
 }
 
+func (l *Loader) newBatch() *batch {
+	return &batch{arch: l.arch, val: l.val, opts: l.opts}
+}
+
 func (b *batch) add(ev *bp.Event) error {
 	b.stats.Read++
-	if b.l.val != nil {
-		if err := b.l.val.Validate(ev); err != nil {
+	if b.val != nil {
+		if err := b.val.Validate(ev); err != nil {
 			b.stats.Invalid++
-			if b.l.opts.Lenient {
+			if b.opts.Lenient {
 				return nil
 			}
 			return err
 		}
 	}
+	return b.addValidated(ev)
+}
+
+// addValidated appends an already-validated event, flushing at BatchSize.
+func (b *batch) addValidated(ev *bp.Event) error {
 	b.buf = append(b.buf, ev)
-	if len(b.buf) >= b.l.opts.BatchSize {
+	if len(b.buf) >= b.opts.BatchSize {
 		return b.flush()
 	}
 	return nil
@@ -156,7 +218,7 @@ func (b *batch) flush() error {
 	// by event, classifying failures, until the tail is clean.
 	rest := b.buf
 	for len(rest) > 0 {
-		n, err := b.l.arch.ApplyBatch(rest)
+		n, err := b.arch.ApplyBatch(rest)
 		b.stats.Loaded += uint64(n)
 		if err == nil {
 			break
@@ -168,13 +230,13 @@ func (b *batch) flush() error {
 		switch {
 		case errors.Is(err, archive.ErrUnknownEvent):
 			b.stats.Unknown++
-			if !b.l.opts.Lenient {
+			if !b.opts.Lenient {
 				b.buf = b.buf[:0]
 				return fmt.Errorf("loader: %s: %w", bad.Type, err)
 			}
 		default:
 			b.stats.Invalid++
-			if !b.l.opts.Lenient {
+			if !b.opts.Lenient {
 				b.buf = b.buf[:0]
 				return fmt.Errorf("loader: %s: %w", bad.Type, err)
 			}
@@ -184,16 +246,20 @@ func (b *batch) flush() error {
 	// Each batch is a transaction: committed data must reach the store's
 	// durability layer before the next batch. In-memory archives make
 	// this a no-op; persistent ones pay one write per batch, which is
-	// exactly the cost the paper's batched inserts amortize.
-	return b.l.arch.Flush()
+	// exactly the cost the paper's batched inserts amortize. Concurrent
+	// shard flushes group-commit inside the store, sharing fsyncs.
+	return b.arch.Flush()
 }
 
 // LoadReader loads a complete BP stream from r, flushing at EOF.
 func (l *Loader) LoadReader(r io.Reader) (Stats, error) {
+	if l.opts.Shards > 1 {
+		return l.loadReaderParallel(r)
+	}
 	start := time.Now()
 	br := bp.NewReader(r)
 	br.SetLenient(l.opts.Lenient)
-	b := &batch{l: l}
+	b := l.newBatch()
 	for {
 		ev, err := br.Read()
 		if errors.Is(err, io.EOF) {
@@ -233,9 +299,12 @@ func (l *Loader) LoadFile(path string) (Stats, error) {
 // live dashboards see events promptly; this is the realtime path the
 // paper's DART run used.
 func (l *Loader) Consume(ctx context.Context, msgs <-chan mq.Message) (Stats, error) {
+	if l.opts.Shards > 1 {
+		return l.consumeParallel(ctx, msgs)
+	}
 	start := time.Now()
-	b := &batch{l: l}
-	ticker := time.NewTicker(l.opts.FlushEvery)
+	b := l.newBatch()
+	ticker := wfclock.NewTicker(l.opts.Clock, l.opts.FlushEvery)
 	defer ticker.Stop()
 	finish := func(err error) (Stats, error) {
 		if ferr := b.flush(); err == nil {
@@ -252,7 +321,7 @@ func (l *Loader) Consume(ctx context.Context, msgs <-chan mq.Message) (Stats, er
 		select {
 		case <-ctx.Done():
 			return finish(ctx.Err())
-		case <-ticker.C:
+		case <-ticker.C():
 			if err := b.flush(); err != nil {
 				return finish(err)
 			}

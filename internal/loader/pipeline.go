@@ -1,0 +1,328 @@
+package loader
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/bp"
+	"repro/internal/mq"
+	"repro/internal/schema"
+	"repro/internal/wfclock"
+)
+
+// shardIndex maps a workflow uuid to an apply shard.
+func shardIndex(uuid string, shards int) int {
+	return archive.StripeFor(uuid) % shards
+}
+
+// The sharded pipeline: one parse stage (the caller's goroutine), then per
+// shard a validate worker feeding a batching applier over bounded
+// channels. Events route to shards by hashing xwf.id, so every event of
+// one workflow flows through one shard in arrival order — the archive's
+// per-workflow ordering contract — while different workflows validate and
+// apply concurrently. Bounded channels give backpressure end to end: a
+// slow archive fills the apply queue, which blocks the validator, which
+// fills the validate queue, which blocks the parser.
+//
+// The validate worker is paired one-per-shard rather than drawn from a
+// free pool on purpose: a free pool could finish two events of the same
+// workflow out of order, breaking the ordering guarantee the routing
+// exists to provide. With validation disabled the stage is skipped
+// entirely — the parser feeds the apply queue directly rather than
+// paying a no-op channel hop per event.
+
+type pipeline struct {
+	l      *Loader
+	ctx    context.Context
+	cancel context.CancelFunc
+	shards []*pshard
+	wg     sync.WaitGroup
+
+	emu sync.Mutex
+	err error
+
+	// Parser-owned counters (single producer goroutine).
+	read      uint64
+	malformed uint64
+}
+
+// pshard is one shard's channels, batch buffer and counters. Counter
+// fields are single-writer: invalid belongs to the validate goroutine,
+// the rest to the apply goroutine; finish() reads them after wg.Wait.
+type pshard struct {
+	idx        int
+	validateCh chan *bp.Event // nil when validation is off
+	applyCh    chan *bp.Event
+	b          *batch
+
+	invalid   uint64
+	maxQueue  int
+	batches   uint64
+	flushTime time.Duration
+	maxFlush  time.Duration
+}
+
+func (l *Loader) newPipeline(ctx context.Context) *pipeline {
+	pctx, cancel := context.WithCancel(ctx)
+	p := &pipeline{l: l, ctx: pctx, cancel: cancel}
+	for i := 0; i < l.opts.Shards; i++ {
+		sh := &pshard{
+			idx:     i,
+			applyCh: make(chan *bp.Event, l.opts.QueueDepth),
+			b:       l.newBatch(),
+		}
+		sh.b.val = nil // validation happens in the shard's validate stage
+		p.shards = append(p.shards, sh)
+		if l.val != nil {
+			sh.validateCh = make(chan *bp.Event, l.opts.QueueDepth)
+			p.wg.Add(1)
+			go func() { defer p.wg.Done(); sh.runValidate(p) }()
+		}
+		p.wg.Add(1)
+		go func() { defer p.wg.Done(); sh.runApply(p) }()
+	}
+	return p
+}
+
+// fail records the first error and cancels the pipeline.
+func (p *pipeline) fail(err error) {
+	if err == nil {
+		return
+	}
+	p.emu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.emu.Unlock()
+	p.cancel()
+}
+
+func (p *pipeline) firstErr() error {
+	p.emu.Lock()
+	defer p.emu.Unlock()
+	return p.err
+}
+
+// shardFor routes a parsed event to its shard. It reuses the archive's
+// workflow-uuid hash so shard affinity and archive stripe affinity line
+// up.
+func (p *pipeline) shardFor(ev *bp.Event) *pshard {
+	return p.shards[shardIndex(ev.Get(schema.AttrXwfID), len(p.shards))]
+}
+
+// dispatch hands an event to its shard, blocking for backpressure. It
+// returns false when the pipeline was cancelled.
+func (p *pipeline) dispatch(ev *bp.Event) bool {
+	sh := p.shardFor(ev)
+	ch := sh.validateCh
+	if ch == nil {
+		ch = sh.applyCh
+	}
+	select {
+	case ch <- ev:
+		return true
+	case <-p.ctx.Done():
+		return false
+	}
+}
+
+// produceReader is the parse stage over an io.Reader source.
+func (p *pipeline) produceReader(r io.Reader) {
+	br := bp.NewReader(r)
+	br.SetLenient(p.l.opts.Lenient)
+	for {
+		ev, err := br.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			p.fail(err)
+			break
+		}
+		p.read++
+		if !p.dispatch(ev) {
+			break
+		}
+	}
+	p.malformed = uint64(br.Skipped())
+}
+
+// produceMsgs is the parse stage over an mq delivery channel.
+func (p *pipeline) produceMsgs(msgs <-chan mq.Message) {
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case m, ok := <-msgs:
+			if !ok {
+				return
+			}
+			ev, err := bp.Parse(string(m.Body))
+			if err != nil {
+				p.malformed++
+				if p.l.opts.Lenient {
+					continue
+				}
+				p.fail(err)
+				return
+			}
+			p.read++
+			if !p.dispatch(ev) {
+				return
+			}
+		}
+	}
+}
+
+func (sh *pshard) runValidate(p *pipeline) {
+	defer close(sh.applyCh)
+	val := p.l.val
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case ev, ok := <-sh.validateCh:
+			if !ok {
+				return
+			}
+			if val != nil {
+				if err := val.Validate(ev); err != nil {
+					sh.invalid++
+					if p.l.opts.Lenient {
+						continue
+					}
+					p.fail(err)
+					return
+				}
+			}
+			select {
+			case sh.applyCh <- ev:
+			case <-p.ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+func (sh *pshard) runApply(p *pipeline) {
+	ticker := wfclock.NewTicker(p.l.opts.Clock, p.l.opts.FlushEvery)
+	defer ticker.Stop()
+	flush := func() error {
+		if len(sh.b.buf) == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		err := sh.b.flush()
+		d := time.Since(t0)
+		sh.batches++
+		sh.flushTime += d
+		if d > sh.maxFlush {
+			sh.maxFlush = d
+		}
+		return err
+	}
+	for {
+		select {
+		case <-p.ctx.Done():
+			// Cancelled: drain events already handed to this shard,
+			// then make them visible — like sequential Consume, where
+			// every event read before cancel is in the batch it
+			// flushes. Without the drain an event could be lost in
+			// the queue when cancellation and delivery race.
+		drain:
+			for {
+				select {
+				case ev, ok := <-sh.applyCh:
+					if !ok {
+						break drain
+					}
+					sh.b.buf = append(sh.b.buf, ev)
+				default:
+					break drain
+				}
+			}
+			if err := flush(); err != nil {
+				p.fail(err)
+			}
+			return
+		case <-ticker.C():
+			if err := flush(); err != nil {
+				p.fail(err)
+				return
+			}
+		case ev, ok := <-sh.applyCh:
+			if !ok {
+				if err := flush(); err != nil {
+					p.fail(err)
+				}
+				return
+			}
+			if depth := len(sh.applyCh) + 1; depth > sh.maxQueue {
+				sh.maxQueue = depth
+			}
+			sh.b.buf = append(sh.b.buf, ev)
+			if len(sh.b.buf) >= p.l.opts.BatchSize {
+				if err := flush(); err != nil {
+					p.fail(err)
+					return
+				}
+			}
+		}
+	}
+}
+
+// finish closes the feed, waits for every stage to drain, flushes the
+// archive and aggregates stats. The producer must have returned before
+// finish is called.
+func (p *pipeline) finish(start time.Time) (Stats, error) {
+	for _, sh := range p.shards {
+		if sh.validateCh != nil {
+			close(sh.validateCh) // runValidate drains, then closes applyCh
+		} else {
+			close(sh.applyCh)
+		}
+	}
+	p.wg.Wait()
+	p.cancel()
+	if err := p.l.arch.Flush(); err != nil {
+		p.fail(err)
+	}
+	agg := Stats{Read: p.read, Malformed: p.malformed}
+	for _, sh := range p.shards {
+		agg.Loaded += sh.b.stats.Loaded
+		agg.Invalid += sh.invalid + sh.b.stats.Invalid
+		agg.Unknown += sh.b.stats.Unknown
+		agg.Shards = append(agg.Shards, ShardStats{
+			Shard:        sh.idx,
+			Applied:      sh.b.stats.Loaded,
+			Batches:      sh.batches,
+			MaxQueue:     sh.maxQueue,
+			FlushTime:    sh.flushTime,
+			MaxFlushTime: sh.maxFlush,
+		})
+	}
+	agg.Elapsed = time.Since(start)
+	p.l.account(agg)
+	return agg, p.firstErr()
+}
+
+func (l *Loader) loadReaderParallel(r io.Reader) (Stats, error) {
+	start := time.Now()
+	p := l.newPipeline(context.Background())
+	p.produceReader(r)
+	return p.finish(start)
+}
+
+func (l *Loader) consumeParallel(ctx context.Context, msgs <-chan mq.Message) (Stats, error) {
+	start := time.Now()
+	p := l.newPipeline(ctx)
+	p.produceMsgs(msgs)
+	if err := ctx.Err(); err != nil {
+		p.fail(err)
+	}
+	return p.finish(start)
+}

@@ -1,0 +1,408 @@
+package loader
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/bp"
+	"repro/internal/mq"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+	"repro/internal/synth"
+	"repro/internal/uuid"
+	"repro/internal/wfclock"
+)
+
+// interleavedStream renders the given workflow streams line-interleaved
+// (round-robin), the worst case for per-workflow ordering: consecutive
+// source lines almost always belong to different workflows.
+func interleavedStream(streams []string) string {
+	var split [][]string
+	max := 0
+	for _, s := range streams {
+		lines := strings.Split(strings.TrimSpace(s), "\n")
+		split = append(split, lines)
+		if len(lines) > max {
+			max = len(lines)
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < max; i++ {
+		for _, lines := range split {
+			if i < len(lines) {
+				b.WriteString(lines[i])
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
+// tableCounts snapshots row counts for every table.
+func tableCounts(t *testing.T, a *archive.Archive) map[string]int {
+	t.Helper()
+	m := map[string]int{}
+	for _, table := range a.Store().TableNames() {
+		n, err := a.Store().Count(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m[table] = n
+	}
+	return m
+}
+
+// assertJobstateOrdering checks the tentpole's ordering guarantee: for
+// every job instance, the jobstate rows ordered by their submit sequence
+// must have monotonically non-decreasing timestamps — i.e. each
+// workflow's timeline was applied in arrival order regardless of shard
+// count.
+func assertJobstateOrdering(t *testing.T, a *archive.Archive) {
+	t.Helper()
+	states, err := a.Store().Select(relstore.Query{Table: archive.TJobState})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type last struct {
+		seq int64
+		ts  time.Time
+	}
+	byInst := map[int64]last{}
+	// Select returns rows in primary-key order = insertion order per
+	// instance, so walking them verifies both seq contiguity and ts
+	// monotonicity.
+	for _, r := range states {
+		inst := r["job_instance_id"].(int64)
+		seq := r["jobstate_submit_seq"].(int64)
+		ts := r["timestamp"].(time.Time)
+		prev, seen := byInst[inst]
+		if seen {
+			if seq != prev.seq+1 {
+				t.Fatalf("instance %d: jobstate seq jumped %d -> %d", inst, prev.seq, seq)
+			}
+			if ts.Before(prev.ts) {
+				t.Fatalf("instance %d: jobstate timeline went backwards: %v after %v", inst, ts, prev.ts)
+			}
+		} else if seq != 0 {
+			t.Fatalf("instance %d: first jobstate seq = %d, want 0", inst, seq)
+		}
+		byInst[inst] = last{seq, ts}
+	}
+	if len(byInst) == 0 {
+		t.Fatal("no jobstate rows to check")
+	}
+}
+
+func TestParallelLoadMatchesSequential(t *testing.T) {
+	const workflows = 9
+	var streams []string
+	for i := 0; i < workflows; i++ {
+		streams = append(streams, workflowStream(uuid.New().String(), 6))
+	}
+	input := interleavedStream(streams)
+
+	var want map[string]int
+	for _, shards := range []int{1, 2, 4, 8} {
+		a := archive.NewInMemory()
+		l, err := New(a, Options{Validate: true, Shards: shards, BatchSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := l.LoadReader(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		wantEvents := uint64(workflows * (3 + 6*5))
+		if stats.Read != wantEvents || stats.Loaded != wantEvents {
+			t.Fatalf("shards=%d: stats=%+v, want read=loaded=%d", shards, stats, wantEvents)
+		}
+		if shards > 1 {
+			if len(stats.Shards) != shards {
+				t.Fatalf("shards=%d: got %d shard stats", shards, len(stats.Shards))
+			}
+			var sum uint64
+			for _, ss := range stats.Shards {
+				sum += ss.Applied
+			}
+			if sum != stats.Loaded {
+				t.Fatalf("shards=%d: shard applied sum %d != loaded %d", shards, sum, stats.Loaded)
+			}
+		} else if len(stats.Shards) != 0 {
+			t.Fatalf("sequential load reported shard stats: %+v", stats.Shards)
+		}
+		counts := tableCounts(t, a)
+		if want == nil {
+			want = counts
+		} else {
+			for table, n := range want {
+				if counts[table] != n {
+					t.Errorf("shards=%d: table %s = %d rows, want %d", shards, table, counts[table], n)
+				}
+			}
+		}
+		assertJobstateOrdering(t, a)
+	}
+}
+
+// TestParallelSubworkflowLinkage loads hierarchical traces — where a
+// child workflow's plan event references its parent's uuid, and parent
+// and child route to different shards — and checks that sharding never
+// loses the parent link: a regression test for plan events whose parent
+// row had not been materialised yet when they applied.
+func TestParallelSubworkflowLinkage(t *testing.T) {
+	var streams []string
+	roots := map[string]bool{}
+	for seed := int64(1); seed <= 2; seed++ {
+		tr := synth.Generate(synth.Config{Seed: seed, Jobs: 12, SubWorkflows: 4})
+		var b strings.Builder
+		if _, err := tr.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, b.String())
+		roots[tr.RootUUID] = true
+	}
+	input := interleavedStream(streams)
+
+	var want map[string]int
+	for _, shards := range []int{1, 4, 8} {
+		a := archive.NewInMemory()
+		l, err := New(a, Options{Validate: true, Shards: shards, BatchSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.LoadReader(strings.NewReader(input)); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		counts := tableCounts(t, a)
+		if want == nil {
+			want = counts
+		} else {
+			for table, n := range want {
+				if counts[table] != n {
+					t.Errorf("shards=%d: table %s = %d rows, want %d", shards, table, counts[table], n)
+				}
+			}
+		}
+		wfs, err := a.Store().Select(relstore.Query{Table: archive.TWorkflow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wfs) != 2*(1+4) {
+			t.Fatalf("shards=%d: %d workflow rows, want %d", shards, len(wfs), 2*(1+4))
+		}
+		for _, wf := range wfs {
+			uuid := wf["wf_uuid"].(string)
+			if roots[uuid] {
+				continue
+			}
+			if _, ok := wf["parent_wf_id"].(int64); !ok {
+				t.Errorf("shards=%d: sub-workflow %s lost its parent link (parent_wf_id=%v)",
+					shards, uuid, wf["parent_wf_id"])
+			}
+		}
+	}
+}
+
+// TestConsumeShardedStress is the satellite stress test: K workflows
+// published concurrently from G goroutines through the bus into a sharded
+// Consume, asserting final archive row counts and per-workflow jobstate
+// ordering.
+func TestConsumeShardedStress(t *testing.T) {
+	const (
+		K       = 12 // workflows
+		G       = 4  // publisher goroutines
+		jobs    = 5
+		perWF   = 3 + jobs*5
+		expects = K * perWF
+	)
+	broker := mq.NewBroker()
+	q, err := broker.DeclareQueue("stampede", mq.QueueOpts{Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.Bind("stampede", "stampede.#"); err != nil {
+		t.Fatal(err)
+	}
+	a := archive.NewInMemory()
+	l, err := New(a, Options{Validate: true, Shards: 4, BatchSize: 8, FlushEvery: 5 * time.Millisecond, QueueDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loadDone := make(chan struct{})
+	var stats Stats
+	var loadErr error
+	go func() {
+		defer close(loadDone)
+		stats, loadErr = l.ConsumeQueue(context.Background(), q)
+	}()
+
+	// Each publisher goroutine owns K/G workflows and publishes their
+	// lines in order; ordering only matters per workflow, so concurrent
+	// publishers are exactly the multi-engine scenario of the paper.
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := g; k < K; k += G {
+				wf := fmt.Sprintf("%08d-1111-2222-3333-444455556666", k)
+				for _, line := range strings.Split(strings.TrimSpace(workflowStream(wf, jobs)), "\n") {
+					ev, err := bp.Parse(line)
+					if err != nil {
+						t.Errorf("parse: %v", err)
+						return
+					}
+					broker.Publish(ev.Type, []byte(line))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Wait for the loader to drain the queue, then end the stream.
+	deadline := time.Now().Add(10 * time.Second)
+	for a.Applied() < expects {
+		if time.Now().After(deadline) {
+			t.Fatalf("archive stuck at %d/%d events", a.Applied(), expects)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	broker.DeleteQueue("stampede")
+	<-loadDone
+	if loadErr != nil {
+		t.Fatal(loadErr)
+	}
+	if stats.Loaded != expects {
+		t.Fatalf("loaded %d, want %d", stats.Loaded, expects)
+	}
+	counts := tableCounts(t, a)
+	if counts[archive.TWorkflow] != K {
+		t.Errorf("workflows = %d, want %d", counts[archive.TWorkflow], K)
+	}
+	if counts[archive.TJob] != K*jobs {
+		t.Errorf("jobs = %d, want %d", counts[archive.TJob], K*jobs)
+	}
+	if counts[archive.TInvocation] != K*jobs {
+		t.Errorf("invocations = %d, want %d", counts[archive.TInvocation], K*jobs)
+	}
+	// SUBMIT, EXECUTE, SUCCESS per instance.
+	if counts[archive.TJobState] != K*jobs*3 {
+		t.Errorf("jobstates = %d, want %d", counts[archive.TJobState], K*jobs*3)
+	}
+	assertJobstateOrdering(t, a)
+}
+
+// TestManualClockFlushNoSleep proves the FlushEvery path is deflaked: with
+// a Manual clock and a one-hour flush interval, an under-filled batch
+// becomes visible as soon as the virtual clock crosses the interval — no
+// real time passes, so the test cannot be timing-dependent.
+func TestManualClockFlushNoSleep(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			clock := wfclock.NewManual(t0)
+			broker := mq.NewBroker()
+			q, _ := broker.DeclareQueue("q", mq.QueueOpts{Durable: true})
+			_ = broker.Bind("q", "stampede.#")
+			a := archive.NewInMemory()
+			// Huge batch size and huge interval: only a virtual-clock tick
+			// can make the event visible.
+			l, err := New(a, Options{
+				BatchSize:  100000,
+				FlushEvery: time.Hour,
+				Shards:     shards,
+				Clock:      clock,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			loadDone := make(chan struct{})
+			go func() {
+				defer close(loadDone)
+				_, _ = l.ConsumeQueue(ctx, q)
+			}()
+			wf := uuid.New().String()
+			ev := bp.New(schema.XwfStart, t0).Set(schema.AttrXwfID, wf).SetInt("restart_count", 0)
+			broker.Publish(ev.Type, []byte(ev.Format()))
+			// Advance virtual time until the consumer has both buffered the
+			// event and seen a tick. Yielding (not sleeping) lets the
+			// consumer goroutine run between advances.
+			deadline := time.Now().Add(5 * time.Second)
+			for a.Applied() == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("virtual-clock tick did not flush the batch")
+				}
+				clock.Advance(2 * time.Hour)
+				runtime.Gosched()
+			}
+			if n, _ := a.Store().Count(archive.TWorkflowState); n != 1 {
+				t.Fatalf("workflowstate rows = %d, want 1", n)
+			}
+			cancel()
+			<-loadDone
+		})
+	}
+}
+
+// TestParallelConsumeCancelFlushes mirrors TestConsumeContextCancel for
+// the sharded path: cancellation returns ctx.Err() and flushes what was
+// buffered.
+func TestParallelConsumeCancelFlushes(t *testing.T) {
+	broker := mq.NewBroker()
+	q, _ := broker.DeclareQueue("q", mq.QueueOpts{Durable: true})
+	_ = broker.Bind("q", "stampede.#")
+	a := archive.NewInMemory()
+	l, _ := New(a, Options{Shards: 4, BatchSize: 100000, FlushEvery: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	loadDone := make(chan error, 1)
+	var stats Stats
+	go func() {
+		var err error
+		stats, err = l.ConsumeQueue(ctx, q)
+		loadDone <- err
+	}()
+	wf := uuid.New().String()
+	ev := bp.New(schema.XwfStart, t0).Set(schema.AttrXwfID, wf).SetInt("restart_count", 0)
+	broker.Publish(ev.Type, []byte(ev.Format()))
+	// Wait for the pipeline to pick the message up before cancelling.
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Len() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-loadDone
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("err = %v, want context canceled", err)
+	}
+	if stats.Loaded != 1 {
+		t.Fatalf("loaded = %d, want the buffered event flushed on cancel", stats.Loaded)
+	}
+}
+
+// TestParallelStrictFailure checks strict-mode error propagation through
+// the pipeline: a schema-invalid event fails the load.
+func TestParallelStrictFailure(t *testing.T) {
+	a := archive.NewInMemory()
+	l, _ := New(a, Options{Validate: true, Shards: 4})
+	wf := uuid.New().String()
+	input := workflowStream(wf, 2) +
+		"ts=2012-03-13T12:35:38.000000Z event=stampede.xwf.start xwf.id=" + uuid.New().String() + "\n" // no restart_count
+	stats, err := l.LoadReader(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("invalid event loaded in strict sharded mode")
+	}
+	if stats.Invalid != 1 {
+		t.Fatalf("stats = %+v, want invalid=1", stats)
+	}
+}

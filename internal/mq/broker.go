@@ -78,20 +78,21 @@ func (q *Queue) Cancel() {
 	}
 }
 
-// offer enqueues without blocking, dropping on overflow.
+// offer enqueues without blocking, dropping on overflow. The closed check
+// and the channel send happen under one critical section: releasing the
+// lock between them would let a concurrent DeleteQueue close the channel
+// and turn the send into a panic. The send itself is non-blocking, so
+// holding the lock across it never stalls a publisher.
 func (q *Queue) offer(m Message) {
 	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.closed {
-		q.mu.Unlock()
 		return
 	}
-	q.mu.Unlock()
 	select {
 	case q.ch <- m:
 	default:
-		q.mu.Lock()
 		q.dropped++
-		q.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,98 @@
+package mq
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentPublishSubscribeChurn hammers the broker with concurrent
+// publishers while consumers subscribe to wildcard patterns, drain a few
+// messages and cancel (deleting their transient queues). This is the
+// exact interleaving that makes a naive offer() panic with "send on
+// closed channel": a publisher's non-blocking send racing DeleteQueue's
+// channel close. Run it under -race.
+func TestConcurrentPublishSubscribeChurn(t *testing.T) {
+	b := NewBroker()
+	stop := make(chan struct{})
+	var pubs sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		pubs.Add(1)
+		go func(i int) {
+			defer pubs.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.Publish(fmt.Sprintf("stampede.job.%d.%d", i, j%7), []byte("x"))
+			}
+		}(i)
+	}
+
+	var churn sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		churn.Add(1)
+		go func(i int) {
+			defer churn.Done()
+			patterns := []string{"stampede.#", "stampede.job.*.3", "#"}
+			for k := 0; k < 60; k++ {
+				q, err := b.Subscribe(patterns[k%len(patterns)])
+				if err != nil {
+					t.Errorf("subscribe: %v", err)
+					return
+				}
+				ch := q.Consume()
+				for n := 0; n < 5; n++ {
+					select {
+					case _, ok := <-ch:
+						if !ok {
+							t.Error("delivery channel closed while subscribed")
+							return
+						}
+					case <-time.After(time.Millisecond):
+					}
+				}
+				q.Cancel() // transient: deletes the queue, closing ch mid-publish
+			}
+		}(i)
+	}
+	churn.Wait()
+	close(stop)
+	pubs.Wait()
+
+	st := b.Stats()
+	if st.Published == 0 {
+		t.Fatal("no messages published")
+	}
+	if st.Queues != 0 {
+		t.Fatalf("%d transient queues leaked", st.Queues)
+	}
+}
+
+// TestDeleteQueueDuringPublish narrows the offer/close race: one queue,
+// one publisher flooding it, deletion mid-stream. Must not panic and must
+// not deliver after close.
+func TestDeleteQueueDuringPublish(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		b := NewBroker()
+		if _, err := b.DeclareQueue("q", QueueOpts{Durable: true, Capacity: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Bind("q", "#"); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Publish("k", []byte("x"))
+			}
+		}()
+		b.DeleteQueue("q")
+		wg.Wait()
+	}
+}

@@ -37,6 +37,8 @@ func (s *Store) Select(q Query) ([]Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("relstore: no table %s", q.Table)
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, c := range q.Conds {
 		if _, ok := t.colType[c.Column]; !ok {
 			return nil, fmt.Errorf("relstore: table %s has no column %s", q.Table, c.Column)

@@ -2,12 +2,18 @@ package relstore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
-// Store is a set of tables guarded by one RW mutex. A coarse lock keeps
-// multi-table invariants (foreign keys) simple; the loader batches inserts
-// so lock acquisition is off the per-event critical path.
+// Store is a set of tables. Concurrency uses two lock levels: s.mu guards
+// the table map itself (table creation, WAL pointer, configuration) and is
+// held shared for the duration of every row operation, while each table
+// carries its own RW mutex so writers to different tables proceed in
+// parallel. Multi-table invariants (foreign keys) stay simple because a
+// writer locks its target table exclusively plus every referenced table
+// shared, always in table-name order, so concurrent writers can never
+// deadlock and a referenced row can not disappear mid-check.
 type Store struct {
 	mu     sync.RWMutex
 	tables map[string]*table
@@ -69,26 +75,88 @@ func (s *Store) Count(tableName string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("relstore: no table %s", tableName)
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.rows), nil
+}
+
+// lockForWrite acquires the target table's write lock plus a read lock on
+// every table its foreign keys reference, in lexicographic table-name
+// order. The global order makes concurrent writers on any table mix
+// deadlock-free; a self-referencing FK (workflow.parent_wf_id) is covered
+// by the write lock and skipped. The caller must hold s.mu at least
+// shared. Release via the returned func (reverse order).
+func (s *Store) lockForWrite(target *table) func() {
+	type entry struct {
+		t     *table
+		write bool
+	}
+	locks := []entry{{t: target, write: true}}
+	for _, fk := range target.schema.ForeignKeys {
+		if fk.RefTable == target.schema.Name {
+			continue
+		}
+		ref, ok := s.tables[fk.RefTable]
+		if !ok {
+			continue // surfaced as an FK error during the check itself
+		}
+		dup := false
+		for _, l := range locks {
+			if l.t == ref {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			locks = append(locks, entry{t: ref})
+		}
+	}
+	sort.Slice(locks, func(i, j int) bool {
+		return locks[i].t.schema.Name < locks[j].t.schema.Name
+	})
+	for _, l := range locks {
+		if l.write {
+			l.t.mu.Lock()
+		} else {
+			l.t.mu.RLock()
+		}
+	}
+	return func() {
+		for i := len(locks) - 1; i >= 0; i-- {
+			if locks[i].write {
+				locks[i].t.mu.Unlock()
+			} else {
+				locks[i].t.mu.RUnlock()
+			}
+		}
+	}
 }
 
 // Insert adds one row and returns its assigned primary key.
 func (s *Store) Insert(tableName string, row Row) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.insertLocked(tableName, row)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %s", tableName)
+	}
+	unlock := s.lockForWrite(t)
+	defer unlock()
+	return s.insertLocked(t, row)
 }
 
 // InsertBatch adds many rows under one lock acquisition and one WAL write,
 // the fast path the stampede loader batches into. It fails atomically: on
 // any error no row from the batch is applied.
 func (s *Store) InsertBatch(tableName string, rows []Row) ([]int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, ok := s.tables[tableName]
 	if !ok {
 		return nil, fmt.Errorf("relstore: no table %s", tableName)
 	}
+	unlock := s.lockForWrite(t)
+	defer unlock()
 	normalized := make([]Row, len(rows))
 	// Validate everything before mutating, so failure is atomic. Unique
 	// checks must also consider earlier rows in the same batch.
@@ -133,11 +201,9 @@ func (s *Store) InsertBatch(tableName string, rows []Row) ([]int64, error) {
 	return ids, nil
 }
 
-func (s *Store) insertLocked(tableName string, row Row) (int64, error) {
-	t, ok := s.tables[tableName]
-	if !ok {
-		return 0, fmt.Errorf("relstore: no table %s", tableName)
-	}
+// insertLocked does the single-row insert; the caller holds s.mu shared
+// and the table locks from lockForWrite.
+func (s *Store) insertLocked(t *table, row Row) (int64, error) {
 	n, err := t.normalize(row)
 	if err != nil {
 		return 0, err
@@ -154,13 +220,16 @@ func (s *Store) insertLocked(tableName string, row Row) (int64, error) {
 	t.rows[id] = n
 	t.indexRow(n)
 	if s.wal != nil {
-		if err := s.wal.logInsertBatch(tableName, []Row{n}); err != nil {
+		if err := s.wal.logInsertBatch(t.schema.Name, []Row{n}); err != nil {
 			return id, err
 		}
 	}
 	return id, nil
 }
 
+// checkForeignKeysLocked verifies row's FK values; the caller holds the
+// locks from lockForWrite, which include a shared lock on every
+// referenced table.
 func (s *Store) checkForeignKeysLocked(t *table, row Row) error {
 	if !s.checkFKs {
 		return nil
@@ -221,6 +290,8 @@ func (s *Store) Get(tableName string, id int64) (Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("relstore: no table %s", tableName)
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	r, ok := t.rows[id]
 	if !ok {
 		return nil, nil
@@ -230,12 +301,14 @@ func (s *Store) Get(tableName string, id int64) (Row, error) {
 
 // Update rewrites the named columns of the row with primary key id.
 func (s *Store) Update(tableName string, id int64, changes Row) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, ok := s.tables[tableName]
 	if !ok {
 		return fmt.Errorf("relstore: no table %s", tableName)
 	}
+	unlock := s.lockForWrite(t)
+	defer unlock()
 	old, ok := t.rows[id]
 	if !ok {
 		return fmt.Errorf("relstore: %s has no row %d", tableName, id)
@@ -286,12 +359,14 @@ func (s *Store) Update(tableName string, id int64, changes Row) error {
 
 // Delete removes a row; deleting an absent row is a no-op.
 func (s *Store) Delete(tableName string, id int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, ok := s.tables[tableName]
 	if !ok {
 		return fmt.Errorf("relstore: no table %s", tableName)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	old, ok := t.rows[id]
 	if !ok {
 		return nil

@@ -5,11 +5,17 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
-// table holds rows and index structures for one TableSchema.
+// table holds rows and index structures for one TableSchema. Each table
+// carries its own RW mutex so writers to distinct tables (the sharded
+// loader's concurrent ApplyBatch calls land on different tables most of
+// the time) do not serialize on one store-wide lock. Locking discipline
+// lives in Store.lockForWrite.
 type table struct {
+	mu      sync.RWMutex
 	schema  *TableSchema
 	colType map[string]ColType
 	rows    map[int64]Row

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/synth"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// golden compares got against testdata/<name>, or rewrites the file when
+// the -update flag is set:
+//
+//	go test ./internal/stats -run TestGolden -update
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// goldenWorkload is one fixed synthetic run exercised by every report:
+// a hierarchical workflow with retries, failures and multiple hosts, so
+// each renderer's formatting paths (percentages, retry columns, host
+// names, sub-workflow rollups) all appear in the goldens.
+func goldenWorkload(t *testing.T) (*query.QI, int64) {
+	t.Helper()
+	qi, _, id := load(t, synth.Config{
+		Seed: 42, Jobs: 18, SubWorkflows: 3,
+		Hosts: 3, SlotsPerHost: 2,
+		FailureRate: 0.2, MaxRetries: 2,
+	})
+	return qi, id
+}
+
+func TestGoldenSummary(t *testing.T) {
+	q, root := goldenWorkload(t)
+	s, err := Compute(q, root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "summary.golden", s.Render())
+}
+
+func TestGoldenBreakdown(t *testing.T) {
+	q, root := goldenWorkload(t)
+	rows, err := Breakdown(q, root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "breakdown.golden", RenderBreakdown(rows))
+}
+
+func TestGoldenJobs(t *testing.T) {
+	q, root := goldenWorkload(t)
+	rows, err := JobsReport(q, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "jobs.golden", RenderJobs(rows))
+}

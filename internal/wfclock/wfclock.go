@@ -94,14 +94,100 @@ func (c *Scaled) Scale() float64 {
 	return c.scale
 }
 
+// Ticker delivers periodic ticks on a clock's timeline. Stop releases the
+// ticker's resources; after Stop no more ticks are delivered.
+type Ticker interface {
+	// C returns the delivery channel. Ticks may be dropped when the
+	// receiver falls behind, exactly like time.Ticker.
+	C() <-chan time.Time
+	Stop()
+}
+
+// NewTicker returns a ticker firing every d on c's timeline. Real (and any
+// unknown Clock implementation) gets a plain time.Ticker; Scaled compresses
+// the real interval by its scale factor; Manual tickers fire from Advance,
+// Sleep and Set, which is what lets timer-dependent code paths (the
+// loader's batch-age flush) be tested without real sleeping.
+func NewTicker(c Clock, d time.Duration) Ticker {
+	if d <= 0 {
+		panic("wfclock: ticker interval must be positive")
+	}
+	switch cc := c.(type) {
+	case *Manual:
+		return cc.newTicker(d)
+	case *Scaled:
+		real := time.Duration(float64(d) / cc.Scale())
+		if real < time.Millisecond {
+			real = time.Millisecond
+		}
+		return &realTicker{t: time.NewTicker(real)}
+	default:
+		return &realTicker{t: time.NewTicker(d)}
+	}
+}
+
+type realTicker struct{ t *time.Ticker }
+
+func (r *realTicker) C() <-chan time.Time { return r.t.C }
+func (r *realTicker) Stop()               { r.t.Stop() }
+
 // Manual is a fully deterministic clock for tests and discrete-event style
 // trace synthesis: time only moves when Advance or Sleep is called, and
 // Sleep advances the clock instead of blocking. It is safe for concurrent
 // use, but Sleep-based ordering across goroutines is the caller's
 // responsibility — Manual is intended for single-goroutine generators.
 type Manual struct {
-	mu  sync.Mutex
-	now time.Time
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*manualTicker
+}
+
+// manualTicker fires whenever the owning Manual clock's position crosses a
+// multiple of its interval. The channel is buffered (capacity 1) and sends
+// never block: a slow receiver misses ticks, matching time.Ticker.
+type manualTicker struct {
+	c    *Manual
+	d    time.Duration
+	next time.Time
+	ch   chan time.Time
+}
+
+func (t *manualTicker) C() <-chan time.Time { return t.ch }
+
+func (t *manualTicker) Stop() {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	for i, x := range t.c.tickers {
+		if x == t {
+			t.c.tickers = append(t.c.tickers[:i], t.c.tickers[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Manual) newTicker(d time.Duration) *manualTicker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &manualTicker{c: c, d: d, next: c.now.Add(d), ch: make(chan time.Time, 1)}
+	c.tickers = append(c.tickers, t)
+	return t
+}
+
+// fireDueLocked delivers at most one pending tick per ticker and advances
+// each ticker's schedule past the clock's current position. Called with
+// c.mu held after every time movement.
+func (c *Manual) fireDueLocked() {
+	for _, t := range c.tickers {
+		if !c.now.Before(t.next) {
+			select {
+			case t.ch <- c.now:
+			default:
+			}
+			for !c.now.Before(t.next) {
+				t.next = t.next.Add(t.d)
+			}
+		}
+	}
 }
 
 // NewManual returns a Manual clock positioned at start.
@@ -122,19 +208,30 @@ func (c *Manual) Sleep(d time.Duration) {
 	c.Advance(d)
 }
 
-// Advance moves the clock forward by d.
+// Advance moves the clock forward by d, firing any tickers whose next
+// scheduled tick is now due.
 func (c *Manual) Advance(d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.now = c.now.Add(d)
+	c.fireDueLocked()
 }
 
 // Set positions the clock at t. Moving backwards is allowed; synthesis
 // code uses it to emit several independent timelines from one clock.
+// Tickers reschedule relative to the new position when moving backwards.
 func (c *Manual) Set(t time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	back := t.Before(c.now)
 	c.now = t
+	if back {
+		for _, tk := range c.tickers {
+			tk.next = t.Add(tk.d)
+		}
+		return
+	}
+	c.fireDueLocked()
 }
 
 // Since returns the clock time elapsed since t.
