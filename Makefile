@@ -1,9 +1,10 @@
 # Standard verification entry points. `make verify` is what CI runs:
-# build + tests + the race detector + a short fuzz burst on the BP parser.
+# build + tests + the race detector + a short fuzz burst on the BP parser
+# + lint (gofmt, go vet).
 
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-parallel verify
+.PHONY: build test race fuzz bench bench-parallel lint verify
 
 build:
 	$(GO) build ./...
@@ -29,4 +30,10 @@ bench:
 bench-parallel:
 	$(GO) test -bench 'BenchmarkLoaderParallel' -benchtime 10x -run XXX .
 
-verify: build test race fuzz
+# gofmt prints nothing when every file is formatted; any output fails the
+# target.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+verify: build test race fuzz lint

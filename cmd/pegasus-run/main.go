@@ -17,6 +17,7 @@ import (
 	"repro/internal/condor"
 	"repro/internal/mq"
 	"repro/internal/pegasus"
+	"repro/internal/telemetry"
 	"repro/internal/triana"
 	"repro/internal/wfclock"
 )
@@ -36,8 +37,18 @@ func main() {
 		scale    = flag.Float64("scale", 1000, "virtual-clock speed-up")
 		logPath  = flag.String("log", "", "write BP events to this file")
 		brokerTo = flag.String("broker", "", "publish events to this TCP broker")
+		debug    = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		addr, stopDebug, err := telemetry.StartDebugServer(*debug)
+		if err != nil {
+			fatal("debug server: %v", err)
+		}
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "metrics and pprof on http://%s\n", addr)
+	}
 
 	var dax *pegasus.DAX
 	switch *daxName {

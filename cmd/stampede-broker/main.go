@@ -13,14 +13,26 @@ import (
 	"time"
 
 	"repro/internal/mq"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", ":7000", "address to listen on")
-		stats  = flag.Duration("stats", 30*time.Second, "how often to print traffic counters (0 disables)")
+		listen    = flag.String("listen", ":7000", "address to listen on")
+		stats     = flag.Duration("stats", 30*time.Second, "how often to print traffic counters (0 disables)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, stopDebug, err := telemetry.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stampede-broker: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer stopDebug()
+		fmt.Printf("metrics and pprof on http://%s\n", addr)
+	}
 
 	broker := mq.NewBroker()
 	srv, err := mq.NewServer(broker, *listen)
@@ -39,7 +51,8 @@ func main() {
 			select {
 			case <-ticker.C:
 				st := broker.Stats()
-				fmt.Printf("published=%d routed=%d queues=%d\n", st.Published, st.Routed, st.Queues)
+				fmt.Printf("published=%d routed=%d dropped=%d queues=%d\n",
+					st.Published, st.Routed, st.Dropped, st.Queues)
 			case <-stop:
 				srv.Close()
 				return

@@ -19,6 +19,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/dashboard"
 	"repro/internal/query"
+	"repro/internal/telemetry"
 )
 
 // reloadingHandler swaps in a freshly replayed archive on an interval.
@@ -42,11 +43,24 @@ func (h *reloadingHandler) swap(next http.Handler) {
 
 func main() {
 	var (
-		dbPath = flag.String("db", "stampede.db", "archive database file")
-		listen = flag.String("listen", ":8080", "address to serve on")
-		follow = flag.Duration("follow", 0, "re-read the database at this interval (0 = once)")
+		dbPath    = flag.String("db", "stampede.db", "archive database file")
+		listen    = flag.String("listen", ":8080", "address to serve on")
+		follow    = flag.Duration("follow", 0, "re-read the database at this interval (0 = once)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof (and a second /metrics) on this address (empty = off)")
 	)
 	flag.Parse()
+
+	// /metrics is always part of the dashboard mux itself; -debug-addr adds
+	// pprof on a separate listener that can stay firewalled off.
+	if *debugAddr != "" {
+		addr, stopDebug, err := telemetry.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stampede-dashboard: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer stopDebug()
+		fmt.Printf("pprof on http://%s\n", addr)
+	}
 
 	load := func() (http.Handler, error) {
 		arch, err := archive.Open(*dbPath)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/bp"
 	"repro/internal/dart"
 	"repro/internal/mq"
+	"repro/internal/telemetry"
 	"repro/internal/triana"
 	"repro/internal/trianacloud"
 	"repro/internal/wfclock"
@@ -33,8 +34,18 @@ func main() {
 		perBun   = flag.Int("bundle", 16, "dart: executions per bundle")
 		conc     = flag.Int("concurrent", 4, "dart: concurrent tasks per node")
 		realWork = flag.Bool("real-shs", false, "dart: run the real SHS computation in every exec task")
+		debug    = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		addr, stopDebug, err := telemetry.StartDebugServer(*debug)
+		if err != nil {
+			fatal("debug server: %v", err)
+		}
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "metrics and pprof on http://%s\n", addr)
+	}
 
 	appenders, closeAll, err := buildAppenders(*logPath, *broker)
 	if err != nil {

@@ -10,6 +10,19 @@ import (
 	"repro/internal/bp"
 	"repro/internal/relstore"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
+)
+
+// Archive telemetry. Contention on a stripe mutex is detected with
+// TryLock before the blocking Lock: the counter is a proxy for how often
+// concurrent apply shards collide on one workflow-uuid stripe.
+var (
+	mApplied = telemetry.NewCounter("stampede_archive_events_applied_total",
+		"Events folded into archive tables.")
+	mStripeContention = telemetry.NewCounter("stampede_archive_stripe_contention_total",
+		"Stripe lock acquisitions that found the lock already held.")
+	mRows = telemetry.NewGaugeVec("stampede_archive_rows",
+		"Rows per archive table (sampled at scrape time).", "table")
 )
 
 // numStripes is the lock-striping width. Events are routed to a stripe by
@@ -107,6 +120,16 @@ func New(store *relstore.Store) (*Archive, error) {
 	}
 	if err := a.warmCaches(); err != nil {
 		return nil, err
+	}
+	for _, ts := range Schemas() {
+		table := ts.Name
+		mRows.SetFunc(func() float64 {
+			n, err := store.Count(table)
+			if err != nil {
+				return 0
+			}
+			return float64(n)
+		}, table)
 	}
 	return a, nil
 }
@@ -211,13 +234,23 @@ var ErrUnknownEvent = errors.New("archive: event type not materialised")
 // tolerated and skipped.
 func (a *Archive) Apply(ev *bp.Event) error {
 	st := a.stripeOf(ev)
-	st.mu.Lock()
+	lockStripe(st)
 	defer st.mu.Unlock()
 	if err := a.applyLocked(st, ev); err != nil {
 		return fmt.Errorf("archive: %s at %s: %w", ev.Type, ev.TS.Format("15:04:05.000"), err)
 	}
 	a.applied.Add(1)
+	mApplied.Inc()
 	return nil
+}
+
+// lockStripe acquires a stripe mutex, counting the cases where the lock
+// was already held (two shards folding workflows that hash together).
+func lockStripe(st *stripe) {
+	if !st.mu.TryLock() {
+		mStripeContention.Inc()
+		st.mu.Lock()
+	}
 }
 
 // ApplyBatch folds a slice of events, holding each workflow stripe's lock
@@ -238,13 +271,14 @@ func (a *Archive) ApplyBatch(evs []*bp.Event) (n int, err error) {
 			if cur != nil {
 				cur.mu.Unlock()
 			}
-			st.mu.Lock()
+			lockStripe(st)
 			cur = st
 		}
 		if err := a.applyLocked(st, ev); err != nil {
 			return i, fmt.Errorf("archive: %s: %w", ev.Type, err)
 		}
 		a.applied.Add(1)
+		mApplied.Inc()
 	}
 	return len(evs), nil
 }

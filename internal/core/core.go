@@ -271,5 +271,11 @@ func (s *Stampede) Progress(wfUUID string) (map[string][]stats.ProgressPoint, er
 	return stats.ProgressSeries(s.qi, id)
 }
 
-// Dashboard returns the HTTP handler of the live web dashboard.
-func (s *Stampede) Dashboard() http.Handler { return dashboard.New(s.qi) }
+// Dashboard returns the HTTP handler of the live web dashboard, with the
+// service's bus wired in so the status page shows broker traffic and
+// drop counts alongside workflow state.
+func (s *Stampede) Dashboard() http.Handler {
+	d := dashboard.New(s.qi)
+	d.SetBus(s.broker)
+	return d
+}

@@ -12,34 +12,68 @@ import (
 	"html/template"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/analyzer"
 	"repro/internal/archive"
+	"repro/internal/mq"
 	"repro/internal/query"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Dashboard HTTP telemetry, labeled by route pattern (fixed cardinality:
+// one child per registered handler, never per URL).
+var (
+	mHTTPRequests = telemetry.NewCounterVec("stampede_http_requests_total",
+		"Dashboard HTTP requests served, by route.", "route")
+	mHTTPSeconds = telemetry.NewHistogramVec("stampede_http_request_seconds",
+		"Dashboard HTTP request latency, by route.", telemetry.DurationBuckets, "route")
 )
 
 // Server is the dashboard HTTP handler set.
 type Server struct {
 	q   *query.QI
 	mux *http.ServeMux
+	bus func() mq.Stats // optional broker traffic snapshot for the status page
 }
 
-// New builds a dashboard over a query interface.
+// New builds a dashboard over a query interface. The handler set includes
+// GET /metrics, the Prometheus exposition of the whole process.
 func New(q *query.QI) *Server {
 	s := &Server{q: q, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /", s.handleIndex)
-	s.mux.HandleFunc("GET /api/workflows", s.handleWorkflows)
-	s.mux.HandleFunc("GET /api/workflow/{uuid}", s.handleWorkflow)
-	s.mux.HandleFunc("GET /api/workflow/{uuid}/statistics", s.handleStatistics)
-	s.mux.HandleFunc("GET /api/workflow/{uuid}/jobs", s.handleJobs)
-	s.mux.HandleFunc("GET /api/workflow/{uuid}/progress", s.handleProgress)
-	s.mux.HandleFunc("GET /api/workflow/{uuid}/analyzer", s.handleAnalyzer)
-	s.mux.HandleFunc("GET /api/workflow/{uuid}/gantt", s.handleGantt)
-	s.mux.HandleFunc("GET /api/workflow/{uuid}/hosts", s.handleHosts)
+	s.handle("GET /", s.handleIndex)
+	s.handle("GET /api/workflows", s.handleWorkflows)
+	s.handle("GET /api/workflow/{uuid}", s.handleWorkflow)
+	s.handle("GET /api/workflow/{uuid}/statistics", s.handleStatistics)
+	s.handle("GET /api/workflow/{uuid}/jobs", s.handleJobs)
+	s.handle("GET /api/workflow/{uuid}/progress", s.handleProgress)
+	s.handle("GET /api/workflow/{uuid}/analyzer", s.handleAnalyzer)
+	s.handle("GET /api/workflow/{uuid}/gantt", s.handleGantt)
+	s.handle("GET /api/workflow/{uuid}/hosts", s.handleHosts)
+	s.mux.Handle("GET /metrics", telemetry.Handler())
 	return s
 }
+
+// handle registers h with request-count and latency instrumentation. The
+// route label is the pattern minus its method, resolved once here so the
+// per-request cost is an atomic add and a histogram observe.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	route := pattern[strings.IndexByte(pattern, ' ')+1:]
+	reqs := mHTTPRequests.With(route)
+	lat := mHTTPSeconds.With(route)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		reqs.Inc()
+		lat.ObserveSince(t0)
+	})
+}
+
+// SetBus adds broker traffic counters (published/routed/dropped) to the
+// HTML status page, the unified view the drops satellite asks for.
+func (s *Server) SetBus(b *mq.Broker) { s.bus = b.Stats }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -247,9 +281,10 @@ td, th { border: 1px solid #999; padding: 4px 10px; text-align: left; }
 .SUCCESS { color: #0a0; } .FAILURE { color: #a00; } .RUNNING { color: #06c; }
 </style></head><body>
 <h1>Stampede Workflow Dashboard</h1>
-<table>
+{{with .Bus}}<p class="bus">Bus: {{.Published}} published &middot; {{.Routed}} routed &middot; {{.Dropped}} dropped &middot; {{.Queues}} queues</p>
+{{end}}<table>
 <tr><th>Workflow</th><th>Label</th><th>State</th><th>Wall (s)</th><th>Submit host</th></tr>
-{{range .}}<tr>
+{{range .Workflows}}<tr>
 <td><a href="/api/workflow/{{.UUID}}">{{.UUID}}</a></td>
 <td>{{.Label}}</td>
 <td class="{{.State}}">{{.State}}</td>
@@ -278,8 +313,17 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		}
 		statuses = append(statuses, st)
 	}
+	var bus *mq.Stats
+	if s.bus != nil {
+		st := s.bus()
+		bus = &st
+	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := indexTmpl.Execute(w, statuses); err != nil {
+	data := struct {
+		Workflows []WorkflowStatus
+		Bus       *mq.Stats
+	}{statuses, bus}
+	if err := indexTmpl.Execute(w, data); err != nil {
 		_ = err // response already partially written
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/bp"
 	"repro/internal/mq"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
 	"repro/internal/wfclock"
 )
 
@@ -181,17 +182,32 @@ type batch struct {
 	opts  Options
 	buf   []*bp.Event
 	stats Stats
+
+	// Pre-resolved telemetry children for this shard.
+	mApplied *telemetry.Counter
+	mBatches *telemetry.Counter
+	mFlush   *telemetry.Histogram
 }
 
-func (l *Loader) newBatch() *batch {
-	return &batch{arch: l.arch, val: l.val, opts: l.opts}
+// newBatch builds the accumulation state for one apply shard (the
+// sequential path is shard 0), resolving its telemetry children up front.
+func (l *Loader) newBatch(shard int) *batch {
+	s := shardLabel(shard)
+	return &batch{
+		arch: l.arch, val: l.val, opts: l.opts,
+		mApplied: mShardApplied.With(s),
+		mBatches: mShardBatches.With(s),
+		mFlush:   mFlushSeconds.With(s),
+	}
 }
 
 func (b *batch) add(ev *bp.Event) error {
 	b.stats.Read++
+	mRead.Inc()
 	if b.val != nil {
 		if err := b.val.Validate(ev); err != nil {
 			b.stats.Invalid++
+			mInvalid.Inc()
 			if b.opts.Lenient {
 				return nil
 			}
@@ -214,6 +230,21 @@ func (b *batch) flush() error {
 	if len(b.buf) == 0 {
 		return nil
 	}
+	mBatchSize.Observe(float64(len(b.buf)))
+	loaded0, invalid0, unknown0 := b.stats.Loaded, b.stats.Invalid, b.stats.Unknown
+	t0 := time.Now()
+	err := b.applyAndCommit()
+	b.mFlush.ObserveSince(t0)
+	b.mBatches.Inc()
+	b.mApplied.Add(b.stats.Loaded - loaded0)
+	mInvalid.Add(b.stats.Invalid - invalid0)
+	mUnknown.Add(b.stats.Unknown - unknown0)
+	return err
+}
+
+// applyAndCommit folds the buffered events into the archive and makes
+// them durable.
+func (b *batch) applyAndCommit() error {
 	// The batch path aborts at the first bad event; resume past it event
 	// by event, classifying failures, until the tail is clean.
 	rest := b.buf
@@ -259,7 +290,7 @@ func (l *Loader) LoadReader(r io.Reader) (Stats, error) {
 	start := time.Now()
 	br := bp.NewReader(r)
 	br.SetLenient(l.opts.Lenient)
-	b := l.newBatch()
+	b := l.newBatch(0)
 	for {
 		ev, err := br.Read()
 		if errors.Is(err, io.EOF) {
@@ -278,6 +309,7 @@ func (l *Loader) LoadReader(r io.Reader) (Stats, error) {
 	}
 	err := b.flush()
 	b.stats.Malformed = uint64(br.Skipped())
+	mMalformed.Add(b.stats.Malformed)
 	b.stats.Elapsed = time.Since(start)
 	l.account(b.stats)
 	return b.stats, err
@@ -303,7 +335,7 @@ func (l *Loader) Consume(ctx context.Context, msgs <-chan mq.Message) (Stats, er
 		return l.consumeParallel(ctx, msgs)
 	}
 	start := time.Now()
-	b := l.newBatch()
+	b := l.newBatch(0)
 	ticker := wfclock.NewTicker(l.opts.Clock, l.opts.FlushEvery)
 	defer ticker.Stop()
 	finish := func(err error) (Stats, error) {
@@ -335,6 +367,7 @@ func (l *Loader) Consume(ctx context.Context, msgs <-chan mq.Message) (Stats, er
 			ev, err := bp.Parse(string(m.Body))
 			if err != nil {
 				b.stats.Malformed++
+				mMalformed.Inc()
 				if l.opts.Lenient {
 					continue
 				}

@@ -1,0 +1,37 @@
+package loader
+
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Loader telemetry. Per-shard families are labeled by shard index; the
+// sequential (unsharded) path reports as shard "0". Children are resolved
+// once per pipeline in newBatch/newPipeline so the per-event path is pure
+// atomic increments.
+var (
+	mRead = telemetry.NewCounter("stampede_loader_events_read_total",
+		"Events parsed from files, readers and bus queues.")
+	mMalformed = telemetry.NewCounter("stampede_loader_events_malformed_total",
+		"Unparseable BP lines encountered.")
+	mInvalid = telemetry.NewCounter("stampede_loader_events_invalid_total",
+		"Events rejected by schema validation or the archive.")
+	mUnknown = telemetry.NewCounter("stampede_loader_events_unknown_total",
+		"Events whose type the archive does not materialise.")
+	mShardApplied = telemetry.NewCounterVec("stampede_loader_shard_applied_total",
+		"Events folded into the archive, per apply shard.", "shard")
+	mShardBatches = telemetry.NewCounterVec("stampede_loader_shard_batches_total",
+		"Batch flushes performed, per apply shard.", "shard")
+	mShardQueueDepth = telemetry.NewGaugeVec("stampede_loader_shard_queue_depth",
+		"Apply-queue depth observed at the last dequeue, per shard.", "shard")
+	mShardQueueHighWater = telemetry.NewGaugeVec("stampede_loader_shard_queue_high_water",
+		"Apply-queue depth high-water mark, per shard.", "shard")
+	mBatchSize = telemetry.NewHistogram("stampede_loader_batch_size",
+		"Events per flushed batch.", telemetry.SizeBuckets)
+	mFlushSeconds = telemetry.NewHistogramVec("stampede_loader_flush_seconds",
+		"Latency of one batch flush (archive apply + WAL commit), per shard.",
+		telemetry.DurationBuckets, "shard")
+)
+
+func shardLabel(i int) string { return strconv.Itoa(i) }

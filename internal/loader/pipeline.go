@@ -11,6 +11,7 @@ import (
 	"repro/internal/bp"
 	"repro/internal/mq"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
 	"repro/internal/wfclock"
 )
 
@@ -64,6 +65,10 @@ type pshard struct {
 	batches   uint64
 	flushTime time.Duration
 	maxFlush  time.Duration
+
+	// Pre-resolved telemetry children (label shard=idx).
+	mQueueDepth *telemetry.Gauge
+	mQueueHW    *telemetry.Gauge
 }
 
 func (l *Loader) newPipeline(ctx context.Context) *pipeline {
@@ -71,9 +76,11 @@ func (l *Loader) newPipeline(ctx context.Context) *pipeline {
 	p := &pipeline{l: l, ctx: pctx, cancel: cancel}
 	for i := 0; i < l.opts.Shards; i++ {
 		sh := &pshard{
-			idx:     i,
-			applyCh: make(chan *bp.Event, l.opts.QueueDepth),
-			b:       l.newBatch(),
+			idx:         i,
+			applyCh:     make(chan *bp.Event, l.opts.QueueDepth),
+			b:           l.newBatch(i),
+			mQueueDepth: mShardQueueDepth.With(shardLabel(i)),
+			mQueueHW:    mShardQueueHighWater.With(shardLabel(i)),
 		}
 		sh.b.val = nil // validation happens in the shard's validate stage
 		p.shards = append(p.shards, sh)
@@ -144,11 +151,13 @@ func (p *pipeline) produceReader(r io.Reader) {
 			break
 		}
 		p.read++
+		mRead.Inc()
 		if !p.dispatch(ev) {
 			break
 		}
 	}
 	p.malformed = uint64(br.Skipped())
+	mMalformed.Add(p.malformed)
 }
 
 // produceMsgs is the parse stage over an mq delivery channel.
@@ -164,6 +173,7 @@ func (p *pipeline) produceMsgs(msgs <-chan mq.Message) {
 			ev, err := bp.Parse(string(m.Body))
 			if err != nil {
 				p.malformed++
+				mMalformed.Inc()
 				if p.l.opts.Lenient {
 					continue
 				}
@@ -171,6 +181,7 @@ func (p *pipeline) produceMsgs(msgs <-chan mq.Message) {
 				return
 			}
 			p.read++
+			mRead.Inc()
 			if !p.dispatch(ev) {
 				return
 			}
@@ -192,6 +203,7 @@ func (sh *pshard) runValidate(p *pipeline) {
 			if val != nil {
 				if err := val.Validate(ev); err != nil {
 					sh.invalid++
+					mInvalid.Inc()
 					if p.l.opts.Lenient {
 						continue
 					}
@@ -261,8 +273,10 @@ func (sh *pshard) runApply(p *pipeline) {
 				}
 				return
 			}
+			sh.mQueueDepth.Set(int64(len(sh.applyCh)))
 			if depth := len(sh.applyCh) + 1; depth > sh.maxQueue {
 				sh.maxQueue = depth
+				sh.mQueueHW.SetMax(int64(depth))
 			}
 			sh.b.buf = append(sh.b.buf, ev)
 			if len(sh.b.buf) >= p.l.opts.BatchSize {

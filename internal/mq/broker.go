@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -93,6 +94,7 @@ func (q *Queue) offer(m Message) {
 	case q.ch <- m:
 	default:
 		q.dropped++
+		mDropped.Inc()
 	}
 }
 
@@ -101,13 +103,17 @@ func (q *Queue) Len() int { return len(q.ch) }
 
 // Broker is an in-process topic exchange: queues declare bindings, and
 // Publish copies each message to every queue with a matching binding.
+// Traffic counters are atomics so the publish hot path bumps them without
+// re-acquiring the broker lock.
 type Broker struct {
-	mu        sync.RWMutex
-	queues    map[string]*Queue
-	bindings  map[string][]string // queue name -> patterns
-	published uint64
-	routed    uint64
-	subSeq    uint64
+	mu       sync.RWMutex
+	queues   map[string]*Queue
+	bindings map[string][]string // queue name -> patterns
+
+	published   atomic.Uint64
+	routed      atomic.Uint64
+	droppedGone atomic.Uint64 // drops inherited from deleted queues
+	subSeq      atomic.Uint64
 }
 
 // NewBroker returns an empty broker.
@@ -138,6 +144,9 @@ func (b *Broker) DeclareQueue(name string, opts QueueOpts) (*Queue, error) {
 	}
 	q := &Queue{name: name, broker: b, opts: opts, ch: make(chan Message, opts.Capacity)}
 	b.queues[name] = q
+	// len() on a buffered channel is safe concurrently (and after close),
+	// so depth is sampled live at scrape time instead of on every offer.
+	mQueueDepth.SetFunc(func() float64 { return float64(len(q.ch)) }, name)
 	return q, nil
 }
 
@@ -172,7 +181,12 @@ func (b *Broker) DeleteQueue(name string) {
 		q.mu.Lock()
 		alreadyClosed := q.closed
 		q.closed = true
+		drops := q.dropped
 		q.mu.Unlock()
+		// The queue leaves the map, so fold its drop count into the
+		// broker-lifetime total Stats reports.
+		b.droppedGone.Add(drops)
+		mQueueDepth.Delete(name)
 		if !alreadyClosed {
 			close(q.ch)
 		}
@@ -194,10 +208,10 @@ func (b *Broker) Publish(key string, body []byte) {
 		}
 	}
 	b.mu.RUnlock()
-	b.mu.Lock()
-	b.published++
-	b.routed += uint64(len(targets))
-	b.mu.Unlock()
+	b.published.Add(1)
+	b.routed.Add(uint64(len(targets)))
+	mPublished.Inc()
+	mRouted.Add(uint64(len(targets)))
 	for _, q := range targets {
 		q.offer(m)
 	}
@@ -207,14 +221,26 @@ func (b *Broker) Publish(key string, body []byte) {
 type Stats struct {
 	Published uint64 // messages accepted from producers
 	Routed    uint64 // message copies delivered to queues
+	Dropped   uint64 // copies discarded on full queues, incl. queues since deleted
 	Queues    int
 }
 
-// Stats returns a snapshot of the broker's counters.
+// Stats returns a snapshot of the broker's counters. Dropped aggregates
+// every queue's overflow count (plus deleted queues'), so drop visibility
+// no longer requires holding a *Queue.
 func (b *Broker) Stats() Stats {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	return Stats{Published: b.published, Routed: b.routed, Queues: len(b.queues)}
+	dropped := b.droppedGone.Load()
+	for _, q := range b.queues {
+		dropped += q.Dropped()
+	}
+	return Stats{
+		Published: b.published.Load(),
+		Routed:    b.routed.Load(),
+		Dropped:   dropped,
+		Queues:    len(b.queues),
+	}
 }
 
 // Subscribe is the convenience path for a single consumer: it declares a
@@ -222,10 +248,7 @@ func (b *Broker) Stats() Stats {
 // the queue. Callers use q.Consume() for the channel and q.Cancel() when
 // done.
 func (b *Broker) Subscribe(pattern string) (*Queue, error) {
-	b.mu.Lock()
-	b.subSeq++
-	name := fmt.Sprintf("sub-%d", b.subSeq)
-	b.mu.Unlock()
+	name := fmt.Sprintf("sub-%d", b.subSeq.Add(1))
 	q, err := b.DeclareQueue(name, QueueOpts{})
 	if err != nil {
 		return nil, err

@@ -65,6 +65,14 @@ func TestQueueOverflowDropsAndCounts(t *testing.T) {
 	if q.Dropped() != 3 {
 		t.Errorf("Dropped = %d, want 3", q.Dropped())
 	}
+	if st := b.Stats(); st.Dropped != 3 {
+		t.Errorf("Stats.Dropped = %d, want 3", st.Dropped)
+	}
+	// Deleting the queue must not lose its drop count.
+	b.DeleteQueue("small")
+	if st := b.Stats(); st.Dropped != 3 {
+		t.Errorf("Stats.Dropped after delete = %d, want 3", st.Dropped)
+	}
 }
 
 func TestDeclareQueueConflicts(t *testing.T) {

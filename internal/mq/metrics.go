@@ -1,0 +1,18 @@
+package mq
+
+import "repro/internal/telemetry"
+
+// Process-wide bus telemetry. Brokers in one process share these families
+// (the aggregation a /metrics scrape wants); Broker.Stats remains the
+// per-instance view. Counter bumps on the publish path are single atomic
+// ops — see telemetry's BenchmarkTelemetryOverhead.
+var (
+	mPublished = telemetry.NewCounter("stampede_mq_published_total",
+		"Messages accepted from producers.")
+	mRouted = telemetry.NewCounter("stampede_mq_routed_total",
+		"Message copies delivered to queue buffers.")
+	mDropped = telemetry.NewCounter("stampede_mq_dropped_total",
+		"Messages discarded because a queue buffer was full.")
+	mQueueDepth = telemetry.NewGaugeVec("stampede_mq_queue_depth",
+		"Messages currently buffered, per queue (sampled at scrape time).", "queue")
+)

@@ -10,6 +10,22 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
+)
+
+// WAL telemetry, shared by every store in the process. Flushes vs fsyncs
+// is the group-commit story in two counters: their ratio is how many
+// commit requests each disk sync absorbed.
+var (
+	mWALRecords = telemetry.NewCounter("stampede_relstore_wal_records_total",
+		"Records appended to write-ahead logs.")
+	mWALFlushes = telemetry.NewCounter("stampede_relstore_wal_flushes_total",
+		"Commit (Flush) requests; divide by fsyncs for the group-commit coalescing ratio.")
+	mWALFsyncs = telemetry.NewCounter("stampede_relstore_wal_fsyncs_total",
+		"fsyncs performed on write-ahead logs.")
+	mWALFsyncSeconds = telemetry.NewHistogram("stampede_relstore_wal_fsync_seconds",
+		"Latency of one WAL bufio flush + fsync.", telemetry.DurationBuckets)
 )
 
 // Persistence: every mutation appends one JSON record to a write-ahead
@@ -65,6 +81,7 @@ func (w *walWriter) append(rec walRecord) error {
 		return err
 	}
 	w.seq++
+	mWALRecords.Inc()
 	return nil
 }
 
@@ -101,6 +118,7 @@ func (w *walWriter) logDelete(tbl string, id int64) error {
 // without holding the append mutex, so shards keep appending while the
 // disk syncs.
 func (w *walWriter) flush() error {
+	mWALFlushes.Inc()
 	w.mu.Lock()
 	target := w.seq
 	w.mu.Unlock()
@@ -146,6 +164,7 @@ func (w *walWriter) flush() error {
 
 	w.mu.Lock()
 	upto := w.seq
+	t0 := time.Now()
 	err := w.w.Flush()
 	doSync := w.sync
 	f := w.f
@@ -157,6 +176,8 @@ func (w *walWriter) flush() error {
 	w.cmu.Lock()
 	if err == nil && doSync {
 		w.syncs++
+		mWALFsyncs.Inc()
+		mWALFsyncSeconds.ObserveSince(t0)
 	}
 	w.committing = false
 	if err == nil && upto > w.committed {
@@ -238,6 +259,7 @@ func (s *Store) Syncs() uint64 {
 	defer w.cmu.Unlock()
 	return w.syncs
 }
+
 // Flush forces buffered WAL records to the OS. In-memory stores return nil.
 func (s *Store) Flush() error {
 	s.mu.RLock()

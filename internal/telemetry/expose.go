@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format version this
+// package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in the registry in the Prometheus
+// text format: families sorted by name, children sorted by label values,
+// histograms expanded into cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	// bufio carries the first write error through to Flush.
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) {
+	// Snapshot children under the family lock; values are read outside it
+	// (they are atomics or scrape funcs).
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	if len(children) == 0 {
+		return
+	}
+
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+
+	for i, key := range keys {
+		values := strings.Split(key, "\xff")
+		if key == "" {
+			values = nil
+		}
+		switch c := children[i].(type) {
+		case *Counter:
+			writeSample(w, f.name, "", f.labels, values, "", strconv.FormatUint(c.Value(), 10))
+		case *Gauge:
+			writeSample(w, f.name, "", f.labels, values, "", strconv.FormatInt(c.Value(), 10))
+		case funcGauge:
+			writeSample(w, f.name, "", f.labels, values, "", formatFloat(c.fn()))
+		case *Histogram:
+			var cum uint64
+			for b := range c.counts {
+				cum += c.counts[b].Load()
+				le := "+Inf"
+				if b < len(c.upper) {
+					le = formatFloat(c.upper[b])
+				}
+				writeSample(w, f.name, "_bucket", f.labels, values, le, strconv.FormatUint(cum, 10))
+			}
+			writeSample(w, f.name, "_sum", f.labels, values, "", formatFloat(c.Sum()))
+			writeSample(w, f.name, "_count", f.labels, values, "", strconv.FormatUint(c.Count(), 10))
+		}
+	}
+}
+
+// writeSample renders one line: name[suffix]{labels,le="..."} value.
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, le, value string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(values) > 0 || le != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if le != "" {
+			if len(values) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry in the Prometheus text format; mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		// Errors here are client disconnects; the next scrape retries.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Handler serves the Default registry.
+func Handler() http.Handler { return defaultRegistry.Handler() }
