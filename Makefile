@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-parallel lint verify
+.PHONY: build test race fuzz bench bench-full bench-parallel lint verify
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,13 @@ race:
 fuzz:
 	$(GO) test ./internal/bp -run FuzzParse -fuzz FuzzParse -fuzztime 10s
 
+# The loader benchmarks, including the snapshot-readers contention bench,
+# parsed into BENCH_loader.json for archiving and cross-run diffing.
 bench:
+	$(GO) test -bench 'BenchmarkLoader|BenchmarkReadersUnderLoad' -benchmem -run XXX . \
+		| $(GO) run ./cmd/benchjson -out BENCH_loader.json
+
+bench-full:
 	$(GO) test -bench . -benchmem -run XXX .
 
 # The sharded-loader ablation: throughput at 1/2/4/8 apply shards

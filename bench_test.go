@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/loader"
 	"repro/internal/mq"
+	"repro/internal/query"
 	"repro/internal/relstore"
 	"repro/internal/schema"
 	"repro/internal/stats"
@@ -263,6 +265,90 @@ func BenchmarkLoaderParallel8(b *testing.B) { benchLoadParallel(b, 8) }
 // path.
 func BenchmarkLoaderValidationOn(b *testing.B)  { benchLoad(b, 5000, 512, true) }
 func BenchmarkLoaderValidationOff(b *testing.B) { benchLoad(b, 5000, 512, false) }
+
+// BenchmarkReadersUnderLoad measures loader throughput while concurrent
+// dashboard-style scanners poll the archive through snapshots. Each scanner
+// pins a snapshot, reads a workflow's jobs and invocations, releases it and
+// sleeps until the next poll — the paced request pattern of a dashboard
+// refreshing, not a spin loop (which on a small machine would measure CPU
+// starvation, not locking). The readers=8 rate should sit within ~10% of
+// the readers=0 baseline: snapshot readers never take the write lock, so
+// the only cost the loader sees is the readers' own (bounded) CPU use.
+func BenchmarkReadersUnderLoad0(b *testing.B) { benchReadersUnderLoad(b, 0) }
+func BenchmarkReadersUnderLoad8(b *testing.B) { benchReadersUnderLoad(b, 8) }
+
+func benchReadersUnderLoad(b *testing.B, readers int) {
+	a := archive.NewInMemory()
+	l, err := loader.New(a, loader.Options{BatchSize: 512, Validate: false})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A fixed base workflow gives the scanners a constant-size target no
+	// matter how many loader iterations accumulate in the archive.
+	base := synth.Generate(synth.Config{Seed: 999, Jobs: 300, Label: "readers-base"})
+	var buf bytes.Buffer
+	if _, err := base.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := l.LoadReader(bytes.NewReader(buf.Bytes())); err != nil {
+		b.Fatal(err)
+	}
+	q := query.New(a)
+	wf, err := q.WorkflowByUUID(base.RootUUID)
+	if err != nil || wf == nil {
+		b.Fatalf("base workflow: %v, %v", wf, err)
+	}
+
+	stop := make(chan struct{})
+	var scans atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				sq, done := q.Snapshot()
+				jobs, jerr := sq.Jobs(wf.ID)
+				_, ierr := sq.Invocations(wf.ID)
+				done()
+				if jerr != nil || ierr != nil || len(jobs) == 0 {
+					b.Errorf("scan failed: %v %v (%d jobs)", jerr, ierr, len(jobs))
+					return
+				}
+				scans.Add(1)
+			}
+		}()
+	}
+
+	var loaded int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := synth.Generate(synth.Config{Seed: int64(1000 + i), Jobs: 300})
+		var tb bytes.Buffer
+		if _, err := tr.WriteTo(&tb); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err := l.LoadReader(bytes.NewReader(tb.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		loaded += int64(st.Loaded)
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(loaded)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(scans.Load()), "scans")
+}
 
 // --- E6 and E7 -----------------------------------------------------------
 

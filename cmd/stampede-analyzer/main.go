@@ -29,7 +29,10 @@ func main() {
 		fatal("open archive: %v", err)
 	}
 	defer arch.Close()
-	q := query.New(arch)
+	// One snapshot for the whole analysis: the root listing and every
+	// drill-down report describe the same point in time.
+	q, release := query.New(arch).Snapshot()
+	defer release()
 
 	var targets []query.Workflow
 	if *wfUUID != "" {

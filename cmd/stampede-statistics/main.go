@@ -34,7 +34,11 @@ func main() {
 		fatal("open archive: %v", err)
 	}
 	defer arch.Close()
-	q := query.New(arch)
+	// Pin one snapshot for the whole run: every report below — workflow
+	// listing included — describes the same instant of the archive, even if
+	// a loader is appending to the database concurrently.
+	q, release := query.New(arch).Snapshot()
+	defer release()
 
 	var targets []query.Workflow
 	if *wfUUID != "" {

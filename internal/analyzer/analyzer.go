@@ -46,6 +46,10 @@ type Report struct {
 // sub-workflow that has failures or unfinished jobs, mirroring how the
 // interactive tool lets the user drill down the hierarchy.
 func Analyze(q *query.QI, wfID int64, recurse bool) (*Report, error) {
+	// One snapshot covers the whole report, recursion included: Snapshot on
+	// the pinned QI the recursive calls receive is a no-op.
+	q, done := q.Snapshot()
+	defer done()
 	wf, err := q.Workflow(wfID)
 	if err != nil {
 		return nil, err

@@ -157,9 +157,12 @@ func Open(path string) (*Archive, error) {
 // warmCaches rebuilds the identity caches from an existing store so that
 // appending to a reopened database works. Per-workflow entries are routed
 // to the stripe their workflow uuid hashes to; warmCaches runs before the
-// archive is shared, so no locks are needed.
+// archive is shared, so no locks are needed. All five table reads come
+// from one snapshot, so the caches describe a single point in history.
 func (a *Archive) warmCaches() error {
-	wfs, err := a.store.Select(relstore.Query{Table: TWorkflow})
+	sn := a.store.Snapshot()
+	defer sn.Close()
+	wfs, err := sn.Select(relstore.Query{Table: TWorkflow})
 	if err != nil {
 		return err
 	}
@@ -169,7 +172,7 @@ func (a *Archive) warmCaches() error {
 		a.wfIDs[uuid] = r.ID()
 		wfUUID[r.ID()] = uuid
 	}
-	jobs, err := a.store.Select(relstore.Query{Table: TJob})
+	jobs, err := sn.Select(relstore.Query{Table: TJob})
 	if err != nil {
 		return err
 	}
@@ -180,7 +183,7 @@ func (a *Archive) warmCaches() error {
 		st := &a.stripes[StripeFor(wfUUID[wf])]
 		st.jobIDs[jobKey{wf, r["exec_job_id"].(string)}] = r.ID()
 	}
-	insts, err := a.store.Select(relstore.Query{Table: TJobInstance})
+	insts, err := sn.Select(relstore.Query{Table: TJobInstance})
 	if err != nil {
 		return err
 	}
@@ -191,14 +194,14 @@ func (a *Archive) warmCaches() error {
 		st := &a.stripes[StripeFor(wfUUID[jobWF[job]])]
 		st.instIDs[instKey{job, r["job_submit_seq"].(int64)}] = r.ID()
 	}
-	hosts, err := a.store.Select(relstore.Query{Table: THost})
+	hosts, err := sn.Select(relstore.Query{Table: THost})
 	if err != nil {
 		return err
 	}
 	for _, r := range hosts {
 		a.hostIDs[hostKey{r["site"].(string), r["hostname"].(string), r["ip"].(string)}] = r.ID()
 	}
-	states, err := a.store.Select(relstore.Query{Table: TJobState})
+	states, err := sn.Select(relstore.Query{Table: TJobState})
 	if err != nil {
 		return err
 	}
@@ -214,6 +217,11 @@ func (a *Archive) warmCaches() error {
 
 // Store exposes the underlying relational store for the query layer.
 func (a *Archive) Store() *relstore.Store { return a.store }
+
+// Snapshot returns a point-in-time read view across every archive table.
+// Readers on the snapshot never block Apply and never observe a torn
+// mid-batch state; the caller must Close it to unpin version history.
+func (a *Archive) Snapshot() *relstore.Snapshot { return a.store.Snapshot() }
 
 // Applied reports how many events have been folded in.
 func (a *Archive) Applied() uint64 { return a.applied.Load() }

@@ -56,16 +56,22 @@ func New(q *query.QI) *Server {
 	return s
 }
 
-// handle registers h with request-count and latency instrumentation. The
-// route label is the pattern minus its method, resolved once here so the
-// per-request cost is an atomic add and a histogram observe.
-func (s *Server) handle(pattern string, h http.HandlerFunc) {
+// handle registers h with request-count and latency instrumentation, and
+// hands it a query interface pinned to one point-in-time snapshot for the
+// duration of the request: every table the handler touches reflects the
+// same instant of the live run, no matter how fast the loader is applying
+// events underneath. The route label is the pattern minus its method,
+// resolved once here so the per-request cost is an atomic add, a snapshot
+// pin/release, and a histogram observe.
+func (s *Server) handle(pattern string, h func(http.ResponseWriter, *http.Request, *query.QI)) {
 	route := pattern[strings.IndexByte(pattern, ' ')+1:]
 	reqs := mHTTPRequests.With(route)
 	lat := mHTTPSeconds.With(route)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		h(w, r)
+		sq, done := s.q.Snapshot()
+		h(w, r, sq)
+		done()
 		reqs.Inc()
 		lat.ObserveSince(t0)
 	})
@@ -89,7 +95,7 @@ type WorkflowStatus struct {
 	IsRoot     bool      `json:"is_root"`
 }
 
-func (s *Server) workflowStatus(wf query.Workflow) (WorkflowStatus, error) {
+func (s *Server) workflowStatus(sq *query.QI, wf query.Workflow) (WorkflowStatus, error) {
 	ws := WorkflowStatus{
 		UUID:       wf.UUID,
 		Label:      wf.DaxLabel,
@@ -98,7 +104,7 @@ func (s *Server) workflowStatus(wf query.Workflow) (WorkflowStatus, error) {
 		IsRoot:     wf.ParentID == 0,
 		State:      "UNKNOWN",
 	}
-	states, err := s.q.WorkflowStates(wf.ID)
+	states, err := sq.WorkflowStates(wf.ID)
 	if err != nil {
 		return ws, err
 	}
@@ -114,7 +120,7 @@ func (s *Server) workflowStatus(wf query.Workflow) (WorkflowStatus, error) {
 			}
 		}
 	}
-	wall, err := s.q.Walltime(wf.ID)
+	wall, err := sq.Walltime(wf.ID)
 	if err != nil {
 		return ws, err
 	}
@@ -137,9 +143,9 @@ func (s *Server) httpError(w http.ResponseWriter, code int, format string, args 
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
-func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*query.Workflow, bool) {
+func (s *Server) resolve(sq *query.QI, w http.ResponseWriter, r *http.Request) (*query.Workflow, bool) {
 	uuid := r.PathValue("uuid")
-	wf, err := s.q.WorkflowByUUID(uuid)
+	wf, err := sq.WorkflowByUUID(uuid)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "lookup failed: %v", err)
 		return nil, false
@@ -151,15 +157,15 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*query.Workflo
 	return wf, true
 }
 
-func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
-	wfs, err := s.q.Workflows()
+func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request, sq *query.QI) {
+	wfs, err := sq.Workflows()
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	out := make([]WorkflowStatus, 0, len(wfs))
 	for _, wf := range wfs {
-		ws, err := s.workflowStatus(wf)
+		ws, err := s.workflowStatus(sq, wf)
 		if err != nil {
 			s.httpError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -169,24 +175,24 @@ func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, out)
 }
 
-func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
-	wf, ok := s.resolve(w, r)
+func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request, sq *query.QI) {
+	wf, ok := s.resolve(sq, w, r)
 	if !ok {
 		return
 	}
-	ws, err := s.workflowStatus(*wf)
+	ws, err := s.workflowStatus(sq, *wf)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	subs, err := s.q.SubWorkflows(wf.ID)
+	subs, err := sq.SubWorkflows(wf.ID)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	subStatuses := make([]WorkflowStatus, 0, len(subs))
 	for _, sub := range subs {
-		st, err := s.workflowStatus(sub)
+		st, err := s.workflowStatus(sq, sub)
 		if err != nil {
 			s.httpError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -199,18 +205,18 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 	}{ws, subStatuses})
 }
 
-func (s *Server) handleStatistics(w http.ResponseWriter, r *http.Request) {
-	wf, ok := s.resolve(w, r)
+func (s *Server) handleStatistics(w http.ResponseWriter, r *http.Request, sq *query.QI) {
+	wf, ok := s.resolve(sq, w, r)
 	if !ok {
 		return
 	}
 	recurse := r.URL.Query().Get("recurse") != "false"
-	summary, err := stats.Compute(s.q, wf.ID, recurse)
+	summary, err := stats.Compute(sq, wf.ID, recurse)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	breakdown, err := stats.Breakdown(s.q, wf.ID, recurse)
+	breakdown, err := stats.Breakdown(sq, wf.ID, recurse)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -221,12 +227,12 @@ func (s *Server) handleStatistics(w http.ResponseWriter, r *http.Request) {
 	}{summary, breakdown})
 }
 
-func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	wf, ok := s.resolve(w, r)
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, sq *query.QI) {
+	wf, ok := s.resolve(sq, w, r)
 	if !ok {
 		return
 	}
-	rows, err := stats.JobsReport(s.q, wf.ID)
+	rows, err := stats.JobsReport(sq, wf.ID)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -246,12 +252,12 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, rows)
 }
 
-func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
-	wf, ok := s.resolve(w, r)
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request, sq *query.QI) {
+	wf, ok := s.resolve(sq, w, r)
 	if !ok {
 		return
 	}
-	series, err := stats.ProgressSeries(s.q, wf.ID)
+	series, err := stats.ProgressSeries(sq, wf.ID)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -259,12 +265,12 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, series)
 }
 
-func (s *Server) handleAnalyzer(w http.ResponseWriter, r *http.Request) {
-	wf, ok := s.resolve(w, r)
+func (s *Server) handleAnalyzer(w http.ResponseWriter, r *http.Request, sq *query.QI) {
+	wf, ok := s.resolve(sq, w, r)
 	if !ok {
 		return
 	}
-	report, err := analyzer.Analyze(s.q, wf.ID, true)
+	report, err := analyzer.Analyze(sq, wf.ID, true)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -294,19 +300,19 @@ td, th { border: 1px solid #999; padding: 4px 10px; text-align: left; }
 </table></body></html>
 `))
 
-func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request, sq *query.QI) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
-	wfs, err := s.q.Workflows()
+	wfs, err := sq.Workflows()
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	statuses := make([]WorkflowStatus, 0, len(wfs))
 	for _, wf := range wfs {
-		st, err := s.workflowStatus(wf)
+		st, err := s.workflowStatus(sq, wf)
 		if err != nil {
 			s.httpError(w, http.StatusInternalServerError, "%v", err)
 			return

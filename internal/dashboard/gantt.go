@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/query"
 	"repro/internal/stats"
 )
 
@@ -26,8 +27,8 @@ type GanttRow struct {
 
 // ganttRows computes the timeline for one workflow (non-recursive; the
 // UI requests each sub-workflow separately, as the drill-down does).
-func (s *Server) ganttRows(wfID int64) ([]GanttRow, error) {
-	states, err := s.q.WorkflowStates(wfID)
+func (s *Server) ganttRows(sq *query.QI, wfID int64) ([]GanttRow, error) {
+	states, err := sq.WorkflowStates(wfID)
 	if err != nil {
 		return nil, err
 	}
@@ -38,18 +39,18 @@ func (s *Server) ganttRows(wfID int64) ([]GanttRow, error) {
 			break
 		}
 	}
-	jobs, err := s.q.Jobs(wfID)
+	jobs, err := sq.Jobs(wfID)
 	if err != nil {
 		return nil, err
 	}
 	var rows []GanttRow
 	for _, j := range jobs {
-		insts, err := s.q.JobInstances(j.ID)
+		insts, err := sq.JobInstances(j.ID)
 		if err != nil {
 			return nil, err
 		}
 		for _, inst := range insts {
-			jstates, err := s.q.JobStates(inst.ID)
+			jstates, err := sq.JobStates(inst.ID)
 			if err != nil {
 				return nil, err
 			}
@@ -88,12 +89,12 @@ func (s *Server) ganttRows(wfID int64) ([]GanttRow, error) {
 	return rows, nil
 }
 
-func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
-	wf, ok := s.resolve(w, r)
+func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request, sq *query.QI) {
+	wf, ok := s.resolve(sq, w, r)
 	if !ok {
 		return
 	}
-	rows, err := s.ganttRows(wf.ID)
+	rows, err := s.ganttRows(sq, wf.ID)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -101,13 +102,13 @@ func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, rows)
 }
 
-func (s *Server) handleHosts(w http.ResponseWriter, r *http.Request) {
-	wf, ok := s.resolve(w, r)
+func (s *Server) handleHosts(w http.ResponseWriter, r *http.Request, sq *query.QI) {
+	wf, ok := s.resolve(sq, w, r)
 	if !ok {
 		return
 	}
 	recurse := r.URL.Query().Get("recurse") != "false"
-	usage, err := stats.HostsBreakdown(s.q, wf.ID, recurse)
+	usage, err := stats.HostsBreakdown(sq, wf.ID, recurse)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -118,7 +119,7 @@ func (s *Server) handleHosts(w http.ResponseWriter, r *http.Request) {
 			s.httpError(w, http.StatusBadRequest, "bad bucket %q", bucketStr)
 			return
 		}
-		series, err := stats.HostTimeSeries(s.q, wf.ID, recurse, bucket)
+		series, err := stats.HostTimeSeries(sq, wf.ID, recurse, bucket)
 		if err != nil {
 			s.httpError(w, http.StatusInternalServerError, "%v", err)
 			return

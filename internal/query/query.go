@@ -13,17 +13,40 @@ import (
 	"repro/internal/relstore"
 )
 
-// QI is a query interface over one archive store.
+// QI is a query interface over one archive store. It reads through a
+// relstore.Reader, which is either the live store (each call sees the
+// newest data) or a pinned point-in-time snapshot (every call sees the
+// same consistent state); see Snapshot.
 type QI struct {
-	store *relstore.Store
+	r     relstore.Reader
+	store *relstore.Store // non-nil when r is the live store; enables Snapshot
 }
 
 // New returns a query interface over the archive.
-func New(a *archive.Archive) *QI { return &QI{store: a.Store()} }
+func New(a *archive.Archive) *QI { return NewFromStore(a.Store()) }
 
 // NewFromStore returns a query interface over a raw store (e.g. one
 // replayed from a database file by a read-only tool).
-func NewFromStore(s *relstore.Store) *QI { return &QI{store: s} }
+func NewFromStore(s *relstore.Store) *QI { return &QI{r: s, store: s} }
+
+// NewFromSnapshot returns a query interface pinned to one point-in-time
+// snapshot. The caller owns the snapshot and its Close.
+func NewFromSnapshot(sn *relstore.Snapshot) *QI { return &QI{r: sn} }
+
+// Snapshot returns a QI pinned to a point-in-time snapshot of the
+// underlying store plus a release func. Every read through the pinned QI
+// sees one consistent state: a cross-table traversal (workflow → jobs →
+// invocations) cannot observe a torn mid-load prefix even while the
+// loader streams events in. On a QI that is already pinned, Snapshot
+// returns the QI itself with a no-op release, so report code can pin
+// unconditionally and compose.
+func (q *QI) Snapshot() (*QI, func()) {
+	if q.store == nil {
+		return q, func() {}
+	}
+	sn := q.store.Snapshot()
+	return &QI{r: sn}, sn.Close
+}
 
 // Workflow is one workflow run.
 type Workflow struct {
@@ -141,7 +164,7 @@ func wfFromRow(r relstore.Row) Workflow {
 
 // Workflows lists every workflow in the archive in insertion order.
 func (q *QI) Workflows() ([]Workflow, error) {
-	rows, err := q.store.Select(relstore.Query{Table: archive.TWorkflow})
+	rows, err := q.r.Select(relstore.Query{Table: archive.TWorkflow})
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +177,7 @@ func (q *QI) Workflows() ([]Workflow, error) {
 
 // WorkflowByUUID resolves one workflow; nil when absent.
 func (q *QI) WorkflowByUUID(uuid string) (*Workflow, error) {
-	r, err := q.store.SelectOne(relstore.Query{
+	r, err := q.r.SelectOne(relstore.Query{
 		Table: archive.TWorkflow,
 		Conds: []relstore.Cond{relstore.Eq("wf_uuid", uuid)},
 	})
@@ -167,7 +190,7 @@ func (q *QI) WorkflowByUUID(uuid string) (*Workflow, error) {
 
 // Workflow resolves one workflow by row id; error when absent.
 func (q *QI) Workflow(id int64) (*Workflow, error) {
-	r, err := q.store.Get(archive.TWorkflow, id)
+	r, err := q.r.Get(archive.TWorkflow, id)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +203,7 @@ func (q *QI) Workflow(id int64) (*Workflow, error) {
 
 // RootWorkflows lists workflows without a parent.
 func (q *QI) RootWorkflows() ([]Workflow, error) {
-	rows, err := q.store.Select(relstore.Query{
+	rows, err := q.r.Select(relstore.Query{
 		Table: archive.TWorkflow,
 		Where: func(r relstore.Row) bool { return r["parent_wf_id"] == nil },
 	})
@@ -196,7 +219,7 @@ func (q *QI) RootWorkflows() ([]Workflow, error) {
 
 // SubWorkflows lists direct children of a workflow.
 func (q *QI) SubWorkflows(parentID int64) ([]Workflow, error) {
-	rows, err := q.store.Select(relstore.Query{
+	rows, err := q.r.Select(relstore.Query{
 		Table: archive.TWorkflow,
 		Conds: []relstore.Cond{relstore.Eq("parent_wf_id", parentID)},
 	})
@@ -211,8 +234,12 @@ func (q *QI) SubWorkflows(parentID int64) ([]Workflow, error) {
 }
 
 // Descendants returns the workflow hierarchy rooted at id (excluding the
-// root itself), breadth first — how the analyzer drills down.
+// root itself), breadth first — how the analyzer drills down. The whole
+// walk runs against one snapshot, so the hierarchy is a consistent
+// point-in-time tree even while sub-workflow rows stream in.
 func (q *QI) Descendants(id int64) ([]Workflow, error) {
+	q, done := q.Snapshot()
+	defer done()
 	var out []Workflow
 	frontier := []int64{id}
 	for len(frontier) > 0 {
@@ -249,7 +276,7 @@ func statesFromRows(rows []relstore.Row) []StateRecord {
 
 // WorkflowStates returns a workflow's state timeline in time order.
 func (q *QI) WorkflowStates(wfID int64) ([]StateRecord, error) {
-	rows, err := q.store.Select(relstore.Query{
+	rows, err := q.r.Select(relstore.Query{
 		Table:   archive.TWorkflowState,
 		Conds:   []relstore.Cond{relstore.Eq("wf_id", wfID)},
 		OrderBy: "timestamp",
@@ -288,7 +315,7 @@ func (q *QI) Walltime(wfID int64) (time.Duration, error) {
 
 // Tasks lists a workflow's abstract tasks.
 func (q *QI) Tasks(wfID int64) ([]Task, error) {
-	rows, err := q.store.Select(relstore.Query{
+	rows, err := q.r.Select(relstore.Query{
 		Table: archive.TTask,
 		Conds: []relstore.Cond{relstore.Eq("wf_id", wfID)},
 	})
@@ -312,7 +339,7 @@ func (q *QI) Tasks(wfID int64) ([]Task, error) {
 // TaskEdges returns the abstract dependency edges of a workflow as
 // (parent, child) pairs.
 func (q *QI) TaskEdges(wfID int64) ([][2]string, error) {
-	rows, err := q.store.Select(relstore.Query{
+	rows, err := q.r.Select(relstore.Query{
 		Table: archive.TTaskEdge,
 		Conds: []relstore.Cond{relstore.Eq("wf_id", wfID)},
 	})
@@ -328,7 +355,7 @@ func (q *QI) TaskEdges(wfID int64) ([][2]string, error) {
 
 // Jobs lists a workflow's executable jobs.
 func (q *QI) Jobs(wfID int64) ([]Job, error) {
-	rows, err := q.store.Select(relstore.Query{
+	rows, err := q.r.Select(relstore.Query{
 		Table: archive.TJob,
 		Conds: []relstore.Cond{relstore.Eq("wf_id", wfID)},
 	})
@@ -353,7 +380,7 @@ func (q *QI) Jobs(wfID int64) ([]Job, error) {
 
 // JobEdges returns the executable dependency edges of a workflow.
 func (q *QI) JobEdges(wfID int64) ([][2]string, error) {
-	rows, err := q.store.Select(relstore.Query{
+	rows, err := q.r.Select(relstore.Query{
 		Table: archive.TJobEdge,
 		Conds: []relstore.Cond{relstore.Eq("wf_id", wfID)},
 	})
@@ -385,7 +412,7 @@ func instFromRow(q *QI, r relstore.Row) JobInstance {
 		inst.HasExitcode = true
 	}
 	if hid, ok := r["host_id"].(int64); ok {
-		if h, err := q.store.Get(archive.THost, hid); err == nil && h != nil {
+		if h, err := q.r.Get(archive.THost, hid); err == nil && h != nil {
 			inst.Hostname = str(h, "hostname")
 		}
 	}
@@ -393,8 +420,12 @@ func instFromRow(q *QI, r relstore.Row) JobInstance {
 }
 
 // JobInstances lists every attempt of one job, in submit-sequence order.
+// The instance rows and the host rows they reference resolve against one
+// snapshot.
 func (q *QI) JobInstances(jobID int64) ([]JobInstance, error) {
-	rows, err := q.store.Select(relstore.Query{
+	q, done := q.Snapshot()
+	defer done()
+	rows, err := q.r.Select(relstore.Query{
 		Table:   archive.TJobInstance,
 		Conds:   []relstore.Cond{relstore.Eq("job_id", jobID)},
 		OrderBy: "job_submit_seq",
@@ -411,7 +442,7 @@ func (q *QI) JobInstances(jobID int64) ([]JobInstance, error) {
 
 // JobStates returns a job instance's state timeline in sequence order.
 func (q *QI) JobStates(instanceID int64) ([]StateRecord, error) {
-	rows, err := q.store.Select(relstore.Query{
+	rows, err := q.r.Select(relstore.Query{
 		Table:   archive.TJobState,
 		Conds:   []relstore.Cond{relstore.Eq("job_instance_id", instanceID)},
 		OrderBy: "jobstate_submit_seq",
@@ -424,7 +455,7 @@ func (q *QI) JobStates(instanceID int64) ([]StateRecord, error) {
 
 // Invocations lists every invocation of a workflow.
 func (q *QI) Invocations(wfID int64) ([]Invocation, error) {
-	rows, err := q.store.Select(relstore.Query{
+	rows, err := q.r.Select(relstore.Query{
 		Table: archive.TInvocation,
 		Conds: []relstore.Cond{relstore.Eq("wf_id", wfID)},
 	})
@@ -440,7 +471,7 @@ func (q *QI) Invocations(wfID int64) ([]Invocation, error) {
 
 // InvocationsForInstance lists the invocations of one job instance.
 func (q *QI) InvocationsForInstance(instanceID int64) ([]Invocation, error) {
-	rows, err := q.store.Select(relstore.Query{
+	rows, err := q.r.Select(relstore.Query{
 		Table:   archive.TInvocation,
 		Conds:   []relstore.Cond{relstore.Eq("job_instance_id", instanceID)},
 		OrderBy: "task_submit_seq",
@@ -476,7 +507,7 @@ func invFromRow(r relstore.Row) Invocation {
 
 // Hosts lists every host the archive has seen.
 func (q *QI) Hosts() ([]Host, error) {
-	rows, err := q.store.Select(relstore.Query{Table: archive.THost})
+	rows, err := q.r.Select(relstore.Query{Table: archive.THost})
 	if err != nil {
 		return nil, err
 	}

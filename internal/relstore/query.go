@@ -27,25 +27,36 @@ type Query struct {
 	Limit   int // 0 = unlimited
 }
 
-// Select returns copies of all rows matching the query. Rows come back in
-// OrderBy order when set, otherwise in primary-key order, so results are
-// deterministic either way.
-func (s *Store) Select(q Query) ([]Row, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[q.Table]
+// Select returns copies of all rows matching the query, as of the newest
+// published epoch. Rows come back in OrderBy order when set, otherwise in
+// primary-key order — on the indexed, unique, and scan paths alike — so
+// results are deterministic either way.
+func (s *Store) Select(q Query) ([]Row, error) { return s.view(true).sel(q) }
+
+// SelectOne returns the single matching row, nil when none match, and an
+// error when more than one matches.
+func (s *Store) SelectOne(q Query) (Row, error) { return s.view(true).selOne(q) }
+
+// sel evaluates a query against the view's epoch. Candidate rows come from
+// an index posting chain, a unique-constraint probe, or a full scan; all
+// three paths yield primary-key order before OrderBy applies.
+func (v view) sel(q Query) ([]Row, error) {
+	t, ok := v.ts.byName[q.Table]
 	if !ok {
 		return nil, fmt.Errorf("relstore: no table %s", q.Table)
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	for _, c := range q.Conds {
 		if _, ok := t.colType[c.Column]; !ok {
 			return nil, fmt.Errorf("relstore: table %s has no column %s", q.Table, c.Column)
 		}
 	}
+	if q.OrderBy != "" {
+		if _, ok := t.colType[q.OrderBy]; !ok {
+			return nil, fmt.Errorf("relstore: table %s has no column %s to order by", q.Table, q.OrderBy)
+		}
+	}
 
-	var candidates []int64
+	var out []Row
 	matched := false
 	if len(q.Conds) > 0 {
 		cols := make([]string, len(q.Conds))
@@ -59,14 +70,19 @@ func (s *Store) Select(q Query) ([]Row, error) {
 			probe[c.Column] = cv
 		}
 		if ix := t.findIndex(cols); ix >= 0 {
-			candidates = append([]int64(nil), t.indexes[ix][compositeKey(probe, cols)]...)
-			sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+			for _, id := range t.indexes[ix].idsAt(compositeKey(probe, cols), v.epoch) {
+				if row := v.lookup(t, id); row != nil && condsMatch(t, q.Table, q.Conds, row) {
+					out = append(out, row)
+				}
+			}
 			matched = true
 		} else {
 			for u, ucols := range t.schema.Unique {
 				if len(ucols) == len(cols) && sameCols(ucols, cols) {
-					if id, ok := t.uniques[u][compositeKey(probe, ucols)]; ok {
-						candidates = []int64{id}
+					if id, ok := t.uniques[u].idAt(compositeKey(probe, ucols), v.epoch); ok {
+						if row := v.lookup(t, id); row != nil && condsMatch(t, q.Table, q.Conds, row) {
+							out = append(out, row)
+						}
 					}
 					matched = true
 					break
@@ -75,34 +91,39 @@ func (s *Store) Select(q Query) ([]Row, error) {
 		}
 	}
 	if !matched {
-		candidates = t.sortedIDs()
+		t.rows.Range(func(_, cv any) bool {
+			ver := cv.(*rowChain).visibleAt(v.epoch)
+			if ver == nil {
+				return true
+			}
+			if condsMatch(t, q.Table, q.Conds, ver.row) {
+				out = append(out, ver.row)
+			}
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	}
-
-	var out []Row
-	for _, id := range candidates {
-		row, ok := t.rows[id]
-		if !ok {
-			continue
+	if q.Where != nil {
+		kept := out[:0]
+		for _, row := range out {
+			if q.Where(row) {
+				kept = append(kept, row)
+			}
 		}
-		if !condsMatch(t, q.Table, q.Conds, row) {
-			continue
+		out = kept
+	}
+	if v.clone {
+		for i := range out {
+			out[i] = out[i].Clone()
 		}
-		if q.Where != nil && !q.Where(row) {
-			continue
-		}
-		out = append(out, row.Clone())
 	}
 	if q.OrderBy != "" {
-		if _, ok := t.colType[q.OrderBy]; !ok {
-			return nil, fmt.Errorf("relstore: table %s has no column %s to order by", q.Table, q.OrderBy)
-		}
 		col := q.OrderBy
 		sort.SliceStable(out, func(i, j int) bool {
-			less := valueLess(out[i][col], out[j][col])
 			if q.Desc {
 				return valueLess(out[j][col], out[i][col])
 			}
-			return less
+			return valueLess(out[i][col], out[j][col])
 		})
 	}
 	if q.Limit > 0 && len(out) > q.Limit {
@@ -111,11 +132,22 @@ func (s *Store) Select(q Query) ([]Row, error) {
 	return out, nil
 }
 
-// SelectOne returns the single matching row, nil when none match, and an
-// error when more than one matches.
-func (s *Store) SelectOne(q Query) (Row, error) {
+// lookup resolves an index candidate id to its visible row, or nil.
+func (v view) lookup(t *table, id int64) Row {
+	cv, ok := t.rows.Load(id)
+	if !ok {
+		return nil
+	}
+	ver := cv.(*rowChain).visibleAt(v.epoch)
+	if ver == nil {
+		return nil
+	}
+	return ver.row
+}
+
+func (v view) selOne(q Query) (Row, error) {
 	q.Limit = 2
-	rows, err := s.Select(q)
+	rows, err := v.sel(q)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,198 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Snapshot telemetry, shared by every store in the process. The age gauge
+// is the canary for snapshot leaks (a report that never calls Close pins
+// version history forever); reclaims make version GC observable.
+var (
+	mSnapshots = telemetry.NewCounter("stampede_relstore_snapshots_total",
+		"Point-in-time snapshots taken.")
+	mSnapshotsLive = telemetry.NewGauge("stampede_relstore_snapshots_live",
+		"Snapshots currently open (pinning version history).")
+	mVersionReclaims = telemetry.NewCounter("stampede_relstore_version_reclaims_total",
+		"Dead row and index-posting versions reclaimed by version GC.")
+)
+
+func init() {
+	telemetry.NewGaugeFunc("stampede_relstore_snapshot_oldest_age_seconds",
+		"Age of the oldest open snapshot, in seconds; 0 when none is open.",
+		oldestSnapshotAge)
+}
+
+// Process-wide registry of open snapshots' start times, feeding the
+// oldest-age gauge across all stores.
+var (
+	snapAgeMu sync.Mutex
+	snapAgeT0 = make(map[*Snapshot]time.Time)
+)
+
+func oldestSnapshotAge() float64 {
+	snapAgeMu.Lock()
+	defer snapAgeMu.Unlock()
+	var oldest time.Time
+	for _, t0 := range snapAgeT0 {
+		if oldest.IsZero() || t0.Before(oldest) {
+			oldest = t0
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest).Seconds()
+}
+
+// Reader is the read-only query surface shared by the live Store and a
+// point-in-time Snapshot, so query code can run against either.
+type Reader interface {
+	Select(q Query) ([]Row, error)
+	SelectOne(q Query) (Row, error)
+	Get(tableName string, id int64) (Row, error)
+	Count(tableName string) (int, error)
+}
+
+var (
+	_ Reader = (*Store)(nil)
+	_ Reader = (*Snapshot)(nil)
+)
+
+// Snapshot is an immutable point-in-time view across every table of a
+// store. Reads through a snapshot take no locks and return the stored
+// (immutable) row versions without copying; the caller must not mutate
+// them. A snapshot pins version history: Close releases it so version GC
+// can reclaim superseded rows. Close is idempotent.
+type Snapshot struct {
+	s      *Store
+	v      view
+	t0     time.Time
+	closed atomic.Bool
+}
+
+// Snapshot pins the newest published epoch and returns a consistent view
+// of the whole store at that instant. Concurrent writers proceed
+// unhindered; their changes are simply invisible to this snapshot.
+func (s *Store) Snapshot() *Snapshot {
+	s.snapMu.Lock()
+	e := s.epoch.Load()
+	sn := &Snapshot{s: s, v: view{ts: s.tables.Load(), epoch: e}, t0: time.Now()}
+	s.snaps[sn] = e
+	if e < s.minLive.Load() {
+		s.minLive.Store(e)
+	}
+	s.snapMu.Unlock()
+	snapAgeMu.Lock()
+	snapAgeT0[sn] = sn.t0
+	snapAgeMu.Unlock()
+	mSnapshots.Inc()
+	mSnapshotsLive.Inc()
+	return sn
+}
+
+// Close releases the snapshot, unpinning its epoch for version GC.
+func (sn *Snapshot) Close() {
+	if sn.closed.Swap(true) {
+		return
+	}
+	s := sn.s
+	s.snapMu.Lock()
+	delete(s.snaps, sn)
+	min := ^uint64(0)
+	for _, e := range s.snaps {
+		if e < min {
+			min = e
+		}
+	}
+	s.minLive.Store(min)
+	s.snapMu.Unlock()
+	snapAgeMu.Lock()
+	delete(snapAgeT0, sn)
+	snapAgeMu.Unlock()
+	mSnapshotsLive.Dec()
+}
+
+// Epoch reports the epoch this snapshot is pinned to.
+func (sn *Snapshot) Epoch() uint64 { return sn.v.epoch }
+
+// Select returns all rows matching the query as of the snapshot's epoch.
+// Unlike Store.Select, the rows are not copies — they are the immutable
+// stored versions and must not be mutated.
+func (sn *Snapshot) Select(q Query) ([]Row, error) { return sn.v.sel(q) }
+
+// SelectOne returns the single matching row, nil when none match, and an
+// error when more than one matches.
+func (sn *Snapshot) SelectOne(q Query) (Row, error) { return sn.v.selOne(q) }
+
+// Get returns the row with the given primary key as of the snapshot's
+// epoch, or nil when absent. The row must not be mutated.
+func (sn *Snapshot) Get(tableName string, id int64) (Row, error) {
+	return sn.v.get(tableName, id)
+}
+
+// Count returns the number of rows visible in the snapshot.
+func (sn *Snapshot) Count(tableName string) (int, error) {
+	t, ok := sn.v.ts.byName[tableName]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %s", tableName)
+	}
+	n := 0
+	t.rows.Range(func(_, cv any) bool {
+		if cv.(*rowChain).visibleAt(sn.v.epoch) != nil {
+			n++
+		}
+		return true
+	})
+	return n, nil
+}
+
+// TableNames lists the snapshot's tables in creation order.
+func (sn *Snapshot) TableNames() []string {
+	return append([]string(nil), sn.v.ts.order...)
+}
+
+// view is the read-side engine: an immutable table set plus a visibility
+// epoch. Store reads build an ephemeral view at the newest epoch and clone
+// results (callers may mutate them); Snapshot pins one view and returns
+// the immutable versions directly.
+type view struct {
+	ts    *tableSet
+	epoch uint64
+	clone bool
+}
+
+// view captures the current epoch and table set. The epoch is loaded
+// first so the table set can only be newer — a table created after the
+// epoch resolves but holds no rows visible at it.
+func (s *Store) view(clone bool) view {
+	e := s.epoch.Load()
+	return view{ts: s.tables.Load(), epoch: e, clone: clone}
+}
+
+func (v view) maybeClone(row Row) Row {
+	if v.clone {
+		return row.Clone()
+	}
+	return row
+}
+
+func (v view) get(tableName string, id int64) (Row, error) {
+	t, ok := v.ts.byName[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %s", tableName)
+	}
+	cv, ok := t.rows.Load(id)
+	if !ok {
+		return nil, nil
+	}
+	ver := cv.(*rowChain).visibleAt(v.epoch)
+	if ver == nil {
+		return nil, nil
+	}
+	return v.maybeClone(ver.row), nil
+}

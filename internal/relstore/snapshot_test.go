@@ -1,0 +1,477 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotPointInTime: a snapshot keeps seeing the state at its epoch
+// while the live store moves on through inserts, updates and deletes.
+func TestSnapshotPointInTime(t *testing.T) {
+	s := newTestStore(t)
+	wf, err := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": "a", "runtime": 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": "b", "runtime": 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sn := s.Snapshot()
+	defer sn.Close()
+
+	// Mutate after the snapshot: update j1, delete j2, insert j3.
+	if err := s.Update("job", j1, Row{"runtime": 99.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("job", j2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": "c"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot still sees the original two rows with original values.
+	row, err := sn.Get("job", j1)
+	if err != nil || row == nil {
+		t.Fatalf("snapshot Get(j1) = %v, %v", row, err)
+	}
+	if rt := row["runtime"].(float64); rt != 1.0 {
+		t.Fatalf("snapshot sees runtime %v, want pre-update 1.0", rt)
+	}
+	if row, err := sn.Get("job", j2); err != nil || row == nil {
+		t.Fatalf("snapshot lost deleted row: %v, %v", row, err)
+	}
+	if n, err := sn.Count("job"); err != nil || n != 2 {
+		t.Fatalf("snapshot Count = %d, %v, want 2", n, err)
+	}
+	rows, err := sn.Select(Query{Table: "job", Conds: []Cond{Eq("wf_id", wf)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("snapshot indexed Select = %d rows, want 2", len(rows))
+	}
+
+	// The live store sees the new state.
+	live, err := s.Get("job", j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt := live["runtime"].(float64); rt != 99.0 {
+		t.Fatalf("live store sees runtime %v, want 99.0", rt)
+	}
+	if row, _ := s.Get("job", j2); row != nil {
+		t.Fatalf("live store still has deleted row %v", row)
+	}
+	if n, _ := s.Count("job"); n != 2 { // j1 + j3
+		t.Fatalf("live Count = %d, want 2", n)
+	}
+
+	// A fresh snapshot sees the new state too.
+	sn2 := s.Snapshot()
+	defer sn2.Close()
+	if row, _ := sn2.Get("job", j2); row != nil {
+		t.Fatalf("new snapshot resurrected deleted row %v", row)
+	}
+}
+
+// TestSelectOrderDeterministic: indexed, unique-probe and scan paths all
+// return rows in primary-key order, even when rows were inserted out of
+// index-key order and updated in between (regression for ordering drift
+// between the index path and the scan path).
+func TestSelectOrderDeterministic(t *testing.T) {
+	s := newTestStore(t)
+	wf, err := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert with exec_job_id values deliberately out of order relative to
+	// assigned primary keys.
+	names := []string{"z", "m", "a", "q", "b"}
+	ids := make([]int64, len(names))
+	for i, name := range names {
+		id, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Churn: update two rows so their index postings are re-created (a
+	// naive newest-first posting walk would move them to the front).
+	if err := s.Update("job", ids[0], Row{"runtime": 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update("job", ids[2], Row{"runtime": 2.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	assertPKOrder := func(label string, rows []Row, wantLen int) {
+		t.Helper()
+		if len(rows) != wantLen {
+			t.Fatalf("%s: %d rows, want %d", label, len(rows), wantLen)
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i-1].ID() >= rows[i].ID() {
+				t.Fatalf("%s: ids out of order: %d before %d", label, rows[i-1].ID(), rows[i].ID())
+			}
+		}
+	}
+
+	// Indexed path (wf_id is indexed on the job table).
+	rows, err := s.Select(Query{Table: "job", Conds: []Cond{Eq("wf_id", wf)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPKOrder("indexed", rows, len(names))
+
+	// Scan path (no index covers runtime).
+	rows, err = s.Select(Query{Table: "job"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPKOrder("scan", rows, len(names))
+
+	// Same guarantees through a snapshot.
+	sn := s.Snapshot()
+	defer sn.Close()
+	rows, err = sn.Select(Query{Table: "job", Conds: []Cond{Eq("wf_id", wf)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPKOrder("snapshot indexed", rows, len(names))
+	rows, err = sn.Select(Query{Table: "job"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPKOrder("snapshot scan", rows, len(names))
+}
+
+// TestSnapshotCrossTableConsistency: a snapshot is a point in time across
+// all tables, so reading the child table before the parent table (the
+// torn-read direction) still resolves every foreign key.
+func TestSnapshotCrossTableConsistency(t *testing.T) {
+	s := newTestStore(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			wf, err := s.Insert("workflow", Row{"wf_uuid": fmt.Sprintf("u%d", i), "ts": now})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 3; j++ {
+				if _, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": fmt.Sprintf("j%d", j)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for r := 0; r < 200; r++ {
+		sn := s.Snapshot()
+		// Deliberately read children first, parents second: without a
+		// point-in-time view this is the racy order.
+		jobs, err := sn.Select(Query{Table: "job"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wfs, err := sn.Select(Query{Table: "workflow"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int64]bool, len(wfs))
+		for _, w := range wfs {
+			seen[w.ID()] = true
+		}
+		for _, j := range jobs {
+			if !seen[j["wf_id"].(int64)] {
+				t.Fatalf("torn read: job %d references workflow %v missing from the same snapshot",
+					j.ID(), j["wf_id"])
+			}
+		}
+		sn.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestUpdateDeleteVsSnapshotStress: concurrent snapshots racing Update and
+// Delete always observe internally consistent rows — the two columns every
+// Update writes in lockstep never diverge, and a row read twice within one
+// snapshot never changes. Run with -race.
+func TestUpdateDeleteVsSnapshotStress(t *testing.T) {
+	s := newTestStore(t)
+	wf, err := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nRows = 8
+	ids := make([]int64, nRows)
+	for i := range ids {
+		id, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": fmt.Sprintf("j%d", i), "runtime": 0.0, "done": false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: runtime and done move in lockstep
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := ids[i%nRows]
+			if i%37 == 0 {
+				if err := s.Delete("job", id); err != nil {
+					t.Error(err)
+					return
+				}
+				nid, err := s.Insert("job", Row{
+					"wf_id": wf, "exec_job_id": fmt.Sprintf("j%d", i%nRows),
+					"runtime": float64(i), "done": i%2 == 0,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids[i%nRows] = nid
+				continue
+			}
+			if err := s.Update("job", id, Row{"runtime": float64(i), "done": i%2 == 0}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var rwg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for k := 0; k < 300; k++ {
+				sn := s.Snapshot()
+				rows, err := sn.Select(Query{Table: "job"})
+				if err != nil {
+					t.Error(err)
+					sn.Close()
+					return
+				}
+				for _, row := range rows {
+					i := int(row["runtime"].(float64))
+					if i != 0 && row["done"].(bool) != (i%2 == 0) {
+						t.Errorf("torn row: runtime=%d done=%v", i, row["done"])
+					}
+					// Re-read within the same snapshot: must be identical.
+					again, err := sn.Get("job", row.ID())
+					if err != nil || again == nil {
+						t.Errorf("row %d vanished within its snapshot: %v, %v", row.ID(), again, err)
+						continue
+					}
+					if again["runtime"].(float64) != row["runtime"].(float64) {
+						t.Errorf("row %d changed within one snapshot", row.ID())
+					}
+				}
+				sn.Close()
+			}
+		}()
+	}
+	rwg.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// TestVersionGC: dead versions are reclaimed once no snapshot pins them,
+// and retained — still readable — while one does.
+func TestVersionGC(t *testing.T) {
+	s := newTestStore(t)
+	wf, err := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": "a", "runtime": 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With no snapshot open, repeated updates must not grow the chain: the
+	// writer prunes as it goes.
+	before := mVersionReclaims.Value()
+	for i := 1; i <= 50; i++ {
+		if err := s.Update("job", id, Row{"runtime": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mVersionReclaims.Value(); got-before < 49 {
+		t.Fatalf("reclaims grew by %d over 50 updates, want >= 49", got-before)
+	}
+	chainv, _ := s.tables.Load().byName["job"].rows.Load(id)
+	if n := chainLen(chainv.(*rowChain)); n > 2 {
+		t.Fatalf("chain length %d after unpinned updates, want <= 2", n)
+	}
+
+	// An open snapshot pins its version: the chain grows, and the pinned
+	// value stays readable.
+	sn := s.Snapshot()
+	pinned, err := sn.Get("job", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 110; i++ {
+		if err := s.Update("job", id, Row{"runtime": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := sn.Get("job", id)
+	if err != nil || again == nil {
+		t.Fatalf("pinned read failed: %v, %v", again, err)
+	}
+	if again["runtime"].(float64) != pinned["runtime"].(float64) {
+		t.Fatalf("pinned version changed: %v -> %v", pinned["runtime"], again["runtime"])
+	}
+	if n := chainLen(chainv.(*rowChain)); n < 2 {
+		t.Fatalf("chain length %d while a snapshot pins history, want >= 2", n)
+	}
+
+	// Close the snapshot; the next write (or an explicit GC) reclaims.
+	sn.Close()
+	if err := s.Update("job", id, Row{"runtime": 999.0}); err != nil {
+		t.Fatal(err)
+	}
+	if n := chainLen(chainv.(*rowChain)); n > 2 {
+		t.Fatalf("chain length %d after snapshot close + write, want <= 2", n)
+	}
+
+	// Deleted rows disappear entirely under GC.
+	if err := s.Delete("job", id); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.GC(); n < 1 {
+		t.Fatalf("GC reclaimed %d, want >= 1", n)
+	}
+	if _, ok := s.tables.Load().byName["job"].rows.Load(id); ok {
+		t.Fatal("deleted row's chain survived GC with no snapshot open")
+	}
+}
+
+func chainLen(c *rowChain) int {
+	n := 0
+	for v := c.head.Load(); v != nil; v = v.prev.Load() {
+		n++
+	}
+	return n
+}
+
+// TestSnapshotTableNames: the snapshot's table list is stable even if
+// tables are created after it.
+func TestSnapshotTableNames(t *testing.T) {
+	s := newTestStore(t)
+	sn := s.Snapshot()
+	defer sn.Close()
+	if err := s.CreateTable(TableSchema{Name: "late", Columns: []Column{{Name: "x", Type: Int, Nullable: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range sn.TableNames() {
+		if name == "late" {
+			t.Fatal("snapshot lists a table created after it")
+		}
+	}
+	if len(s.TableNames()) != 3 {
+		t.Fatalf("live TableNames = %v", s.TableNames())
+	}
+}
+
+// TestSnapshotWALReplay: snapshots work identically on a store replayed
+// from a WAL file — replayed history lands at epoch 1 and update/delete
+// records resolve to the final state.
+func TestSnapshotWALReplay(t *testing.T) {
+	path := t.TempDir() + "/snap.db"
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable(wfSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable(jobSchema()); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := s.Insert("workflow", Row{"wf_uuid": "u1", "ts": now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": "a", "runtime": 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Insert("job", Row{"wf_id": wf, "exec_job_id": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update("job", j1, Row{"runtime": 42.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("job", j2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	sn := re.Snapshot()
+	defer sn.Close()
+	row, err := sn.Get("job", j1)
+	if err != nil || row == nil {
+		t.Fatalf("replayed Get = %v, %v", row, err)
+	}
+	if rt := row["runtime"].(float64); rt != 42.0 {
+		t.Fatalf("replayed runtime = %v, want 42.0", rt)
+	}
+	if row, _ := sn.Get("job", j2); row != nil {
+		t.Fatalf("replayed snapshot resurrected deleted row %v", row)
+	}
+	rows, err := sn.Select(Query{Table: "job", Conds: []Cond{Eq("wf_id", wf)}})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("replayed indexed Select = %v, %v", rows, err)
+	}
+}
+
+// TestSnapshotAgeAndClose: Close is idempotent and unpins promptly.
+func TestSnapshotAgeAndClose(t *testing.T) {
+	s := newTestStore(t)
+	sn := s.Snapshot()
+	if sn.Epoch() != s.epoch.Load() {
+		t.Fatalf("snapshot epoch %d != store epoch %d", sn.Epoch(), s.epoch.Load())
+	}
+	sn.Close()
+	sn.Close() // idempotent
+	if got := s.minLive.Load(); got != ^uint64(0) {
+		t.Fatalf("minLive after close = %d, want MaxUint64", got)
+	}
+	_ = time.Now // keep time imported for helpers above
+}

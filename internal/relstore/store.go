@@ -2,38 +2,58 @@ package relstore
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// Store is a set of tables. Concurrency uses two lock levels: s.mu guards
-// the table map itself (table creation, WAL pointer, configuration) and is
-// held shared for the duration of every row operation, while each table
-// carries its own RW mutex so writers to different tables proceed in
-// parallel. Multi-table invariants (foreign keys) stay simple because a
-// writer locks its target table exclusively plus every referenced table
-// shared, always in table-name order, so concurrent writers can never
-// deadlock and a referenced row can not disappear mid-check.
+// Store is a set of multi-version tables. Concurrency follows the classic
+// single-writer / many-reader MVCC shape: one store-wide writer mutex
+// serializes all mutations, and every mutation runs at a fresh epoch that
+// is published with one atomic store once the change is fully in place.
+// Readers never take a lock — Snapshot pins the newest published epoch and
+// reads version chains whose visible prefix at that epoch can no longer
+// change, so a heavy scan cannot stall the loader and a cross-table
+// traversal cannot observe a torn mid-batch state.
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*table
-	order  []string
-	wal    *walWriter // nil for purely in-memory stores
+	// writeMu serializes Insert/InsertBatch/Update/Delete/CreateTable.
+	// Multi-table invariants (foreign keys) stay simple because the single
+	// writer means a referenced row cannot disappear mid-check.
+	writeMu sync.Mutex
+	// epoch is the newest published epoch. A mutation works at epoch+1 and
+	// publishes by storing the new value after all its versions are linked,
+	// so a reader that loads the epoch sees all of the mutation or none.
+	epoch atomic.Uint64
+	// tables is copy-on-write: CreateTable swaps in a whole new set, so
+	// readers resolve table names with one atomic load.
+	tables atomic.Pointer[tableSet]
+	wal    atomic.Pointer[walWriter] // nil for purely in-memory stores
 	// checkFKs can be disabled for bulk replay of already-validated data.
-	checkFKs bool
+	checkFKs atomic.Bool
+
+	// snapMu guards the live-snapshot registry; minLive caches the oldest
+	// registered epoch (MaxUint64 when none) as the version-GC horizon.
+	snapMu  sync.Mutex
+	snaps   map[*Snapshot]uint64
+	minLive atomic.Uint64
+}
+
+// tableSet is an immutable name→table mapping plus creation order.
+type tableSet struct {
+	byName map[string]*table
+	order  []string
 }
 
 // NewStore returns an empty in-memory store with foreign-key checking on.
 func NewStore() *Store {
-	return &Store{tables: make(map[string]*table), checkFKs: true}
+	s := &Store{snaps: make(map[*Snapshot]uint64)}
+	s.tables.Store(&tableSet{byName: make(map[string]*table)})
+	s.checkFKs.Store(true)
+	s.minLive.Store(^uint64(0))
+	return s
 }
 
 // SetForeignKeyChecks toggles FK enforcement (on by default).
-func (s *Store) SetForeignKeyChecks(on bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.checkFKs = on
-}
+func (s *Store) SetForeignKeyChecks(on bool) { s.checkFKs.Store(on) }
 
 // CreateTable registers a table. Creating a table that already exists with
 // an identical schema is a no-op, so archive initialisation is idempotent.
@@ -41,19 +61,27 @@ func (s *Store) CreateTable(schema TableSchema) error {
 	if err := schema.validate(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if existing, ok := s.tables[schema.Name]; ok {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	ts := s.tables.Load()
+	if existing, ok := ts.byName[schema.Name]; ok {
 		if fmt.Sprintf("%+v", *existing.schema) == fmt.Sprintf("%+v", schema) {
 			return nil
 		}
 		return fmt.Errorf("relstore: table %s already exists with a different schema", schema.Name)
 	}
 	cp := schema
-	s.tables[schema.Name] = newTable(&cp)
-	s.order = append(s.order, schema.Name)
-	if s.wal != nil {
-		if err := s.wal.logCreate(&cp); err != nil {
+	next := &tableSet{
+		byName: make(map[string]*table, len(ts.byName)+1),
+		order:  append(append([]string(nil), ts.order...), schema.Name),
+	}
+	for k, v := range ts.byName {
+		next.byName[k] = v
+	}
+	next.byName[schema.Name] = newTable(&cp)
+	s.tables.Store(next)
+	if w := s.wal.Load(); w != nil {
+		if err := w.logCreate(&cp); err != nil {
 			return err
 		}
 	}
@@ -62,101 +90,63 @@ func (s *Store) CreateTable(schema TableSchema) error {
 
 // TableNames lists tables in creation order.
 func (s *Store) TableNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]string(nil), s.order...)
+	return append([]string(nil), s.tables.Load().order...)
 }
 
-// Count returns the number of rows in a table.
+// Count returns the number of rows visible at the newest epoch. Each table
+// keeps a live-row counter, so this is O(1) and scan-free.
 func (s *Store) Count(tableName string) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
+	t, ok := s.tables.Load().byName[tableName]
 	if !ok {
 		return 0, fmt.Errorf("relstore: no table %s", tableName)
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows), nil
-}
-
-// lockForWrite acquires the target table's write lock plus a read lock on
-// every table its foreign keys reference, in lexicographic table-name
-// order. The global order makes concurrent writers on any table mix
-// deadlock-free; a self-referencing FK (workflow.parent_wf_id) is covered
-// by the write lock and skipped. The caller must hold s.mu at least
-// shared. Release via the returned func (reverse order).
-func (s *Store) lockForWrite(target *table) func() {
-	type entry struct {
-		t     *table
-		write bool
-	}
-	locks := []entry{{t: target, write: true}}
-	for _, fk := range target.schema.ForeignKeys {
-		if fk.RefTable == target.schema.Name {
-			continue
-		}
-		ref, ok := s.tables[fk.RefTable]
-		if !ok {
-			continue // surfaced as an FK error during the check itself
-		}
-		dup := false
-		for _, l := range locks {
-			if l.t == ref {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			locks = append(locks, entry{t: ref})
-		}
-	}
-	sort.Slice(locks, func(i, j int) bool {
-		return locks[i].t.schema.Name < locks[j].t.schema.Name
-	})
-	for _, l := range locks {
-		if l.write {
-			l.t.mu.Lock()
-		} else {
-			l.t.mu.RLock()
-		}
-	}
-	return func() {
-		for i := len(locks) - 1; i >= 0; i-- {
-			if locks[i].write {
-				locks[i].t.mu.Unlock()
-			} else {
-				locks[i].t.mu.RUnlock()
-			}
-		}
-	}
+	return int(t.live.Load()), nil
 }
 
 // Insert adds one row and returns its assigned primary key.
 func (s *Store) Insert(tableName string, row Row) (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	t, ok := s.tables.Load().byName[tableName]
 	if !ok {
 		return 0, fmt.Errorf("relstore: no table %s", tableName)
 	}
-	unlock := s.lockForWrite(t)
-	defer unlock()
-	return s.insertLocked(t, row)
+	e := s.epoch.Load() + 1
+	n, err := t.normalize(row)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.checkUnique(n, 0); err != nil {
+		return 0, err
+	}
+	if err := s.checkForeignKeys(t, n); err != nil {
+		return 0, err
+	}
+	id := t.nextID
+	t.nextID++
+	n["id"] = id
+	t.putRow(n, e)
+	s.epoch.Store(e)
+	if w := s.wal.Load(); w != nil {
+		if err := w.logInsertBatch(tableName, []Row{n}); err != nil {
+			return id, err
+		}
+	}
+	return id, nil
 }
 
-// InsertBatch adds many rows under one lock acquisition and one WAL write,
-// the fast path the stampede loader batches into. It fails atomically: on
-// any error no row from the batch is applied.
+// InsertBatch adds many rows under one lock acquisition, one epoch, and
+// one WAL write — the fast path the stampede loader batches into. It fails
+// atomically: on any error no row from the batch is applied. Because the
+// whole batch publishes as a single epoch, a snapshot either sees all of
+// the batch or none of it.
 func (s *Store) InsertBatch(tableName string, rows []Row) ([]int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	t, ok := s.tables.Load().byName[tableName]
 	if !ok {
 		return nil, fmt.Errorf("relstore: no table %s", tableName)
 	}
-	unlock := s.lockForWrite(t)
-	defer unlock()
 	normalized := make([]Row, len(rows))
 	// Validate everything before mutating, so failure is atomic. Unique
 	// checks must also consider earlier rows in the same batch.
@@ -179,71 +169,46 @@ func (s *Store) InsertBatch(tableName string, rows []Row) ([]int64, error) {
 			}
 			batchKeys[u][key] = true
 		}
-		if err := s.checkForeignKeysLocked(t, n); err != nil {
+		if err := s.checkForeignKeys(t, n); err != nil {
 			return nil, fmt.Errorf("row %d: %w", i, err)
 		}
 		normalized[i] = n
 	}
+	e := s.epoch.Load() + 1
 	ids := make([]int64, len(normalized))
 	for i, n := range normalized {
 		id := t.nextID
 		t.nextID++
 		n["id"] = id
-		t.rows[id] = n
-		t.indexRow(n)
+		t.putRow(n, e)
 		ids[i] = id
 	}
-	if s.wal != nil {
-		if err := s.wal.logInsertBatch(tableName, normalized); err != nil {
+	s.epoch.Store(e)
+	if w := s.wal.Load(); w != nil {
+		if err := w.logInsertBatch(tableName, normalized); err != nil {
 			return ids, err
 		}
 	}
 	return ids, nil
 }
 
-// insertLocked does the single-row insert; the caller holds s.mu shared
-// and the table locks from lockForWrite.
-func (s *Store) insertLocked(t *table, row Row) (int64, error) {
-	n, err := t.normalize(row)
-	if err != nil {
-		return 0, err
-	}
-	if err := t.checkUnique(n, 0); err != nil {
-		return 0, err
-	}
-	if err := s.checkForeignKeysLocked(t, n); err != nil {
-		return 0, err
-	}
-	id := t.nextID
-	t.nextID++
-	n["id"] = id
-	t.rows[id] = n
-	t.indexRow(n)
-	if s.wal != nil {
-		if err := s.wal.logInsertBatch(t.schema.Name, []Row{n}); err != nil {
-			return id, err
-		}
-	}
-	return id, nil
-}
-
-// checkForeignKeysLocked verifies row's FK values; the caller holds the
-// locks from lockForWrite, which include a shared lock on every
-// referenced table.
-func (s *Store) checkForeignKeysLocked(t *table, row Row) error {
-	if !s.checkFKs {
+// checkForeignKeys verifies row's FK values against the writer's view; the
+// caller holds writeMu, so referenced rows cannot vanish mid-check.
+func (s *Store) checkForeignKeys(t *table, row Row) error {
+	if !s.checkFKs.Load() {
 		return nil
 	}
+	ts := s.tables.Load()
 	for _, fk := range t.schema.ForeignKeys {
 		v := row[fk.Column]
 		if v == nil {
 			continue // null FK means "no reference", as in SQL
 		}
-		ref, ok := s.tables[fk.RefTable]
+		ref, ok := ts.byName[fk.RefTable]
 		if !ok {
 			return fmt.Errorf("relstore: %s.%s references missing table %s", t.schema.Name, fk.Column, fk.RefTable)
 		}
-		if !s.refExistsLocked(ref, fk.RefColumn, v) {
+		if !refExists(ref, fk.RefColumn, v) {
 			return &FKError{
 				Table: t.schema.Name, Column: fk.Column,
 				RefTable: fk.RefTable, RefColumn: fk.RefColumn, Value: v,
@@ -253,67 +218,61 @@ func (s *Store) checkForeignKeysLocked(t *table, row Row) error {
 	return nil
 }
 
-func (s *Store) refExistsLocked(ref *table, col string, v any) bool {
+func refExists(ref *table, col string, v any) bool {
 	if col == "id" {
 		id, ok := v.(int64)
 		if !ok {
 			return false
 		}
-		_, exists := ref.rows[id]
-		return exists
+		c, ok := ref.rows.Load(id)
+		return ok && c.(*rowChain).liveVersion() != nil
 	}
 	// Try a unique constraint or index covering exactly this column.
 	probe := Row{col: v}
 	for i, cols := range ref.schema.Unique {
 		if len(cols) == 1 && cols[0] == col {
-			_, ok := ref.uniques[i][compositeKey(probe, cols)]
+			_, ok := ref.uniques[i].liveID(compositeKey(probe, cols))
 			return ok
 		}
 	}
 	if ix := ref.findIndex([]string{col}); ix >= 0 {
-		return len(ref.indexes[ix][compositeKey(probe, []string{col})]) > 0
+		_, ok := ref.indexes[ix].liveID(compositeKey(probe, []string{col}))
+		return ok
 	}
-	for _, row := range ref.rows {
-		if row[col] == v {
-			return true
+	found := false
+	ref.rows.Range(func(_, cv any) bool {
+		if lv := cv.(*rowChain).liveVersion(); lv != nil && valueEq(lv.row[col], v) {
+			found = true
+			return false
 		}
-	}
-	return false
+		return true
+	})
+	return found
 }
 
 // Get returns the row with the given primary key, or nil when absent. The
 // returned row is a copy; mutating it does not affect the store.
 func (s *Store) Get(tableName string, id int64) (Row, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return nil, fmt.Errorf("relstore: no table %s", tableName)
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	r, ok := t.rows[id]
-	if !ok {
-		return nil, nil
-	}
-	return r.Clone(), nil
+	return s.view(true).get(tableName, id)
 }
 
 // Update rewrites the named columns of the row with primary key id.
 func (s *Store) Update(tableName string, id int64, changes Row) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	t, ok := s.tables.Load().byName[tableName]
 	if !ok {
 		return fmt.Errorf("relstore: no table %s", tableName)
 	}
-	unlock := s.lockForWrite(t)
-	defer unlock()
-	old, ok := t.rows[id]
-	if !ok {
+	cv, ok := t.rows.Load(id)
+	var old *rowVersion
+	if ok {
+		old = cv.(*rowChain).liveVersion()
+	}
+	if old == nil {
 		return fmt.Errorf("relstore: %s has no row %d", tableName, id)
 	}
-	merged := old.Clone()
+	merged := old.row.Clone()
 	for k, v := range changes {
 		if k == "id" {
 			return fmt.Errorf("relstore: cannot update primary key")
@@ -322,11 +281,11 @@ func (s *Store) Update(tableName string, id int64, changes Row) error {
 		if !ok {
 			return fmt.Errorf("relstore: table %s has no column %s", tableName, k)
 		}
-		cv, err := coerce(tableName, k, ct, v)
+		cvv, err := coerce(tableName, k, ct, v)
 		if err != nil {
 			return err
 		}
-		if cv == nil {
+		if cvv == nil {
 			nullable := false
 			for _, c := range t.schema.Columns {
 				if c.Name == k {
@@ -338,19 +297,21 @@ func (s *Store) Update(tableName string, id int64, changes Row) error {
 				return fmt.Errorf("relstore: table %s: column %s may not be null", tableName, k)
 			}
 		}
-		merged[k] = cv
+		merged[k] = cvv
 	}
 	if err := t.checkUnique(merged, id); err != nil {
 		return err
 	}
-	if err := s.checkForeignKeysLocked(t, merged); err != nil {
+	if err := s.checkForeignKeys(t, merged); err != nil {
 		return err
 	}
-	t.unindexRow(old)
-	t.rows[id] = merged
-	t.indexRow(merged)
-	if s.wal != nil {
-		if err := s.wal.logUpdate(tableName, id, merged); err != nil {
+	e := s.epoch.Load() + 1
+	chain := cv.(*rowChain)
+	t.supersede(chain, old, merged, e)
+	s.gcAfterWrite(t, chain, id, old.row, merged, e-1)
+	s.epoch.Store(e)
+	if w := s.wal.Load(); w != nil {
+		if err := w.logUpdate(tableName, id, merged); err != nil {
 			return err
 		}
 	}
@@ -359,26 +320,104 @@ func (s *Store) Update(tableName string, id int64, changes Row) error {
 
 // Delete removes a row; deleting an absent row is a no-op.
 func (s *Store) Delete(tableName string, id int64) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	t, ok := s.tables.Load().byName[tableName]
 	if !ok {
 		return fmt.Errorf("relstore: no table %s", tableName)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	old, ok := t.rows[id]
+	cv, ok := t.rows.Load(id)
 	if !ok {
 		return nil
 	}
-	t.unindexRow(old)
-	delete(t.rows, id)
-	if s.wal != nil {
-		if err := s.wal.logDelete(tableName, id); err != nil {
+	chain := cv.(*rowChain)
+	old := chain.liveVersion()
+	if old == nil {
+		return nil
+	}
+	e := s.epoch.Load() + 1
+	t.kill(old, e)
+	s.gcAfterWrite(t, chain, id, old.row, nil, e-1)
+	s.epoch.Store(e)
+	if w := s.wal.Load(); w != nil {
+		if err := w.logDelete(tableName, id); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// gcHorizon is the oldest epoch any current or future snapshot can pin:
+// the oldest live snapshot's epoch, or the last published epoch when no
+// snapshot is open (a snapshot taken concurrently pins at least that).
+func (s *Store) gcHorizon(published uint64) uint64 {
+	if m := s.minLive.Load(); m < published {
+		return m
+	}
+	return published
+}
+
+// gcAfterWrite prunes the version chains a mutation just touched — the
+// row's own chain plus the posting chains for the old and new key values —
+// so hot rows (job-state updates, instance retries) do not accumulate
+// history when no snapshot needs it. oldRow/newRow may be nil.
+func (s *Store) gcAfterWrite(t *table, c *rowChain, id int64, oldRow, newRow Row, published uint64) {
+	minE := s.gcHorizon(published)
+	n := pruneChain(c, minE)
+	if hv := c.head.Load(); hv != nil {
+		if end := hv.end.Load(); end != 0 && end <= minE {
+			// The whole chain is invisible at and after the horizon:
+			// drop the row entry itself. Primary keys are never reused,
+			// so a later insert cannot collide with a paused reader.
+			t.rows.Delete(id)
+			n++
+		}
+	}
+	if oldRow != nil {
+		n += t.pruneRowKeys(oldRow, minE)
+	}
+	if newRow != nil {
+		n += t.pruneRowKeys(newRow, minE)
+	}
+	if n > 0 {
+		mVersionReclaims.Add(uint64(n))
+	}
+}
+
+// GC sweeps every table, pruning all row and posting versions that no live
+// or future snapshot can observe, and returns the number reclaimed.
+// Writers already prune the chains they touch as they go; GC is the full
+// sweep for workloads that update hot rows and then go quiet.
+func (s *Store) GC() int {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	minE := s.gcHorizon(s.epoch.Load())
+	total := 0
+	ts := s.tables.Load()
+	for _, name := range ts.order {
+		t := ts.byName[name]
+		t.rows.Range(func(k, cv any) bool {
+			c := cv.(*rowChain)
+			total += pruneChain(c, minE)
+			if hv := c.head.Load(); hv != nil {
+				if end := hv.end.Load(); end != 0 && end <= minE {
+					t.rows.Delete(k)
+					total++
+				}
+			}
+			return true
+		})
+		for _, ix := range t.uniques {
+			total += ix.pruneAll(minE)
+		}
+		for _, ix := range t.indexes {
+			total += ix.pruneAll(minE)
+		}
+	}
+	if total > 0 {
+		mVersionReclaims.Add(uint64(total))
+	}
+	return total
 }
 
 // FKError reports a foreign-key violation.

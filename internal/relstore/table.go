@@ -6,30 +6,339 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// table holds rows and index structures for one TableSchema. Each table
-// carries its own RW mutex so writers to distinct tables (the sharded
-// loader's concurrent ApplyBatch calls land on different tables most of
-// the time) do not serialize on one store-wide lock. Locking discipline
-// lives in Store.lockForWrite.
+// table holds one TableSchema's rows as multi-version chains plus posting
+// lists for unique constraints and secondary indexes. All mutation is
+// serialized by the store-wide writer mutex; readers never lock. Every
+// structure a reader can reach is either immutable after publication or
+// published through an atomic pointer/uint store, so readers race-freely
+// observe a consistent prefix of history at their pinned epoch.
 type table struct {
-	mu      sync.RWMutex
 	schema  *TableSchema
 	colType map[string]ColType
-	rows    map[int64]Row
-	nextID  int64
-	// uniques and indexes map a composite key string to row ids.
-	uniques []map[string]int64
-	indexes []map[string][]int64
+	rows    sync.Map     // int64 id -> *rowChain
+	nextID  int64        // writer-owned: only touched under Store.writeMu
+	live    atomic.Int64 // rows visible at the newest epoch (O(1) Store.Count)
+	uniques []*postingIndex
+	indexes []*postingIndex
+}
+
+// rowChain is the per-row version list, newest version first.
+type rowChain struct {
+	head atomic.Pointer[rowVersion]
+}
+
+// rowVersion is one immutable version of a row. A version is visible to a
+// reader at epoch e when begin <= e and (end == 0 or end > e). row and
+// begin are written before the version is published via an atomic head
+// store and never change afterwards; end is set once, when a newer version
+// supersedes the row or a delete tombstones it. prev is atomic so version
+// GC can truncate the tail while readers walk the chain.
+type rowVersion struct {
+	row   Row
+	begin uint64
+	end   atomic.Uint64 // 0 = still current
+	prev  atomic.Pointer[rowVersion]
+}
+
+// visibleAt returns the version of this chain visible at epoch e, or nil.
+// The chain is ordered newest first, so the first version with begin <= e
+// decides: either it is visible at e or the row does not exist at e (any
+// older version ended no later than this one began).
+func (c *rowChain) visibleAt(e uint64) *rowVersion {
+	for v := c.head.Load(); v != nil; v = v.prev.Load() {
+		if v.begin > e {
+			continue
+		}
+		if end := v.end.Load(); end == 0 || end > e {
+			return v
+		}
+		return nil
+	}
+	return nil
+}
+
+// liveVersion returns the newest un-ended version — the writer's view.
+func (c *rowChain) liveVersion() *rowVersion {
+	if v := c.head.Load(); v != nil && v.end.Load() == 0 {
+		return v
+	}
+	return nil
+}
+
+// pruneChain drops versions no reader at epoch >= minE can reach: every
+// version below the newest one whose begin <= minE. Dropped versions stay
+// internally linked, so a reader paused mid-walk finishes safely. Returns
+// the number of versions reclaimed. Writer-only.
+func pruneChain(c *rowChain, minE uint64) int {
+	v := c.head.Load()
+	for v != nil && v.begin > minE {
+		v = v.prev.Load()
+	}
+	if v == nil {
+		return 0
+	}
+	n := 0
+	for old := v.prev.Load(); old != nil; old = old.prev.Load() {
+		n++
+	}
+	if n > 0 {
+		v.prev.Store(nil)
+	}
+	return n
+}
+
+// postingIndex maps a composite key to a bucket of per-row interval
+// chains. Keeping one chain per (key, id) pair — rather than one list per
+// key — makes every writer-side operation (tombstone, prune) O(1) in the
+// number of rows sharing the key, which is what keeps hot keys (all jobs
+// of one workflow, say) from turning every update into a full-key walk.
+type postingIndex struct {
+	m sync.Map // string key -> *postingBucket
+}
+
+// postingBucket is every row that ever matched one key, id -> its interval
+// chain. ids counts the byID entries so an emptied bucket can drop its key
+// without ranging the map; it is writer-owned (mutated under writeMu).
+type postingBucket struct {
+	byID sync.Map // int64 id -> *postingChain
+	ids  int64
+}
+
+// postingChain is one row's validity intervals for one key, newest first.
+type postingChain struct {
+	head atomic.Pointer[posting]
+}
+
+// posting records that the row matched the key during the epoch range
+// [begin, end). Like rowVersion, begin is immutable after the atomic head
+// publish and end is set once.
+type posting struct {
+	begin uint64
+	end   atomic.Uint64 // 0 = still current
+	next  atomic.Pointer[posting]
+}
+
+func postingVisible(p *posting, e uint64) bool {
+	if p.begin > e {
+		return false
+	}
+	end := p.end.Load()
+	return end == 0 || end > e
+}
+
+// visibleIn reports whether some interval of chain c covers epoch e. The
+// chain is newest first and intervals are disjoint, so the first interval
+// with begin <= e decides.
+func (c *postingChain) visibleIn(e uint64) bool {
+	for p := c.head.Load(); p != nil; p = p.next.Load() {
+		if p.begin > e {
+			continue
+		}
+		return postingVisible(p, e)
+	}
+	return false
+}
+
+// liveIn reports whether the chain's newest interval is still open.
+func (c *postingChain) liveIn() bool {
+	p := c.head.Load()
+	return p != nil && p.end.Load() == 0
+}
+
+// add opens a live interval for (key, id) at epoch e. Writer-only.
+func (ix *postingIndex) add(key string, id int64, e uint64) {
+	bv, ok := ix.m.Load(key)
+	if !ok {
+		bv, _ = ix.m.LoadOrStore(key, &postingBucket{})
+	}
+	b := bv.(*postingBucket)
+	cv, loaded := b.byID.Load(id)
+	if !loaded {
+		cv, loaded = b.byID.LoadOrStore(id, &postingChain{})
+	}
+	if !loaded {
+		b.ids++
+	}
+	c := cv.(*postingChain)
+	p := &posting{begin: e}
+	p.next.Store(c.head.Load())
+	c.head.Store(p)
+}
+
+// endPosting closes the live interval for (key, id) at epoch e.
+func (ix *postingIndex) endPosting(key string, id int64, e uint64) {
+	if c := ix.chain(key, id); c != nil {
+		if p := c.head.Load(); p != nil && p.end.Load() == 0 {
+			p.end.Store(e)
+		}
+	}
+}
+
+func (ix *postingIndex) chain(key string, id int64) *postingChain {
+	bv, ok := ix.m.Load(key)
+	if !ok {
+		return nil
+	}
+	cv, ok := bv.(*postingBucket).byID.Load(id)
+	if !ok {
+		return nil
+	}
+	return cv.(*postingChain)
+}
+
+// liveID returns the id of a row currently holding key — the writer's
+// view, used for unique checks and FK probes. Dead entries are pruned on
+// write, so a unique key's bucket stays near one entry.
+func (ix *postingIndex) liveID(key string) (int64, bool) {
+	bv, ok := ix.m.Load(key)
+	if !ok {
+		return 0, false
+	}
+	var id int64
+	found := false
+	bv.(*postingBucket).byID.Range(func(k, v any) bool {
+		if v.(*postingChain).liveIn() {
+			id, found = k.(int64), true
+			return false
+		}
+		return true
+	})
+	return id, found
+}
+
+// idAt returns the id of the row holding key at epoch e. For unique keys
+// at most one row is visible at any epoch.
+func (ix *postingIndex) idAt(key string, e uint64) (int64, bool) {
+	bv, ok := ix.m.Load(key)
+	if !ok {
+		return 0, false
+	}
+	var id int64
+	found := false
+	bv.(*postingBucket).byID.Range(func(k, v any) bool {
+		if v.(*postingChain).visibleIn(e) {
+			id, found = k.(int64), true
+			return false
+		}
+		return true
+	})
+	return id, found
+}
+
+// idsAt collects the ids of all rows matching key at epoch e, ascending by
+// primary key so indexed Selects are deterministic.
+func (ix *postingIndex) idsAt(key string, e uint64) []int64 {
+	bv, ok := ix.m.Load(key)
+	if !ok {
+		return nil
+	}
+	var ids []int64
+	bv.(*postingBucket).byID.Range(func(k, v any) bool {
+		if v.(*postingChain).visibleIn(e) {
+			ids = append(ids, k.(int64))
+		}
+		return true
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func postingDead(p *posting, minE uint64) bool {
+	end := p.end.Load()
+	return end != 0 && end <= minE
+}
+
+// pruneIntervals drops intervals of c that no reader at epoch >= minE can
+// see. Unlinked postings keep their own next pointers, so a paused reader
+// finishes its walk. Reports how many were reclaimed and whether the chain
+// is now empty. Writer-only.
+func pruneIntervals(c *postingChain, minE uint64) (reclaimed int, empty bool) {
+	v := c.head.Load()
+	for v != nil && v.begin > minE {
+		v = v.next.Load()
+	}
+	if v == nil {
+		return 0, c.head.Load() == nil
+	}
+	n := 0
+	for old := v.next.Load(); old != nil; old = old.next.Load() {
+		n++
+	}
+	if n > 0 {
+		v.next.Store(nil)
+	}
+	if postingDead(v, minE) {
+		// v itself is invisible to every reader at or above the horizon;
+		// unlink it too (it is the tail after the truncation above).
+		n++
+		if c.head.Load() == v {
+			c.head.Store(nil)
+		} else {
+			for p := c.head.Load(); p != nil; p = p.next.Load() {
+				if p.next.Load() == v {
+					p.next.Store(nil)
+					break
+				}
+			}
+		}
+	}
+	return n, c.head.Load() == nil
+}
+
+// pruneID prunes the single interval chain for (key, id), dropping the id
+// entry — and the key's bucket when it empties — once nothing visible
+// remains. Writer-only.
+func (ix *postingIndex) pruneID(key string, id int64, minE uint64) int {
+	bv, ok := ix.m.Load(key)
+	if !ok {
+		return 0
+	}
+	b := bv.(*postingBucket)
+	cv, ok := b.byID.Load(id)
+	if !ok {
+		return 0
+	}
+	n, empty := pruneIntervals(cv.(*postingChain), minE)
+	if empty {
+		b.byID.Delete(id)
+		b.ids--
+		if b.ids == 0 {
+			ix.m.Delete(key)
+		}
+	}
+	return n
+}
+
+// pruneAll prunes every chain in the index. Writer-only.
+func (ix *postingIndex) pruneAll(minE uint64) int {
+	n := 0
+	ix.m.Range(func(k, bv any) bool {
+		b := bv.(*postingBucket)
+		b.byID.Range(func(id, cv any) bool {
+			r, empty := pruneIntervals(cv.(*postingChain), minE)
+			n += r
+			if empty {
+				b.byID.Delete(id)
+				b.ids--
+			}
+			return true
+		})
+		if b.ids == 0 {
+			ix.m.Delete(k)
+		}
+		return true
+	})
+	return n
 }
 
 func newTable(s *TableSchema) *table {
 	t := &table{
 		schema:  s,
 		colType: make(map[string]ColType, len(s.Columns)+1),
-		rows:    make(map[int64]Row),
 		nextID:  1,
 	}
 	t.colType["id"] = Int
@@ -37,12 +346,40 @@ func newTable(s *TableSchema) *table {
 		t.colType[c.Name] = c.Type
 	}
 	for range s.Unique {
-		t.uniques = append(t.uniques, make(map[string]int64))
+		t.uniques = append(t.uniques, &postingIndex{})
 	}
 	for range s.Indexes {
-		t.indexes = append(t.indexes, make(map[string][]int64))
+		t.indexes = append(t.indexes, &postingIndex{})
 	}
 	return t
+}
+
+// putRow installs a brand-new row (id already assigned) as a fresh chain
+// beginning at epoch e and indexes it. Writer-only.
+func (t *table) putRow(row Row, e uint64) {
+	c := &rowChain{}
+	c.head.Store(&rowVersion{row: row, begin: e})
+	t.rows.Store(row.ID(), c)
+	t.indexRow(row, e)
+	t.live.Add(1)
+}
+
+// supersede replaces the live version old of chain c with row at epoch e.
+// Readers pinned below e keep seeing old; readers at e and later see row.
+func (t *table) supersede(c *rowChain, old *rowVersion, row Row, e uint64) {
+	t.unindexRow(old.row, e)
+	v := &rowVersion{row: row, begin: e}
+	v.prev.Store(old)
+	old.end.Store(e)
+	c.head.Store(v)
+	t.indexRow(row, e)
+}
+
+// kill tombstones the live version at epoch e (delete).
+func (t *table) kill(old *rowVersion, e uint64) {
+	t.unindexRow(old.row, e)
+	old.end.Store(e)
+	t.live.Add(-1)
 }
 
 // compositeKey encodes the values of cols from row into one string key.
@@ -108,49 +445,49 @@ func (t *table) normalize(r Row) (Row, error) {
 }
 
 // checkUnique verifies unique constraints for row (excluding the row with
-// id exclude, for updates).
+// id exclude, for updates) against the writer's view.
 func (t *table) checkUnique(row Row, exclude int64) error {
 	for i, cols := range t.schema.Unique {
-		key := compositeKey(row, cols)
-		if existing, ok := t.uniques[i][key]; ok && existing != exclude {
-			return &UniqueError{Table: t.schema.Name, Columns: cols, ExistingID: existing}
+		if id, ok := t.uniques[i].liveID(compositeKey(row, cols)); ok && id != exclude {
+			return &UniqueError{Table: t.schema.Name, Columns: cols, ExistingID: id}
 		}
 	}
 	return nil
 }
 
-func (t *table) indexRow(row Row) {
+func (t *table) indexRow(row Row, e uint64) {
 	id := row.ID()
 	for i, cols := range t.schema.Unique {
-		t.uniques[i][compositeKey(row, cols)] = id
+		t.uniques[i].add(compositeKey(row, cols), id, e)
 	}
 	for i, cols := range t.schema.Indexes {
-		key := compositeKey(row, cols)
-		t.indexes[i][key] = append(t.indexes[i][key], id)
+		t.indexes[i].add(compositeKey(row, cols), id, e)
 	}
 }
 
-func (t *table) unindexRow(row Row) {
+func (t *table) unindexRow(row Row, e uint64) {
 	id := row.ID()
 	for i, cols := range t.schema.Unique {
-		key := compositeKey(row, cols)
-		if t.uniques[i][key] == id {
-			delete(t.uniques[i], key)
-		}
+		t.uniques[i].endPosting(compositeKey(row, cols), id, e)
 	}
 	for i, cols := range t.schema.Indexes {
-		key := compositeKey(row, cols)
-		ids := t.indexes[i][key]
-		for j, x := range ids {
-			if x == id {
-				t.indexes[i][key] = append(ids[:j], ids[j+1:]...)
-				break
-			}
-		}
-		if len(t.indexes[i][key]) == 0 {
-			delete(t.indexes[i], key)
-		}
+		t.indexes[i].endPosting(compositeKey(row, cols), id, e)
 	}
+}
+
+// pruneRowKeys prunes this row's own interval chains under each of its
+// keys; writers call it for the rows they just touched so history never
+// accumulates, without ever walking the other rows sharing a key.
+func (t *table) pruneRowKeys(row Row, minE uint64) int {
+	id := row.ID()
+	n := 0
+	for i, cols := range t.schema.Unique {
+		n += t.uniques[i].pruneID(compositeKey(row, cols), id, minE)
+	}
+	for i, cols := range t.schema.Indexes {
+		n += t.indexes[i].pruneID(compositeKey(row, cols), id, minE)
+	}
+	return n
 }
 
 // findIndex returns the position of an index exactly covering cols (order
@@ -172,17 +509,6 @@ func (t *table) findIndex(cols []string) int {
 		}
 	}
 	return -1
-}
-
-// sortedIDs returns all row ids ascending; scans use it for deterministic
-// iteration order.
-func (t *table) sortedIDs() []int64 {
-	ids := make([]int64, 0, len(t.rows))
-	for id := range t.rows {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
 }
 
 // UniqueError reports a unique-constraint violation. The loader relies on

@@ -229,7 +229,7 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.wal = newWalWriter(f)
+	s.wal.Store(newWalWriter(f))
 	return s, nil
 }
 
@@ -238,10 +238,8 @@ func Open(path string) (*Store, error) {
 // makes and the reason the loader batches inserts. No-op for in-memory
 // stores.
 func (s *Store) SetSync(on bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal != nil {
-		s.wal.setSync(on)
+	if w := s.wal.Load(); w != nil {
+		w.setSync(on)
 	}
 }
 
@@ -249,9 +247,7 @@ func (s *Store) SetSync(on bool) {
 // Flush callers this is typically far below the number of Flush calls —
 // the visible effect of group commit. In-memory stores report 0.
 func (s *Store) Syncs() uint64 {
-	s.mu.RLock()
-	w := s.wal
-	s.mu.RUnlock()
+	w := s.wal.Load()
 	if w == nil {
 		return 0
 	}
@@ -262,9 +258,7 @@ func (s *Store) Syncs() uint64 {
 
 // Flush forces buffered WAL records to the OS. In-memory stores return nil.
 func (s *Store) Flush() error {
-	s.mu.RLock()
-	w := s.wal
-	s.mu.RUnlock()
+	w := s.wal.Load()
 	if w == nil {
 		return nil
 	}
@@ -274,10 +268,7 @@ func (s *Store) Flush() error {
 // Close flushes and closes the WAL. The store remains usable in memory but
 // stops persisting. In-memory stores return nil.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	w := s.wal
-	s.wal = nil
-	s.mu.Unlock()
+	w := s.wal.Swap(nil)
 	if w == nil {
 		return nil
 	}
@@ -286,8 +277,9 @@ func (s *Store) Close() error {
 
 // replay applies WAL records to an empty store. Replay bypasses FK and
 // unique re-validation (the records were valid when written) but rebuilds
-// all indexes. A torn trailing record (crash mid-write) ends the replay
-// cleanly.
+// all indexes. Every record lands at epoch 1 — the store starts with a
+// flat, single-version history — and epoch 1 is published at the end. A
+// torn trailing record (crash mid-write) ends the replay cleanly.
 func (s *Store) replay(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 256*1024), 64<<20)
@@ -302,6 +294,7 @@ func (s *Store) replay(r io.Reader) error {
 		if err := json.Unmarshal(raw, &rec); err != nil {
 			// Only tolerate a torn *final* line; corruption mid-file is an error.
 			if !sc.Scan() {
+				s.epoch.Store(1)
 				return nil
 			}
 			return fmt.Errorf("line %d: %v", line, err)
@@ -310,10 +303,12 @@ func (s *Store) replay(r io.Reader) error {
 			return fmt.Errorf("line %d: %w", line, err)
 		}
 	}
+	s.epoch.Store(1)
 	return sc.Err()
 }
 
 func (s *Store) apply(rec walRecord) error {
+	const e = 1 // all replayed history lands in one epoch
 	switch rec.Op {
 	case "create":
 		if rec.Sch == nil {
@@ -321,7 +316,7 @@ func (s *Store) apply(rec walRecord) error {
 		}
 		return s.CreateTable(*rec.Sch)
 	case "insert":
-		t, ok := s.tables[rec.Table]
+		t, ok := s.tables.Load().byName[rec.Table]
 		if !ok {
 			return fmt.Errorf("insert into unknown table %s", rec.Table)
 		}
@@ -334,15 +329,14 @@ func (s *Store) apply(rec walRecord) error {
 			if id == 0 {
 				return fmt.Errorf("insert record without id in %s", rec.Table)
 			}
-			t.rows[id] = row
-			t.indexRow(row)
+			t.putRow(row, e)
 			if id >= t.nextID {
 				t.nextID = id + 1
 			}
 		}
 		return nil
 	case "update":
-		t, ok := s.tables[rec.Table]
+		t, ok := s.tables.Load().byName[rec.Table]
 		if !ok {
 			return fmt.Errorf("update of unknown table %s", rec.Table)
 		}
@@ -353,21 +347,32 @@ func (s *Store) apply(rec walRecord) error {
 		if err != nil {
 			return err
 		}
-		if old, ok := t.rows[rec.ID]; ok {
-			t.unindexRow(old)
-		}
 		row["id"] = rec.ID
-		t.rows[rec.ID] = row
-		t.indexRow(row)
+		if cv, ok := t.rows.Load(rec.ID); ok {
+			c := cv.(*rowChain)
+			if old := c.liveVersion(); old != nil {
+				t.supersede(c, old, row, e)
+				// Both versions carry epoch 1; nothing can ever read the
+				// superseded one, so drop it immediately.
+				pruneChain(c, e)
+				t.pruneRowKeys(old.row, e)
+				return nil
+			}
+		}
+		t.putRow(row, e)
 		return nil
 	case "delete":
-		t, ok := s.tables[rec.Table]
+		t, ok := s.tables.Load().byName[rec.Table]
 		if !ok {
 			return fmt.Errorf("delete from unknown table %s", rec.Table)
 		}
-		if old, ok := t.rows[rec.ID]; ok {
-			t.unindexRow(old)
-			delete(t.rows, rec.ID)
+		if cv, ok := t.rows.Load(rec.ID); ok {
+			c := cv.(*rowChain)
+			if old := c.liveVersion(); old != nil {
+				t.kill(old, e)
+				t.rows.Delete(rec.ID)
+				t.pruneRowKeys(old.row, e)
+			}
 		}
 		return nil
 	default:

@@ -27,6 +27,8 @@ func HostTimeSeries(q *query.QI, wfID int64, recurse bool, bucket time.Duration)
 	if bucket <= 0 {
 		bucket = time.Minute
 	}
+	q, done := q.Snapshot()
+	defer done()
 	ids, err := scope(q, wfID, recurse)
 	if err != nil {
 		return nil, err

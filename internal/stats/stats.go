@@ -63,6 +63,10 @@ func scope(q *query.QI, wfID int64, recurse bool) ([]int64, error) {
 // its whole sub-workflow hierarchy when recurse is set (the paper's DART
 // numbers are hierarchy-wide).
 func Compute(q *query.QI, wfID int64, recurse bool) (*Summary, error) {
+	// One snapshot covers the whole report: totals, per-workflow drill-down
+	// and wall time all describe the same instant of a live run.
+	q, done := q.Snapshot()
+	defer done()
 	ids, err := scope(q, wfID, recurse)
 	if err != nil {
 		return nil, err
@@ -223,6 +227,8 @@ type BreakdownRow struct {
 // Breakdown computes Table II over the workflow (and its hierarchy when
 // recurse is set), grouped by transformation and sorted by name.
 func Breakdown(q *query.QI, wfID int64, recurse bool) ([]BreakdownRow, error) {
+	q, done := q.Snapshot()
+	defer done()
 	ids, err := scope(q, wfID, recurse)
 	if err != nil {
 		return nil, err
@@ -296,6 +302,8 @@ type JobRow struct {
 // JobsReport computes jobs.txt for one workflow (not recursive: the
 // published tool reports each sub-workflow's jobs separately).
 func JobsReport(q *query.QI, wfID int64) ([]JobRow, error) {
+	q, done := q.Snapshot()
+	defer done()
 	jobs, err := q.Jobs(wfID)
 	if err != nil {
 		return nil, err
@@ -378,6 +386,8 @@ type HostUsage struct {
 // HostsBreakdown aggregates invocation work by host across the hierarchy.
 // Instances without host information are reported under "None".
 func HostsBreakdown(q *query.QI, wfID int64, recurse bool) ([]HostUsage, error) {
+	q, done := q.Snapshot()
+	defer done()
 	ids, err := scope(q, wfID, recurse)
 	if err != nil {
 		return nil, err
@@ -438,6 +448,8 @@ type ProgressPoint struct {
 // no sub-workflows, a single series for the root itself is returned under
 // its UUID.
 func ProgressSeries(q *query.QI, rootID int64) (map[string][]ProgressPoint, error) {
+	q, done := q.Snapshot()
+	defer done()
 	root, err := q.Workflow(rootID)
 	if err != nil {
 		return nil, err
