@@ -70,10 +70,14 @@ func (s *Server) handle(pattern string, h func(http.ResponseWriter, *http.Reques
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		sq, done := s.q.Snapshot()
+		// Deferred so a panicking handler (recovered by net/http) cannot
+		// leak the snapshot and pin version history for the process life.
+		defer func() {
+			done()
+			reqs.Inc()
+			lat.ObserveSince(t0)
+		}()
 		h(w, r, sq)
-		done()
-		reqs.Inc()
-		lat.ObserveSince(t0)
 	})
 }
 

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -222,5 +224,55 @@ func TestRunningWorkflowState(t *testing.T) {
 	getJSON(t, srv.URL+"/api/workflows", &list)
 	if len(list) != 1 || list[0].State != "RUNNING" {
 		t.Fatalf("state = %+v", list)
+	}
+}
+
+// snapshotsLive scrapes the live-snapshot gauge from GET /metrics.
+func snapshotsLive(t *testing.T, base string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, "stampede_relstore_snapshots_live "); ok {
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				t.Fatalf("bad gauge value %q: %v", v, err)
+			}
+			return f
+		}
+	}
+	t.Fatal("stampede_relstore_snapshots_live not in exposition")
+	return 0
+}
+
+// TestPanickingHandlerReleasesSnapshot: a handler panic (recovered by
+// net/http) must not leak the per-request snapshot; a leak would pin
+// version history — and the GC horizon — for the life of the process.
+func TestPanickingHandlerReleasesSnapshot(t *testing.T) {
+	a := archive.NewInMemory()
+	defer a.Close()
+	s := New(query.New(a))
+	s.handle("GET /boom", func(http.ResponseWriter, *http.Request, *query.QI) {
+		panic("kaboom")
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	srv.Config.ErrorLog = log.New(io.Discard, "", 0) // silence the panic trace
+
+	before := snapshotsLive(t, srv.URL)
+	if resp, err := http.Get(srv.URL + "/boom"); err == nil {
+		// net/http may answer 500 or just sever the connection; either way
+		// the request is done once we get here.
+		resp.Body.Close()
+	}
+	if after := snapshotsLive(t, srv.URL); after != before {
+		t.Fatalf("snapshots_live = %v after panic, want %v (snapshot leaked)", after, before)
 	}
 }

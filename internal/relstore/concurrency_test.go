@@ -100,6 +100,119 @@ func TestConcurrentInsertBatchAcrossTables(t *testing.T) {
 	}
 }
 
+// TestCountNeverTornMidBatch: Store.Count moves by whole published
+// mutations only. A single writer inserts fixed-size batches while readers
+// poll Count; a count that is not a multiple of the batch size means the
+// counter exposed a partially applied batch (regression: the per-row
+// counter used to increment before the batch's epoch published).
+func TestCountNeverTornMidBatch(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateTable(concurrencySchemas()[0]); err != nil {
+		t.Fatal(err)
+	}
+	const batchLen = 8
+	const batches = 200
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := s.Count("parent")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n%batchLen != 0 {
+					t.Errorf("Count = %d mid-batch, want a multiple of %d", n, batchLen)
+					return
+				}
+			}
+		}()
+	}
+	for b := 0; b < batches; b++ {
+		rows := make([]Row, batchLen)
+		for i := range rows {
+			rows[i] = Row{"name": fmt.Sprintf("p%d-%d", b, i)}
+		}
+		if _, err := s.InsertBatch("parent", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	rwg.Wait()
+	if n, _ := s.Count("parent"); n != batches*batchLen {
+		t.Fatalf("final Count = %d, want %d", n, batches*batchLen)
+	}
+}
+
+// TestReadersNeverLoseRowsToGC: a row that exists continuously must be
+// visible to every snapshot and every Store-level read, no matter how the
+// writer churns its versions. Regression for the GC-horizon race: a reader
+// that had loaded its epoch but not yet registered it could race a writer
+// whose prune horizon had already advanced past that epoch, silently
+// emptying the reader's view.
+func TestReadersNeverLoseRowsToGC(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateTable(concurrencySchemas()[0]); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Insert("parent", Row{"name": "pinned"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() { // writer: tight updates move the prune horizon constantly
+		defer wwg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Update("parent", id, Row{"name": fmt.Sprintf("v%d", i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var rwg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for k := 0; k < 500; k++ {
+				sn := s.Snapshot()
+				if row, err := sn.Get("parent", id); err != nil || row == nil {
+					t.Errorf("snapshot at epoch %d lost the row: %v, %v", sn.Epoch(), row, err)
+					sn.Close()
+					return
+				}
+				sn.Close()
+				if row, err := s.Get("parent", id); err != nil || row == nil {
+					t.Errorf("live Get lost the row: %v, %v", row, err)
+					return
+				}
+				if rows, err := s.Select(Query{Table: "parent"}); err != nil || len(rows) != 1 {
+					t.Errorf("live Select = %d rows, %v, want 1", len(rows), err)
+					return
+				}
+			}
+		}()
+	}
+	rwg.Wait()
+	close(stop)
+	wwg.Wait()
+}
+
 // TestConcurrentFlushGroupCommit checks that concurrent writers calling
 // Flush against a synced WAL all return with their records durable, and
 // that the WAL replays to the same state.

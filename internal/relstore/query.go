@@ -31,11 +31,19 @@ type Query struct {
 // published epoch. Rows come back in OrderBy order when set, otherwise in
 // primary-key order — on the indexed, unique, and scan paths alike — so
 // results are deterministic either way.
-func (s *Store) Select(q Query) ([]Row, error) { return s.view(true).sel(q) }
+func (s *Store) Select(q Query) ([]Row, error) {
+	v, release := s.pinnedView(true)
+	defer release()
+	return v.sel(q)
+}
 
 // SelectOne returns the single matching row, nil when none match, and an
 // error when more than one matches.
-func (s *Store) SelectOne(q Query) (Row, error) { return s.view(true).selOne(q) }
+func (s *Store) SelectOne(q Query) (Row, error) {
+	v, release := s.pinnedView(true)
+	defer release()
+	return v.selOne(q)
+}
 
 // sel evaluates a query against the view's epoch. Candidate rows come from
 // an index posting chain, a unique-constraint probe, or a full scan; all

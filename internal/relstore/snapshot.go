@@ -71,22 +71,61 @@ var (
 type Snapshot struct {
 	s      *Store
 	v      view
+	pin    *epochPin
 	t0     time.Time
 	closed atomic.Bool
+}
+
+// epochPin is one entry in the store's pin registry: an epoch some reader
+// (a Snapshot, or an in-flight Store-level read) can still observe, which
+// the GC horizon must therefore not pass.
+type epochPin struct {
+	epoch uint64
+}
+
+// pin loads the newest published epoch and registers it as a floor for
+// the version-GC horizon, in one snapMu critical section. gcHorizon reads
+// minLive under the same mutex, so a writer can never compute a horizon
+// above an epoch a concurrent registration has loaded but not yet
+// published — either the registration completes first and minLive
+// accounts for it, or the writer's horizon read happens first and the
+// registration then loads an epoch at or above everything being pruned.
+func (s *Store) pin() *epochPin {
+	s.snapMu.Lock()
+	p := &epochPin{epoch: s.epoch.Load()}
+	s.pins[p] = struct{}{}
+	if p.epoch < s.minLive.Load() {
+		s.minLive.Store(p.epoch)
+	}
+	s.snapMu.Unlock()
+	return p
+}
+
+// unpin releases a pin and recomputes the GC floor.
+func (s *Store) unpin(p *epochPin) {
+	s.snapMu.Lock()
+	delete(s.pins, p)
+	min := ^uint64(0)
+	for q := range s.pins {
+		if q.epoch < min {
+			min = q.epoch
+		}
+	}
+	s.minLive.Store(min)
+	s.snapMu.Unlock()
 }
 
 // Snapshot pins the newest published epoch and returns a consistent view
 // of the whole store at that instant. Concurrent writers proceed
 // unhindered; their changes are simply invisible to this snapshot.
 func (s *Store) Snapshot() *Snapshot {
-	s.snapMu.Lock()
-	e := s.epoch.Load()
-	sn := &Snapshot{s: s, v: view{ts: s.tables.Load(), epoch: e}, t0: time.Now()}
-	s.snaps[sn] = e
-	if e < s.minLive.Load() {
-		s.minLive.Store(e)
+	p := s.pin()
+	sn := &Snapshot{
+		s:   s,
+		v:   view{ts: s.tables.Load(), epoch: p.epoch},
+		pin: p,
+		t0:  time.Now(),
 	}
-	s.snapMu.Unlock()
 	snapAgeMu.Lock()
 	snapAgeT0[sn] = sn.t0
 	snapAgeMu.Unlock()
@@ -100,17 +139,7 @@ func (sn *Snapshot) Close() {
 	if sn.closed.Swap(true) {
 		return
 	}
-	s := sn.s
-	s.snapMu.Lock()
-	delete(s.snaps, sn)
-	min := ^uint64(0)
-	for _, e := range s.snaps {
-		if e < min {
-			min = e
-		}
-	}
-	s.minLive.Store(min)
-	s.snapMu.Unlock()
+	sn.s.unpin(sn.pin)
 	snapAgeMu.Lock()
 	delete(snapAgeT0, sn)
 	snapAgeMu.Unlock()
@@ -166,12 +195,15 @@ type view struct {
 	clone bool
 }
 
-// view captures the current epoch and table set. The epoch is loaded
-// first so the table set can only be newer — a table created after the
-// epoch resolves but holds no rows visible at it.
-func (s *Store) view(clone bool) view {
-	e := s.epoch.Load()
-	return view{ts: s.tables.Load(), epoch: e, clone: clone}
+// pinnedView captures the current epoch and table set for one Store-level
+// read, registering the epoch in the pin registry so version GC cannot
+// reclaim history the view can still see while the read is in flight; the
+// release func must be called when the read completes. The epoch is loaded
+// (inside pin) before the table set, so the table set can only be newer —
+// a table created after the epoch resolves but holds no rows visible at it.
+func (s *Store) pinnedView(clone bool) (view, func()) {
+	p := s.pin()
+	return view{ts: s.tables.Load(), epoch: p.epoch, clone: clone}, func() { s.unpin(p) }
 }
 
 func (v view) maybeClone(row Row) Row {

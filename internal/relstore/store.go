@@ -30,10 +30,13 @@ type Store struct {
 	// checkFKs can be disabled for bulk replay of already-validated data.
 	checkFKs atomic.Bool
 
-	// snapMu guards the live-snapshot registry; minLive caches the oldest
-	// registered epoch (MaxUint64 when none) as the version-GC horizon.
+	// snapMu guards the pin registry (open snapshots plus in-flight
+	// Store-level reads); minLive caches the oldest pinned epoch
+	// (MaxUint64 when none) as the version-GC floor. gcHorizon reads
+	// minLive under snapMu too, so horizon computation serializes with
+	// pin registration — see pin.
 	snapMu  sync.Mutex
-	snaps   map[*Snapshot]uint64
+	pins    map[*epochPin]struct{}
 	minLive atomic.Uint64
 }
 
@@ -45,7 +48,7 @@ type tableSet struct {
 
 // NewStore returns an empty in-memory store with foreign-key checking on.
 func NewStore() *Store {
-	s := &Store{snaps: make(map[*Snapshot]uint64)}
+	s := &Store{pins: make(map[*epochPin]struct{})}
 	s.tables.Store(&tableSet{byName: make(map[string]*table)})
 	s.checkFKs.Store(true)
 	s.minLive.Store(^uint64(0))
@@ -93,8 +96,13 @@ func (s *Store) TableNames() []string {
 	return append([]string(nil), s.tables.Load().order...)
 }
 
-// Count returns the number of rows visible at the newest epoch. Each table
-// keeps a live-row counter, so this is O(1) and scan-free.
+// Count returns the number of live rows. Each table keeps a live-row
+// counter, so this is O(1) and scan-free. The counter moves by one bulk
+// add per mutation, after its epoch publishes, so Count never includes a
+// partially applied batch — it reflects whole published mutations only,
+// though it may momentarily lag the very newest publish. Readers that
+// need a count exactly consistent with other reads should use
+// Snapshot().Count, which tallies at the pinned epoch.
 func (s *Store) Count(tableName string) (int, error) {
 	t, ok := s.tables.Load().byName[tableName]
 	if !ok {
@@ -127,6 +135,7 @@ func (s *Store) Insert(tableName string, row Row) (int64, error) {
 	n["id"] = id
 	t.putRow(n, e)
 	s.epoch.Store(e)
+	t.live.Add(1)
 	if w := s.wal.Load(); w != nil {
 		if err := w.logInsertBatch(tableName, []Row{n}); err != nil {
 			return id, err
@@ -184,6 +193,7 @@ func (s *Store) InsertBatch(tableName string, rows []Row) ([]int64, error) {
 		ids[i] = id
 	}
 	s.epoch.Store(e)
+	t.live.Add(int64(len(normalized)))
 	if w := s.wal.Load(); w != nil {
 		if err := w.logInsertBatch(tableName, normalized); err != nil {
 			return ids, err
@@ -253,7 +263,9 @@ func refExists(ref *table, col string, v any) bool {
 // Get returns the row with the given primary key, or nil when absent. The
 // returned row is a copy; mutating it does not affect the store.
 func (s *Store) Get(tableName string, id int64) (Row, error) {
-	return s.view(true).get(tableName, id)
+	v, release := s.pinnedView(true)
+	defer release()
+	return v.get(tableName, id)
 }
 
 // Update rewrites the named columns of the row with primary key id.
@@ -339,6 +351,7 @@ func (s *Store) Delete(tableName string, id int64) error {
 	t.kill(old, e)
 	s.gcAfterWrite(t, chain, id, old.row, nil, e-1)
 	s.epoch.Store(e)
+	t.live.Add(-1)
 	if w := s.wal.Load(); w != nil {
 		if err := w.logDelete(tableName, id); err != nil {
 			return err
@@ -347,11 +360,23 @@ func (s *Store) Delete(tableName string, id int64) error {
 	return nil
 }
 
-// gcHorizon is the oldest epoch any current or future snapshot can pin:
-// the oldest live snapshot's epoch, or the last published epoch when no
-// snapshot is open (a snapshot taken concurrently pins at least that).
+// gcHorizon is the oldest epoch any current or future reader can pin:
+// the oldest registered pin's epoch, or the last published epoch when
+// none is open. minLive is read under snapMu so the computation
+// serializes with pin registration: a registration is one snapMu
+// critical section (epoch load + minLive publish), so it either lands
+// before this read — and minLive accounts for it — or it runs entirely
+// after, in which case it loads an epoch >= published (the caller only
+// publishes a newer epoch after pruning) and cannot observe anything
+// pruned at or below the horizon returned here. Without the mutex a
+// registration preempted between loading epoch E and publishing
+// minLive=E would let a writer prune at a horizon above E, silently
+// emptying the not-yet-registered reader's view.
 func (s *Store) gcHorizon(published uint64) uint64 {
-	if m := s.minLive.Load(); m < published {
+	s.snapMu.Lock()
+	m := s.minLive.Load()
+	s.snapMu.Unlock()
+	if m < published {
 		return m
 	}
 	return published

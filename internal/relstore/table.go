@@ -355,13 +355,14 @@ func newTable(s *TableSchema) *table {
 }
 
 // putRow installs a brand-new row (id already assigned) as a fresh chain
-// beginning at epoch e and indexes it. Writer-only.
+// beginning at epoch e and indexes it. Writer-only. The caller maintains
+// t.live — the Store bumps it only after the epoch publishes, so Count
+// never reports a partially applied batch.
 func (t *table) putRow(row Row, e uint64) {
 	c := &rowChain{}
 	c.head.Store(&rowVersion{row: row, begin: e})
 	t.rows.Store(row.ID(), c)
 	t.indexRow(row, e)
-	t.live.Add(1)
 }
 
 // supersede replaces the live version old of chain c with row at epoch e.
@@ -375,11 +376,11 @@ func (t *table) supersede(c *rowChain, old *rowVersion, row Row, e uint64) {
 	t.indexRow(row, e)
 }
 
-// kill tombstones the live version at epoch e (delete).
+// kill tombstones the live version at epoch e (delete). As with putRow,
+// the caller maintains t.live after publishing the epoch.
 func (t *table) kill(old *rowVersion, e uint64) {
 	t.unindexRow(old.row, e)
 	old.end.Store(e)
-	t.live.Add(-1)
 }
 
 // compositeKey encodes the values of cols from row into one string key.

@@ -330,6 +330,7 @@ func (s *Store) apply(rec walRecord) error {
 				return fmt.Errorf("insert record without id in %s", rec.Table)
 			}
 			t.putRow(row, e)
+			t.live.Add(1)
 			if id >= t.nextID {
 				t.nextID = id + 1
 			}
@@ -360,6 +361,7 @@ func (s *Store) apply(rec walRecord) error {
 			}
 		}
 		t.putRow(row, e)
+		t.live.Add(1)
 		return nil
 	case "delete":
 		t, ok := s.tables.Load().byName[rec.Table]
@@ -370,6 +372,7 @@ func (s *Store) apply(rec walRecord) error {
 			c := cv.(*rowChain)
 			if old := c.liveVersion(); old != nil {
 				t.kill(old, e)
+				t.live.Add(-1)
 				t.rows.Delete(rec.ID)
 				t.pruneRowKeys(old.row, e)
 			}
