@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-full bench-parallel lint verify
+.PHONY: build test race fuzz bench bench-diff bench-full bench-parallel lint verify
 
 build:
 	$(GO) build ./...
@@ -22,11 +22,22 @@ race:
 fuzz:
 	$(GO) test ./internal/bp -run FuzzParse -fuzz FuzzParse -fuzztime 10s
 
-# The loader benchmarks, including the snapshot-readers contention bench,
-# parsed into BENCH_loader.json for archiving and cross-run diffing.
+# The loader benchmarks, including the snapshot-readers contention bench
+# and the pooled-parse micro-bench, parsed into BENCH_loader.json for
+# archiving and cross-run diffing. The loader benches also report
+# allocs/event (a MemStats delta over the timed region), the same quantity
+# production exposes as stampede_loader_allocs_per_event.
 bench:
-	$(GO) test -bench 'BenchmarkLoader|BenchmarkReadersUnderLoad' -benchmem -run XXX . \
+	$(GO) test -bench 'BenchmarkLoader|BenchmarkReadersUnderLoad|BenchmarkParseBytes' -benchmem -run XXX . \
 		| $(GO) run ./cmd/benchjson -out BENCH_loader.json
+
+# The benchmark-regression gate: a quick subset of the loader benches
+# diffed against the committed baseline. Exits non-zero when events/s
+# drops or allocs/op rises by more than 15% — CI runs this as a
+# non-blocking step, so machine noise flags rather than fails.
+bench-diff:
+	$(GO) test -bench 'BenchmarkLoaderScale1k$$|BenchmarkParseBytes' -benchmem -benchtime 3x -run XXX . \
+		| $(GO) run ./cmd/benchjson -out /tmp/bench-head.json -diff BENCH_loader.json -threshold 0.15
 
 bench-full:
 	$(GO) test -bench . -benchmem -run XXX .

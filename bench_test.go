@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -112,6 +113,14 @@ func BenchmarkFig7Progress(b *testing.B) {
 func benchLoad(b *testing.B, jobs, batch int, validate bool) {
 	trace := experiments.TraceFor(jobs)
 	var events int
+	// allocs/event is measured as the MemStats mallocs delta over the timed
+	// region, the same quantity production publishes on the
+	// stampede_loader_allocs_per_event gauge (fed below, so a scrape of the
+	// bench process reads a real value). It differs from -benchmem's
+	// allocs/op only in units: allocs/op covers the whole iteration,
+	// allocs/event divides by events loaded.
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := archive.NewInMemory()
@@ -124,6 +133,13 @@ func benchLoad(b *testing.B, jobs, batch int, validate bool) {
 			b.Fatal(err)
 		}
 		events = int(st.Loaded)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	if total := float64(events) * float64(b.N); total > 0 {
+		perEvent := float64(ms1.Mallocs-ms0.Mallocs) / total
+		loader.RecordAllocsPerEvent(perEvent)
+		b.ReportMetric(perEvent, "allocs/event")
 	}
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
@@ -446,6 +462,32 @@ func BenchmarkBPParse(b *testing.B) {
 		if _, err := bp.Parse(line); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParseBytes times the pooled zero-copy parse the loader actually
+// runs: ParseBytes draws the Event from the pool and the release returns
+// it, so steady state is one backing-string allocation per line (compare
+// BenchmarkBPParse, the unpooled caller-owned path).
+func BenchmarkParseBytes(b *testing.B) {
+	line := []byte(bp.New(schema.InvEnd, time.Now()).
+		Set(schema.AttrXwfID, uuid.New().String()).
+		Set(schema.AttrJobID, "processing.exec0").
+		SetInt(schema.AttrJobInstID, 1).
+		SetInt(schema.AttrInvID, 1).
+		Set(schema.AttrStartTime, "2012-03-13T12:35:38.000000Z").
+		SetFloat(schema.AttrDur, 51.0).
+		SetInt(schema.AttrExitcode, 0).
+		Set(schema.AttrTransform, "dart-exec").
+		Format())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := bp.ParseBytes(line)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bp.ReleaseEvent(ev)
 	}
 }
 

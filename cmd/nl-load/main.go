@@ -61,7 +61,7 @@ func main() {
 				fatal("loading %s: %v", path, err)
 			}
 			if *verbose {
-				fmt.Printf("%s: %s\n", path, stats)
+				fmt.Printf("%s: %s\n", path, stats.String())
 			}
 		}
 	}
@@ -93,7 +93,7 @@ func consumeBroker(l *loader.Loader, addr, queue, topic string) {
 	if err != nil && ctx.Err() == nil {
 		fatal("consume: %v", err)
 	}
-	fmt.Printf("consumed for %s: %s\n", time.Since(start).Round(time.Second), stats)
+	fmt.Printf("consumed for %s: %s\n", time.Since(start).Round(time.Second), stats.String())
 }
 
 func fatal(format string, args ...any) {

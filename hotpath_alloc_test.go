@@ -1,0 +1,101 @@
+//go:build !race
+
+// Allocation budgets for the ingest hot path, enforced. The race detector
+// changes allocation behaviour (it instruments sync.Pool and inflates
+// counts), so these tests are excluded from -race runs; the plain CI pass
+// runs them.
+
+package repro
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/bp"
+	"repro/internal/experiments"
+	"repro/internal/loader"
+	"repro/internal/schema"
+	"repro/internal/uuid"
+)
+
+// The ceilings are enforced upper bounds, not targets: measured values sit
+// around 1 alloc per pooled parse (the backing string) and ~8.5 allocs per
+// loaded event end to end (PR 4; the seed path measured ~44). The headroom
+// covers GC timing and map-growth jitter; a regression that re-introduces
+// per-event boxing, per-key string materialisation or per-node chain
+// allocations blows well past it.
+const (
+	maxAllocsPerParse = 3
+	maxAllocsPerEvent = 16
+)
+
+// TestParseBytesAllocCeiling bounds the pooled zero-copy parse: steady
+// state is one allocation per line (the retained backing string).
+func TestParseBytesAllocCeiling(t *testing.T) {
+	line := []byte(bp.New(schema.InvEnd, time.Now()).
+		Set(schema.AttrXwfID, uuid.New().String()).
+		Set(schema.AttrJobID, "processing.exec0").
+		SetInt(schema.AttrJobInstID, 1).
+		SetInt(schema.AttrInvID, 1).
+		Set(schema.AttrStartTime, "2012-03-13T12:35:38.000000Z").
+		SetFloat(schema.AttrDur, 51.0).
+		SetInt(schema.AttrExitcode, 0).
+		Set(schema.AttrTransform, "dart-exec").
+		Format())
+	// Warm: intern the line's keys and prime the event pool.
+	ev, err := bp.ParseBytes(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.ReleaseEvent(ev)
+
+	avg := testing.AllocsPerRun(1000, func() {
+		ev, err := bp.ParseBytes(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.ReleaseEvent(ev)
+	})
+	t.Logf("ParseBytes: %.2f allocs/line (ceiling %d)", avg, maxAllocsPerParse)
+	if avg > maxAllocsPerParse {
+		t.Errorf("ParseBytes allocates %.2f/line, ceiling %d", avg, maxAllocsPerParse)
+	}
+}
+
+// TestLoadAllocCeiling bounds the whole hot path — parse, validate,
+// archive apply, relstore insert, WAL-less commit — in allocations per
+// loaded event, measured as the process MemStats mallocs delta across a
+// full load of a synthetic trace.
+func TestLoadAllocCeiling(t *testing.T) {
+	trace := experiments.TraceFor(2000)
+	load := func() uint64 {
+		a := archive.NewInMemory()
+		l, err := loader.New(a, loader.Options{BatchSize: 512, Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := l.LoadReader(bytes.NewReader(trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Loaded
+	}
+	load() // warm: intern table, schema validator singletons, event pool
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	loaded := load()
+	runtime.ReadMemStats(&ms1)
+	if loaded == 0 {
+		t.Fatal("nothing loaded")
+	}
+	perEvent := float64(ms1.Mallocs-ms0.Mallocs) / float64(loaded)
+	t.Logf("load: %.2f allocs/event over %d events (ceiling %d)", perEvent, loaded, maxAllocsPerEvent)
+	if perEvent > maxAllocsPerEvent {
+		t.Errorf("hot path allocates %.2f/event, ceiling %d", perEvent, maxAllocsPerEvent)
+	}
+}

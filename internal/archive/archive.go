@@ -3,6 +3,7 @@ package archive
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,28 @@ import (
 	"repro/internal/schema"
 	"repro/internal/telemetry"
 )
+
+// intAttr and floatAttr read optional numeric attributes. They exist
+// because bp.Event.Int/Float build an error value when the attribute is
+// absent, and "absent" is the common case for optional columns — on the
+// apply hot path that error is a pointless heap allocation per event.
+func intAttr(ev *bp.Event, key string) (int64, bool) {
+	v, ok := ev.Lookup(key)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	return n, err == nil
+}
+
+func floatAttr(ev *bp.Event, key string) (float64, bool) {
+	v, ok := ev.Lookup(key)
+	if !ok {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	return f, err == nil
+}
 
 // Archive telemetry. Contention on a stripe mutex is detected with
 // TryLock before the blocking Lock: the counter is a proxy for how often
@@ -36,11 +59,41 @@ const numStripes = 64
 // events of one workflow hash to one stripe, these maps need no further
 // synchronisation than the stripe mutex.
 type stripe struct {
-	mu        sync.Mutex
-	jobIDs    map[jobKey]int64  // (wf row, exec_job_id) -> job row id
-	instIDs   map[instKey]int64 // (job row, submit seq) -> job_instance row id
-	stateSeqs map[int64]int64   // job_instance row id -> next jobstate seq
-	invSeqs   map[int64]int64   // job_instance row id -> next invocation seq fallback
+	mu      sync.Mutex
+	jobIDs  map[jobKey]boxed       // (wf row, exec_job_id) -> job row id
+	taskIDs map[jobKey]int64       // (wf row, abs_task_id) -> task row id
+	insts   map[instKey]*instState // (job row, submit seq) -> instance state
+
+	// Last workflow resolved on this stripe. Events arrive in per-workflow
+	// runs, so this single-entry memo turns the per-event uuid -> row
+	// resolution (an RLock plus a 36-byte string hash) into one string
+	// compare. Guarded by mu like everything else here; never invalidated,
+	// because a workflow's row id is immutable once assigned.
+	lastUUID string
+	lastWF   boxed
+}
+
+// boxed pairs a row id with the same value pre-converted to any. Handlers
+// put ids into Row values on every event; converting a dynamic int64 to
+// an interface heap-allocates, so the caches keep the one boxed copy made
+// when the id was first learned and reuse it for the row's lifetime.
+type boxed struct {
+	id  int64
+	box any
+}
+
+// instState is the per-job-instance hot-path state, held in one struct so
+// the lifecycle handlers resolve everything about an instance with a
+// single map lookup: the jobstate and invocation sequence counters, the
+// pre-boxed row id (see boxed), and the latest EXECUTE timestamp — kept
+// so main.end can compute local_duration without selecting (and cloning)
+// the instance's whole jobstate history per terminating job.
+type instState struct {
+	id       int64
+	box      any
+	stateSeq int64
+	invSeq   int64
+	execTS   time.Time // zero = no EXECUTE seen
 }
 
 // Archive folds Stampede events into the relational store. It keeps small
@@ -58,7 +111,7 @@ type Archive struct {
 	store *relstore.Store
 
 	wfMu  sync.RWMutex
-	wfIDs map[string]int64 // wf_uuid -> workflow row id
+	wfIDs map[string]boxed // wf_uuid -> workflow row id
 
 	hostMu  sync.Mutex
 	hostIDs map[hostKey]int64 // (site, hostname, ip) -> host row id
@@ -107,15 +160,14 @@ func New(store *relstore.Store) (*Archive, error) {
 	}
 	a := &Archive{
 		store:   store,
-		wfIDs:   map[string]int64{},
+		wfIDs:   map[string]boxed{},
 		hostIDs: map[hostKey]int64{},
 	}
 	for i := range a.stripes {
 		a.stripes[i] = stripe{
-			jobIDs:    map[jobKey]int64{},
-			instIDs:   map[instKey]int64{},
-			stateSeqs: map[int64]int64{},
-			invSeqs:   map[int64]int64{},
+			jobIDs:  map[jobKey]boxed{},
+			taskIDs: map[jobKey]int64{},
+			insts:   map[instKey]*instState{},
 		}
 	}
 	if err := a.warmCaches(); err != nil {
@@ -169,8 +221,17 @@ func (a *Archive) warmCaches() error {
 	wfUUID := make(map[int64]string, len(wfs)) // workflow row id -> uuid
 	for _, r := range wfs {
 		uuid := r["wf_uuid"].(string)
-		a.wfIDs[uuid] = r.ID()
+		a.wfIDs[uuid] = boxed{r.ID(), r["id"]}
 		wfUUID[r.ID()] = uuid
+	}
+	tasks, err := sn.Select(relstore.Query{Table: TTask})
+	if err != nil {
+		return err
+	}
+	for _, r := range tasks {
+		wf := r["wf_id"].(int64)
+		st := &a.stripes[StripeFor(wfUUID[wf])]
+		st.taskIDs[jobKey{wf, r["abs_task_id"].(string)}] = r.ID()
 	}
 	jobs, err := sn.Select(relstore.Query{Table: TJob})
 	if err != nil {
@@ -181,18 +242,19 @@ func (a *Archive) warmCaches() error {
 		wf := r["wf_id"].(int64)
 		jobWF[r.ID()] = wf
 		st := &a.stripes[StripeFor(wfUUID[wf])]
-		st.jobIDs[jobKey{wf, r["exec_job_id"].(string)}] = r.ID()
+		st.jobIDs[jobKey{wf, r["exec_job_id"].(string)}] = boxed{r.ID(), r["id"]}
 	}
 	insts, err := sn.Select(relstore.Query{Table: TJobInstance})
 	if err != nil {
 		return err
 	}
-	instWF := make(map[int64]int64, len(insts)) // job_instance row id -> workflow row id
+	instByID := make(map[int64]*instState, len(insts))
 	for _, r := range insts {
 		job := r["job_id"].(int64)
-		instWF[r.ID()] = jobWF[job]
 		st := &a.stripes[StripeFor(wfUUID[jobWF[job]])]
-		st.instIDs[instKey{job, r["job_submit_seq"].(int64)}] = r.ID()
+		is := &instState{id: r.ID(), box: r["id"]}
+		st.insts[instKey{job, r["job_submit_seq"].(int64)}] = is
+		instByID[r.ID()] = is
 	}
 	hosts, err := sn.Select(relstore.Query{Table: THost})
 	if err != nil {
@@ -205,11 +267,21 @@ func (a *Archive) warmCaches() error {
 	if err != nil {
 		return err
 	}
+	execSeq := make(map[int64]int64) // job_instance row id -> seq of cached EXECUTE
 	for _, r := range states {
-		ji := r["job_instance_id"].(int64)
-		st := &a.stripes[StripeFor(wfUUID[instWF[ji]])]
-		if seq := r["jobstate_submit_seq"].(int64); seq >= st.stateSeqs[ji] {
-			st.stateSeqs[ji] = seq + 1
+		is, ok := instByID[r["job_instance_id"].(int64)]
+		if !ok {
+			continue
+		}
+		seq := r["jobstate_submit_seq"].(int64)
+		if seq >= is.stateSeq {
+			is.stateSeq = seq + 1
+		}
+		if r["state"] == JSExecute {
+			if s, ok := execSeq[is.id]; !ok || seq >= s {
+				execSeq[is.id] = seq
+				is.execTS = r["timestamp"].(time.Time)
+			}
 		}
 	}
 	return nil
@@ -273,6 +345,9 @@ func (a *Archive) ApplyBatch(evs []*bp.Event) (n int, err error) {
 			cur.mu.Unlock()
 		}
 	}()
+	// Counters move once per batch, not per event: the two atomic adds
+	// are measurable at loader rates and the totals only need to be
+	// eventually exact, which the error path below preserves.
 	for i, ev := range evs {
 		st := a.stripeOf(ev)
 		if st != cur {
@@ -283,10 +358,16 @@ func (a *Archive) ApplyBatch(evs []*bp.Event) (n int, err error) {
 			cur = st
 		}
 		if err := a.applyLocked(st, ev); err != nil {
+			if i > 0 {
+				a.applied.Add(uint64(i))
+				mApplied.Add(uint64(i))
+			}
 			return i, fmt.Errorf("archive: %s: %w", ev.Type, err)
 		}
-		a.applied.Add(1)
-		mApplied.Inc()
+	}
+	if len(evs) > 0 {
+		a.applied.Add(uint64(len(evs)))
+		mApplied.Add(uint64(len(evs)))
 	}
 	return len(evs), nil
 }
@@ -298,17 +379,17 @@ func (a *Archive) applyLocked(st *stripe, ev *bp.Event) error {
 	case schema.StaticStart, schema.StaticEnd:
 		return nil // structural markers; nothing to materialise
 	case schema.XwfStart:
-		return a.applyWorkflowState(ev, WFStateStarted)
+		return a.applyWorkflowState(st, ev, WFStateStarted)
 	case schema.XwfEnd:
-		return a.applyWorkflowState(ev, WFStateTerminated)
+		return a.applyWorkflowState(st, ev, WFStateTerminated)
 	case schema.TaskInfo:
-		return a.applyTaskInfo(ev)
+		return a.applyTaskInfo(st, ev)
 	case schema.TaskEdge:
-		return a.applyTaskEdge(ev)
+		return a.applyTaskEdge(st, ev)
 	case schema.JobInfo:
 		return a.applyJobInfo(st, ev)
 	case schema.JobEdge:
-		return a.applyJobEdge(ev)
+		return a.applyJobEdge(st, ev)
 	case schema.MapTaskJob:
 		return a.applyMapTaskJob(st, ev)
 	case schema.MapSubwfJob:
@@ -351,11 +432,11 @@ func (a *Archive) applyLocked(st *stripe, ev *bp.Event) error {
 }
 
 // lookupWF returns the cached workflow row id for uuid, if present.
-func (a *Archive) lookupWF(uuid string) (int64, bool) {
+func (a *Archive) lookupWF(uuid string) (boxed, bool) {
 	a.wfMu.RLock()
-	id, ok := a.wfIDs[uuid]
+	b, ok := a.wfIDs[uuid]
 	a.wfMu.RUnlock()
-	return id, ok
+	return b, ok
 }
 
 // ensureWF returns the row id for uuid, inserting a minimal placeholder
@@ -365,35 +446,46 @@ func (a *Archive) lookupWF(uuid string) (int64, bool) {
 // (routine under sharded loading, where parent and child stream through
 // different shards), and two stripes racing on one uuid still produce
 // exactly one row.
-func (a *Archive) ensureWF(uuid string, ts time.Time) (int64, error) {
+func (a *Archive) ensureWF(uuid string, ts time.Time) (boxed, error) {
 	a.wfMu.Lock()
 	defer a.wfMu.Unlock()
-	if id, ok := a.wfIDs[uuid]; ok {
-		return id, nil
+	if b, ok := a.wfIDs[uuid]; ok {
+		return b, nil
 	}
-	id, err := a.store.Insert(TWorkflow, relstore.Row{
+	id, err := a.store.InsertOwned(TWorkflow, relstore.Row{
 		"wf_uuid":   uuid,
 		"timestamp": ts,
 	})
 	if err != nil {
-		return 0, err
+		return boxed{}, err
 	}
-	a.wfIDs[uuid] = id
-	return id, nil
+	b := boxed{id, id}
+	a.wfIDs[uuid] = b
+	return b, nil
 }
 
 // wfRow returns the workflow row id for the event's xwf.id, creating a
 // minimal placeholder when the plan event has not been seen (events can
-// race ahead of the plan on multi-producer buses).
-func (a *Archive) wfRow(ev *bp.Event) (int64, error) {
+// race ahead of the plan on multi-producer buses). The stripe memo makes
+// the common consecutive-same-workflow case lock-free.
+func (a *Archive) wfRow(st *stripe, ev *bp.Event) (boxed, error) {
 	uuid := ev.Get(schema.AttrXwfID)
 	if uuid == "" {
-		return 0, errors.New("event lacks xwf.id")
+		return boxed{}, errors.New("event lacks xwf.id")
 	}
-	if id, ok := a.lookupWF(uuid); ok {
-		return id, nil
+	if uuid == st.lastUUID {
+		return st.lastWF, nil
 	}
-	return a.ensureWF(uuid, ev.TS)
+	b, ok := a.lookupWF(uuid)
+	if !ok {
+		var err error
+		if b, err = a.ensureWF(uuid, ev.TS); err != nil {
+			return boxed{}, err
+		}
+	}
+	st.lastUUID = uuid
+	st.lastWF = b
+	return b, nil
 }
 
 func (a *Archive) applyPlan(ev *bp.Event) error {
@@ -403,11 +495,11 @@ func (a *Archive) applyPlan(ev *bp.Event) error {
 	}
 	var parentID any
 	if p := ev.Get(schema.AttrParentXwf); p != "" {
-		id, err := a.ensureWF(p, ev.TS)
+		parent, err := a.ensureWF(p, ev.TS)
 		if err != nil {
 			return err
 		}
-		parentID = id
+		parentID = parent.box
 	}
 	fields := relstore.Row{
 		"wf_uuid":           uuid,
@@ -427,25 +519,28 @@ func (a *Archive) applyPlan(ev *bp.Event) error {
 	// Materialise (or find) the row, then write the plan metadata onto it.
 	// One path covers first plan, replan after restart, and a placeholder
 	// created earlier by a child or out-of-order event.
-	id, err := a.ensureWF(uuid, ev.TS)
+	wf, err := a.ensureWF(uuid, ev.TS)
 	if err != nil {
 		return err
 	}
 	delete(fields, "wf_uuid")
-	return a.store.Update(TWorkflow, id, fields)
+	return a.store.Update(TWorkflow, wf.id, fields)
 }
 
-func (a *Archive) applyWorkflowState(ev *bp.Event, state string) error {
-	wf, err := a.wfRow(ev)
+// applyWorkflowState takes state as an any so call sites hand in the
+// WFState* constants pre-boxed: converting a constant string to an
+// interface uses static data, where boxing a dynamic string parameter
+// would allocate per event. insertJobState does the same with JS*.
+func (a *Archive) applyWorkflowState(st *stripe, ev *bp.Event, state any) error {
+	wf, err := a.wfRow(st, ev)
 	if err != nil {
 		return err
 	}
-	restart, _ := ev.Int("restart_count")
 	row := relstore.Row{
-		"wf_id":         wf,
+		"wf_id":         wf.box,
 		"state":         state,
 		"timestamp":     ev.TS,
-		"restart_count": restart,
+		"restart_count": ev.IntOr("restart_count", 0),
 	}
 	if ev.Has(schema.AttrStatus) {
 		st, err := ev.Int(schema.AttrStatus)
@@ -454,32 +549,37 @@ func (a *Archive) applyWorkflowState(ev *bp.Event, state string) error {
 		}
 		row["status"] = st
 	}
-	_, err = a.store.Insert(TWorkflowState, row)
+	_, err = a.store.InsertOwned(TWorkflowState, row)
 	return err
 }
 
-func (a *Archive) applyTaskInfo(ev *bp.Event) error {
-	wf, err := a.wfRow(ev)
+func (a *Archive) applyTaskInfo(st *stripe, ev *bp.Event) error {
+	wf, err := a.wfRow(st, ev)
 	if err != nil {
 		return err
 	}
-	_, err = a.store.Insert(TTask, relstore.Row{
-		"wf_id":          wf,
-		"abs_task_id":    ev.Get(schema.AttrTaskID),
+	taskID := ev.Get(schema.AttrTaskID)
+	id, err := a.store.InsertOwned(TTask, relstore.Row{
+		"wf_id":          wf.box,
+		"abs_task_id":    taskID,
 		"type_desc":      ev.Get("type_desc"),
 		"transformation": ev.Get(schema.AttrTransform),
 		"argv":           ev.Get(schema.AttrArgv),
 	})
-	return ignoreDuplicate(err)
+	if err != nil {
+		return ignoreDuplicate(err)
+	}
+	st.taskIDs[jobKey{wf.id, taskID}] = id
+	return nil
 }
 
-func (a *Archive) applyTaskEdge(ev *bp.Event) error {
-	wf, err := a.wfRow(ev)
+func (a *Archive) applyTaskEdge(st *stripe, ev *bp.Event) error {
+	wf, err := a.wfRow(st, ev)
 	if err != nil {
 		return err
 	}
-	_, err = a.store.Insert(TTaskEdge, relstore.Row{
-		"wf_id":              wf,
+	_, err = a.store.InsertOwned(TTaskEdge, relstore.Row{
+		"wf_id":              wf.box,
 		"parent_abs_task_id": ev.Get("parent.task.id"),
 		"child_abs_task_id":  ev.Get("child.task.id"),
 	})
@@ -487,38 +587,35 @@ func (a *Archive) applyTaskEdge(ev *bp.Event) error {
 }
 
 func (a *Archive) applyJobInfo(st *stripe, ev *bp.Event) error {
-	wf, err := a.wfRow(ev)
+	wf, err := a.wfRow(st, ev)
 	if err != nil {
 		return err
 	}
 	execID := ev.Get(schema.AttrJobID)
-	clustered, _ := ev.Int("clustered")
-	maxRetries, _ := ev.Int("max_retries")
-	taskCount, _ := ev.Int("task_count")
-	id, err := a.store.Insert(TJob, relstore.Row{
-		"wf_id":       wf,
+	id, err := a.store.InsertOwned(TJob, relstore.Row{
+		"wf_id":       wf.box,
 		"exec_job_id": execID,
 		"type_desc":   ev.Get("type_desc"),
-		"clustered":   clustered != 0,
-		"max_retries": maxRetries,
+		"clustered":   ev.IntOr("clustered", 0) != 0,
+		"max_retries": ev.IntOr("max_retries", 0),
 		"executable":  ev.Get(schema.AttrExecutable),
 		"argv":        ev.Get(schema.AttrArgv),
-		"task_count":  taskCount,
+		"task_count":  ev.IntOr("task_count", 0),
 	})
 	if err != nil {
 		return ignoreDuplicate(err)
 	}
-	st.jobIDs[jobKey{wf, execID}] = id
+	st.jobIDs[jobKey{wf.id, execID}] = boxed{id, id}
 	return nil
 }
 
-func (a *Archive) applyJobEdge(ev *bp.Event) error {
-	wf, err := a.wfRow(ev)
+func (a *Archive) applyJobEdge(st *stripe, ev *bp.Event) error {
+	wf, err := a.wfRow(st, ev)
 	if err != nil {
 		return err
 	}
-	_, err = a.store.Insert(TJobEdge, relstore.Row{
-		"wf_id":              wf,
+	_, err = a.store.InsertOwned(TJobEdge, relstore.Row{
+		"wf_id":              wf.box,
 		"parent_exec_job_id": ev.Get("parent.job.id"),
 		"child_exec_job_id":  ev.Get("child.job.id"),
 	})
@@ -526,7 +623,7 @@ func (a *Archive) applyJobEdge(ev *bp.Event) error {
 }
 
 func (a *Archive) applyMapTaskJob(st *stripe, ev *bp.Event) error {
-	wf, err := a.wfRow(ev)
+	wf, err := a.wfRow(st, ev)
 	if err != nil {
 		return err
 	}
@@ -534,88 +631,103 @@ func (a *Archive) applyMapTaskJob(st *stripe, ev *bp.Event) error {
 	if err != nil {
 		return err
 	}
-	task, err := a.store.SelectOne(relstore.Query{
-		Table: TTask,
-		Conds: []relstore.Cond{relstore.Eq("wf_id", wf), relstore.Eq("abs_task_id", ev.Get(schema.AttrTaskID))},
-	})
-	if err != nil {
-		return err
+	taskID := ev.Get(schema.AttrTaskID)
+	task, ok := st.taskIDs[jobKey{wf.id, taskID}]
+	if !ok {
+		// The cache misses only when task.info was dropped as a duplicate
+		// (restart replay); resolve through the unique index once and
+		// remember the row.
+		row, err := a.store.SelectOne(relstore.Query{
+			Table: TTask,
+			Conds: []relstore.Cond{relstore.Eq("wf_id", wf.id), relstore.Eq("abs_task_id", taskID)},
+		})
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return fmt.Errorf("map.task_job references unknown task %q", taskID)
+		}
+		task = row.ID()
+		st.taskIDs[jobKey{wf.id, taskID}] = task
 	}
-	if task == nil {
-		return fmt.Errorf("map.task_job references unknown task %q", ev.Get(schema.AttrTaskID))
-	}
-	return a.store.Update(TTask, task.ID(), relstore.Row{"job_id": jobRow})
+	return a.store.Update(TTask, task, relstore.Row{"job_id": jobRow.box})
 }
 
 func (a *Archive) applyMapSubwfJob(st *stripe, ev *bp.Event) error {
-	inst, err := a.instRow(st, ev)
+	is, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
-	return a.store.Update(TJobInstance, inst, relstore.Row{"subwf_uuid": ev.Get(schema.AttrSubwfID)})
+	return a.store.Update(TJobInstance, is.id, relstore.Row{"subwf_uuid": ev.Get(schema.AttrSubwfID)})
 }
 
 // jobRow resolves (wf row, exec job id) to the job table row, creating a
 // placeholder when job.info has not been seen yet.
-func (a *Archive) jobRow(st *stripe, wf int64, execID string) (int64, error) {
+func (a *Archive) jobRow(st *stripe, wf boxed, execID string) (boxed, error) {
 	if execID == "" {
-		return 0, errors.New("event lacks job.id")
+		return boxed{}, errors.New("event lacks job.id")
 	}
-	k := jobKey{wf, execID}
-	if id, ok := st.jobIDs[k]; ok {
-		return id, nil
+	k := jobKey{wf.id, execID}
+	if b, ok := st.jobIDs[k]; ok {
+		return b, nil
 	}
-	id, err := a.store.Insert(TJob, relstore.Row{"wf_id": wf, "exec_job_id": execID})
+	id, err := a.store.InsertOwned(TJob, relstore.Row{"wf_id": wf.box, "exec_job_id": execID})
 	if err != nil {
-		return 0, err
+		return boxed{}, err
 	}
-	st.jobIDs[k] = id
-	return id, nil
+	b := boxed{id, id}
+	st.jobIDs[k] = b
+	return b, nil
 }
 
 // instRow resolves the (job, submit seq) of a job_inst.* event to the
-// job_instance row, creating it on first reference.
-func (a *Archive) instRow(st *stripe, ev *bp.Event) (int64, error) {
-	wf, err := a.wfRow(ev)
+// job_instance state, creating the row on first reference.
+func (a *Archive) instRow(st *stripe, ev *bp.Event) (*instState, error) {
+	wf, err := a.wfRow(st, ev)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	jobRow, err := a.jobRow(st, wf, ev.Get(schema.AttrJobID))
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	seq, err := ev.Int(schema.AttrJobInstID)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	k := instKey{jobRow, seq}
-	if id, ok := st.instIDs[k]; ok {
-		return id, nil
+	k := instKey{jobRow.id, seq}
+	if is, ok := st.insts[k]; ok {
+		return is, nil
 	}
-	id, err := a.store.Insert(TJobInstance, relstore.Row{
-		"job_id":         jobRow,
+	id, err := a.store.InsertOwned(TJobInstance, relstore.Row{
+		"job_id":         jobRow.box,
 		"job_submit_seq": seq,
 	})
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	st.instIDs[k] = id
-	return id, nil
+	is := &instState{id: id, box: id}
+	st.insts[k] = is
+	return is, nil
 }
 
-func (a *Archive) applyJobState(st *stripe, ev *bp.Event, state string) error {
-	inst, err := a.instRow(st, ev)
+func (a *Archive) applyJobState(st *stripe, ev *bp.Event, state any) error {
+	is, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
-	return a.insertJobState(st, inst, state, ev)
+	return a.insertJobState(is, state, ev)
 }
 
-func (a *Archive) insertJobState(st *stripe, inst int64, state string, ev *bp.Event) error {
-	seq := st.stateSeqs[inst]
-	st.stateSeqs[inst] = seq + 1
-	_, err := a.store.Insert(TJobState, relstore.Row{
-		"job_instance_id":     inst,
+// insertJobState is the hottest archive write: every lifecycle event of
+// every job instance lands here. state is any (not string) so the JS*
+// constants box statically at the call sites — see applyWorkflowState —
+// and the instance id goes in pre-boxed from the instState.
+func (a *Archive) insertJobState(is *instState, state any, ev *bp.Event) error {
+	seq := is.stateSeq
+	is.stateSeq = seq + 1
+	_, err := a.store.InsertOwned(TJobState, relstore.Row{
+		"job_instance_id":     is.box,
 		"state":               state,
 		"timestamp":           ev.TS,
 		"jobstate_submit_seq": seq,
@@ -623,20 +735,20 @@ func (a *Archive) insertJobState(st *stripe, inst int64, state string, ev *bp.Ev
 	return err
 }
 
-func (a *Archive) applyScriptEnd(st *stripe, ev *bp.Event, okState, failState string) error {
-	inst, err := a.instRow(st, ev)
+func (a *Archive) applyScriptEnd(st *stripe, ev *bp.Event, okState, failState any) error {
+	is, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
 	state := okState
-	if code, err := ev.Int(schema.AttrExitcode); err == nil && code != 0 {
+	if code, ok := intAttr(ev, schema.AttrExitcode); ok && code != 0 {
 		state = failState
 	}
-	return a.insertJobState(st, inst, state, ev)
+	return a.insertJobState(is, state, ev)
 }
 
 func (a *Archive) applyMainStart(st *stripe, ev *bp.Event) error {
-	inst, err := a.instRow(st, ev)
+	is, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
@@ -648,15 +760,16 @@ func (a *Archive) applyMainStart(st *stripe, ev *bp.Event) error {
 		changes["stderr_file"] = f
 	}
 	if len(changes) > 0 {
-		if err := a.store.Update(TJobInstance, inst, changes); err != nil {
+		if err := a.store.Update(TJobInstance, is.id, changes); err != nil {
 			return err
 		}
 	}
-	return a.insertJobState(st, inst, JSExecute, ev)
+	is.execTS = ev.TS
+	return a.insertJobState(is, JSExecute, ev)
 }
 
 func (a *Archive) applyMainEnd(st *stripe, ev *bp.Event) error {
-	inst, err := a.instRow(st, ev)
+	is, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
@@ -677,38 +790,30 @@ func (a *Archive) applyMainEnd(st *stripe, ev *bp.Event) error {
 	if s := ev.Get(schema.AttrStderrText); s != "" {
 		changes["stderr_text"] = s
 	}
-	if m, err := ev.Int("multiplier_factor"); err == nil {
+	if m, ok := intAttr(ev, "multiplier_factor"); ok {
 		changes["multiplier_factor"] = m
 	}
 	// local_duration = main.end ts - the matching EXECUTE state ts, the
 	// runtime "as measured by the workflow engine" in the paper's job
-	// statistics.
-	states, err := a.store.Select(relstore.Query{
-		Table: TJobState,
-		Conds: []relstore.Cond{relstore.Eq("job_instance_id", inst)},
-	})
-	if err != nil {
+	// statistics. The instance state carries the latest EXECUTE timestamp
+	// (set by main.start, warmed from the jobstate table on reopen) so
+	// this does not re-select the instance's state history for every
+	// completing job.
+	if !is.execTS.IsZero() {
+		changes["local_duration"] = ev.TS.Sub(is.execTS).Seconds()
+	}
+	if err := a.store.Update(TJobInstance, is.id, changes); err != nil {
 		return err
 	}
-	for i := len(states) - 1; i >= 0; i-- {
-		if states[i]["state"] == JSExecute {
-			start := states[i]["timestamp"].(time.Time)
-			changes["local_duration"] = ev.TS.Sub(start).Seconds()
-			break
-		}
-	}
-	if err := a.store.Update(TJobInstance, inst, changes); err != nil {
-		return err
-	}
-	state := JSSuccess
+	var state any = JSSuccess
 	if exitcode != 0 {
 		state = JSFailure
 	}
-	return a.insertJobState(st, inst, state, ev)
+	return a.insertJobState(is, state, ev)
 }
 
 func (a *Archive) applyHostInfo(st *stripe, ev *bp.Event) error {
-	inst, err := a.instRow(st, ev)
+	is, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
@@ -723,10 +828,10 @@ func (a *Archive) applyHostInfo(st *stripe, ev *bp.Event) error {
 		if u := ev.Get("uname"); u != "" {
 			row["uname"] = u
 		}
-		if m, err := ev.Int("total_memory"); err == nil {
+		if m, ok := intAttr(ev, "total_memory"); ok {
 			row["total_memory"] = m
 		}
-		hid, err = a.store.Insert(THost, row)
+		hid, err = a.store.InsertOwned(THost, row)
 		if err != nil {
 			a.hostMu.Unlock()
 			return err
@@ -734,29 +839,29 @@ func (a *Archive) applyHostInfo(st *stripe, ev *bp.Event) error {
 		a.hostIDs[k] = hid
 	}
 	a.hostMu.Unlock()
-	return a.store.Update(TJobInstance, inst, relstore.Row{
+	return a.store.Update(TJobInstance, is.id, relstore.Row{
 		"host_id": hid,
 		"site":    k.site,
 	})
 }
 
 func (a *Archive) applyInvEnd(st *stripe, ev *bp.Event) error {
-	wf, err := a.wfRow(ev)
+	wf, err := a.wfRow(st, ev)
 	if err != nil {
 		return err
 	}
-	inst, err := a.instRow(st, ev)
+	is, err := a.instRow(st, ev)
 	if err != nil {
 		return err
 	}
-	seq, err := ev.Int(schema.AttrInvID)
-	if err != nil {
-		seq = st.invSeqs[inst]
-		st.invSeqs[inst] = seq + 1
+	seq, ok := intAttr(ev, schema.AttrInvID)
+	if !ok {
+		seq = is.invSeq
+		is.invSeq = seq + 1
 	}
 	row := relstore.Row{
-		"job_instance_id": inst,
-		"wf_id":           wf,
+		"job_instance_id": is.box,
+		"wf_id":           wf.box,
 		"task_submit_seq": seq,
 		"transformation":  ev.Get(schema.AttrTransform),
 		"executable":      ev.Get(schema.AttrExecutable),
@@ -764,20 +869,20 @@ func (a *Archive) applyInvEnd(st *stripe, ev *bp.Event) error {
 		"abs_task_id":     ev.Get(schema.AttrTaskID),
 	}
 	if ts := ev.Get(schema.AttrStartTime); ts != "" {
-		if parsed, err := bp.Parse("ts=" + ts + " event=x"); err == nil {
-			row["start_time"] = parsed.TS
+		if parsed, err := bp.ParseTime(ts); err == nil {
+			row["start_time"] = parsed
 		}
 	}
-	if d, err := ev.Float(schema.AttrDur); err == nil {
+	if d, ok := floatAttr(ev, schema.AttrDur); ok {
 		row["remote_duration"] = d
 	}
-	if c, err := ev.Float(schema.AttrRemoteCPU); err == nil {
+	if c, ok := floatAttr(ev, schema.AttrRemoteCPU); ok {
 		row["remote_cpu_time"] = c
 	}
-	if x, err := ev.Int(schema.AttrExitcode); err == nil {
+	if x, ok := intAttr(ev, schema.AttrExitcode); ok {
 		row["exitcode"] = x
 	}
-	_, err = a.store.Insert(TInvocation, row)
+	_, err = a.store.InsertOwned(TInvocation, row)
 	return ignoreDuplicate(err)
 }
 

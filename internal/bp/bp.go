@@ -13,11 +13,16 @@
 //
 // The package provides the Event value type, single-line Format/Parse, and
 // buffered stream Reader/Writer types for log files and sockets.
+//
+// The decode path is built for the loader's throughput target: ParseBytes
+// tokenizes without splitting, attr keys and event types are interned
+// (one allocation per process, not per event), values are zero-copy
+// slices of a single retained backing string, and events recycle through
+// a sync.Pool (see pool.go for the ownership rules).
 package bp
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -47,13 +52,13 @@ const (
 type Event struct {
 	TS    time.Time
 	Type  string
-	Attrs map[string]string
+	Attrs Attrs
 }
 
 // New returns an Event of the given type at the given time with no
 // attributes yet.
 func New(typ string, ts time.Time) *Event {
-	return &Event{TS: ts, Type: typ, Attrs: make(map[string]string, 8)}
+	return &Event{TS: ts, Type: typ, Attrs: make(Attrs, 0, 8)}
 }
 
 // Set stores a string attribute and returns the event for chaining.
@@ -62,10 +67,7 @@ func (e *Event) Set(key, value string) *Event {
 	if key == KeyTS || key == KeyEvent {
 		panic("bp: use the TS/Type fields for " + key)
 	}
-	if e.Attrs == nil {
-		e.Attrs = make(map[string]string, 8)
-	}
-	e.Attrs[key] = value
+	e.Attrs.Set(key, value)
 	return e
 }
 
@@ -79,41 +81,58 @@ func (e *Event) SetFloat(key string, v float64) *Event {
 }
 
 // Get returns the attribute value, or "" when absent.
-func (e *Event) Get(key string) string { return e.Attrs[key] }
+func (e *Event) Get(key string) string { return e.Attrs.Get(key) }
+
+// Lookup returns the attribute value and whether it is present.
+func (e *Event) Lookup(key string) (string, bool) { return e.Attrs.Lookup(key) }
 
 // Has reports whether the attribute is present.
-func (e *Event) Has(key string) bool { _, ok := e.Attrs[key]; return ok }
+func (e *Event) Has(key string) bool { return e.Attrs.Has(key) }
 
 // Int parses the attribute as a base-10 integer.
 func (e *Event) Int(key string) (int64, error) {
-	v, ok := e.Attrs[key]
+	v, ok := e.Attrs.Lookup(key)
 	if !ok {
 		return 0, fmt.Errorf("bp: attribute %q missing on %s", key, e.Type)
 	}
 	return strconv.ParseInt(v, 10, 64)
 }
 
+// IntOr parses the attribute as a base-10 integer, returning def when the
+// attribute is absent or malformed. Unlike Int it allocates nothing on
+// the miss path, so hot callers that discard the error use it.
+func (e *Event) IntOr(key string, def int64) int64 {
+	v, ok := e.Attrs.Lookup(key)
+	if !ok {
+		return def
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
 // Float parses the attribute as a float64.
 func (e *Event) Float(key string) (float64, error) {
-	v, ok := e.Attrs[key]
+	v, ok := e.Attrs.Lookup(key)
 	if !ok {
 		return 0, fmt.Errorf("bp: attribute %q missing on %s", key, e.Type)
 	}
 	return strconv.ParseFloat(v, 64)
 }
 
-// Clone returns a deep copy of the event.
+// Clone returns a deep copy of the event. For a pooled event this is the
+// escape hatch: the copy is ordinary GC-managed memory that survives
+// ReleaseEvent of the original.
 func (e *Event) Clone() *Event {
-	c := &Event{TS: e.TS, Type: e.Type, Attrs: make(map[string]string, len(e.Attrs))}
-	for k, v := range e.Attrs {
-		c.Attrs[k] = v
-	}
-	return c
+	return &Event{TS: e.TS, Type: e.Type, Attrs: e.Attrs.Clone()}
 }
 
 // Format renders the event as one BP line without a trailing newline.
 // "ts" and "event" come first, then the remaining attributes in sorted
-// order so output is deterministic and diff-able.
+// order so output is deterministic and diff-able. Attrs is stored sorted,
+// so no per-call key sort is needed.
 func (e *Event) Format() string {
 	var b strings.Builder
 	b.Grow(64 + 24*len(e.Attrs))
@@ -126,16 +145,11 @@ func (e *Event) Format() string {
 	// Event types are dot-separated identifiers in practice, but quote
 	// defensively so any parsed event formats back to a parseable line.
 	writeValue(&b, e.Type)
-	keys := make([]string, 0, len(e.Attrs))
-	for k := range e.Attrs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for i := range e.Attrs {
 		b.WriteByte(' ')
-		b.WriteString(k)
+		b.WriteString(e.Attrs[i].Key)
 		b.WriteByte('=')
-		writeValue(&b, e.Attrs[k])
+		writeValue(&b, e.Attrs[i].Val)
 	}
 	return b.String()
 }
@@ -181,8 +195,37 @@ func writeValue(b *strings.Builder, v string) {
 // Parse decodes one BP line. Both the ISO 8601 layout and fractional
 // seconds-since-epoch timestamps are accepted, matching NetLogger's
 // tolerance. Lines missing ts or event are rejected.
+//
+// The returned event is ordinary GC-managed memory owned by the caller;
+// its attr values are zero-copy slices of line. Streaming consumers that
+// can honour the pool ownership rules should prefer ParseBytes.
 func Parse(line string) (*Event, error) {
-	e := &Event{Attrs: make(map[string]string, 8)}
+	e := &Event{}
+	if err := e.parseLine(line); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ParseBytes decodes one BP line from a byte slice without tokenization
+// copies: the line is copied once into a retained backing string and
+// every value is a slice of it, keys and the event type resolve through
+// the intern table, and the Event struct plus its Attrs array come from
+// the event pool. The caller owns the result and must ReleaseEvent it
+// (or Clone to escape); see pool.go. line itself may be reused by the
+// caller immediately — steady-state cost is the one backing allocation.
+func ParseBytes(line []byte) (*Event, error) {
+	e := GetEvent()
+	if err := e.parseLine(string(line)); err != nil {
+		ReleaseEvent(e)
+		return nil, err
+	}
+	return e, nil
+}
+
+// parseLine tokenizes one line into e, which must be empty. Values are
+// substrings of line; keys and the event type are interned.
+func (e *Event) parseLine(line string) error {
 	i := 0
 	n := len(line)
 	sawTS, sawEvent := false, false
@@ -200,47 +243,32 @@ func Parse(line string) (*Event, error) {
 			i++
 		}
 		if i >= n || line[i] != '=' {
-			return nil, fmt.Errorf("bp: malformed pair at byte %d of %q", ks, truncate(line))
+			return fmt.Errorf("bp: malformed pair at byte %d of %q", ks, truncate(line))
 		}
 		key := line[ks:i]
 		if key == "" {
-			return nil, fmt.Errorf("bp: empty key at byte %d of %q", ks, truncate(line))
+			return fmt.Errorf("bp: empty key at byte %d of %q", ks, truncate(line))
 		}
 		i++ // consume '='
 		var val string
 		if i < n && line[i] == '"' {
 			i++
-			var sb strings.Builder
-			closed := false
-			for i < n {
-				c := line[i]
-				if c == '\\' && i+1 < n {
-					switch nxt := line[i+1]; nxt {
-					case 'n':
-						sb.WriteByte('\n')
-					case 'r':
-						sb.WriteByte('\r')
-					case '"', '\\':
-						sb.WriteByte(nxt)
-					default:
-						sb.WriteByte('\\')
-						sb.WriteByte(nxt)
-					}
-					i += 2
-					continue
-				}
-				if c == '"' {
-					i++
-					closed = true
-					break
-				}
-				sb.WriteByte(c)
+			vs := i
+			// Scan ahead: a quoted run without backslashes is the common
+			// case and needs no unescape buffer — slice it directly.
+			for i < n && line[i] != '"' && line[i] != '\\' {
 				i++
 			}
-			if !closed {
-				return nil, fmt.Errorf("bp: unterminated quote in %q", truncate(line))
+			if i < n && line[i] == '"' {
+				val = line[vs:i]
+				i++
+			} else {
+				var err error
+				val, i, err = unquoteSlow(line, vs)
+				if err != nil {
+					return err
+				}
 			}
-			val = sb.String()
 		} else {
 			vs := i
 			for i < n && line[i] != ' ' && line[i] != '\t' {
@@ -250,32 +278,73 @@ func Parse(line string) (*Event, error) {
 		}
 		switch key {
 		case KeyTS:
-			ts, err := parseTS(val)
+			ts, err := ParseTime(val)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			e.TS = ts
 			sawTS = true
 		case KeyEvent:
 			if val == "" {
-				return nil, fmt.Errorf("bp: empty event type in %q", truncate(line))
+				return fmt.Errorf("bp: empty event type in %q", truncate(line))
 			}
-			e.Type = val
+			e.Type = Intern(val)
 			sawEvent = true
 		default:
-			e.Attrs[key] = val
+			e.Attrs.Set(Intern(key), internHit(val))
 		}
 	}
 	if !sawTS {
-		return nil, fmt.Errorf("bp: missing ts in %q", truncate(line))
+		return fmt.Errorf("bp: missing ts in %q", truncate(line))
 	}
 	if !sawEvent {
-		return nil, fmt.Errorf("bp: missing event in %q", truncate(line))
+		return fmt.Errorf("bp: missing event in %q", truncate(line))
 	}
-	return e, nil
+	return nil
 }
 
-func parseTS(v string) (time.Time, error) {
+// unquoteSlow finishes a quoted value that contains escapes, starting
+// from the value's first byte at vs (the opening quote already consumed).
+// It returns the unescaped value and the index after the closing quote.
+func unquoteSlow(line string, vs int) (string, int, error) {
+	n := len(line)
+	var sb strings.Builder
+	i := vs
+	for i < n {
+		c := line[i]
+		if c == '\\' && i+1 < n {
+			switch nxt := line[i+1]; nxt {
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"', '\\':
+				sb.WriteByte(nxt)
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(nxt)
+			}
+			i += 2
+			continue
+		}
+		if c == '"' {
+			return sb.String(), i + 1, nil
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return "", i, fmt.Errorf("bp: unterminated quote in %q", truncate(line))
+}
+
+// ParseTime decodes a BP timestamp value: the canonical ISO 8601 layout
+// (via an allocation-free fixed-width fast path), any RFC 3339 variant,
+// or fractional seconds since the epoch. Exported so consumers of
+// timestamp-valued attributes (the archive's inv.end start_time) can
+// reuse the loader's tolerance without formatting a synthetic line.
+func ParseTime(v string) (time.Time, error) {
+	if t, ok := parseCanonicalTS(v); ok {
+		return t, nil
+	}
 	if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
 		return t.UTC(), nil
 	}
@@ -295,6 +364,57 @@ func parseTS(v string) (time.Time, error) {
 		return time.Unix(sec, nsec).UTC(), nil
 	}
 	return time.Time{}, fmt.Errorf("bp: unparseable timestamp %q", v)
+}
+
+// parseCanonicalTS decodes exactly the TimeFormat layout
+// ("2006-01-02T15:04:05.000000Z", 27 bytes) without going through
+// time.Parse. Every timestamp the toolchain itself emits takes this path.
+func parseCanonicalTS(v string) (time.Time, bool) {
+	if len(v) != 27 || v[4] != '-' || v[7] != '-' || v[10] != 'T' ||
+		v[13] != ':' || v[16] != ':' || v[19] != '.' || v[26] != 'Z' {
+		return time.Time{}, false
+	}
+	num := func(s string) (int, bool) {
+		n := 0
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + int(c-'0')
+		}
+		return n, true
+	}
+	year, ok1 := num(v[0:4])
+	month, ok2 := num(v[5:7])
+	day, ok3 := num(v[8:10])
+	hour, ok4 := num(v[11:13])
+	min, ok5 := num(v[14:16])
+	sec, ok6 := num(v[17:19])
+	micro, ok7 := num(v[20:26])
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7) {
+		return time.Time{}, false
+	}
+	if month < 1 || month > 12 || day < 1 || day > daysIn(year, month) ||
+		hour > 23 || min > 59 || sec > 59 {
+		// Out-of-range components (leap seconds, "2012-13-40") fall back
+		// to time.Parse so acceptance matches the pre-fast-path parser.
+		return time.Time{}, false
+	}
+	return time.Date(year, time.Month(month), day, hour, min, sec, micro*1000, time.UTC), true
+}
+
+func daysIn(year, month int) int {
+	switch month {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	}
+	if year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+		return 29
+	}
+	return 28
 }
 
 func truncate(s string) string {

@@ -39,6 +39,24 @@ func FuzzParse(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, line string) {
 		ev, err := bp.Parse(line)
+		// ParseBytes must agree with Parse on every input: same event or
+		// same rejection. The zero-copy parser shares the tokenizer, but
+		// this is the property that keeps it honest if they ever split.
+		bev, berr := bp.ParseBytes([]byte(line))
+		if (err == nil) != (berr == nil) {
+			t.Fatalf("Parse/ParseBytes disagree on %q: %v vs %v", line, err, berr)
+		}
+		if berr == nil {
+			if bev.Type != ev.Type || !bev.TS.Equal(ev.TS) || len(bev.Attrs) != len(ev.Attrs) {
+				t.Fatalf("Parse/ParseBytes events differ on %q:\n  %v\n  %v", line, ev, bev)
+			}
+			for i := range ev.Attrs {
+				if ev.Attrs[i] != bev.Attrs[i] {
+					t.Fatalf("attr %d differs on %q: %v vs %v", i, line, ev.Attrs[i], bev.Attrs[i])
+				}
+			}
+			bp.ReleaseEvent(bev)
+		}
 		if err != nil {
 			return // rejected input is fine; panics are not
 		}
@@ -56,8 +74,9 @@ func FuzzParse(f *testing.F) {
 		if len(ev2.Attrs) != len(ev.Attrs) {
 			t.Fatalf("attr count changed: %v -> %v", ev.Attrs, ev2.Attrs)
 		}
-		for k, v := range ev.Attrs {
-			if got, ok := ev2.Attrs[k]; !ok || got != v {
+		for i := range ev.Attrs {
+			k, v := ev.Attrs[i].Key, ev.Attrs[i].Val
+			if got, ok := ev2.Attrs.Lookup(k); !ok || got != v {
 				t.Fatalf("attr %q changed across round-trip: %q -> %q", k, v, got)
 			}
 		}

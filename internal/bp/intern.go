@@ -1,0 +1,111 @@
+package bp
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The intern table maps hot strings — attribute keys, event type names,
+// enum-ish values like levels — to one canonical per-process instance, so
+// parsing a million events allocates each key once instead of a million
+// times. The vocabulary is closed in practice (the Stampede schema
+// declares every key), so the table is seeded at init and grows only on
+// first sight of a new key; growth is bounded so hostile input cannot
+// turn the table into a leak.
+const (
+	maxInternLen     = 64
+	maxInternEntries = 4096
+)
+
+// The table is copy-on-write: readers load the current map through an
+// atomic pointer and probe it with no lock at all — the parser does two
+// intern lookups per attribute, so even an uncontended RWMutex pair per
+// lookup is measurable at loader rates. Growth (rare: the vocabulary is
+// closed) clones the map under mu and publishes the successor.
+type internTable struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[string]string]
+}
+
+var interned = newInternTable()
+
+func newInternTable() *internTable {
+	t := &internTable{}
+	m := make(map[string]string, 256)
+	t.m.Store(&m)
+	return t
+}
+
+// insertLocked publishes a successor map containing s. Caller holds mu.
+func (t *internTable) insertLocked(s string) string {
+	old := *t.m.Load()
+	if v, ok := old[s]; ok {
+		return v
+	}
+	next := make(map[string]string, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	// Clone so the table never pins a caller's backing buffer (e.g. one
+	// attr key keeping a whole parsed line alive).
+	v := strings.Clone(s)
+	next[v] = v
+	t.m.Store(&next)
+	return v
+}
+
+func init() {
+	InternStrings(
+		KeyTS, KeyEvent, "level",
+		LevelInfo, LevelWarn, LevelError, LevelDebug,
+	)
+}
+
+// InternStrings pre-seeds the intern table with known-hot strings.
+// Packages that define event vocabularies (the Stampede schema) call it
+// from init so the first event of a stream already hits the table.
+func InternStrings(ss ...string) {
+	interned.mu.Lock()
+	for _, s := range ss {
+		if len(s) > 0 && len(s) <= maxInternLen {
+			interned.insertLocked(s)
+		}
+	}
+	interned.mu.Unlock()
+}
+
+// Intern returns the canonical instance of s, registering it on first
+// sight (bounded; past the cap s itself is returned). The returned string
+// is safe to retain indefinitely only when s is — callers interning
+// substrings of a transient buffer get the clone-on-insert guarantee.
+func Intern(s string) string {
+	if len(s) == 0 || len(s) > maxInternLen {
+		return s
+	}
+	t := interned
+	m := *t.m.Load()
+	if v, ok := m[s]; ok {
+		return v
+	}
+	if len(m) >= maxInternEntries {
+		return s
+	}
+	t.mu.Lock()
+	v := t.insertLocked(s)
+	t.mu.Unlock()
+	return v
+}
+
+// internHit returns the canonical instance when s is already interned and
+// s itself otherwise. Values use this lookup-only path: keys form a closed
+// vocabulary worth registering, values (uuids, paths) mostly do not.
+func internHit(s string) string {
+	if len(s) == 0 || len(s) > maxInternLen {
+		return s
+	}
+	if v, ok := (*interned.m.Load())[s]; ok {
+		return v
+	}
+	return s
+}

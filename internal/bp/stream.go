@@ -2,10 +2,10 @@ package bp
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
-	"strings"
 	"sync"
 )
 
@@ -16,6 +16,7 @@ type Reader struct {
 	s       *bufio.Scanner
 	line    int
 	lenient bool
+	pooled  bool
 	skipped int
 }
 
@@ -37,15 +38,24 @@ func (r *Reader) SetLenient(on bool) { r.lenient = on }
 // Skipped reports how many malformed lines were dropped in lenient mode.
 func (r *Reader) Skipped() int { return r.skipped }
 
-// Read returns the next event, or io.EOF at end of stream.
+// SetPooled makes Read return pool-recycled events (see the ownership
+// rules in pool.go): each returned event must be handed to ReleaseEvent
+// when the caller is done with it, or escaped with Clone. The loader
+// turns this on; ReadAll callers, which retain every event, must not.
+func (r *Reader) SetPooled(on bool) { r.pooled = on }
+
+// Read returns the next event, or io.EOF at end of stream. In pooled mode
+// (SetPooled) the caller owns the returned event and must release it.
 func (r *Reader) Read() (*Event, error) {
 	for r.s.Scan() {
 		r.line++
-		line := strings.TrimSpace(r.s.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		// Work on the scanner's byte view: Text() would copy every line
+		// into a fresh string before the parser even starts.
+		line := bytes.TrimSpace(r.s.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		ev, err := Parse(line)
+		ev, err := r.parse(line)
 		if err != nil {
 			if r.lenient {
 				r.skipped++
@@ -59,6 +69,17 @@ func (r *Reader) Read() (*Event, error) {
 		return nil, err
 	}
 	return nil, io.EOF
+}
+
+func (r *Reader) parse(line []byte) (*Event, error) {
+	if r.pooled {
+		return ParseBytes(line)
+	}
+	e := &Event{}
+	if err := e.parseLine(string(line)); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // ReadAll drains the stream into a slice. It stops at the first error in

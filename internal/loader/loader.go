@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -90,19 +91,52 @@ type Stats struct {
 	// the sequential path), so the scaling experiment can report where
 	// time goes.
 	Shards []ShardStats
+
+	// String() memo: the rendered line plus the counter values it was
+	// rendered from, so periodic logging of unchanged stats reuses the
+	// string instead of re-formatting every call.
+	str    string
+	strKey [6]uint64
 }
 
 // Rate returns loaded events per second.
-func (s Stats) Rate() float64 {
+func (s *Stats) Rate() float64 {
 	if s.Elapsed <= 0 {
 		return 0
 	}
 	return float64(s.Loaded) / s.Elapsed.Seconds()
 }
 
-func (s Stats) String() string {
-	return fmt.Sprintf("read=%d loaded=%d invalid=%d unknown=%d malformed=%d elapsed=%s rate=%.0f/s",
-		s.Read, s.Loaded, s.Invalid, s.Unknown, s.Malformed, s.Elapsed, s.Rate())
+// String renders the counters as one log line. The line is built on
+// demand and cached until a counter changes, so logging loops that print
+// the same Stats repeatedly format it once.
+func (s *Stats) String() string {
+	key := [6]uint64{s.Read, s.Loaded, s.Invalid, s.Unknown, s.Malformed, uint64(s.Elapsed)}
+	if s.str == "" || key != s.strKey {
+		s.strKey = key
+		s.str = s.format()
+	}
+	return s.str
+}
+
+func (s *Stats) format() string {
+	var b []byte
+	b = append(b, "read="...)
+	b = strconv.AppendUint(b, s.Read, 10)
+	b = append(b, " loaded="...)
+	b = strconv.AppendUint(b, s.Loaded, 10)
+	b = append(b, " invalid="...)
+	b = strconv.AppendUint(b, s.Invalid, 10)
+	b = append(b, " unknown="...)
+	b = strconv.AppendUint(b, s.Unknown, 10)
+	b = append(b, " malformed="...)
+	b = strconv.AppendUint(b, s.Malformed, 10)
+	b = append(b, " elapsed="...)
+	b = append(b, s.Elapsed.String()...)
+	b = append(b, " rate="...)
+	b = strconv.AppendFloat(b, s.Rate(), 'f', 0, 64)
+	b = append(b, "/s"...)
+	return string(b)
 }
 
 // Loader loads BP event streams into one archive. A Loader may be used by
@@ -201,6 +235,8 @@ func (l *Loader) newBatch(shard int) *batch {
 	}
 }
 
+// add takes ownership of ev (a pooled event): it is either buffered until
+// the batch commits or released here on the reject paths.
 func (b *batch) add(ev *bp.Event) error {
 	b.stats.Read++
 	mRead.Inc()
@@ -208,6 +244,9 @@ func (b *batch) add(ev *bp.Event) error {
 		if err := b.val.Validate(ev); err != nil {
 			b.stats.Invalid++
 			mInvalid.Inc()
+			// The validation error holds formatted copies, never the
+			// event itself, so releasing before returning it is safe.
+			bp.ReleaseEvent(ev)
 			if b.opts.Lenient {
 				return nil
 			}
@@ -262,24 +301,36 @@ func (b *batch) applyAndCommit() error {
 		case errors.Is(err, archive.ErrUnknownEvent):
 			b.stats.Unknown++
 			if !b.opts.Lenient {
-				b.buf = b.buf[:0]
+				b.releaseBuf()
 				return fmt.Errorf("loader: %s: %w", bad.Type, err)
 			}
 		default:
 			b.stats.Invalid++
 			if !b.opts.Lenient {
-				b.buf = b.buf[:0]
+				b.releaseBuf()
 				return fmt.Errorf("loader: %s: %w", bad.Type, err)
 			}
 		}
 	}
-	b.buf = b.buf[:0]
+	b.releaseBuf()
 	// Each batch is a transaction: committed data must reach the store's
 	// durability layer before the next batch. In-memory archives make
 	// this a no-op; persistent ones pay one write per batch, which is
 	// exactly the cost the paper's batched inserts amortize. Concurrent
 	// shard flushes group-commit inside the store, sharing fsyncs.
 	return b.arch.Flush()
+}
+
+// releaseBuf recycles the batch's events back to the event pool once the
+// archive has folded (or rejected) them. The archive retains only the
+// events' strings — immutable, GC-managed — never the events themselves,
+// so recycling here cannot corrupt committed rows.
+func (b *batch) releaseBuf() {
+	for i, ev := range b.buf {
+		bp.ReleaseEvent(ev)
+		b.buf[i] = nil
+	}
+	b.buf = b.buf[:0]
 }
 
 // LoadReader loads a complete BP stream from r, flushing at EOF.
@@ -290,6 +341,8 @@ func (l *Loader) LoadReader(r io.Reader) (Stats, error) {
 	start := time.Now()
 	br := bp.NewReader(r)
 	br.SetLenient(l.opts.Lenient)
+	// Pooled mode: the batch owns each event until its flush releases it.
+	br.SetPooled(true)
 	b := l.newBatch(0)
 	for {
 		ev, err := br.Read()
@@ -297,11 +350,13 @@ func (l *Loader) LoadReader(r io.Reader) (Stats, error) {
 			break
 		}
 		if err != nil {
+			b.releaseBuf()
 			b.stats.Elapsed = time.Since(start)
 			l.account(b.stats)
 			return b.stats, err
 		}
 		if err := b.add(ev); err != nil {
+			b.releaseBuf()
 			b.stats.Elapsed = time.Since(start)
 			l.account(b.stats)
 			return b.stats, err
@@ -364,7 +419,7 @@ func (l *Loader) Consume(ctx context.Context, msgs <-chan mq.Message) (Stats, er
 			if !ok {
 				return finish(nil)
 			}
-			ev, err := bp.Parse(string(m.Body))
+			ev, err := bp.ParseBytes(m.Body)
 			if err != nil {
 				b.stats.Malformed++
 				mMalformed.Inc()

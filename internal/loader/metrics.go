@@ -1,8 +1,11 @@
 package loader
 
 import (
+	"math"
 	"strconv"
+	"sync/atomic"
 
+	"repro/internal/bp"
 	"repro/internal/telemetry"
 )
 
@@ -35,3 +38,29 @@ var (
 )
 
 func shardLabel(i int) string { return strconv.Itoa(i) }
+
+// allocsPerEventBits holds the most recent allocations-per-event
+// measurement as float64 bits; gauges are int64 so the fractional value
+// is exposed through a GaugeFunc instead.
+var allocsPerEventBits atomic.Uint64
+
+// RecordAllocsPerEvent publishes a heap-allocations-per-loaded-event
+// measurement on the stampede_loader_allocs_per_event gauge. The loader
+// benchmarks compute it from runtime.MemStats deltas across a load; the
+// gauge holds the last recorded value.
+func RecordAllocsPerEvent(v float64) { allocsPerEventBits.Store(math.Float64bits(v)) }
+
+func init() {
+	telemetry.NewGaugeFunc("stampede_loader_allocs_per_event",
+		"Heap allocations per loaded event, as last measured from MemStats deltas.",
+		func() float64 { return math.Float64frombits(allocsPerEventBits.Load()) })
+	telemetry.NewGaugeFunc("stampede_loader_event_pool_hits_total",
+		"Event-pool gets served by recycling an event.",
+		func() float64 { h, _, _ := bp.PoolStats(); return float64(h) })
+	telemetry.NewGaugeFunc("stampede_loader_event_pool_misses_total",
+		"Event-pool gets that had to allocate a fresh event.",
+		func() float64 { _, m, _ := bp.PoolStats(); return float64(m) })
+	telemetry.NewGaugeFunc("stampede_loader_event_pool_returns_total",
+		"Events released back to the event pool.",
+		func() float64 { _, _, r := bp.PoolStats(); return float64(r) })
+}

@@ -141,6 +141,10 @@ func (p *pipeline) dispatch(ev *bp.Event) bool {
 func (p *pipeline) produceReader(r io.Reader) {
 	br := bp.NewReader(r)
 	br.SetLenient(p.l.opts.Lenient)
+	// Pooled events flow down the pipeline with ownership: parser →
+	// validator → apply shard, which releases them after its batch
+	// commits.
+	br.SetPooled(true)
 	for {
 		ev, err := br.Read()
 		if errors.Is(err, io.EOF) {
@@ -153,6 +157,9 @@ func (p *pipeline) produceReader(r io.Reader) {
 		p.read++
 		mRead.Inc()
 		if !p.dispatch(ev) {
+			// Cancelled before handoff: the event never reached a shard,
+			// so ownership is still here.
+			bp.ReleaseEvent(ev)
 			break
 		}
 	}
@@ -170,7 +177,7 @@ func (p *pipeline) produceMsgs(msgs <-chan mq.Message) {
 			if !ok {
 				return
 			}
-			ev, err := bp.Parse(string(m.Body))
+			ev, err := bp.ParseBytes(m.Body)
 			if err != nil {
 				p.malformed++
 				mMalformed.Inc()
@@ -183,6 +190,7 @@ func (p *pipeline) produceMsgs(msgs <-chan mq.Message) {
 			p.read++
 			mRead.Inc()
 			if !p.dispatch(ev) {
+				bp.ReleaseEvent(ev)
 				return
 			}
 		}
@@ -204,6 +212,9 @@ func (sh *pshard) runValidate(p *pipeline) {
 				if err := val.Validate(ev); err != nil {
 					sh.invalid++
 					mInvalid.Inc()
+					// Rejected events never reach the apply shard, so the
+					// validator is their last owner.
+					bp.ReleaseEvent(ev)
 					if p.l.opts.Lenient {
 						continue
 					}

@@ -99,8 +99,8 @@ func (v view) sel(q Query) ([]Row, error) {
 		}
 	}
 	if !matched {
-		t.rows.Range(func(_, cv any) bool {
-			ver := cv.(*rowChain).visibleAt(v.epoch)
+		t.rows.Range(func(_ int64, c *rowChain) bool {
+			ver := c.visibleAt(v.epoch)
 			if ver == nil {
 				return true
 			}
@@ -142,11 +142,11 @@ func (v view) sel(q Query) ([]Row, error) {
 
 // lookup resolves an index candidate id to its visible row, or nil.
 func (v view) lookup(t *table, id int64) Row {
-	cv, ok := t.rows.Load(id)
+	c, ok := t.rows.Load(id)
 	if !ok {
 		return nil
 	}
-	ver := cv.(*rowChain).visibleAt(v.epoch)
+	ver := c.visibleAt(v.epoch)
 	if ver == nil {
 		return nil
 	}

@@ -141,7 +141,10 @@ func (r Row) ID() int64 {
 // coerce normalises a dynamic value to the column's canonical Go type.
 // Numeric widening (int->int64, int64->float64 for Float columns, JSON's
 // float64 -> int64 for Int columns when integral) is permitted; anything
-// else is a type error.
+// else is a type error. When the value is already canonical, the original
+// interface v is returned untouched — unwrapping to the concrete type and
+// returning that would re-box the value, one avoidable heap allocation per
+// column on the insert hot path.
 func coerce(table, col string, t ColType, v any) (any, error) {
 	if v == nil {
 		return nil, nil
@@ -150,7 +153,7 @@ func coerce(table, col string, t ColType, v any) (any, error) {
 	case Int:
 		switch x := v.(type) {
 		case int64:
-			return x, nil
+			return v, nil
 		case int:
 			return int64(x), nil
 		case int32:
@@ -163,7 +166,7 @@ func coerce(table, col string, t ColType, v any) (any, error) {
 	case Float:
 		switch x := v.(type) {
 		case float64:
-			return x, nil
+			return v, nil
 		case float32:
 			return float64(x), nil
 		case int64:
@@ -172,12 +175,15 @@ func coerce(table, col string, t ColType, v any) (any, error) {
 			return float64(x), nil
 		}
 	case Str:
-		if x, ok := v.(string); ok {
-			return x, nil
+		if _, ok := v.(string); ok {
+			return v, nil
 		}
 	case Time:
 		switch x := v.(type) {
 		case time.Time:
+			if x.Location() == time.UTC {
+				return v, nil
+			}
 			return x.UTC(), nil
 		case string:
 			ts, err := time.Parse(time.RFC3339Nano, x)
@@ -186,8 +192,8 @@ func coerce(table, col string, t ColType, v any) (any, error) {
 			}
 		}
 	case Bool:
-		if x, ok := v.(bool); ok {
-			return x, nil
+		if _, ok := v.(bool); ok {
+			return v, nil
 		}
 	}
 	return nil, fmt.Errorf("relstore: %s.%s: value %v (%T) is not a %s", table, col, v, v, t)

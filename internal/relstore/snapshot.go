@@ -171,8 +171,8 @@ func (sn *Snapshot) Count(tableName string) (int, error) {
 		return 0, fmt.Errorf("relstore: no table %s", tableName)
 	}
 	n := 0
-	t.rows.Range(func(_, cv any) bool {
-		if cv.(*rowChain).visibleAt(sn.v.epoch) != nil {
+	t.rows.Range(func(_ int64, c *rowChain) bool {
+		if c.visibleAt(sn.v.epoch) != nil {
 			n++
 		}
 		return true
@@ -218,11 +218,11 @@ func (v view) get(tableName string, id int64) (Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("relstore: no table %s", tableName)
 	}
-	cv, ok := t.rows.Load(id)
+	c, ok := t.rows.Load(id)
 	if !ok {
 		return nil, nil
 	}
-	ver := cv.(*rowChain).visibleAt(v.epoch)
+	ver := c.visibleAt(v.epoch)
 	if ver == nil {
 		return nil, nil
 	}

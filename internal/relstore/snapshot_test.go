@@ -326,7 +326,7 @@ func TestVersionGC(t *testing.T) {
 		t.Fatalf("reclaims grew by %d over 50 updates, want >= 49", got-before)
 	}
 	chainv, _ := s.tables.Load().byName["job"].rows.Load(id)
-	if n := chainLen(chainv.(*rowChain)); n > 2 {
+	if n := chainLen(chainv); n > 2 {
 		t.Fatalf("chain length %d after unpinned updates, want <= 2", n)
 	}
 
@@ -349,7 +349,7 @@ func TestVersionGC(t *testing.T) {
 	if again["runtime"].(float64) != pinned["runtime"].(float64) {
 		t.Fatalf("pinned version changed: %v -> %v", pinned["runtime"], again["runtime"])
 	}
-	if n := chainLen(chainv.(*rowChain)); n < 2 {
+	if n := chainLen(chainv); n < 2 {
 		t.Fatalf("chain length %d while a snapshot pins history, want >= 2", n)
 	}
 
@@ -358,7 +358,7 @@ func TestVersionGC(t *testing.T) {
 	if err := s.Update("job", id, Row{"runtime": 999.0}); err != nil {
 		t.Fatal(err)
 	}
-	if n := chainLen(chainv.(*rowChain)); n > 2 {
+	if n := chainLen(chainv); n > 2 {
 		t.Fatalf("chain length %d after snapshot close + write, want <= 2", n)
 	}
 

@@ -111,7 +111,8 @@ func (s *Store) Count(tableName string) (int, error) {
 	return int(t.live.Load()), nil
 }
 
-// Insert adds one row and returns its assigned primary key.
+// Insert adds one row and returns its assigned primary key. The row is
+// copied; the caller keeps ownership of row.
 func (s *Store) Insert(tableName string, row Row) (int64, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -119,12 +120,39 @@ func (s *Store) Insert(tableName string, row Row) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("relstore: no table %s", tableName)
 	}
-	e := s.epoch.Load() + 1
 	n, err := t.normalize(row)
 	if err != nil {
 		return 0, err
 	}
-	if err := t.checkUnique(n, 0); err != nil {
+	return s.insertRowLocked(tableName, t, n)
+}
+
+// InsertOwned is Insert for callers that hand over ownership of row: the
+// map is coerced in place and becomes the stored version, skipping the
+// defensive copy Insert makes. The caller must not read or write row after
+// the call. This is the archive's hot path — every materialised event
+// builds exactly one fresh Row literal and donates it.
+func (s *Store) InsertOwned(tableName string, row Row) (int64, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	t, ok := s.tables.Load().byName[tableName]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %s", tableName)
+	}
+	n, err := t.normalizeOwned(row)
+	if err != nil {
+		return 0, err
+	}
+	return s.insertRowLocked(tableName, t, n)
+}
+
+// insertRowLocked runs the shared tail of Insert/InsertOwned: uniqueness
+// and FK checks, id assignment, version linking and epoch publish. The
+// caller holds writeMu and has normalized n.
+func (s *Store) insertRowLocked(tableName string, t *table, n Row) (int64, error) {
+	e := s.epoch.Load() + 1
+	keys := t.buildUniqueKeys(n)
+	if err := t.checkUniqueKeys(keys, 0); err != nil {
 		return 0, err
 	}
 	if err := s.checkForeignKeys(t, n); err != nil {
@@ -133,7 +161,7 @@ func (s *Store) Insert(tableName string, row Row) (int64, error) {
 	id := t.nextID
 	t.nextID++
 	n["id"] = id
-	t.putRow(n, e)
+	t.putRowKeys(n, e, keys)
 	s.epoch.Store(e)
 	t.live.Add(1)
 	if w := s.wal.Load(); w != nil {
@@ -235,7 +263,7 @@ func refExists(ref *table, col string, v any) bool {
 			return false
 		}
 		c, ok := ref.rows.Load(id)
-		return ok && c.(*rowChain).liveVersion() != nil
+		return ok && c.liveVersion() != nil
 	}
 	// Try a unique constraint or index covering exactly this column.
 	probe := Row{col: v}
@@ -250,8 +278,8 @@ func refExists(ref *table, col string, v any) bool {
 		return ok
 	}
 	found := false
-	ref.rows.Range(func(_, cv any) bool {
-		if lv := cv.(*rowChain).liveVersion(); lv != nil && valueEq(lv.row[col], v) {
+	ref.rows.Range(func(_ int64, c *rowChain) bool {
+		if lv := c.liveVersion(); lv != nil && valueEq(lv.row[col], v) {
 			found = true
 			return false
 		}
@@ -276,10 +304,10 @@ func (s *Store) Update(tableName string, id int64, changes Row) error {
 	if !ok {
 		return fmt.Errorf("relstore: no table %s", tableName)
 	}
-	cv, ok := t.rows.Load(id)
+	chain, ok := t.rows.Load(id)
 	var old *rowVersion
 	if ok {
-		old = cv.(*rowChain).liveVersion()
+		old = chain.liveVersion()
 	}
 	if old == nil {
 		return fmt.Errorf("relstore: %s has no row %d", tableName, id)
@@ -318,7 +346,6 @@ func (s *Store) Update(tableName string, id int64, changes Row) error {
 		return err
 	}
 	e := s.epoch.Load() + 1
-	chain := cv.(*rowChain)
 	t.supersede(chain, old, merged, e)
 	s.gcAfterWrite(t, chain, id, old.row, merged, e-1)
 	s.epoch.Store(e)
@@ -338,11 +365,10 @@ func (s *Store) Delete(tableName string, id int64) error {
 	if !ok {
 		return fmt.Errorf("relstore: no table %s", tableName)
 	}
-	cv, ok := t.rows.Load(id)
+	chain, ok := t.rows.Load(id)
 	if !ok {
 		return nil
 	}
-	chain := cv.(*rowChain)
 	old := chain.liveVersion()
 	if old == nil {
 		return nil
@@ -421,12 +447,11 @@ func (s *Store) GC() int {
 	ts := s.tables.Load()
 	for _, name := range ts.order {
 		t := ts.byName[name]
-		t.rows.Range(func(k, cv any) bool {
-			c := cv.(*rowChain)
+		t.rows.Range(func(id int64, c *rowChain) bool {
 			total += pruneChain(c, minE)
 			if hv := c.head.Load(); hv != nil {
 				if end := hv.end.Load(); end != 0 && end <= minE {
-					t.rows.Delete(k)
+					t.rows.Delete(id)
 					total++
 				}
 			}

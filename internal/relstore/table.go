@@ -1,6 +1,7 @@
 package relstore
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
@@ -19,11 +20,68 @@ import (
 type table struct {
 	schema  *TableSchema
 	colType map[string]ColType
-	rows    sync.Map     // int64 id -> *rowChain
+	rows    rowMap       // id -> *rowChain, see rowmap.go
 	nextID  int64        // writer-owned: only touched under Store.writeMu
 	live    atomic.Int64 // rows visible at the newest epoch (O(1) Store.Count)
 	uniques []*postingIndex
 	indexes []*postingIndex
+
+	// Writer-owned scratch, valid only between two writes under writeMu:
+	// composite-key build buffers and the per-insert unique-key slice,
+	// reused so the common insert allocates no key material at all (keys
+	// are interned as strings only when a never-seen key value appears).
+	keyBuf   []byte
+	keyBuf2  []byte
+	valBuf   []byte
+	ukeys    [][]byte
+	ubuckets []*postingBucket // buckets for ukeys, resolved by buildUniqueKeys
+
+	// Version-chain nodes are slab-allocated in writer-owned chunks: the
+	// loader inserts millions of rows whose chains live forever, so paying
+	// one allocation per slabSize nodes instead of three per row is pure
+	// win. Tradeoff: the GC can only reclaim a whole slab, so a chunk in
+	// which even one node is live pins its siblings (and, for rowVersion,
+	// their Row references). Insert-heavy archive tables keep nearly every
+	// node live anyway; workloads that churn rows should size GC
+	// expectations accordingly.
+	verSlab    []rowVersion
+	chainSlab  []rowChain
+	pchainSlab []postingChain
+	postSlab   []posting
+	bucketSlab []postingBucket
+}
+
+// slabSize is the node-slab chunk length (see the slab fields above).
+const slabSize = 256
+
+func (t *table) newVersion(row Row, begin uint64) *rowVersion {
+	if len(t.verSlab) == 0 {
+		t.verSlab = make([]rowVersion, slabSize)
+	}
+	v := &t.verSlab[0]
+	t.verSlab = t.verSlab[1:]
+	v.row = row
+	v.begin = begin
+	return v
+}
+
+func (t *table) newChain() *rowChain {
+	if len(t.chainSlab) == 0 {
+		t.chainSlab = make([]rowChain, slabSize)
+	}
+	c := &t.chainSlab[0]
+	t.chainSlab = t.chainSlab[1:]
+	return c
+}
+
+func (t *table) newPosting(begin uint64) *posting {
+	if len(t.postSlab) == 0 {
+		t.postSlab = make([]posting, slabSize)
+	}
+	p := &t.postSlab[0]
+	t.postSlab = t.postSlab[1:]
+	p.begin = begin
+	return p
 }
 
 // rowChain is the per-row version list, newest version first.
@@ -96,21 +154,69 @@ func pruneChain(c *rowChain, minE uint64) int {
 // key — makes every writer-side operation (tombstone, prune) O(1) in the
 // number of rows sharing the key, which is what keeps hot keys (all jobs
 // of one workflow, say) from turning every update into a full-key walk.
+//
+// One plain map serves both sides. The writer (already serialized by
+// Store.writeMu) reads it without taking mu — it is the only goroutine
+// that ever mutates the map, so its own lookups cannot race — which lets
+// the hot insert path run a plain map[string] access with a []byte key,
+// a lookup the compiler performs without materialising the string.
+// Readers take mu.RLock for the map access only; the writer takes
+// mu.Lock just for the two rare map mutations (first sighting of a key,
+// dropping an emptied key), so readers never wait on a batch in
+// progress — only on a single map write. Bucket contents stay lock-free
+// for readers as before.
 type postingIndex struct {
-	m sync.Map // string key -> *postingBucket
+	mu sync.RWMutex
+	m  map[string]*postingBucket
 }
 
-// postingBucket is every row that ever matched one key, id -> its interval
-// chain. ids counts the byID entries so an emptied bucket can drop its key
-// without ranging the map; it is writer-owned (mutated under writeMu).
+// postingBucket is every row that ever matched one key. Readers walk
+// chains, an atomic singly-linked list of the rows' interval chains
+// (newest-joined first). The remaining fields are writer-owned: ids
+// counts entries so an emptied bucket can drop its key without a walk,
+// and wByID accelerates one row's chain lookup — it stays nil while the
+// bucket is small (unique keys hold one row; most index keys a handful)
+// and is built only once the chain walk would get long.
 type postingBucket struct {
-	byID sync.Map // int64 id -> *postingChain
-	ids  int64
+	chains atomic.Pointer[postingChain]
+	wByID  map[int64]*postingChain
+	ids    int64
+}
+
+// bucketMapThreshold is the bucket size at which wByID is materialised.
+const bucketMapThreshold = 16
+
+// chainOf returns the bucket's chain for row id, or nil. Writer-only.
+func (b *postingBucket) chainOf(id int64) *postingChain {
+	if b.wByID != nil {
+		return b.wByID[id]
+	}
+	for c := b.chains.Load(); c != nil; c = c.next.Load() {
+		if c.id == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// liveID returns a row currently holding the bucket's key, if any — the
+// writer's view, used for unique checks and FK probes. Dead chains are
+// pruned on write, so a unique key's bucket stays near one entry.
+func (b *postingBucket) liveID() (int64, bool) {
+	for c := b.chains.Load(); c != nil; c = c.next.Load() {
+		if c.liveIn() {
+			return c.id, true
+		}
+	}
+	return 0, false
 }
 
 // postingChain is one row's validity intervals for one key, newest first.
+// next links the chains of all rows in the same bucket.
 type postingChain struct {
+	id   int64
 	head atomic.Pointer[posting]
+	next atomic.Pointer[postingChain]
 }
 
 // posting records that the row matched the key during the epoch range
@@ -149,100 +255,124 @@ func (c *postingChain) liveIn() bool {
 	return p != nil && p.end.Load() == 0
 }
 
-// add opens a live interval for (key, id) at epoch e. Writer-only.
-func (ix *postingIndex) add(key string, id int64, e uint64) {
-	bv, ok := ix.m.Load(key)
-	if !ok {
-		bv, _ = ix.m.LoadOrStore(key, &postingBucket{})
+// addPosting opens a live interval for (key, id) at epoch e, drawing the
+// bucket, chain and posting nodes from t's slabs. Writer-only. When both
+// the key and the (key, id) chain already exist — the common case for
+// secondary indexes — nothing allocates; a never-seen key costs the one
+// interned string (the map insert must materialise it) plus an amortised
+// share of a bucket slab.
+func (t *table) addPosting(ix *postingIndex, key []byte, id int64, e uint64) {
+	t.addPostingIn(ix, key, ix.m[string(key)], id, e)
+}
+
+// addPostingIn is addPosting with the key's bucket already resolved (nil
+// when the key is unseen) — the insert path reuses the lookup the unique
+// check already did. Writer-only.
+func (t *table) addPostingIn(ix *postingIndex, key []byte, b *postingBucket, id int64, e uint64) {
+	if b == nil {
+		b = t.newBucket()
+		ix.mu.Lock()
+		ix.m[string(key)] = b
+		ix.mu.Unlock()
 	}
-	b := bv.(*postingBucket)
-	cv, loaded := b.byID.Load(id)
-	if !loaded {
-		cv, loaded = b.byID.LoadOrStore(id, &postingChain{})
-	}
-	if !loaded {
+	c := b.chainOf(id)
+	if c == nil {
+		c = t.newPChain(id)
+		c.next.Store(b.chains.Load())
+		b.chains.Store(c)
+		if b.wByID != nil {
+			b.wByID[id] = c
+		} else if b.ids >= bucketMapThreshold {
+			m := make(map[int64]*postingChain, 2*bucketMapThreshold)
+			for x := b.chains.Load(); x != nil; x = x.next.Load() {
+				m[x.id] = x
+			}
+			b.wByID = m
+		}
 		b.ids++
 	}
-	c := cv.(*postingChain)
-	p := &posting{begin: e}
+	p := t.newPosting(e)
 	p.next.Store(c.head.Load())
 	c.head.Store(p)
 }
 
+// newBucket returns a slab-allocated, empty postingBucket.
+func (t *table) newBucket() *postingBucket {
+	if len(t.bucketSlab) == 0 {
+		t.bucketSlab = make([]postingBucket, slabSize)
+	}
+	b := &t.bucketSlab[0]
+	t.bucketSlab = t.bucketSlab[1:]
+	return b
+}
+
+// newPChain returns a slab-allocated postingChain for row id.
+func (t *table) newPChain(id int64) *postingChain {
+	if len(t.pchainSlab) == 0 {
+		t.pchainSlab = make([]postingChain, slabSize)
+	}
+	c := &t.pchainSlab[0]
+	t.pchainSlab = t.pchainSlab[1:]
+	c.id = id
+	return c
+}
+
 // endPosting closes the live interval for (key, id) at epoch e.
-func (ix *postingIndex) endPosting(key string, id int64, e uint64) {
-	if c := ix.chain(key, id); c != nil {
+// Writer-only (its map read is unlocked).
+func (ix *postingIndex) endPosting(key []byte, id int64, e uint64) {
+	b, ok := ix.m[string(key)]
+	if !ok {
+		return
+	}
+	if c := b.chainOf(id); c != nil {
 		if p := c.head.Load(); p != nil && p.end.Load() == 0 {
 			p.end.Store(e)
 		}
 	}
 }
 
-func (ix *postingIndex) chain(key string, id int64) *postingChain {
-	bv, ok := ix.m.Load(key)
-	if !ok {
-		return nil
-	}
-	cv, ok := bv.(*postingBucket).byID.Load(id)
-	if !ok {
-		return nil
-	}
-	return cv.(*postingChain)
-}
-
 // liveID returns the id of a row currently holding key — the writer's
-// view, used for unique checks and FK probes. Dead entries are pruned on
-// write, so a unique key's bucket stays near one entry.
+// view, used for unique checks and FK probes. Writer-only.
 func (ix *postingIndex) liveID(key string) (int64, bool) {
-	bv, ok := ix.m.Load(key)
+	b, ok := ix.m[key]
 	if !ok {
 		return 0, false
 	}
-	var id int64
-	found := false
-	bv.(*postingBucket).byID.Range(func(k, v any) bool {
-		if v.(*postingChain).liveIn() {
-			id, found = k.(int64), true
-			return false
-		}
-		return true
-	})
-	return id, found
+	return b.liveID()
 }
 
 // idAt returns the id of the row holding key at epoch e. For unique keys
-// at most one row is visible at any epoch.
+// at most one row is visible at any epoch. Reader-safe.
 func (ix *postingIndex) idAt(key string, e uint64) (int64, bool) {
-	bv, ok := ix.m.Load(key)
+	ix.mu.RLock()
+	b, ok := ix.m[key]
+	ix.mu.RUnlock()
 	if !ok {
 		return 0, false
 	}
-	var id int64
-	found := false
-	bv.(*postingBucket).byID.Range(func(k, v any) bool {
-		if v.(*postingChain).visibleIn(e) {
-			id, found = k.(int64), true
-			return false
+	for c := b.chains.Load(); c != nil; c = c.next.Load() {
+		if c.visibleIn(e) {
+			return c.id, true
 		}
-		return true
-	})
-	return id, found
+	}
+	return 0, false
 }
 
 // idsAt collects the ids of all rows matching key at epoch e, ascending by
-// primary key so indexed Selects are deterministic.
+// primary key so indexed Selects are deterministic. Reader-safe.
 func (ix *postingIndex) idsAt(key string, e uint64) []int64 {
-	bv, ok := ix.m.Load(key)
+	ix.mu.RLock()
+	b, ok := ix.m[key]
+	ix.mu.RUnlock()
 	if !ok {
 		return nil
 	}
 	var ids []int64
-	bv.(*postingBucket).byID.Range(func(k, v any) bool {
-		if v.(*postingChain).visibleIn(e) {
-			ids = append(ids, k.(int64))
+	for c := b.chains.Load(); c != nil; c = c.next.Load() {
+		if c.visibleIn(e) {
+			ids = append(ids, c.id)
 		}
-		return true
-	})
+	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
@@ -289,67 +419,95 @@ func pruneIntervals(c *postingChain, minE uint64) (reclaimed int, empty bool) {
 	return n, c.head.Load() == nil
 }
 
+// unlink removes chain c from the bucket's reader list. A reader paused
+// on c still finishes its walk (c keeps its next pointer); readers that
+// start later skip it. The walk is O(bucket), but unlinking only happens
+// when a row's last interval for the key dies — key changes and deletes,
+// not the insert-heavy steady state. Writer-only.
+func (b *postingBucket) unlink(c *postingChain) {
+	head := b.chains.Load()
+	if head == c {
+		b.chains.Store(c.next.Load())
+		return
+	}
+	for p := head; p != nil; p = p.next.Load() {
+		if p.next.Load() == c {
+			p.next.Store(c.next.Load())
+			return
+		}
+	}
+}
+
 // pruneID prunes the single interval chain for (key, id), dropping the id
 // entry — and the key's bucket when it empties — once nothing visible
 // remains. Writer-only.
-func (ix *postingIndex) pruneID(key string, id int64, minE uint64) int {
-	bv, ok := ix.m.Load(key)
+func (ix *postingIndex) pruneID(key []byte, id int64, minE uint64) int {
+	b, ok := ix.m[string(key)]
 	if !ok {
 		return 0
 	}
-	b := bv.(*postingBucket)
-	cv, ok := b.byID.Load(id)
-	if !ok {
+	c := b.chainOf(id)
+	if c == nil {
 		return 0
 	}
-	n, empty := pruneIntervals(cv.(*postingChain), minE)
+	n, empty := pruneIntervals(c, minE)
 	if empty {
-		b.byID.Delete(id)
+		b.unlink(c)
+		if b.wByID != nil {
+			delete(b.wByID, id)
+		}
 		b.ids--
 		if b.ids == 0 {
-			ix.m.Delete(key)
+			ix.mu.Lock()
+			delete(ix.m, string(key))
+			ix.mu.Unlock()
 		}
 	}
 	return n
 }
 
-// pruneAll prunes every chain in the index. Writer-only.
+// pruneAll prunes every chain in the index. Writer-only. Unlinking a
+// chain mid-walk is safe: the chain keeps its next pointer.
 func (ix *postingIndex) pruneAll(minE uint64) int {
 	n := 0
-	ix.m.Range(func(k, bv any) bool {
-		b := bv.(*postingBucket)
-		b.byID.Range(func(id, cv any) bool {
-			r, empty := pruneIntervals(cv.(*postingChain), minE)
+	for key, b := range ix.m {
+		for c := b.chains.Load(); c != nil; c = c.next.Load() {
+			r, empty := pruneIntervals(c, minE)
 			n += r
 			if empty {
-				b.byID.Delete(id)
+				b.unlink(c)
+				if b.wByID != nil {
+					delete(b.wByID, c.id)
+				}
 				b.ids--
 			}
-			return true
-		})
-		if b.ids == 0 {
-			ix.m.Delete(k)
 		}
-		return true
-	})
+		if b.ids == 0 {
+			ix.mu.Lock()
+			delete(ix.m, key)
+			ix.mu.Unlock()
+		}
+	}
 	return n
 }
 
 func newTable(s *TableSchema) *table {
 	t := &table{
-		schema:  s,
-		colType: make(map[string]ColType, len(s.Columns)+1),
-		nextID:  1,
+		schema:   s,
+		colType:  make(map[string]ColType, len(s.Columns)+1),
+		nextID:   1,
+		ukeys:    make([][]byte, len(s.Unique)),
+		ubuckets: make([]*postingBucket, len(s.Unique)),
 	}
 	t.colType["id"] = Int
 	for _, c := range s.Columns {
 		t.colType[c.Name] = c.Type
 	}
 	for range s.Unique {
-		t.uniques = append(t.uniques, &postingIndex{})
+		t.uniques = append(t.uniques, &postingIndex{m: map[string]*postingBucket{}})
 	}
 	for range s.Indexes {
-		t.indexes = append(t.indexes, &postingIndex{})
+		t.indexes = append(t.indexes, &postingIndex{m: map[string]*postingBucket{}})
 	}
 	return t
 }
@@ -359,21 +517,56 @@ func newTable(s *TableSchema) *table {
 // t.live — the Store bumps it only after the epoch publishes, so Count
 // never reports a partially applied batch.
 func (t *table) putRow(row Row, e uint64) {
-	c := &rowChain{}
-	c.head.Store(&rowVersion{row: row, begin: e})
-	t.rows.Store(row.ID(), c)
-	t.indexRow(row, e)
+	t.putRowKeys(row, e, t.buildUniqueKeys(row))
+}
+
+// putRowKeys is putRow with the row's unique keys already built (the
+// insert path computes them once and shares them between the unique check
+// and indexing).
+func (t *table) putRowKeys(row Row, e uint64, ukeys [][]byte) {
+	c := t.newChain()
+	c.head.Store(t.newVersion(row, e))
+	id := row.ID()
+	t.rows.Store(id, c)
+	for i := range ukeys {
+		t.addPostingIn(t.uniques[i], ukeys[i], t.ubuckets[i], id, e)
+	}
+	for i, cols := range t.schema.Indexes {
+		t.keyBuf = t.keyInto(t.keyBuf[:0], row, cols)
+		t.addPosting(t.indexes[i], t.keyBuf, id, e)
+	}
 }
 
 // supersede replaces the live version old of chain c with row at epoch e.
 // Readers pinned below e keep seeing old; readers at e and later see row.
+// Only keys the update actually changed are re-posted: the common archive
+// updates (exitcode, durations, host assignment) leave every indexed
+// column untouched, and comparing the encoded keys is far cheaper than
+// tombstoning and re-adding identical postings.
 func (t *table) supersede(c *rowChain, old *rowVersion, row Row, e uint64) {
-	t.unindexRow(old.row, e)
-	v := &rowVersion{row: row, begin: e}
+	id := row.ID()
+	for i, cols := range t.schema.Unique {
+		t.reindexChanged(t.uniques[i], old.row, row, cols, id, e)
+	}
+	for i, cols := range t.schema.Indexes {
+		t.reindexChanged(t.indexes[i], old.row, row, cols, id, e)
+	}
+	v := t.newVersion(row, e)
 	v.prev.Store(old)
 	old.end.Store(e)
 	c.head.Store(v)
-	t.indexRow(row, e)
+}
+
+// reindexChanged moves (oldRow -> newRow)'s posting for one key set when
+// the encoded keys differ, and does nothing when they are equal.
+func (t *table) reindexChanged(ix *postingIndex, oldRow, newRow Row, cols []string, id int64, e uint64) {
+	t.keyBuf = t.keyInto(t.keyBuf[:0], oldRow, cols)
+	t.keyBuf2 = t.keyInto(t.keyBuf2[:0], newRow, cols)
+	if bytes.Equal(t.keyBuf, t.keyBuf2) {
+		return
+	}
+	ix.endPosting(t.keyBuf, id, e)
+	t.addPosting(ix, t.keyBuf2, id, e)
 }
 
 // kill tombstones the live version at epoch e (delete). As with putRow,
@@ -383,96 +576,190 @@ func (t *table) kill(old *rowVersion, e uint64) {
 	old.end.Store(e)
 }
 
+// appendKeyValue appends the canonical key encoding of one column value.
+func appendKeyValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(b, "\x00nil"...)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case string:
+		return append(b, x...)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case time.Time:
+		return x.UTC().AppendFormat(b, time.RFC3339Nano)
+	default:
+		return fmt.Append(b, x)
+	}
+}
+
+// keyInto builds the composite key for cols of row into dst and returns
+// it. Writer-only (it shares t.valBuf); reader paths use compositeKey.
+func (t *table) keyInto(dst []byte, row Row, cols []string) []byte {
+	for _, c := range cols {
+		t.valBuf = appendKeyValue(t.valBuf[:0], row[c])
+		dst = strconv.AppendInt(dst, int64(len(t.valBuf)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, t.valBuf...)
+	}
+	return dst
+}
+
+// buildUniqueKeys fills t.ukeys with row's unique-constraint keys and
+// returns it; the slice and its buffers are scratch, valid until the
+// next build. Each key's bucket is resolved into t.ubuckets as a side
+// effect, so the unique check and the posting insert that follow pay for
+// one map lookup per constraint between them. Writer-only.
+func (t *table) buildUniqueKeys(row Row) [][]byte {
+	for i, cols := range t.schema.Unique {
+		t.ukeys[i] = t.keyInto(t.ukeys[i][:0], row, cols)
+		t.ubuckets[i] = t.uniques[i].m[string(t.ukeys[i])]
+	}
+	return t.ukeys
+}
+
 // compositeKey encodes the values of cols from row into one string key.
 // A length-prefixed encoding keeps ("a","bc") distinct from ("ab","c").
+// It must encode identically to keyInto; both delegate to appendKeyValue.
 func compositeKey(row Row, cols []string) string {
-	var b strings.Builder
+	var b, val []byte
 	for _, c := range cols {
-		v := row[c]
-		var s string
-		switch x := v.(type) {
-		case nil:
-			s = "\x00nil"
-		case int64:
-			s = strconv.FormatInt(x, 10)
-		case float64:
-			s = strconv.FormatFloat(x, 'g', -1, 64)
-		case string:
-			s = x
-		case bool:
-			s = strconv.FormatBool(x)
-		case time.Time:
-			s = x.UTC().Format(time.RFC3339Nano)
-		default:
-			s = fmt.Sprint(x)
-		}
-		b.WriteString(strconv.Itoa(len(s)))
-		b.WriteByte(':')
-		b.WriteString(s)
+		val = appendKeyValue(val[:0], row[c])
+		b = strconv.AppendInt(b, int64(len(val)), 10)
+		b = append(b, ':')
+		b = append(b, val...)
 	}
-	return b.String()
+	return string(b)
 }
 
 // normalize coerces every value in r to canonical types, checks that all
 // columns exist, and fills absent nullable columns with nil. The returned
 // row is a fresh copy owned by the table.
+//
+// Both normalize variants drive the walk from the schema's column list
+// rather than ranging over r: the column's type is in hand (no colType
+// lookup per key) and presence costs one probe of the small row map, about
+// half the map traffic of the key-driven shape. Keys of r that are not
+// columns surface as a count mismatch, diagnosed after the walk.
 func (t *table) normalize(r Row) (Row, error) {
 	out := make(Row, len(t.schema.Columns)+1)
-	for k, v := range r {
-		if k == "id" {
-			continue // assigned by the table
-		}
-		ct, ok := t.colType[k]
-		if !ok {
-			return nil, fmt.Errorf("relstore: table %s has no column %s", t.schema.Name, k)
-		}
-		cv, err := coerce(t.schema.Name, k, ct, v)
-		if err != nil {
-			return nil, err
-		}
-		out[k] = cv
+	n := len(r)
+	if _, ok := r["id"]; ok {
+		n-- // assigned by the table
 	}
+	found := 0
 	for _, c := range t.schema.Columns {
-		if _, present := out[c.Name]; !present {
+		v, present := r[c.Name]
+		if present {
+			found++
+		}
+		if !present {
 			if !c.Nullable {
 				return nil, fmt.Errorf("relstore: table %s: column %s is required", t.schema.Name, c.Name)
 			}
 			out[c.Name] = nil
-		} else if out[c.Name] == nil && !c.Nullable {
-			return nil, fmt.Errorf("relstore: table %s: column %s may not be null", t.schema.Name, c.Name)
+			continue
 		}
+		if v == nil {
+			if !c.Nullable {
+				return nil, fmt.Errorf("relstore: table %s: column %s may not be null", t.schema.Name, c.Name)
+			}
+			out[c.Name] = nil
+			continue
+		}
+		cv, err := coerce(t.schema.Name, c.Name, c.Type, v)
+		if err != nil {
+			return nil, err
+		}
+		out[c.Name] = cv
+	}
+	if found != n {
+		return nil, t.unknownColumn(r)
 	}
 	return out, nil
+}
+
+// normalizeOwned is normalize for callers that transfer ownership of r:
+// values are coerced in place and r itself becomes the stored row, saving
+// the per-insert defensive copy. The caller must not touch r afterwards
+// (InsertOwned documents the contract).
+func (t *table) normalizeOwned(r Row) (Row, error) {
+	delete(r, "id") // assigned by the table
+	n := len(r)
+	found := 0
+	for _, c := range t.schema.Columns {
+		v, present := r[c.Name]
+		if present {
+			found++
+		}
+		if !present || v == nil {
+			if !c.Nullable {
+				if !present {
+					return nil, fmt.Errorf("relstore: table %s: column %s is required", t.schema.Name, c.Name)
+				}
+				return nil, fmt.Errorf("relstore: table %s: column %s may not be null", t.schema.Name, c.Name)
+			}
+			if !present {
+				r[c.Name] = nil
+			}
+			continue
+		}
+		cv, err := coerce(t.schema.Name, c.Name, c.Type, v)
+		if err != nil {
+			return nil, err
+		}
+		if cv != v {
+			r[c.Name] = cv
+		}
+	}
+	if found != n {
+		return nil, t.unknownColumn(r)
+	}
+	return r, nil
+}
+
+// unknownColumn names a key of r that is not a column of t. Called only
+// when normalize's presence count proved such a key exists.
+func (t *table) unknownColumn(r Row) error {
+	for k := range r {
+		if _, ok := t.colType[k]; !ok {
+			return fmt.Errorf("relstore: table %s has no column %s", t.schema.Name, k)
+		}
+	}
+	return fmt.Errorf("relstore: table %s: row has an unknown column", t.schema.Name)
 }
 
 // checkUnique verifies unique constraints for row (excluding the row with
 // id exclude, for updates) against the writer's view.
 func (t *table) checkUnique(row Row, exclude int64) error {
-	for i, cols := range t.schema.Unique {
-		if id, ok := t.uniques[i].liveID(compositeKey(row, cols)); ok && id != exclude {
-			return &UniqueError{Table: t.schema.Name, Columns: cols, ExistingID: id}
+	return t.checkUniqueKeys(t.buildUniqueKeys(row), exclude)
+}
+
+// checkUniqueKeys is checkUnique over keys pre-built by buildUniqueKeys,
+// probing the buckets that build already resolved.
+func (t *table) checkUniqueKeys(keys [][]byte, exclude int64) error {
+	for i := range keys {
+		if b := t.ubuckets[i]; b != nil {
+			if id, live := b.liveID(); live && id != exclude {
+				return &UniqueError{Table: t.schema.Name, Columns: t.schema.Unique[i], ExistingID: id}
+			}
 		}
 	}
 	return nil
 }
 
-func (t *table) indexRow(row Row, e uint64) {
-	id := row.ID()
-	for i, cols := range t.schema.Unique {
-		t.uniques[i].add(compositeKey(row, cols), id, e)
-	}
-	for i, cols := range t.schema.Indexes {
-		t.indexes[i].add(compositeKey(row, cols), id, e)
-	}
-}
-
 func (t *table) unindexRow(row Row, e uint64) {
 	id := row.ID()
 	for i, cols := range t.schema.Unique {
-		t.uniques[i].endPosting(compositeKey(row, cols), id, e)
+		t.keyBuf = t.keyInto(t.keyBuf[:0], row, cols)
+		t.uniques[i].endPosting(t.keyBuf, id, e)
 	}
 	for i, cols := range t.schema.Indexes {
-		t.indexes[i].endPosting(compositeKey(row, cols), id, e)
+		t.keyBuf = t.keyInto(t.keyBuf[:0], row, cols)
+		t.indexes[i].endPosting(t.keyBuf, id, e)
 	}
 }
 
@@ -483,10 +770,12 @@ func (t *table) pruneRowKeys(row Row, minE uint64) int {
 	id := row.ID()
 	n := 0
 	for i, cols := range t.schema.Unique {
-		n += t.uniques[i].pruneID(compositeKey(row, cols), id, minE)
+		t.keyBuf = t.keyInto(t.keyBuf[:0], row, cols)
+		n += t.uniques[i].pruneID(t.keyBuf, id, minE)
 	}
 	for i, cols := range t.schema.Indexes {
-		n += t.indexes[i].pruneID(compositeKey(row, cols), id, minE)
+		t.keyBuf = t.keyInto(t.keyBuf[:0], row, cols)
+		n += t.indexes[i].pruneID(t.keyBuf, id, minE)
 	}
 	return n
 }

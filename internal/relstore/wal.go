@@ -349,8 +349,7 @@ func (s *Store) apply(rec walRecord) error {
 			return err
 		}
 		row["id"] = rec.ID
-		if cv, ok := t.rows.Load(rec.ID); ok {
-			c := cv.(*rowChain)
+		if c, ok := t.rows.Load(rec.ID); ok {
 			if old := c.liveVersion(); old != nil {
 				t.supersede(c, old, row, e)
 				// Both versions carry epoch 1; nothing can ever read the
@@ -368,8 +367,7 @@ func (s *Store) apply(rec walRecord) error {
 		if !ok {
 			return fmt.Errorf("delete from unknown table %s", rec.Table)
 		}
-		if cv, ok := t.rows.Load(rec.ID); ok {
-			c := cv.(*rowChain)
+		if c, ok := t.rows.Load(rec.ID); ok {
 			if old := c.liveVersion(); old != nil {
 				t.kill(old, e)
 				t.live.Add(-1)

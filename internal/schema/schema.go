@@ -75,6 +75,37 @@ const (
 	AttrStderrText = "stderr.text"
 )
 
+func init() {
+	// Register the Stampede vocabulary with the BP intern table so the
+	// very first parsed event resolves its keys and type to canonical
+	// per-process strings. bp cannot import schema (schema imports bp),
+	// so the seeding runs from this side of the edge.
+	bp.InternStrings(
+		WfPlan, StaticStart, StaticEnd, XwfStart, XwfEnd,
+		TaskInfo, TaskEdge, JobInfo, JobEdge, MapTaskJob, MapSubwfJob,
+		JobInstPre, JobInstPreEnd, SubmitStart, SubmitEnd,
+		HeldStart, HeldEnd, MainStart, MainTerm, MainEnd,
+		PostStart, PostEnd, HostInfo, ImageInfo, AbortInfo,
+		InvStart, InvEnd,
+	)
+	bp.InternStrings(
+		AttrLevel, AttrXwfID, AttrTaskID, AttrJobID, AttrJobInstID,
+		AttrInvID, AttrStatus, AttrExitcode, AttrSite, AttrHostname,
+		AttrDur, AttrStartTime, AttrParentXwf, AttrRootXwf, AttrSubwfID,
+		AttrRemoteCPU, AttrTransform, AttrExecutable, AttrArgv,
+		AttrStdoutText, AttrStderrText,
+	)
+	// Non-constant keys the archive reads straight from events.
+	bp.InternStrings(
+		"submit.hostname", "dax.label", "dax.version", "dax.file",
+		"dag.file.name", "submit_dir", "user", "planner.version",
+		"restart_count", "type_desc", "parent.task.id", "child.task.id",
+		"clustered", "max_retries", "task_count", "parent.job.id",
+		"child.job.id", "stdout.file", "stderr.file", "multiplier_factor",
+		"ip", "uname", "total_memory", "sched.id",
+	)
+}
+
 var (
 	once  sync.Once
 	model *yang.Model
@@ -143,30 +174,29 @@ func (v *Validator) Validate(ev *bp.Event) error {
 		return &ValidationError{EventType: ev.Type, Problems: []string{"unknown event type"}}
 	}
 	var problems []string
-	c.EachLeaf(func(leaf *yang.Leaf) bool {
+	for _, leaf := range c.OrderedLeaves() {
 		// ts is carried on the Event struct, not in Attrs.
 		if leaf.Name == bp.KeyTS {
-			return true
+			continue
 		}
-		val, present := ev.Attrs[leaf.Name]
+		val, present := ev.Attrs.Lookup(leaf.Name)
 		if !present {
 			if leaf.Mandatory {
 				problems = append(problems, fmt.Sprintf("missing mandatory attribute %q", leaf.Name))
 			}
-			return true
+			continue
 		}
 		if err := leaf.CheckValue(val); err != nil {
 			problems = append(problems, fmt.Sprintf("attribute %q: %v", leaf.Name, err))
 		}
-		return true
-	})
+	}
 	if ev.TS.IsZero() {
 		problems = append(problems, "zero timestamp")
 	}
 	if v.Strict {
-		for k := range ev.Attrs {
-			if _, declared := c.Leaves[k]; !declared {
-				problems = append(problems, fmt.Sprintf("undeclared attribute %q", k))
+		for i := range ev.Attrs {
+			if _, declared := c.Leaves[ev.Attrs[i].Key]; !declared {
+				problems = append(problems, fmt.Sprintf("undeclared attribute %q", ev.Attrs[i].Key))
 			}
 		}
 	}

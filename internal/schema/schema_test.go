@@ -126,7 +126,7 @@ func TestValidateStrictRejectsUndeclared(t *testing.T) {
 
 func TestValidateZeroTimestamp(t *testing.T) {
 	v := newValidator(t)
-	ev := &bp.Event{Type: XwfStart, Attrs: map[string]string{"restart_count": "0"}}
+	ev := &bp.Event{Type: XwfStart, Attrs: bp.Attrs{{Key: "restart_count", Val: "0"}}}
 	err := v.Validate(ev)
 	if err == nil || !strings.Contains(err.Error(), "zero timestamp") {
 		t.Fatalf("err = %v", err)

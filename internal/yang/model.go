@@ -59,17 +59,23 @@ type Container struct {
 	Description string
 	Leaves      map[string]*Leaf
 	order       []string
+	leaves      []*Leaf
 }
 
 // LeafNames returns leaf names in declaration order (base-event leaves
 // first, then the container's own).
 func (c *Container) LeafNames() []string { return append([]string(nil), c.order...) }
 
-// EachLeaf visits the leaves in declaration order without allocating;
-// the per-event validation hot path uses it.
+// OrderedLeaves returns the leaves in declaration order. The slice is the
+// container's own and must not be mutated; the per-event validation hot
+// path ranges over it directly so checking an event costs zero
+// allocations and no map lookups.
+func (c *Container) OrderedLeaves() []*Leaf { return c.leaves }
+
+// EachLeaf visits the leaves in declaration order.
 func (c *Container) EachLeaf(fn func(*Leaf) bool) {
-	for _, name := range c.order {
-		if !fn(c.Leaves[name]) {
+	for _, l := range c.leaves {
+		if !fn(l) {
 			return
 		}
 	}
@@ -172,6 +178,7 @@ func (r *resolver) expandInto(c *Container, st *Statement, seen map[string]bool)
 			}
 			c.Leaves[leaf.Name] = leaf
 			c.order = append(c.order, leaf.Name)
+			c.leaves = append(c.leaves, leaf)
 		}
 	}
 	return nil
