@@ -14,15 +14,18 @@ import (
 
 	"repro/internal/mq"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":7000", "address to listen on")
-		stats     = flag.Duration("stats", 30*time.Second, "how often to print traffic counters (0 disables)")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (empty = off)")
+		listen      = flag.String("listen", ":7000", "address to listen on")
+		stats       = flag.Duration("stats", 30*time.Second, "how often to print traffic counters (0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (empty = off)")
+		traceSample = flag.Int("trace-sample", trace.DefaultSampleEvery, "trace 1 in N events end to end (0 disables tracing)")
 	)
 	flag.Parse()
+	trace.SetSampleEvery(*traceSample)
 
 	if *debugAddr != "" {
 		addr, stopDebug, err := telemetry.StartDebugServer(*debugAddr)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dashboard"
 	"repro/internal/query"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // reloadingHandler swaps in a freshly replayed archive on an interval.
@@ -43,12 +44,14 @@ func (h *reloadingHandler) swap(next http.Handler) {
 
 func main() {
 	var (
-		dbPath    = flag.String("db", "stampede.db", "archive database file")
-		listen    = flag.String("listen", ":8080", "address to serve on")
-		follow    = flag.Duration("follow", 0, "re-read the database at this interval (0 = once)")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof (and a second /metrics) on this address (empty = off)")
+		dbPath      = flag.String("db", "stampede.db", "archive database file")
+		listen      = flag.String("listen", ":8080", "address to serve on")
+		follow      = flag.Duration("follow", 0, "re-read the database at this interval (0 = once)")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof (and a second /metrics) on this address (empty = off)")
+		traceSample = flag.Int("trace-sample", trace.DefaultSampleEvery, "trace 1 in N events end to end (0 disables tracing)")
 	)
 	flag.Parse()
+	trace.SetSampleEvery(*traceSample)
 
 	// /metrics is always part of the dashboard mux itself; -debug-addr adds
 	// pprof on a separate listener that can stay firewalled off.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/loader"
 	"repro/internal/schema"
+	"repro/internal/trace"
 	"repro/internal/uuid"
 )
 
@@ -97,5 +98,27 @@ func TestLoadAllocCeiling(t *testing.T) {
 	t.Logf("load: %.2f allocs/event over %d events (ceiling %d)", perEvent, loaded, maxAllocsPerEvent)
 	if perEvent > maxAllocsPerEvent {
 		t.Errorf("hot path allocates %.2f/event, ceiling %d", perEvent, maxAllocsPerEvent)
+	}
+}
+
+// TestUnsampledTraceAllocFree pins the tracing tax on unsampled events at
+// zero allocations: with tracing enabled, an event whose line hash misses
+// the sampling modulus must cost exactly what it costs with tracing off —
+// one hash and an atomic load, nothing on the heap.
+func TestUnsampledTraceAllocFree(t *testing.T) {
+	line := []byte(bp.New(schema.InvEnd, time.Now()).
+		Set(schema.AttrXwfID, uuid.New().String()).
+		SetInt(schema.AttrJobInstID, 1).
+		Format())
+	if trace.Sample(line) != 0 {
+		t.Skip("line happens to be sampled at the default rate; the budget applies to the unsampled path")
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if trace.Sample(line) != 0 {
+			t.Fatal("sampling decision changed between runs")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("unsampled Sample() allocates %.2f/line, want 0", avg)
 	}
 }

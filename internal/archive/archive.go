@@ -12,6 +12,7 @@ import (
 	"repro/internal/relstore"
 	"repro/internal/schema"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // intAttr and floatAttr read optional numeric attributes. They exist
@@ -71,6 +72,12 @@ type stripe struct {
 	// because a workflow's row id is immutable once assigned.
 	lastUUID string
 	lastWF   boxed
+
+	// Freshness-watermark memo for the tracing layer, same discipline as
+	// lastUUID/lastWF: one cached pointer per stripe turns the per-event
+	// watermark advance into a string compare plus a max-CAS.
+	wmUUID string
+	wm     *trace.Watermark
 }
 
 // boxed pairs a row id with the same value pre-converted to any. Handlers
@@ -319,9 +326,25 @@ func (a *Archive) Apply(ev *bp.Event) error {
 	if err := a.applyLocked(st, ev); err != nil {
 		return fmt.Errorf("archive: %s at %s: %w", ev.Type, ev.TS.Format("15:04:05.000"), err)
 	}
+	advanceWatermark(st, ev)
 	a.applied.Add(1)
 	mApplied.Inc()
 	return nil
+}
+
+// advanceWatermark publishes ev.TS into its workflow's freshness
+// watermark (internal/trace) after a successful apply; the dashboard
+// exposes now − max as stampede_trace_freshness_seconds. Called under
+// the stripe lock so the memo fields need no further synchronisation.
+func advanceWatermark(st *stripe, ev *bp.Event) {
+	uuid := ev.Get(schema.AttrXwfID)
+	if uuid == "" {
+		return
+	}
+	if uuid != st.wmUUID {
+		st.wmUUID, st.wm = uuid, trace.WatermarkFor(uuid)
+	}
+	st.wm.Advance(ev.TS.UnixNano())
 }
 
 // lockStripe acquires a stripe mutex, counting the cases where the lock
@@ -364,6 +387,7 @@ func (a *Archive) ApplyBatch(evs []*bp.Event) (n int, err error) {
 			}
 			return i, fmt.Errorf("archive: %s: %w", ev.Type, err)
 		}
+		advanceWatermark(st, ev)
 	}
 	if len(evs) > 0 {
 		a.applied.Add(uint64(len(evs)))

@@ -53,6 +53,14 @@ type Event struct {
 	TS    time.Time
 	Type  string
 	Attrs Attrs
+
+	// Trace context for the sampled-event tracing layer (internal/trace).
+	// TraceID is the deterministic hash of the event's raw line, 0 when
+	// the event is unsampled; TraceNS is the Unix-nanosecond boundary of
+	// the last recorded stage. Both ride the pooled event through the
+	// pipeline and are reset by ReleaseEvent. bp itself never reads them.
+	TraceID uint64
+	TraceNS int64
 }
 
 // New returns an Event of the given type at the given time with no
@@ -126,7 +134,8 @@ func (e *Event) Float(key string) (float64, error) {
 // escape hatch: the copy is ordinary GC-managed memory that survives
 // ReleaseEvent of the original.
 func (e *Event) Clone() *Event {
-	return &Event{TS: e.TS, Type: e.Type, Attrs: e.Attrs.Clone()}
+	return &Event{TS: e.TS, Type: e.Type, Attrs: e.Attrs.Clone(),
+		TraceID: e.TraceID, TraceNS: e.TraceNS}
 }
 
 // Format renders the event as one BP line without a trailing newline.

@@ -59,6 +59,8 @@ func ReleaseEvent(e *Event) {
 	}
 	e.TS = time.Time{}
 	e.Type = ""
+	e.TraceID = 0
+	e.TraceNS = 0
 	if cap(e.Attrs) > attrsKeepCap {
 		e.Attrs = nil
 	} else {

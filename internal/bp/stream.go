@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // Reader decodes a stream of BP log lines. Blank lines and lines starting
@@ -18,6 +19,14 @@ type Reader struct {
 	lenient bool
 	pooled  bool
 	skipped int
+	last    []byte // raw bytes of the last line Read returned
+
+	// Sampling hook (SetSampler): run on the raw line before the parse so
+	// a sampled line's parse span has a true start time, while unsampled
+	// lines skip the clock read entirely.
+	sampler  func([]byte) uint64
+	sampleID uint64
+	sampleT0 int64
 }
 
 // NewReader wraps r for line-oriented BP decoding. The scanner buffer
@@ -55,6 +64,11 @@ func (r *Reader) Read() (*Event, error) {
 		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
+		if r.sampler != nil {
+			if r.sampleID = r.sampler(line); r.sampleID != 0 {
+				r.sampleT0 = time.Now().UnixNano()
+			}
+		}
 		ev, err := r.parse(line)
 		if err != nil {
 			if r.lenient {
@@ -63,6 +77,7 @@ func (r *Reader) Read() (*Event, error) {
 			}
 			return nil, fmt.Errorf("line %d: %w", r.line, err)
 		}
+		r.last = line
 		return ev, nil
 	}
 	if err := r.s.Err(); err != nil {
@@ -81,6 +96,23 @@ func (r *Reader) parse(line []byte) (*Event, error) {
 	}
 	return e, nil
 }
+
+// Bytes returns the raw line of the most recent successful Read, valid
+// only until the next Read (the scanner reuses its buffer).
+func (r *Reader) Bytes() []byte { return r.last }
+
+// SetSampler installs a function run on every raw line before it is
+// parsed. A non-zero return marks the line sampled and records a
+// pre-parse timestamp; LastSample exposes both after the Read. The hook
+// keeps this package free of any tracing dependency while giving the
+// loader a parse-span start that costs unsampled lines nothing but the
+// hash.
+func (r *Reader) SetSampler(fn func(line []byte) uint64) { r.sampler = fn }
+
+// LastSample returns the sampler's id for the line of the most recent
+// successful Read and the pre-parse clock reading taken for it. id is 0
+// when the line was unsampled or no sampler is set.
+func (r *Reader) LastSample() (id uint64, t0 int64) { return r.sampleID, r.sampleT0 }
 
 // ReadAll drains the stream into a slice. It stops at the first error in
 // strict mode.

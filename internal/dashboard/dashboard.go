@@ -17,10 +17,12 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/archive"
+	"repro/internal/bp"
 	"repro/internal/mq"
 	"repro/internal/query"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Dashboard HTTP telemetry, labeled by route pattern (fixed cardinality:
@@ -34,16 +36,19 @@ var (
 
 // Server is the dashboard HTTP handler set.
 type Server struct {
-	q   *query.QI
-	mux *http.ServeMux
-	bus func() mq.Stats // optional broker traffic snapshot for the status page
+	q    *query.QI
+	mux  *http.ServeMux
+	bus  func() mq.Stats // optional broker traffic snapshot for the status page
+	ring *trace.Ring     // span source for /traces and /api/traces
 }
 
 // New builds a dashboard over a query interface. The handler set includes
 // GET /metrics, the Prometheus exposition of the whole process.
 func New(q *query.QI) *Server {
-	s := &Server{q: q, mux: http.NewServeMux()}
+	s := &Server{q: q, mux: http.NewServeMux(), ring: trace.Default()}
 	s.handle("GET /", s.handleIndex)
+	s.handle("GET /traces", s.handleWaterfall)
+	s.handle("GET /api/traces", s.handleTraces)
 	s.handle("GET /api/workflows", s.handleWorkflows)
 	s.handle("GET /api/workflow/{uuid}", s.handleWorkflow)
 	s.handle("GET /api/workflow/{uuid}/statistics", s.handleStatistics)
@@ -84,6 +89,10 @@ func (s *Server) handle(pattern string, h func(http.ResponseWriter, *http.Reques
 // SetBus adds broker traffic counters (published/routed/dropped) to the
 // HTML status page, the unified view the drops satellite asks for.
 func (s *Server) SetBus(b *mq.Broker) { s.bus = b.Stats }
+
+// SetTraceRing points the trace endpoints at a specific ring instead of
+// the process-wide default; tests inject a hand-built ring here.
+func (s *Server) SetTraceRing(r *trace.Ring) { s.ring = r }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -282,6 +291,26 @@ func (s *Server) handleAnalyzer(w http.ResponseWriter, r *http.Request, sq *quer
 	s.writeJSON(w, report)
 }
 
+// poolStatus is the event-pool reuse line on the status page: how often
+// the ingest hot path recycled a pooled bp.Event instead of allocating.
+type poolStatus struct {
+	Hits, Misses, Returns uint64
+	RatePct               float64
+}
+
+// currentPoolStatus returns nil before any pool traffic so a fresh
+// dashboard doesn't show a meaningless 0-for-0 rate.
+func currentPoolStatus() *poolStatus {
+	hits, misses, returns := bp.PoolStats()
+	if hits+misses == 0 {
+		return nil
+	}
+	return &poolStatus{
+		Hits: hits, Misses: misses, Returns: returns,
+		RatePct: float64(hits) / float64(hits+misses) * 100,
+	}
+}
+
 var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <html><head><title>Stampede Dashboard</title>
 <style>
@@ -292,7 +321,9 @@ td, th { border: 1px solid #999; padding: 4px 10px; text-align: left; }
 </style></head><body>
 <h1>Stampede Workflow Dashboard</h1>
 {{with .Bus}}<p class="bus">Bus: {{.Published}} published &middot; {{.Routed}} routed &middot; {{.Dropped}} dropped &middot; {{.Queues}} queues</p>
-{{end}}<table>
+{{end}}{{with .Pool}}<p class="pool">Event pool: {{.Hits}} hits &middot; {{.Misses}} misses &middot; {{.Returns}} returned &middot; {{printf "%.1f" .RatePct}}% hit rate</p>
+{{end}}<p><a href="/traces">Latency waterfall</a> &middot; <a href="/api/traces">traces JSON</a> &middot; <a href="/metrics">metrics</a></p>
+<table>
 <tr><th>Workflow</th><th>Label</th><th>State</th><th>Wall (s)</th><th>Submit host</th></tr>
 {{range .Workflows}}<tr>
 <td><a href="/api/workflow/{{.UUID}}">{{.UUID}}</a></td>
@@ -332,7 +363,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request, sq *query.Q
 	data := struct {
 		Workflows []WorkflowStatus
 		Bus       *mq.Stats
-	}{statuses, bus}
+		Pool      *poolStatus
+	}{statuses, bus, currentPoolStatus()}
 	if err := indexTmpl.Execute(w, data); err != nil {
 		_ = err // response already partially written
 	}

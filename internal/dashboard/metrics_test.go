@@ -153,6 +153,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"stampede_mq_queue_depth{queue=\"tiny\"}",
 		"stampede_archive_events_applied_total",
 		"stampede_archive_rows{table=",
+		"stampede_loader_event_pool_hits_total",
+		"stampede_loader_event_pool_misses_total",
+		"stampede_loader_event_pool_returns_total",
+		"stampede_trace_stage_seconds_bucket{stage=\"commit\",le=",
+		"stampede_trace_spans_total",
+		"stampede_trace_freshness_seconds{workflow=",
 		"stampede_http_requests_total{route=\"/api/workflows\"}",
 		"stampede_http_request_seconds_bucket{route=\"/api/workflows\",le=",
 	} {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/mq"
 	"repro/internal/schema"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wfclock"
 )
 
@@ -217,10 +218,24 @@ type batch struct {
 	buf   []*bp.Event
 	stats Stats
 
+	// traced gathers the sampled events' trace context out of buf before
+	// the flush releases them, so the queue/apply/commit spans can be
+	// recorded after the events are back in the pool. Reused per flush.
+	traced []tracedRef
+
 	// Pre-resolved telemetry children for this shard.
 	mApplied *telemetry.Counter
 	mBatches *telemetry.Counter
 	mFlush   *telemetry.Histogram
+}
+
+// tracedRef is the part of a sampled event's trace context that must
+// outlive its release: the id, its workflow (an immutable GC-managed
+// string, safe past release), and the last stage boundary.
+type tracedRef struct {
+	id uint64
+	wf string
+	ns int64
 }
 
 // newBatch builds the accumulation state for one apply shard (the
@@ -252,8 +267,57 @@ func (b *batch) add(ev *bp.Event) error {
 			}
 			return err
 		}
+		traceValidated(ev)
 	}
 	return b.addValidated(ev)
+}
+
+// traceValidated records the validate span for a sampled event and moves
+// its stage boundary forward. Shared by the sequential path (batch.add)
+// and the pipeline's validate workers.
+func traceValidated(ev *bp.Event) {
+	if ev.TraceID == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	trace.Record(ev.TraceID, trace.StageValidate, ev.Get(schema.AttrXwfID), ev.TraceNS, now)
+	ev.TraceNS = now
+}
+
+// traceConsumed records the route (broker dwell) and parse spans for a
+// sampled bus message and stamps the trace context onto ev. id and
+// recvNS come from the pre-parse sampling check; id == 0 is the
+// unsampled fast path.
+func traceConsumed(id uint64, recvNS int64, m mq.Message, ev *bp.Event) {
+	if id == 0 {
+		return
+	}
+	wf := ev.Get(schema.AttrXwfID)
+	trace.Record(id, trace.StageRoute, wf, m.TS.UnixNano(), recvNS)
+	now := time.Now().UnixNano()
+	trace.Record(id, trace.StageParse, wf, recvNS, now)
+	ev.TraceID, ev.TraceNS = id, now
+}
+
+// traceRead records the emit and parse spans for a sampled file/reader
+// line. id and t0 come from the reader's pre-parse sampling hook
+// (bp.Reader.SetSampler); id == 0 is the unsampled fast path, which paid
+// only the line hash. The emit span runs from the event's own ts to the
+// load (clamped to zero length when the ts is in the wall clock's future
+// — scaled virtual engine clocks).
+func traceRead(id uint64, t0 int64, ev *bp.Event) {
+	if id == 0 {
+		return
+	}
+	wf := ev.Get(schema.AttrXwfID)
+	start := ev.TS.UnixNano()
+	if start > t0 {
+		start = t0
+	}
+	trace.Record(id, trace.StageEmit, wf, start, t0)
+	now := time.Now().UnixNano()
+	trace.Record(id, trace.StageParse, wf, t0, now)
+	ev.TraceID, ev.TraceNS = id, now
 }
 
 // addValidated appends an already-validated event, flushing at BatchSize.
@@ -284,6 +348,21 @@ func (b *batch) flush() error {
 // applyAndCommit folds the buffered events into the archive and makes
 // them durable.
 func (b *batch) applyAndCommit() error {
+	// Gather sampled events' trace context before the flush releases
+	// them. The queue span (validation to apply start) closes here; the
+	// apply and commit spans are recorded once the batch is durable.
+	b.traced = b.traced[:0]
+	var applyStart int64
+	if trace.Enabled() {
+		for _, ev := range b.buf {
+			if ev.TraceID != 0 {
+				b.traced = append(b.traced, tracedRef{ev.TraceID, ev.Get(schema.AttrXwfID), ev.TraceNS})
+			}
+		}
+		if len(b.traced) > 0 {
+			applyStart = time.Now().UnixNano()
+		}
+	}
 	// The batch path aborts at the first bad event; resume past it event
 	// by event, classifying failures, until the tail is clean.
 	rest := b.buf
@@ -318,7 +397,22 @@ func (b *batch) applyAndCommit() error {
 	// this a no-op; persistent ones pay one write per batch, which is
 	// exactly the cost the paper's batched inserts amortize. Concurrent
 	// shard flushes group-commit inside the store, sharing fsyncs.
-	return b.arch.Flush()
+	if len(b.traced) == 0 {
+		return b.arch.Flush()
+	}
+	applyEnd := time.Now().UnixNano()
+	err := b.arch.Flush()
+	commitEnd := time.Now().UnixNano()
+	// The epoch read after the flush is the version at which every event
+	// of this batch is visible to snapshot readers.
+	epoch := b.arch.Store().Epoch()
+	for _, tr := range b.traced {
+		trace.Record(tr.id, trace.StageQueue, tr.wf, tr.ns, applyStart)
+		trace.Record(tr.id, trace.StageApply, tr.wf, applyStart, applyEnd)
+		trace.RecordCommit(tr.id, tr.wf, applyEnd, commitEnd, epoch)
+	}
+	b.traced = b.traced[:0]
+	return err
 }
 
 // releaseBuf recycles the batch's events back to the event pool once the
@@ -343,6 +437,9 @@ func (l *Loader) LoadReader(r io.Reader) (Stats, error) {
 	br.SetLenient(l.opts.Lenient)
 	// Pooled mode: the batch owns each event until its flush releases it.
 	br.SetPooled(true)
+	if trace.Enabled() {
+		br.SetSampler(trace.Sample)
+	}
 	b := l.newBatch(0)
 	for {
 		ev, err := br.Read()
@@ -354,6 +451,9 @@ func (l *Loader) LoadReader(r io.Reader) (Stats, error) {
 			b.stats.Elapsed = time.Since(start)
 			l.account(b.stats)
 			return b.stats, err
+		}
+		if id, t0 := br.LastSample(); id != 0 {
+			traceRead(id, t0, ev)
 		}
 		if err := b.add(ev); err != nil {
 			b.releaseBuf()
@@ -419,6 +519,15 @@ func (l *Loader) Consume(ctx context.Context, msgs <-chan mq.Message) (Stats, er
 			if !ok {
 				return finish(nil)
 			}
+			// Sampling runs on the raw body before the parse so the parse
+			// span has a start; unsampled messages pay one hash.
+			var id uint64
+			var recvNS int64
+			if trace.Enabled() {
+				if id = trace.Sample(m.Body); id != 0 {
+					recvNS = time.Now().UnixNano()
+				}
+			}
 			ev, err := bp.ParseBytes(m.Body)
 			if err != nil {
 				b.stats.Malformed++
@@ -428,6 +537,7 @@ func (l *Loader) Consume(ctx context.Context, msgs <-chan mq.Message) (Stats, er
 				}
 				return finish(err)
 			}
+			traceConsumed(id, recvNS, m, ev)
 			if err := b.add(ev); err != nil {
 				return finish(err)
 			}

@@ -54,13 +54,15 @@ func init() {
 	telemetry.NewGaugeFunc("stampede_loader_allocs_per_event",
 		"Heap allocations per loaded event, as last measured from MemStats deltas.",
 		func() float64 { return math.Float64frombits(allocsPerEventBits.Load()) })
-	telemetry.NewGaugeFunc("stampede_loader_event_pool_hits_total",
+	// The pool stats are cumulative totals, so they expose as counters
+	// (scrape-time funcs over the bp atomics), not gauges.
+	telemetry.NewCounterFunc("stampede_loader_event_pool_hits_total",
 		"Event-pool gets served by recycling an event.",
 		func() float64 { h, _, _ := bp.PoolStats(); return float64(h) })
-	telemetry.NewGaugeFunc("stampede_loader_event_pool_misses_total",
+	telemetry.NewCounterFunc("stampede_loader_event_pool_misses_total",
 		"Event-pool gets that had to allocate a fresh event.",
 		func() float64 { _, m, _ := bp.PoolStats(); return float64(m) })
-	telemetry.NewGaugeFunc("stampede_loader_event_pool_returns_total",
+	telemetry.NewCounterFunc("stampede_loader_event_pool_returns_total",
 		"Events released back to the event pool.",
 		func() float64 { _, _, r := bp.PoolStats(); return float64(r) })
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/mq"
 	"repro/internal/schema"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wfclock"
 )
 
@@ -145,6 +146,9 @@ func (p *pipeline) produceReader(r io.Reader) {
 	// validator → apply shard, which releases them after its batch
 	// commits.
 	br.SetPooled(true)
+	if trace.Enabled() {
+		br.SetSampler(trace.Sample)
+	}
 	for {
 		ev, err := br.Read()
 		if errors.Is(err, io.EOF) {
@@ -153,6 +157,9 @@ func (p *pipeline) produceReader(r io.Reader) {
 		if err != nil {
 			p.fail(err)
 			break
+		}
+		if id, t0 := br.LastSample(); id != 0 {
+			traceRead(id, t0, ev)
 		}
 		p.read++
 		mRead.Inc()
@@ -177,6 +184,13 @@ func (p *pipeline) produceMsgs(msgs <-chan mq.Message) {
 			if !ok {
 				return
 			}
+			var id uint64
+			var recvNS int64
+			if trace.Enabled() {
+				if id = trace.Sample(m.Body); id != 0 {
+					recvNS = time.Now().UnixNano()
+				}
+			}
 			ev, err := bp.ParseBytes(m.Body)
 			if err != nil {
 				p.malformed++
@@ -187,6 +201,7 @@ func (p *pipeline) produceMsgs(msgs <-chan mq.Message) {
 				p.fail(err)
 				return
 			}
+			traceConsumed(id, recvNS, m, ev)
 			p.read++
 			mRead.Inc()
 			if !p.dispatch(ev) {
@@ -221,6 +236,7 @@ func (sh *pshard) runValidate(p *pipeline) {
 					p.fail(err)
 					return
 				}
+				traceValidated(ev)
 			}
 			select {
 			case sh.applyCh <- ev:

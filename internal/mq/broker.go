@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Message is one routed payload: the routing key (the BP event type), the
@@ -95,6 +97,10 @@ func (q *Queue) offer(m Message) {
 	default:
 		q.dropped++
 		mDropped.Inc()
+		// Tombstone for the tracing layer: a sampled event whose copy
+		// dies here gets a terminal span naming the queue, instead of a
+		// trace that silently never completes.
+		trace.Drop(q.name, m.Body, m.TS)
 	}
 }
 

@@ -58,6 +58,11 @@ func NewStore() *Store {
 // SetForeignKeyChecks toggles FK enforcement (on by default).
 func (s *Store) SetForeignKeyChecks(on bool) { s.checkFKs.Store(on) }
 
+// Epoch returns the newest published epoch: the point-in-time a snapshot
+// taken now would pin. The tracing layer stamps it on commit spans as
+// "the version at which this event became visible to readers".
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
 // CreateTable registers a table. Creating a table that already exists with
 // an identical schema is a no-op, so archive initialisation is idempotent.
 func (s *Store) CreateTable(schema TableSchema) error {

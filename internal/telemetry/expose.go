@@ -81,7 +81,16 @@ func (f *family) write(w *bufio.Writer) {
 			writeSample(w, f.name, "", f.labels, values, "", strconv.FormatInt(c.Value(), 10))
 		case funcGauge:
 			writeSample(w, f.name, "", f.labels, values, "", formatFloat(c.fn()))
+		case funcCounter:
+			writeSample(w, f.name, "", f.labels, values, "", formatFloat(c.fn()))
 		case *Histogram:
+			// _count is derived from the cumulative bucket counts rather
+			// than read from the separate count word: Observe bumps the
+			// bucket and the count non-atomically as a pair, so a scrape
+			// racing an observation could otherwise emit le="+Inf" !=
+			// _count, which Prometheus treats as a malformed histogram.
+			// Derivation keeps the invariant by construction — for the
+			// empty histogram too (every bucket, +Inf, and _count all 0).
 			var cum uint64
 			for b := range c.counts {
 				cum += c.counts[b].Load()
@@ -92,7 +101,7 @@ func (f *family) write(w *bufio.Writer) {
 				writeSample(w, f.name, "_bucket", f.labels, values, le, strconv.FormatUint(cum, 10))
 			}
 			writeSample(w, f.name, "_sum", f.labels, values, "", formatFloat(c.Sum()))
-			writeSample(w, f.name, "_count", f.labels, values, "", strconv.FormatUint(c.Count(), 10))
+			writeSample(w, f.name, "_count", f.labels, values, "", strconv.FormatUint(cum, 10))
 		}
 	}
 }

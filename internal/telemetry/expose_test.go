@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// scrape renders the registry and returns its lines.
+func scrape(t *testing.T, r *Registry) []string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+}
+
+// sampleValue finds the value of the exposition line with the exact
+// name{labels} prefix, failing if it is absent.
+func sampleValue(t *testing.T, lines []string, prefix string) string {
+	t.Helper()
+	for _, l := range lines {
+		if rest, ok := strings.CutPrefix(l, prefix+" "); ok {
+			return rest
+		}
+	}
+	t.Fatalf("no sample %q in exposition:\n%s", prefix, strings.Join(lines, "\n"))
+	return ""
+}
+
+// TestExpositionEmptyHistogram is the format regression test for the
+// never-observed histogram: every cumulative bucket including le="+Inf"
+// must appear with value 0, and _count and _sum must be 0 — not absent,
+// and not disagreeing with the +Inf bucket.
+func TestExpositionEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_seconds", "never observed", []float64{0.1, 1})
+	lines := scrape(t, r)
+
+	for _, want := range []string{
+		`empty_seconds_bucket{le="0.1"}`,
+		`empty_seconds_bucket{le="1"}`,
+		`empty_seconds_bucket{le="+Inf"}`,
+		`empty_seconds_sum`,
+		`empty_seconds_count`,
+	} {
+		if got := sampleValue(t, lines, want); got != "0" {
+			t.Errorf("%s = %s, want 0", want, got)
+		}
+	}
+}
+
+func TestExpositionHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.5, 2, 50} { // last two overflow the max bucket
+		h.Observe(v)
+	}
+	lines := scrape(t, r)
+	if got := sampleValue(t, lines, `lat_seconds_bucket{le="0.1"}`); got != "1" {
+		t.Errorf(`le="0.1" = %s, want 1`, got)
+	}
+	if got := sampleValue(t, lines, `lat_seconds_bucket{le="1"}`); got != "2" {
+		t.Errorf(`le="1" = %s, want 2`, got)
+	}
+	if got := sampleValue(t, lines, `lat_seconds_bucket{le="+Inf"}`); got != "4" {
+		t.Errorf(`le="+Inf" = %s, want 4`, got)
+	}
+	if got := sampleValue(t, lines, `lat_seconds_count`); got != "4" {
+		t.Errorf("_count = %s, want 4", got)
+	}
+	if got := sampleValue(t, lines, `lat_seconds_sum`); got != "52.55" {
+		t.Errorf("_sum = %s, want 52.55", got)
+	}
+}
+
+// TestExpositionHistogramInvariantUnderLoad scrapes while observations
+// race and asserts le="+Inf" == _count on every scrape. Before _count was
+// derived from the cumulative buckets this could emit a histogram whose
+// +Inf bucket disagreed with its count — malformed to Prometheus.
+func TestExpositionHistogramInvariantUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("busy_seconds", "racing", []float64{0.1, 1})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(float64(i%3) * 0.3)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		lines := scrape(t, r)
+		inf := sampleValue(t, lines, `busy_seconds_bucket{le="+Inf"}`)
+		count := sampleValue(t, lines, `busy_seconds_count`)
+		if inf != count {
+			close(stop)
+			wg.Wait()
+			t.Fatalf(`scrape %d: le="+Inf" = %s but _count = %s`, i, inf, count)
+		}
+		// Buckets must be monotonically cumulative too.
+		b1, _ := strconv.ParseUint(sampleValue(t, lines, `busy_seconds_bucket{le="0.1"}`), 10, 64)
+		b2, _ := strconv.ParseUint(sampleValue(t, lines, `busy_seconds_bucket{le="1"}`), 10, 64)
+		bInf, _ := strconv.ParseUint(inf, 10, 64)
+		if b1 > b2 || b2 > bInf {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("scrape %d: non-cumulative buckets %d, %d, %d", i, b1, b2, bInf)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestExpositionCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.CounterFunc("derived_total", "computed at scrape", func() float64 { n++; return n })
+	lines := scrape(t, r)
+	typed := false
+	for _, l := range lines {
+		if l == "# TYPE derived_total counter" {
+			typed = true
+		}
+	}
+	if !typed {
+		t.Error("CounterFunc family not typed as counter")
+	}
+	if got := sampleValue(t, lines, "derived_total"); got != "42" {
+		t.Errorf("derived_total = %s, want 42", got)
+	}
+	// A second scrape re-invokes the function: scrape-time semantics.
+	if got := sampleValue(t, scrape(t, r), "derived_total"); got != "43" {
+		t.Errorf("second scrape = %s, want 43", got)
+	}
+}

@@ -85,6 +85,11 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // already tracks (channel depths, table row counts).
 type funcGauge struct{ fn func() float64 }
 
+// funcCounter is a counter evaluated at scrape time, for cumulative
+// totals the owner already tracks as atomics (the bp event-pool stats).
+// The function must be monotonically non-decreasing.
+type funcCounter struct{ fn func() float64 }
+
 // Histogram counts observations into fixed buckets. Observe is lock-free:
 // one atomic add per bucket/count and a CAS loop for the sum, with no
 // allocations.
@@ -166,7 +171,7 @@ type family struct {
 	buckets []float64
 
 	mu       sync.RWMutex
-	children map[string]any // *Counter | *Gauge | funcGauge | *Histogram
+	children map[string]any // *Counter | *Gauge | funcGauge | funcCounter | *Histogram
 }
 
 // labelKey joins label values into a map key. \xff never appears in
@@ -268,6 +273,17 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.mu.Unlock()
 }
 
+// CounterFunc registers (or replaces) an unlabeled counter whose value
+// is computed by fn at scrape time. fn must be monotonically
+// non-decreasing — use it to expose cumulative totals a subsystem
+// already maintains, not derived values.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindCounter, nil, nil)
+	f.mu.Lock()
+	f.children[""] = funcCounter{fn}
+	f.mu.Unlock()
+}
+
 // Histogram returns the unlabeled histogram with this name, creating it
 // on first use. Buckets are upper bounds in ascending order; nil means
 // DurationBuckets.
@@ -350,6 +366,11 @@ func NewGauge(name, help string) *Gauge { return defaultRegistry.Gauge(name, hel
 
 // NewGaugeFunc registers a scrape-time gauge on the Default registry.
 func NewGaugeFunc(name, help string, fn func() float64) { defaultRegistry.GaugeFunc(name, help, fn) }
+
+// NewCounterFunc registers a scrape-time counter on the Default registry.
+func NewCounterFunc(name, help string, fn func() float64) {
+	defaultRegistry.CounterFunc(name, help, fn)
+}
 
 // NewHistogram returns a histogram on the Default registry.
 func NewHistogram(name, help string, buckets []float64) *Histogram {

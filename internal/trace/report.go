@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace is one sampled event's assembled journey, the JSON shape served
+// by the dashboard's GET /api/traces and consumed by stampede-analyzer
+// -traces. Offsets are relative to the trace's start so a waterfall can
+// be drawn without re-deriving the baseline.
+type Trace struct {
+	ID       string  `json:"id"` // hash id, zero-padded hex
+	Workflow string  `json:"workflow,omitempty"`
+	Queue    string  `json:"queue,omitempty"` // set when a copy died on this queue
+	Start    string  `json:"start"`           // RFC 3339 with nanoseconds, UTC
+	Total    float64 `json:"total_seconds"`   // first span start to last span end
+	Dropped  bool    `json:"dropped,omitempty"`
+	Epoch    uint64  `json:"epoch,omitempty"` // relstore epoch of visibility
+	Spans    []Hop   `json:"spans"`
+}
+
+// Hop is one stage of a trace.
+type Hop struct {
+	Stage   string  `json:"stage"`
+	Offset  float64 `json:"offset_seconds"` // from trace start
+	Seconds float64 `json:"seconds"`
+}
+
+// Dump is the /api/traces response envelope.
+type Dump struct {
+	SampleEvery int     `json:"sample_every"`
+	Traces      []Trace `json:"traces"`
+}
+
+// Collect assembles the ring's stable spans into traces, oldest-first
+// (ties broken by id so the order is deterministic for fixed inputs).
+func Collect(r *Ring) []Trace {
+	spans := r.Spans()
+	byID := make(map[uint64][]Span)
+	order := make([]uint64, 0, len(spans))
+	for _, sp := range spans {
+		if _, ok := byID[sp.ID]; !ok {
+			order = append(order, sp.ID)
+		}
+		byID[sp.ID] = append(byID[sp.ID], sp)
+	}
+	out := make([]Trace, 0, len(order))
+	for _, id := range order {
+		out = append(out, assemble(id, byID[id]))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func assemble(id uint64, spans []Span) Trace {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Stage < spans[j].Stage
+	})
+	t0, t1 := spans[0].Start, spans[0].End
+	tr := Trace{ID: fmt.Sprintf("%016x", id)}
+	for _, sp := range spans {
+		if sp.End > t1 {
+			t1 = sp.End
+		}
+		switch sp.Stage {
+		case StageDropped:
+			tr.Dropped = true
+			tr.Queue = sp.Label
+		default:
+			if tr.Workflow == "" {
+				tr.Workflow = sp.Label
+			}
+		}
+		if sp.Epoch != 0 {
+			tr.Epoch = sp.Epoch
+		}
+		tr.Spans = append(tr.Spans, Hop{
+			Stage:   sp.Stage.String(),
+			Offset:  float64(sp.Start-t0) / 1e9,
+			Seconds: float64(sp.End-sp.Start) / 1e9,
+		})
+	}
+	tr.Start = time.Unix(0, t0).UTC().Format("2006-01-02T15:04:05.000000000Z07:00")
+	tr.Total = float64(t1-t0) / 1e9
+	return tr
+}
+
+// StageStats is the latency distribution of one stage across a set of
+// traces.
+type StageStats struct {
+	Stage string  `json:"stage"`
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P90   float64 `json:"p90_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+// Report is the end-to-end latency percentile breakdown the analyzer
+// renders — the shape of the paper's latency table, computed from
+// sampled traces instead of an offline run.
+type Report struct {
+	SampleEvery int          `json:"sample_every"`
+	Traces      int          `json:"traces"`
+	Dropped     int          `json:"dropped"`
+	Stages      []StageStats `json:"stages"`
+	Total       StageStats   `json:"total"` // first span start to last span end
+}
+
+// BuildReport aggregates per-stage and end-to-end latency percentiles
+// over assembled traces. Tombstone-only traces count as Dropped and are
+// excluded from the end-to-end distribution.
+func BuildReport(traces []Trace, sampleEvery int) *Report {
+	rep := &Report{SampleEvery: sampleEvery, Traces: len(traces)}
+	byStage := make(map[string][]float64)
+	var totals []float64
+	for _, tr := range traces {
+		live := false
+		for _, h := range tr.Spans {
+			byStage[h.Stage] = append(byStage[h.Stage], h.Seconds)
+			if h.Stage != StageDropped.String() {
+				live = true
+			}
+		}
+		if live {
+			totals = append(totals, tr.Total)
+		}
+		if tr.Dropped && !live {
+			rep.Dropped++
+		}
+	}
+	for s := Stage(0); s < numStages; s++ {
+		vs := byStage[s.String()]
+		if len(vs) == 0 {
+			continue
+		}
+		rep.Stages = append(rep.Stages, stageStats(s.String(), vs))
+	}
+	rep.Total = stageStats("end-to-end", totals)
+	return rep
+}
+
+func stageStats(name string, vs []float64) StageStats {
+	st := StageStats{Stage: name, Count: len(vs)}
+	if len(vs) == 0 {
+		return st
+	}
+	sort.Float64s(vs)
+	st.P50 = percentile(vs, 0.50)
+	st.P90 = percentile(vs, 0.90)
+	st.P99 = percentile(vs, 0.99)
+	st.Max = vs[len(vs)-1]
+	return st
+}
+
+// percentile is nearest-rank on an ascending slice.
+func percentile(sorted []float64, q float64) float64 {
+	rank := int(q*float64(len(sorted))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Render formats the report as the analyzer's console table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	rate := "off"
+	if r.SampleEvery > 0 {
+		rate = "1/" + strconv.Itoa(r.SampleEvery)
+	}
+	fmt.Fprintf(&b, "Event-to-visibility latency: %d sampled traces (%d dropped), sample rate %s\n\n",
+		r.Traces, r.Dropped, rate)
+	fmt.Fprintf(&b, "%-12s %6s %12s %12s %12s %12s\n", "stage", "spans", "p50(s)", "p90(s)", "p99(s)", "max(s)")
+	for _, st := range r.Stages {
+		fmt.Fprintf(&b, "%-12s %6d %12.6f %12.6f %12.6f %12.6f\n",
+			st.Stage, st.Count, st.P50, st.P90, st.P99, st.Max)
+	}
+	st := r.Total
+	fmt.Fprintf(&b, "%-12s %6d %12.6f %12.6f %12.6f %12.6f\n",
+		st.Stage, st.Count, st.P50, st.P90, st.P99, st.Max)
+	return b.String()
+}

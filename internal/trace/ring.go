@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Ring is a fixed-size lock-free span buffer. Writers claim slots from a
+// global ticket counter and publish through a per-slot sequence word
+// (odd while a write is in flight, even when stable); every slot field
+// is a word-sized atomic, so concurrent Record calls from the loader's
+// shards, the broker and the engines need no lock and the race detector
+// sees only atomic traffic. Readers snapshot slots optimistically and
+// skip any slot whose sequence changed mid-read. A writer that laps the
+// ring inside another writer's store window could in principle interleave
+// — at 8k slots that requires one Record to stall for an entire ring
+// generation, and the worst case is one garbled diagnostic span.
+type Ring struct {
+	slots []slot
+	mask  uint64
+	next  atomic.Uint64
+}
+
+type slot struct {
+	seq   atomic.Uint64 // 0 = empty; odd = write in flight
+	id    atomic.Uint64
+	meta  atomic.Uint64 // stage<<32 | label index
+	start atomic.Int64
+	end   atomic.Int64
+	extra atomic.Uint64 // relstore epoch on commit spans
+}
+
+// DefaultRingSize holds the most recent ~1k traces at the default stage
+// count; ~512 KiB resident.
+const DefaultRingSize = 8192
+
+var defaultRing = NewRing(DefaultRingSize)
+
+// Default returns the process-wide ring that package-level Record writes
+// to and the dashboard serves from.
+func Default() *Ring { return defaultRing }
+
+// NewRing returns a ring holding the most recent n spans, rounded up to
+// a power of two.
+func NewRing(n int) *Ring {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Ring{slots: make([]slot, size), mask: uint64(size - 1)}
+}
+
+func (r *Ring) put(id uint64, st Stage, label uint32, start, end int64, epoch uint64) {
+	s := &r.slots[(r.next.Add(1)-1)&r.mask]
+	s.seq.Add(1) // odd: write in flight
+	s.id.Store(id)
+	s.meta.Store(uint64(st)<<32 | uint64(label))
+	s.start.Store(start)
+	s.end.Store(end)
+	s.extra.Store(epoch)
+	s.seq.Add(1) // even: stable
+}
+
+// Record stores one span into this ring (the package-level Record uses
+// the default ring and also feeds the stage histograms).
+func (r *Ring) Record(id uint64, st Stage, label string, start, end int64) {
+	r.put(id, st, nameIdx(label), start, end, 0)
+}
+
+// RecordCommit is Record for StageCommit carrying the visibility epoch.
+func (r *Ring) RecordCommit(id uint64, label string, start, end int64, epoch uint64) {
+	r.put(id, StageCommit, nameIdx(label), start, end, epoch)
+}
+
+// Span is one stable ring entry.
+type Span struct {
+	ID    uint64
+	Stage Stage
+	Label string // workflow uuid, or queue name for StageDropped
+	Start int64  // Unix nanoseconds
+	End   int64
+	Epoch uint64 // relstore visibility epoch; commit spans only
+}
+
+// Spans returns every stable span currently in the ring, oldest-first in
+// slot order. Slots mid-write or overwritten during the read are
+// skipped.
+func (r *Ring) Spans() []Span {
+	out := make([]Span, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 || seq%2 == 1 {
+			continue
+		}
+		sp := Span{
+			ID:    s.id.Load(),
+			Start: s.start.Load(),
+			End:   s.end.Load(),
+			Epoch: s.extra.Load(),
+		}
+		meta := s.meta.Load()
+		if s.seq.Load() != seq {
+			continue // overwritten mid-read
+		}
+		sp.Stage = Stage(meta >> 32)
+		sp.Label = nameAt(uint32(meta))
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}

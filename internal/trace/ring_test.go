@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingRoundsToPowerOfTwo(t *testing.T) {
+	r := NewRing(100)
+	if len(r.slots) != 128 {
+		t.Fatalf("NewRing(100) allocated %d slots, want 128", len(r.slots))
+	}
+}
+
+func TestRingStoresSpans(t *testing.T) {
+	r := NewRing(16)
+	r.Record(42, StageParse, "wf-a", 1000, 2500)
+	r.RecordCommit(42, "wf-a", 3000, 4000, 9)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	p := spans[0]
+	if p.ID != 42 || p.Stage != StageParse || p.Label != "wf-a" || p.Start != 1000 || p.End != 2500 || p.Epoch != 0 {
+		t.Fatalf("parse span = %+v", p)
+	}
+	c := spans[1]
+	if c.Stage != StageCommit || c.Epoch != 9 {
+		t.Fatalf("commit span = %+v", c)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 20; i++ {
+		r.Record(uint64(i+1), StageApply, "wf", int64(i)*100, int64(i)*100+50)
+	}
+	spans := r.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("got %d spans after wrap, want 8", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.ID < 13 { // ids 13..20 are the newest 8
+			t.Fatalf("stale span %d survived the wrap", sp.ID)
+		}
+	}
+}
+
+func TestRingSkipsEmptyAndInFlightSlots(t *testing.T) {
+	r := NewRing(8)
+	r.Record(1, StageEmit, "wf", 10, 20)
+	// Simulate a writer parked mid-store: odd sequence.
+	r.slots[3].seq.Store(7)
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1 (empty and in-flight slots skipped)", len(spans))
+	}
+}
+
+func TestRingConcurrentWriters(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(uint64(g*1000+i+1), Stage(i%int(numStages)), "wf", int64(i), int64(i+1))
+				if i%50 == 0 {
+					r.Spans() // concurrent reads must never see torn spans
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, sp := range r.Spans() {
+		if sp.End-sp.Start != 1 {
+			t.Fatalf("torn span: %+v", sp)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	line := []byte("ts=2012-03-20T17:44:31.331549Z event=stampede.job.mainjob.start xwf.id=aaaa job.id=create_dir")
+	a := hashLine(line)
+	b := hashLine(append([]byte(nil), line...)) // fresh copy, same bytes
+	if a != b {
+		t.Fatalf("hashLine not deterministic: %x vs %x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("hashLine returned reserved id 0")
+	}
+	if c := hashLine([]byte("different line")); c == a {
+		t.Fatalf("distinct lines collided: %x", c)
+	}
+}
+
+func TestHashZeroRemapped(t *testing.T) {
+	if hashLine(nil) == 0 {
+		t.Fatal("empty input hashed to reserved 0")
+	}
+}
+
+func TestSampleRate(t *testing.T) {
+	defer SetSampleEvery(DefaultSampleEvery)
+
+	SetSampleEvery(0)
+	if Enabled() {
+		t.Fatal("Enabled() true with rate 0")
+	}
+	if id := Sample([]byte("anything")); id != 0 {
+		t.Fatalf("Sample returned %x with tracing off", id)
+	}
+
+	SetSampleEvery(1)
+	if !Enabled() {
+		t.Fatal("Enabled() false with rate 1")
+	}
+	line := []byte("ts=2012-03-20T17:44:31Z event=x")
+	id := Sample(line)
+	if id == 0 {
+		t.Fatal("rate 1 must sample every line")
+	}
+	if id != hashLine(line) {
+		t.Fatal("sampled id is not the line hash")
+	}
+	// Same line, same decision and id: the cross-process assembly invariant.
+	if again := Sample(line); again != id {
+		t.Fatalf("same line sampled differently: %x vs %x", again, id)
+	}
+
+	SetSampleEvery(-5)
+	if Enabled() {
+		t.Fatal("negative rate should disable tracing")
+	}
+}
+
+func TestSampleSelectivity(t *testing.T) {
+	defer SetSampleEvery(DefaultSampleEvery)
+	SetSampleEvery(64)
+	sampled := 0
+	var buf bytes.Buffer
+	for i := 0; i < 4096; i++ {
+		buf.Reset()
+		buf.WriteString("ts=2012-03-20T17:44:31Z event=stampede.job.mainjob.start job.id=j")
+		for v := i; ; v /= 10 {
+			buf.WriteByte(byte('0' + v%10))
+			if v < 10 {
+				break
+			}
+		}
+		if Sample(buf.Bytes()) != 0 {
+			sampled++
+		}
+	}
+	// Expected 64 of 4096; allow generous slack for hash variance.
+	if sampled < 16 || sampled > 256 {
+		t.Fatalf("sampled %d of 4096 lines at rate 1/64; want roughly 64", sampled)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StageEmit: "emit", StageRoute: "route", StageParse: "parse",
+		StageValidate: "validate", StageQueue: "queue", StageApply: "apply",
+		StageCommit: "commit", StageDropped: "dropped",
+	}
+	for st, name := range want {
+		if st.String() != name {
+			t.Errorf("Stage(%d).String() = %q, want %q", st, st.String(), name)
+		}
+	}
+	if Stage(200).String() != "unknown" {
+		t.Errorf("out-of-range stage: %q", Stage(200).String())
+	}
+}
+
+func TestEmitClampsFutureTimestamps(t *testing.T) {
+	defer SetSampleEvery(DefaultSampleEvery)
+	SetSampleEvery(1)
+	line := []byte("ts=2999-01-01T00:00:00Z event=future")
+	id := hashLine(line)
+	Emit(line, time.Now().Add(time.Hour), "wf-future")
+	for _, sp := range Default().Spans() {
+		if sp.ID == id && sp.Stage == StageEmit {
+			if sp.End-sp.Start != 0 {
+				t.Fatalf("future ts not clamped: span %d ns", sp.End-sp.Start)
+			}
+			return
+		}
+	}
+	t.Fatal("emit span not recorded")
+}
+
+func TestWatermarkAdvance(t *testing.T) {
+	var w Watermark
+	if !w.Max().IsZero() {
+		t.Fatal("fresh watermark not zero")
+	}
+	t1 := time.Date(2012, 3, 20, 17, 44, 31, 0, time.UTC)
+	w.Advance(t1.UnixNano())
+	if !w.Max().Equal(t1) {
+		t.Fatalf("Max() = %v, want %v", w.Max(), t1)
+	}
+	// Out-of-order applies must not regress the high-water mark.
+	w.Advance(t1.Add(-time.Minute).UnixNano())
+	if !w.Max().Equal(t1) {
+		t.Fatalf("watermark regressed to %v", w.Max())
+	}
+	t2 := t1.Add(time.Second)
+	w.Advance(t2.UnixNano())
+	if !w.Max().Equal(t2) {
+		t.Fatalf("Max() = %v, want %v", w.Max(), t2)
+	}
+}
+
+func TestWatermarkForStable(t *testing.T) {
+	a := WatermarkFor("wf-stable-test")
+	b := WatermarkFor("wf-stable-test")
+	if a != b {
+		t.Fatal("WatermarkFor returned different pointers for one workflow")
+	}
+	a.Advance(time.Now().UnixNano())
+	if ts, ok := WatermarkOf("wf-stable-test"); !ok || ts.IsZero() {
+		t.Fatalf("WatermarkOf = %v, %v", ts, ok)
+	}
+	if _, ok := WatermarkOf("wf-never-seen"); ok {
+		t.Fatal("WatermarkOf invented a workflow")
+	}
+}
+
+func TestNameTableRoundTrip(t *testing.T) {
+	idx := nameIdx("some-workflow-uuid")
+	if idx == 0 {
+		t.Fatal("non-empty label interned at reserved index 0")
+	}
+	if nameIdx("some-workflow-uuid") != idx {
+		t.Fatal("re-interning changed the index")
+	}
+	if got := nameAt(idx); got != "some-workflow-uuid" {
+		t.Fatalf("nameAt(%d) = %q", idx, got)
+	}
+	if nameAt(1<<30) != "" {
+		t.Fatal("out-of-range index did not collapse to empty")
+	}
+}

@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/bp"
 	"repro/internal/mq"
+	"repro/internal/schema"
+	"repro/internal/trace"
 )
 
 // Appender receives the Stampede events the StampedeLog produces and
@@ -32,7 +34,12 @@ type BusAppender struct {
 
 // Append implements Appender.
 func (a *BusAppender) Append(ev *bp.Event) error {
-	a.Broker.Publish(ev.Type, []byte(ev.Format()))
+	body := []byte(ev.Format())
+	// The emission span (the event's own ts up to this bus handoff) is
+	// recorded engine-side: the loader's route span picks up from the
+	// broker enqueue time, so the two compose without wire context.
+	trace.Emit(body, ev.TS, ev.Get(schema.AttrXwfID))
+	a.Broker.Publish(ev.Type, body)
 	return nil
 }
 
@@ -45,7 +52,9 @@ type ClientAppender struct {
 
 // Append implements Appender.
 func (a *ClientAppender) Append(ev *bp.Event) error {
-	return a.Client.PublishAsync(ev.Type, []byte(ev.Format()))
+	body := []byte(ev.Format())
+	trace.Emit(body, ev.TS, ev.Get(schema.AttrXwfID))
+	return a.Client.PublishAsync(ev.Type, body)
 }
 
 // MultiAppender fans one event out to several appenders (the DART run
