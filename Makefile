@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-diff bench-full bench-parallel lint verify
+.PHONY: build test race fuzz bench bench-diff bench-full bench-parallel lint verify soak-smoke
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# A few seconds of coverage-guided fuzzing on the BP wire format:
-# round-trips Format→Parse on everything the fuzzer finds.
+# A few seconds of coverage-guided fuzzing on the BP wire format
+# (round-trips Format→Parse on everything the fuzzer finds) and on the
+# scenario-config parser (must reject, never panic).
 fuzz:
 	$(GO) test ./internal/bp -run FuzzParse -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/synth -run FuzzScenarioConfig -fuzz FuzzScenarioConfig -fuzztime 10s
+
+# A 30-second fault-plan soak through the whole pipeline
+# (mq → loader → archive), paced in real time. The binary exits non-zero
+# unless every accounting, watermark and snapshot check passes; the JSON
+# report lands in soak-report.json for the CI artifact.
+soak-smoke:
+	$(GO) run ./cmd/stampede-soak -scenario examples/scenarios/fault-soak.json -duration 30s -out soak-report.json
 
 # The loader benchmarks, including the snapshot-readers contention bench
 # and the pooled-parse micro-bench, parsed into BENCH_loader.json for

@@ -434,6 +434,8 @@ func (a *Archive) applyLocked(st *stripe, ev *bp.Event) error {
 		return a.applyMainStart(st, ev)
 	case schema.MainTerm:
 		return a.applyJobState(st, ev, JSTerminated)
+	case schema.MainError:
+		return a.applyJobState(st, ev, JSMainError)
 	case schema.MainEnd:
 		return a.applyMainEnd(st, ev)
 	case schema.PostStart:

@@ -371,3 +371,48 @@ func TestEventsValidateAgainstSchema(t *testing.T) {
 		}
 	}
 }
+
+func TestApplyMainErrorRecordsJobstate(t *testing.T) {
+	// A failing attempt announces itself with job_inst.main.error before
+	// the terminal main.end; the archive materialises it as a MAIN_ERROR
+	// jobstate row on the same instance.
+	a := NewInMemory()
+	wf := uuid.New().String()
+	ji := func(typ string, sec int) *bp.Event {
+		return bp.New(typ, t0.Add(time.Duration(sec)*time.Second)).
+			Set(schema.AttrXwfID, wf).Set(schema.AttrJobID, "flaky").SetInt(schema.AttrJobInstID, 1)
+	}
+	evs := []*bp.Event{
+		ji(schema.SubmitStart, 0),
+		ji(schema.MainStart, 1),
+		ji(schema.MainError, 4).Set(schema.AttrLevel, bp.LevelError).
+			SetInt(schema.AttrStatus, -1).SetInt(schema.AttrExitcode, 1).
+			Set(schema.AttrStderrText, "boom"),
+		ji(schema.MainEnd, 4).SetInt(schema.AttrStatus, -1).SetInt(schema.AttrExitcode, 1),
+	}
+	applyAll(t, a, evs)
+	states, err := a.Store().Select(relstore.Query{Table: TJobState, OrderBy: "jobstate_submit_seq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	for _, row := range states {
+		seen = append(seen, row["state"].(string))
+	}
+	want := map[string]bool{JSMainError: false, JSFailure: false}
+	for _, s := range seen {
+		if _, ok := want[s]; ok {
+			want[s] = true
+		}
+	}
+	for s, ok := range want {
+		if !ok {
+			t.Errorf("jobstate %s missing; got %v", s, seen)
+		}
+	}
+	// One instance only: main.error must not fork a new job_instance.
+	insts, _ := a.Store().Select(relstore.Query{Table: TJobInstance})
+	if len(insts) != 1 {
+		t.Errorf("expected 1 job_instance, got %d", len(insts))
+	}
+}

@@ -37,6 +37,7 @@ const (
 	JSReleased    = "JOB_RELEASED"
 	JSExecute     = "EXECUTE"
 	JSTerminated  = "JOB_TERMINATED"
+	JSMainError   = "MAIN_ERROR"
 	JSSuccess     = "JOB_SUCCESS"
 	JSFailure     = "JOB_FAILURE"
 	JSAborted     = "JOB_ABORTED"

@@ -40,6 +40,7 @@ const (
 	HeldEnd       = "stampede.job_inst.held.end"
 	MainStart     = "stampede.job_inst.main.start"
 	MainTerm      = "stampede.job_inst.main.term"
+	MainError     = "stampede.job_inst.main.error"
 	MainEnd       = "stampede.job_inst.main.end"
 	PostStart     = "stampede.job_inst.post.start"
 	PostEnd       = "stampede.job_inst.post.end"
@@ -84,7 +85,7 @@ func init() {
 		WfPlan, StaticStart, StaticEnd, XwfStart, XwfEnd,
 		TaskInfo, TaskEdge, JobInfo, JobEdge, MapTaskJob, MapSubwfJob,
 		JobInstPre, JobInstPreEnd, SubmitStart, SubmitEnd,
-		HeldStart, HeldEnd, MainStart, MainTerm, MainEnd,
+		HeldStart, HeldEnd, MainStart, MainTerm, MainError, MainEnd,
 		PostStart, PostEnd, HostInfo, ImageInfo, AbortInfo,
 		InvStart, InvEnd,
 	)

@@ -258,6 +258,14 @@ module stampede {
         uses job-inst-ref;
         leaf status { type int32; mandatory "true"; }
     }
+    container stampede.job_inst.main.error {
+        description "Main part of the job instance failed; per-failure error detail";
+        uses base-event;
+        uses job-inst-ref;
+        leaf status { type int32; }
+        leaf exitcode { type int32; }
+        leaf stderr.text { type string; }
+    }
     container stampede.job_inst.main.end {
         description "Main part of the job instance finished";
         uses base-event;

@@ -1,0 +1,316 @@
+package soak
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/archive"
+	"repro/internal/bp"
+	"repro/internal/schema"
+	"repro/internal/trace"
+)
+
+// Check is one audited invariant of a soak run.
+type Check struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// Knee is the measured saturation point of a ramp/step scenario: the
+// plateau the applied rate reaches, and the offered rate at which the
+// pipeline stopped keeping up.
+type Knee struct {
+	PlateauEventsPerSec float64 `json:"plateau_events_per_sec"`
+	OfferedAtKnee       float64 `json:"offered_at_knee,omitempty"`
+}
+
+// Report is the pass/fail audit of a soak run. Every count it compares is
+// exact: the stream's own annotations predict the run event for event.
+type Report struct {
+	Scenario string  `json:"scenario"`
+	Pass     bool    `json:"pass"`
+	Checks   []Check `json:"checks"`
+
+	Emitted           int     `json:"emitted"`
+	Events            int     `json:"events"`
+	InjectedMalformed int     `json:"injected_malformed"`
+	InjectedDrops     int     `json:"injected_drops"`
+	NaturalDrops      uint64  `json:"natural_drops"`
+	Published         int     `json:"published"`
+	Read              uint64  `json:"read"`
+	Loaded            uint64  `json:"loaded"`
+	Invalid           uint64  `json:"invalid"`
+	Unknown           uint64  `json:"unknown"`
+	Malformed         uint64  `json:"malformed"`
+	Applied           uint64  `json:"applied"`
+	Workflows         int     `json:"workflows"`
+	LoaderRuns        int     `json:"loader_runs"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	AllocsPerEvent    float64 `json:"allocs_per_event"`
+
+	Knee *Knee `json:"knee,omitempty"`
+}
+
+func (r *Report) check(name string, ok bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+	if !ok {
+		r.Pass = false
+	}
+}
+
+// BuildReport audits a run. Order matters: watermark checks read the
+// process-global freshness watermarks and run BEFORE the shadow apply,
+// which replays the same events through a fresh archive (advancing the
+// same per-workflow watermarks to the same values, but only proving the
+// real run advanced them if it is checked first).
+func BuildReport(res *Result) *Report {
+	s := res.Stream
+	sc := s.Scenario
+	r := &Report{
+		Scenario:          sc.Name,
+		Pass:              true,
+		Emitted:           s.Acct.Emitted,
+		Events:            s.Acct.Events,
+		InjectedMalformed: s.Acct.InjectedMalformed,
+		InjectedDrops:     s.Acct.InjectedDrops,
+		NaturalDrops:      res.NaturalDrops,
+		Published:         res.Published,
+		Read:              res.Stats.Read,
+		Loaded:            res.Stats.Loaded,
+		Invalid:           res.Stats.Invalid,
+		Unknown:           res.Stats.Unknown,
+		Malformed:         res.Stats.Malformed,
+		Applied:           res.Applied,
+		Workflows:         s.Workflows,
+		LoaderRuns:        res.LoaderRuns,
+		WallSeconds:       res.WallSeconds,
+		AllocsPerEvent:    res.AllocsPerEvent,
+	}
+
+	// Conservation across the publish boundary: every built line was
+	// either handed to the broker or discarded by the injected-drop fault.
+	r.check("published = emitted - injected_drops",
+		res.Published == s.Acct.Emitted-s.Acct.InjectedDrops,
+		"published %d, emitted %d, injected drops %d",
+		res.Published, s.Acct.Emitted, s.Acct.InjectedDrops)
+
+	// Conservation across the queue: everything published was either
+	// consumed (parsed or rejected as malformed) or dropped on overflow.
+	r.check("read + malformed + natural_drops = published",
+		res.Stats.Read+res.Stats.Malformed+res.NaturalDrops == uint64(res.Published),
+		"read %d + malformed %d + natural drops %d vs published %d",
+		res.Stats.Read, res.Stats.Malformed, res.NaturalDrops, res.Published)
+
+	// Conservation inside the loader.
+	r.check("loaded + invalid + unknown = read",
+		res.Stats.Loaded+res.Stats.Invalid+res.Stats.Unknown == res.Stats.Read,
+		"loaded %d + invalid %d + unknown %d vs read %d",
+		res.Stats.Loaded, res.Stats.Invalid, res.Stats.Unknown, res.Stats.Read)
+
+	// The archive's own counter agrees with the loader's.
+	r.check("archive applied = loaded",
+		res.Applied == res.Stats.Loaded,
+		"archive applied %d, loader loaded %d", res.Applied, res.Stats.Loaded)
+
+	if res.NaturalDrops == 0 {
+		// With no overflow the audit is exact per category, not just in
+		// aggregate: the loader rejected exactly the garbage we injected
+		// and parsed exactly the real events that survived the drop fault.
+		r.check("malformed = injected_malformed",
+			res.Stats.Malformed == uint64(s.Acct.InjectedMalformed),
+			"loader malformed %d, injected %d", res.Stats.Malformed, s.Acct.InjectedMalformed)
+		r.check("read = events - injected_drops",
+			res.Stats.Read == uint64(s.Acct.Events-s.Acct.InjectedDrops),
+			"read %d, events %d, injected drops %d",
+			res.Stats.Read, s.Acct.Events, s.Acct.InjectedDrops)
+
+		checkWatermarks(r, res)
+		shadowAudit(r, res)
+	} else {
+		r.check("natural drops present; per-category audit skipped", true,
+			"%d overflow drops (queue capacity %d): totals above remain exact",
+			res.NaturalDrops, sc.Faults.QueueCapacity)
+	}
+
+	if sc.MaxAllocsPerEvent > 0 {
+		r.check("allocs per event under ceiling",
+			res.AllocsPerEvent <= sc.MaxAllocsPerEvent,
+			"%.1f allocs/event, ceiling %.1f", res.AllocsPerEvent, sc.MaxAllocsPerEvent)
+	}
+
+	r.Knee = measureKnee(res)
+	return r
+}
+
+// checkWatermarks verifies trace freshness: for every workflow untouched
+// by the drop fault, the per-workflow watermark must have reached the
+// timestamp of its final event — the loader really did carry each
+// workflow's stream to its end.
+func checkWatermarks(r *Report, res *Result) {
+	s := res.Stream
+	checked, lagging, missing := 0, 0, 0
+	detail := ""
+	for wf, last := range s.WFLastTS {
+		if s.DroppedWFs[wf] {
+			continue
+		}
+		got, ok := trace.WatermarkOf(wf)
+		if !ok {
+			// The watermark registry caps how many workflows it tracks;
+			// past the cap absence proves nothing.
+			missing++
+			continue
+		}
+		checked++
+		if got.Before(last) {
+			lagging++
+			if detail == "" {
+				detail = fmt.Sprintf("; e.g. %s at %s, want %s", wf, got.Format("15:04:05.000"), last.Format("15:04:05.000"))
+			}
+		}
+	}
+	r.check("freshness watermarks reached final event",
+		lagging == 0,
+		"%d workflows checked, %d lagging, %d unregistered%s", checked, lagging, missing, detail)
+}
+
+// shadowAudit replays every line that reached the broker through a fresh
+// in-memory archive with the same validate-then-apply semantics the
+// loader uses, and compares outcome counts and per-table row counts. This
+// is the exactness oracle: injected drops of structural events cascade
+// into apply failures, and the shadow predicts precisely how many.
+func shadowAudit(r *Report, res *Result) {
+	val, err := schema.NewValidator()
+	if err != nil {
+		r.check("shadow apply", false, "validator: %v", err)
+		return
+	}
+	shadow := archive.NewInMemory()
+	defer shadow.Close()
+	var loaded, invalid, unknown uint64
+	for i := range res.Stream.Lines {
+		ln := &res.Stream.Lines[i]
+		if ln.Drop || ln.Malformed {
+			continue
+		}
+		ev, perr := bp.ParseBytes(ln.Body)
+		if perr != nil {
+			r.check("shadow apply", false, "unexpected parse failure: %v", perr)
+			return
+		}
+		if verr := val.Validate(ev); verr != nil {
+			invalid++
+			bp.ReleaseEvent(ev)
+			continue
+		}
+		switch aerr := shadow.Apply(ev); {
+		case aerr == nil:
+			loaded++
+		case errors.Is(aerr, archive.ErrUnknownEvent):
+			unknown++
+		default:
+			invalid++
+		}
+		bp.ReleaseEvent(ev)
+	}
+	r.check("loaded matches shadow replay",
+		loaded == res.Stats.Loaded,
+		"shadow %d, run %d", loaded, res.Stats.Loaded)
+	r.check("invalid matches shadow replay",
+		invalid == res.Stats.Invalid && unknown == res.Stats.Unknown,
+		"shadow invalid %d unknown %d, run invalid %d unknown %d",
+		invalid, unknown, res.Stats.Invalid, res.Stats.Unknown)
+
+	names := []string{}
+	for _, ts := range archive.Schemas() {
+		names = append(names, ts.Name)
+	}
+	sort.Strings(names)
+	mismatch := ""
+	for _, t := range names {
+		want, werr := shadow.Store().Count(t)
+		got, gerr := res.Arch.Store().Count(t)
+		if werr != nil || gerr != nil || want != got {
+			mismatch += fmt.Sprintf(" %s: run %d want %d;", t, got, want)
+		}
+	}
+	r.check("archive row counts match shadow replay",
+		mismatch == "",
+		"%d tables compared%s", len(names), mismatch)
+}
+
+// measureKnee extracts the saturation plateau from the run's samples when
+// the scenario ramps or steps. The plateau is the highest applied rate
+// sustained over two consecutive windows; the knee is the offered rate at
+// the first sample where the pipeline fell measurably behind the offer.
+func measureKnee(res *Result) *Knee {
+	ramping := false
+	for _, ph := range res.Stream.Scenario.Arrival.Phases {
+		if ph.Mode == "ramp" || ph.Mode == "step" {
+			ramping = true
+		}
+	}
+	if !ramping || len(res.Samples) < 3 {
+		return nil
+	}
+	k := &Knee{}
+	for i := 1; i < len(res.Samples); i++ {
+		sustained := res.Samples[i].Applied
+		if res.Samples[i-1].Applied < sustained {
+			sustained = res.Samples[i-1].Applied
+		}
+		if sustained > k.PlateauEventsPerSec {
+			k.PlateauEventsPerSec = sustained
+		}
+	}
+	for _, sm := range res.Samples {
+		if sm.Offered > 0 && sm.Published < 0.9*sm.Offered {
+			// Publisher itself fell behind the plan: pacing, not the
+			// pipeline — not a knee signal.
+			continue
+		}
+		if sm.Offered > 0 && sm.Applied < 0.9*sm.Published && sm.Published > 0 {
+			k.OfferedAtKnee = sm.Offered
+			break
+		}
+	}
+	return k
+}
+
+// Render writes the human-readable report.
+func (r *Report) Render(w io.Writer) {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "soak report: scenario %q — %s\n", r.Scenario, verdict)
+	fmt.Fprintf(w, "  emitted %d (events %d, injected malformed %d) | injected drops %d | natural drops %d\n",
+		r.Emitted, r.Events, r.InjectedMalformed, r.InjectedDrops, r.NaturalDrops)
+	fmt.Fprintf(w, "  published %d -> read %d, malformed %d -> loaded %d, invalid %d, unknown %d | applied %d\n",
+		r.Published, r.Read, r.Malformed, r.Loaded, r.Invalid, r.Unknown, r.Applied)
+	fmt.Fprintf(w, "  workflows %d | loader runs %d | wall %.2fs | %.1f allocs/event\n",
+		r.Workflows, r.LoaderRuns, r.WallSeconds, r.AllocsPerEvent)
+	if r.Knee != nil {
+		fmt.Fprintf(w, "  knee: plateau %.0f events/s", r.Knee.PlateauEventsPerSec)
+		if r.Knee.OfferedAtKnee > 0 {
+			fmt.Fprintf(w, " (fell behind at offered %.0f events/s)", r.Knee.OfferedAtKnee)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, c := range r.Checks {
+		mark := "ok  "
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %-45s %s\n", mark, c.Name, c.Detail)
+	}
+}
+
+// JSON renders the report for the CI artifact.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

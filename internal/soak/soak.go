@@ -1,0 +1,256 @@
+// Package soak runs scenario-driven end-to-end soaks of the monitoring
+// pipeline: a synth-built scenario stream is paced through the in-process
+// broker into a sharded lenient loader feeding the relational archive,
+// with the scenario's fault plan (injected drops, malformed lines, slow
+// consumers, a mid-run loader restart) applied on the way. Because the
+// stream is deterministic and fully annotated, the run can be audited
+// event for event afterwards — see report.go.
+package soak
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/loader"
+	"repro/internal/mq"
+	"repro/internal/synth"
+)
+
+// Options tunes a soak run.
+type Options struct {
+	// Shards is the loader's apply parallelism (0 = 1, the sequential path).
+	Shards int
+	// Speedup divides the scenario's planned publish offsets: 1 replays in
+	// real time, 10 replays ten times faster, 0 publishes flat out with no
+	// pacing (tests; the knee is not measurable then).
+	Speedup float64
+	// SampleEvery is the throughput sampling interval (0 = 200ms).
+	SampleEvery time.Duration
+}
+
+// Sample is one throughput observation.
+type Sample struct {
+	Offset    float64 // seconds since publish start (wall)
+	Offered   float64 // scenario offered rate at the publish cursor, events/s
+	Published float64 // measured publish rate over the window, events/s (wall)
+	Applied   float64 // measured archive apply rate over the window, events/s (wall)
+}
+
+// Result is everything a soak run measured; BuildReport audits it.
+type Result struct {
+	Stream *synth.Stream
+	Arch   *archive.Archive
+
+	Published    int    // lines actually handed to the broker
+	NaturalDrops uint64 // broker queue-overflow drops (not injected ones)
+	LoaderRuns   int    // 1, or 2 when the fault plan restarted the loader
+	Stats        loader.Stats
+	Applied      uint64 // archive's own applied-events counter
+	Samples      []Sample
+	WallSeconds  float64
+	// AllocsPerEvent is heap allocations per applied event across the whole
+	// run (publisher included) — the end-to-end analogue of the hot-path
+	// allocation ceiling.
+	AllocsPerEvent float64
+}
+
+const soakQueue = "soak"
+
+// Run builds the scenario stream and drives it through
+// mq -> loader -> archive, honouring the fault plan. It returns once the
+// queue has fully drained and every loader has flushed.
+func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, error) {
+	stream, err := synth.BuildStream(sc, durationSeconds)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
+	if opts.SampleEvery == 0 {
+		opts.SampleEvery = 200 * time.Millisecond
+	}
+
+	broker := mq.NewBroker()
+	qcap := sc.Faults.QueueCapacity
+	q, err := broker.DeclareQueue(soakQueue, mq.QueueOpts{Capacity: qcap, Durable: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := broker.Bind(soakQueue, "stampede.#"); err != nil {
+		return nil, err
+	}
+
+	arch := archive.NewInMemory()
+	res := &Result{Stream: stream, Arch: arch, LoaderRuns: 1}
+
+	// Loader lifecycle. Each run is a fresh Loader on the same archive (a
+	// real restart keeps the database); stats from every run are summed.
+	type runDone struct {
+		stats loader.Stats
+		err   error
+	}
+	doneCh := make(chan runDone, 2)
+	lopts := loader.Options{Shards: opts.Shards, Validate: true, Lenient: true}
+	spawn := func(msgs <-chan mq.Message) {
+		go func() {
+			ld, lerr := loader.New(arch, lopts)
+			if lerr != nil {
+				doneCh <- runDone{err: lerr}
+				return
+			}
+			st, cerr := ld.Consume(context.Background(), msgs)
+			doneCh <- runDone{stats: st, err: cerr}
+		}()
+	}
+
+	// Fault-plan thresholds, in units of messages forwarded to the loader.
+	toPublish := stream.Acct.ToPublish
+	restartAt := -1
+	if lr := sc.Faults.LoaderRestart; lr != nil {
+		restartAt = int(lr.AtFraction * float64(toPublish))
+	}
+	slowStart, slowEnd, slowDelay := -1, -1, time.Duration(0)
+	if sl := sc.Faults.SlowConsumer; sl != nil && sl.DelayMS > 0 {
+		slowStart = int(sl.StartFraction * float64(toPublish))
+		slowEnd = int(sl.EndFraction * float64(toPublish))
+		slowDelay = time.Duration(sl.DelayMS * float64(time.Millisecond))
+	}
+
+	// Forwarder: drains the queue, applies the slow-consumer stall, and on
+	// the restart threshold closes the current loader's feed (which makes
+	// it flush and exit cleanly) and spawns a replacement. Closing rather
+	// than cancelling is what keeps the accounting exact: every message
+	// read from the queue is handed to some loader.
+	in := q.Consume()
+	spawns := make(chan int, 1)
+	out := make(chan mq.Message, 256)
+	spawn(out)
+	go func() {
+		n := 0
+		nspawns := 1
+		for m := range in {
+			if n == restartAt {
+				close(out)
+				out = make(chan mq.Message, 256)
+				spawn(out)
+				nspawns++
+			}
+			if n >= slowStart && n < slowEnd {
+				time.Sleep(slowDelay)
+			}
+			out <- m
+			n++
+		}
+		close(out)
+		spawns <- nspawns
+	}()
+
+	// Sampler: periodic offered/published/applied rates for the knee.
+	var publishedAtomic atomic.Uint64
+	var cursorAtomic atomic.Uint64 // index into stream.Lines, for offered rate
+	stopSample := make(chan struct{})
+	sampleDone := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(sampleDone)
+		tick := time.NewTicker(opts.SampleEvery)
+		defer tick.Stop()
+		prevPub, prevApp := uint64(0), uint64(0)
+		prevT := start
+		for {
+			select {
+			case <-stopSample:
+				return
+			case now := <-tick.C:
+				dt := now.Sub(prevT).Seconds()
+				if dt <= 0 {
+					continue
+				}
+				pub, app := publishedAtomic.Load(), arch.Applied()
+				cur := int(cursorAtomic.Load())
+				if cur >= len(stream.Lines) {
+					cur = len(stream.Lines) - 1
+				}
+				offered := 0.0
+				if cur >= 0 {
+					offered = stream.Plan.RateAt(stream.Lines[cur].At)
+				}
+				res.Samples = append(res.Samples, Sample{
+					Offset:    now.Sub(start).Seconds(),
+					Offered:   offered,
+					Published: float64(pub-prevPub) / dt,
+					Applied:   float64(app-prevApp) / dt,
+				})
+				prevPub, prevApp, prevT = pub, app, now
+			}
+		}
+	}()
+
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+
+	// Publisher: paced by the plan (divided by Speedup), injected-drop
+	// lines are discarded here — they never reach the broker, exactly as
+	// the annotation promises.
+	for i := range stream.Lines {
+		ln := &stream.Lines[i]
+		cursorAtomic.Store(uint64(i))
+		if opts.Speedup > 0 {
+			target := ln.At / opts.Speedup
+			for {
+				ahead := target - time.Since(start).Seconds()
+				if ahead <= 0.0005 {
+					break
+				}
+				time.Sleep(time.Duration(ahead * 0.5 * float64(time.Second)))
+			}
+		}
+		if ln.Drop {
+			continue
+		}
+		broker.Publish(ln.Key, ln.Body)
+		res.Published++
+		publishedAtomic.Store(uint64(res.Published))
+	}
+
+	// Drain: deleting the queue closes the delivery channel; messages
+	// already buffered remain readable, so the forwarder hands every last
+	// one to the loader before its range loop ends.
+	res.NaturalDrops = q.Dropped()
+	broker.DeleteQueue(soakQueue)
+
+	nspawns := <-spawns
+	res.LoaderRuns = nspawns
+	var firstErr error
+	for i := 0; i < nspawns; i++ {
+		d := <-doneCh
+		if d.err != nil && firstErr == nil {
+			firstErr = d.err
+		}
+		res.Stats.Read += d.stats.Read
+		res.Stats.Loaded += d.stats.Loaded
+		res.Stats.Invalid += d.stats.Invalid
+		res.Stats.Unknown += d.stats.Unknown
+		res.Stats.Malformed += d.stats.Malformed
+		res.Stats.Elapsed += d.stats.Elapsed
+	}
+	close(stopSample)
+	<-sampleDone
+	res.WallSeconds = time.Since(start).Seconds()
+	res.Applied = arch.Applied()
+
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	if res.Applied > 0 {
+		res.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Applied)
+	}
+	if firstErr != nil {
+		return res, fmt.Errorf("soak: loader: %w", firstErr)
+	}
+	return res, nil
+}

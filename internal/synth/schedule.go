@@ -1,0 +1,126 @@
+package synth
+
+import "math"
+
+// SlotSeconds is the discretization step of an arrival schedule: rates are
+// piecewise-constant over 100ms slots, fine enough that a ramp's knee is
+// measurable but coarse enough that a plan for minutes of wall time stays
+// a few thousand floats.
+const SlotSeconds = 0.1
+
+// SchedulePlan is a Schedule discretized into SlotSeconds slots. It maps
+// both directions: RateAt(t) for pacing and reporting the offered load,
+// and TimeAt(i) for inverting "when should the i-th event be published?".
+type SchedulePlan struct {
+	Rates []float64 // offered events/s in each slot
+	cum   []float64 // expected cumulative events by the END of slot i
+}
+
+// Plan discretizes the schedule. scale stretches or compresses every
+// phase's duration by the same factor so a scenario authored for its
+// natural length can be replayed as a 30-second smoke or an hour-long
+// soak without editing rates (scale <= 0 means 1).
+func (s *Schedule) Plan(scale float64) *SchedulePlan {
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		scale = 1
+	}
+	p := &SchedulePlan{}
+	for _, ph := range s.Phases {
+		secs := ph.Seconds * scale
+		n := int(math.Ceil(secs / SlotSeconds))
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			// Sample the rate at the slot midpoint of UNSCALED phase time so
+			// the shape (ramp slope, step boundaries, spike window) is
+			// preserved under scaling.
+			frac := (float64(i) + 0.5) / float64(n)
+			p.Rates = append(p.Rates, ph.rateAt(frac))
+		}
+	}
+	p.cum = make([]float64, len(p.Rates))
+	total := 0.0
+	for i, r := range p.Rates {
+		total += r * SlotSeconds
+		p.cum[i] = total
+	}
+	return p
+}
+
+// rateAt evaluates the phase's rate at fraction frac (0..1) of its span.
+func (p *Phase) rateAt(frac float64) float64 {
+	switch p.Mode {
+	case "ramp":
+		return p.Rate + (p.TargetRate-p.Rate)*frac
+	case "step":
+		r := p.Rate + p.Step*math.Floor(frac*p.Seconds/p.SlotSeconds)
+		if p.TargetRate > 0 && r > p.TargetRate {
+			r = p.TargetRate
+		}
+		return r
+	case "spike":
+		if frac >= 0.4 && frac < 0.6 {
+			return p.TargetRate
+		}
+		return p.Rate
+	default: // "constant"
+		return p.Rate
+	}
+}
+
+// DurationSeconds is the planned wall time.
+func (p *SchedulePlan) DurationSeconds() float64 {
+	return float64(len(p.Rates)) * SlotSeconds
+}
+
+// TotalEvents is the number of events the plan offers end to end.
+func (p *SchedulePlan) TotalEvents() int {
+	if len(p.cum) == 0 {
+		return 0
+	}
+	return int(p.cum[len(p.cum)-1])
+}
+
+// RateAt returns the offered rate at wall offset t seconds.
+func (p *SchedulePlan) RateAt(t float64) float64 {
+	i := int(t / SlotSeconds)
+	if i < 0 || len(p.Rates) == 0 {
+		return 0
+	}
+	if i >= len(p.Rates) {
+		i = len(p.Rates) - 1
+	}
+	return p.Rates[i]
+}
+
+// TimeAt inverts the plan: the wall offset, in seconds, at which event i
+// (0-based) should be published. Events are spread uniformly within their
+// slot. Offsets are non-decreasing in i; events beyond TotalEvents pile up
+// at the end of the plan.
+func (p *SchedulePlan) TimeAt(i int) float64 {
+	target := float64(i) + 0.5 // publish at the midpoint of its "share"
+	lo, hi := 0, len(p.cum)-1
+	if hi < 0 || target >= p.cum[hi] {
+		return p.DurationSeconds()
+	}
+	// First slot whose cumulative count exceeds target.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] > target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	slotStart := float64(lo) * SlotSeconds
+	prev := 0.0
+	if lo > 0 {
+		prev = p.cum[lo-1]
+	}
+	inSlot := p.cum[lo] - prev
+	if inSlot <= 0 {
+		return slotStart
+	}
+	return slotStart + SlotSeconds*(target-prev)/inSlot
+}

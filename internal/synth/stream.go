@@ -1,0 +1,211 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Line is one unit of the built scenario stream: either a rendered BP
+// event or an injected-malformed garbage line, with its planned publish
+// offset and fault annotations. The soak runner publishes (or,
+// for Drop lines, discards-and-counts) these in order; the report audits
+// the run against the same annotations.
+type Line struct {
+	At        float64 // planned publish offset, seconds from run start
+	Key       string  // routing key (the BP event type)
+	Body      []byte
+	WF        string // workflow uuid; "" for malformed lines
+	Malformed bool   // injected garbage: the loader must count it Malformed
+	Drop      bool   // injected broker drop: never published, only counted
+}
+
+// Accounting is the stream's own ledger; the soak report checks the live
+// run against it event for event.
+type Accounting struct {
+	Emitted           int // all lines built: Events + InjectedMalformed
+	Events            int // real BP event lines
+	InjectedMalformed int // garbage lines inserted
+	InjectedDrops     int // real event lines marked Drop
+	ToPublish         int // Emitted - InjectedDrops
+}
+
+// Stream is a fully built scenario: every line annotated, every
+// expectation precomputed.
+type Stream struct {
+	Scenario *Scenario
+	Plan     *SchedulePlan
+	Lines    []Line
+
+	Workflows  int
+	WFLastTS   map[string]time.Time // workflow uuid -> TS of its final event
+	DroppedWFs map[string]bool      // workflows with >= 1 injected-drop line
+
+	// FailedJobs/TotalRetries aggregate the generator's failure injection
+	// across all workflows; each failing attempt emitted one
+	// stampede.job_inst.main.error event.
+	FailedJobs   int
+	TotalRetries int
+
+	Acct Accounting
+}
+
+// garbageLines are the injected-malformed variants; each is rejected by
+// bp.Parse for a different reason (no pairs, missing event, bad
+// timestamp, unterminated quote).
+var garbageLines = []string{
+	"this line has no key value structure at all %%",
+	"ts=2012-03-13T12:00:00.000000Z",
+	"ts=@@not-a-time event=stampede.xwf.start",
+	`ts=2012-03-13T12:00:00.000000Z event=stampede.xwf.start k="unterminated`,
+}
+
+// BuildStream turns a validated scenario into a deterministic annotated
+// line stream lasting durationSeconds (0 = the schedule's natural
+// length). The same scenario and duration always yield a byte-identical
+// stream — the soak report leans on that to predict the run exactly.
+func BuildStream(sc *Scenario, durationSeconds float64) (*Stream, error) {
+	scale := 0.0
+	natural := 0.0
+	for _, ph := range sc.Arrival.Phases {
+		natural += ph.Seconds
+	}
+	if durationSeconds > 0 && natural > 0 {
+		scale = durationSeconds / natural
+	}
+	plan := sc.Arrival.Plan(scale)
+	total := plan.TotalEvents()
+	maxEvents := sc.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	if total > maxEvents {
+		return nil, fmt.Errorf("scenario %q: schedule offers %d events; max_events is %d", sc.Name, total, maxEvents)
+	}
+
+	s := &Stream{
+		Scenario:   sc,
+		Plan:       plan,
+		WFLastTS:   map[string]time.Time{},
+		DroppedWFs: map[string]bool{},
+	}
+
+	// Weighted round-robin over tenants, deterministic in the arrival
+	// index: arrival k belongs to the tenant owning slot k mod totalWeight.
+	totalWeight := 0
+	for _, t := range sc.Tenants {
+		totalWeight += t.Weight
+	}
+	pick := func(k int) *Tenant {
+		w := k % totalWeight
+		for i := range sc.Tenants {
+			if w < sc.Tenants[i].Weight {
+				return &sc.Tenants[i]
+			}
+			w -= sc.Tenants[i].Weight
+		}
+		return &sc.Tenants[0]
+	}
+
+	// Generate workflows until the population covers the offered events.
+	type wf struct {
+		tr   *Trace
+		base time.Time // earliest event TS, for relative offsets
+	}
+	var wfs []wf
+	built := 0
+	maxMakespan := 0.0
+	for k := 0; built < total || k == 0; k++ {
+		cfg := pick(k).config(sc, k)
+		tr := Generate(cfg)
+		if built+len(tr.Events) > maxEvents {
+			return nil, fmt.Errorf("scenario %q: workflow population exceeds max_events %d", sc.Name, maxEvents)
+		}
+		wfs = append(wfs, wf{tr: tr, base: tr.Events[0].TS})
+		built += len(tr.Events)
+		s.FailedJobs += tr.FailedJobs
+		s.TotalRetries += tr.TotalRetries
+		if tr.MakespanSeconds > maxMakespan {
+			maxMakespan = tr.MakespanSeconds
+		}
+		s.Workflows++
+		uuids := append([]string{tr.RootUUID}, tr.SubUUIDs...)
+		for _, u := range uuids {
+			s.WFLastTS[u] = time.Time{}
+		}
+	}
+
+	// Merge the per-workflow event lists into one publish order: workflow
+	// j enters at the wall offset its first event is due under the
+	// schedule, and its simulated timeline is compressed so late arrivals
+	// interleave with earlier long-running workflows. Stable sort keeps
+	// each workflow's events in causal order.
+	compress := 1.0
+	if maxMakespan > 0 {
+		compress = plan.DurationSeconds() / (maxMakespan + plan.DurationSeconds())
+	}
+	type entry struct {
+		sortT float64
+		wfIdx int
+		evIdx int
+	}
+	entries := make([]entry, 0, built)
+	cum := 0
+	for j := range wfs {
+		arrival := plan.TimeAt(cum)
+		for i, ev := range wfs[j].tr.Events {
+			off := ev.TS.Sub(wfs[j].base).Seconds()
+			entries = append(entries, entry{sortT: arrival + off*compress, wfIdx: j, evIdx: i})
+		}
+		cum += len(wfs[j].tr.Events)
+	}
+	sort.SliceStable(entries, func(a, b int) bool { return entries[a].sortT < entries[b].sortT })
+
+	// Render and annotate. The fault rng is separate from the generator
+	// rngs so tweaking a fault knob never reshapes the workflows
+	// themselves — only which lines get mangled or dropped.
+	frng := rand.New(rand.NewSource(sc.Seed ^ 0x5eedfa07))
+	f := &sc.Faults
+	s.Lines = make([]Line, 0, built+built/16)
+	for i, en := range entries {
+		ev := wfs[en.wfIdx].tr.Events[en.evIdx]
+		wfUUID := ev.Get("xwf.id")
+		if f.MalformedRate > 0 && frng.Float64() < f.MalformedRate {
+			g := garbageLines[s.Acct.InjectedMalformed%len(garbageLines)]
+			s.Lines = append(s.Lines, Line{
+				At:        plan.TimeAt(i),
+				Key:       "stampede.injected.garbage",
+				Body:      []byte(g),
+				Malformed: true,
+			})
+			s.Acct.InjectedMalformed++
+		}
+		ln := Line{
+			At:   plan.TimeAt(i),
+			Key:  ev.Type,
+			Body: []byte(ev.Format()),
+			WF:   wfUUID,
+		}
+		if f.BrokerDropRate > 0 && frng.Float64() < f.BrokerDropRate {
+			ln.Drop = true
+			s.Acct.InjectedDrops++
+			if wfUUID != "" {
+				s.DroppedWFs[wfUUID] = true
+			}
+		}
+		s.Lines = append(s.Lines, ln)
+		if wfUUID != "" {
+			// Rendered BP timestamps carry microseconds; track the last TS at
+			// the same precision the loader will see after the round trip.
+			ts := ev.TS.Truncate(time.Microsecond)
+			if last, ok := s.WFLastTS[wfUUID]; !ok || ts.After(last) {
+				s.WFLastTS[wfUUID] = ts
+			}
+		}
+	}
+	s.Acct.Events = built
+	s.Acct.Emitted = len(s.Lines)
+	s.Acct.ToPublish = s.Acct.Emitted - s.Acct.InjectedDrops
+	return s, nil
+}

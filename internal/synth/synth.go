@@ -13,6 +13,7 @@ package synth
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -59,6 +60,102 @@ type Config struct {
 	// workflow, as the DART meta-workflow does. 0 or 1 = single flat
 	// workflow.
 	SubWorkflows int
+
+	// Stages declares an explicit stage DAG instead of the layered Width
+	// topology: each stage runs Jobs jobs of the given runtime class, and
+	// a stage's jobs become ready only when the parent-stage jobs they
+	// have edges to have finished — the generated schedule is causally
+	// valid by construction, not just by slot contention. When set, Jobs,
+	// Width and JobTypes are ignored. Callers must check ValidateStages
+	// first: Generate assumes an acyclic, resolvable stage graph.
+	Stages []StageSpec
+}
+
+// StageSpec is one stage of an explicit workflow topology (the motel-synth
+// style declarative shape: a named operation class with duration jitter
+// and fan-out edges to downstream stages).
+type StageSpec struct {
+	Name        string   // stage name; job type and transformation prefix
+	Jobs        int      // jobs in this stage (>=1)
+	MeanSeconds float64  // mean runtime of a stage job
+	StddevPct   float64  // runtime stddev as a fraction of the mean
+	After       []string // names of parent stages this one depends on
+}
+
+// ValidateStages rejects stage graphs Generate cannot schedule: empty or
+// duplicate names, non-positive job counts, negative or non-finite
+// runtimes, references to unknown stages, and dependency cycles.
+func ValidateStages(stages []StageSpec) error {
+	if len(stages) == 0 {
+		return nil
+	}
+	idx := make(map[string]int, len(stages))
+	for i, s := range stages {
+		if s.Name == "" {
+			return fmt.Errorf("synth: stage %d has no name", i)
+		}
+		if _, dup := idx[s.Name]; dup {
+			return fmt.Errorf("synth: duplicate stage name %q", s.Name)
+		}
+		if s.Jobs < 1 {
+			return fmt.Errorf("synth: stage %q has %d jobs; need >= 1", s.Name, s.Jobs)
+		}
+		if math.IsNaN(s.MeanSeconds) || math.IsInf(s.MeanSeconds, 0) || s.MeanSeconds < 0 {
+			return fmt.Errorf("synth: stage %q mean_seconds %v is not a finite non-negative number", s.Name, s.MeanSeconds)
+		}
+		if math.IsNaN(s.StddevPct) || math.IsInf(s.StddevPct, 0) || s.StddevPct < 0 {
+			return fmt.Errorf("synth: stage %q stddev_pct %v is not a finite non-negative number", s.Name, s.StddevPct)
+		}
+		idx[s.Name] = i
+	}
+	for _, s := range stages {
+		for _, dep := range s.After {
+			if _, ok := idx[dep]; !ok {
+				return fmt.Errorf("synth: stage %q depends on unknown stage %q", s.Name, dep)
+			}
+		}
+	}
+	if _, ok := topoStages(stages); !ok {
+		return fmt.Errorf("synth: stage graph has a dependency cycle")
+	}
+	return nil
+}
+
+// topoStages returns the stage indices in a dependency-respecting order
+// (Kahn's algorithm, declaration order among ready stages so the result
+// is deterministic). ok is false when the graph has a cycle.
+func topoStages(stages []StageSpec) (order []int, ok bool) {
+	idx := make(map[string]int, len(stages))
+	for i, s := range stages {
+		idx[s.Name] = i
+	}
+	indeg := make([]int, len(stages))
+	children := make([][]int, len(stages)) // parent index -> dependent stage indices
+	for i, s := range stages {
+		for _, dep := range s.After {
+			if j, known := idx[dep]; known {
+				indeg[i]++
+				children[j] = append(children[j], i)
+			}
+		}
+	}
+	ready := make([]int, 0, len(stages))
+	for i := range stages {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, i)
+		for _, k := range children[i] {
+			if indeg[k]--; indeg[k] == 0 {
+				ready = append(ready, k)
+			}
+		}
+	}
+	return order, len(order) == len(stages)
 }
 
 func (c *Config) fill() {
@@ -267,13 +364,14 @@ func (g *gen) emitWorkflow(wfUUID, rootUUID, parentUUID string, n int, startSec 
 	g.emit(base(schema.StaticStart, 0))
 
 	type jobSpec struct {
-		id    string
-		jt    JobType
-		tasks []string
+		id      string
+		jt      JobType
+		tasks   []string
+		parents []int // direct parent job indices (stage topology only)
 	}
-	jobs := make([]jobSpec, n)
-	for i := 0; i < n; i++ {
-		jt := g.pickType(i)
+	// emitStruct writes the static description (task.info, job.info and the
+	// task→job maps) for job i of type jt and returns its spec.
+	emitStruct := func(i int, jt JobType) jobSpec {
 		js := jobSpec{id: fmt.Sprintf("%s_j%04d", jt.Name, i), jt: jt}
 		for t := 0; t < cfg.TasksPerJob; t++ {
 			taskID := fmt.Sprintf("t_%s_%04d_%d", jt.Name, i, t)
@@ -283,7 +381,6 @@ func (g *gen) emitWorkflow(wfUUID, rootUUID, parentUUID string, n int, startSec 
 				Set("type_desc", jt.Name).
 				Set(schema.AttrTransform, jt.Name))
 		}
-		jobs[i] = js
 		g.emit(base(schema.JobInfo, 0).
 			Set(schema.AttrJobID, js.id).
 			Set("type_desc", jt.Name).
@@ -294,17 +391,61 @@ func (g *gen) emitWorkflow(wfUUID, rootUUID, parentUUID string, n int, startSec 
 		for _, taskID := range js.tasks {
 			g.emit(base(schema.MapTaskJob, 0).Set(schema.AttrTaskID, taskID).Set(schema.AttrJobID, js.id))
 		}
+		return js
 	}
-	// DAG edges: layered by Width.
-	if cfg.Width > 0 {
-		for i := cfg.Width; i < n; i++ {
-			parent := jobs[i-cfg.Width]
-			g.emit(base(schema.JobEdge, 0).
-				Set("parent.job.id", parent.id).
-				Set("child.job.id", jobs[i].id))
-			g.emit(base(schema.TaskEdge, 0).
-				Set("parent.task.id", parent.tasks[0]).
-				Set("child.task.id", jobs[i].tasks[0]))
+	var jobs []jobSpec
+	if len(cfg.Stages) > 0 {
+		// Explicit stage DAG: jobs are built in topological stage order and
+		// each child records its parent jobs, so the execution loop below
+		// can hold it back until they finish.
+		order, _ := topoStages(cfg.Stages)
+		stageJobs := make([][]int, len(cfg.Stages))
+		for _, si := range order {
+			st := cfg.Stages[si]
+			jt := JobType{Name: st.Name, MeanSeconds: st.MeanSeconds, StddevPct: st.StddevPct, Weight: 1}
+			for j := 0; j < st.Jobs; j++ {
+				i := len(jobs)
+				js := emitStruct(i, jt)
+				for _, dep := range st.After {
+					for pi, ps := range cfg.Stages {
+						if ps.Name != dep {
+							continue
+						}
+						parents := stageJobs[pi]
+						if len(parents) == 0 {
+							break
+						}
+						p := parents[j%len(parents)]
+						js.parents = append(js.parents, p)
+						g.emit(base(schema.JobEdge, 0).
+							Set("parent.job.id", jobs[p].id).
+							Set("child.job.id", js.id))
+						g.emit(base(schema.TaskEdge, 0).
+							Set("parent.task.id", jobs[p].tasks[0]).
+							Set("child.task.id", js.tasks[0]))
+						break
+					}
+				}
+				stageJobs[si] = append(stageJobs[si], i)
+				jobs = append(jobs, js)
+			}
+		}
+	} else {
+		jobs = make([]jobSpec, n)
+		for i := 0; i < n; i++ {
+			jobs[i] = emitStruct(i, g.pickType(i))
+		}
+		// DAG edges: layered by Width.
+		if cfg.Width > 0 {
+			for i := cfg.Width; i < n; i++ {
+				parent := jobs[i-cfg.Width]
+				g.emit(base(schema.JobEdge, 0).
+					Set("parent.job.id", parent.id).
+					Set("child.job.id", jobs[i].id))
+				g.emit(base(schema.TaskEdge, 0).
+					Set("parent.task.id", parent.tasks[0]).
+					Set("child.task.id", jobs[i].tasks[0]))
+			}
 		}
 	}
 	g.emit(base(schema.StaticEnd, 0))
@@ -317,10 +458,18 @@ func (g *gen) emitWorkflow(wfUUID, rootUUID, parentUUID string, n int, startSec 
 	}
 	wfEnd := startSec + 0.5
 	anyFailed := false
-	for _, js := range jobs {
-		// ready time: after parents finish would be exact; the layered
-		// schedule approximates it via slot contention, which dominates.
+	jobEnds := make([]float64, len(jobs))
+	for jidx, js := range jobs {
+		// ready time: with an explicit stage DAG a job waits for its parent
+		// jobs to finish (causally valid schedules by construction); on the
+		// layered Width path parents are approximated via slot contention,
+		// which dominates.
 		ready := startSec + 0.5
+		for _, p := range js.parents {
+			if jobEnds[p] > ready {
+				ready = jobEnds[p]
+			}
+		}
 		done := false
 		var seq int64
 		for attempt := 0; attempt <= cfg.MaxRetries && !done; attempt++ {
@@ -361,6 +510,16 @@ func (g *gen) emitWorkflow(wfUUID, rootUUID, parentUUID string, n int, startSec 
 					Set(schema.AttrHostname, hosts[host]).
 					Set(schema.AttrSite, "cloud"))
 			}
+			if fails {
+				// The paper's monitord announces each failed invocation with
+				// a dedicated error event before the terminal main.end; the
+				// archive materialises it as a MAIN_ERROR jobstate.
+				g.emit(ji(schema.MainError, endT).
+					Set(schema.AttrLevel, bp.LevelError).
+					SetInt(schema.AttrStatus, -1).
+					SetInt(schema.AttrExitcode, exit).
+					Set(schema.AttrStderrText, "synthetic failure injected"))
+			}
 			mainEnd := ji(schema.MainEnd, endT).
 				SetInt(schema.AttrStatus, int64(exitStatus(exit))).
 				SetInt(schema.AttrExitcode, exit).
@@ -369,6 +528,7 @@ func (g *gen) emitWorkflow(wfUUID, rootUUID, parentUUID string, n int, startSec 
 				mainEnd.Set(schema.AttrStderrText, "synthetic failure injected")
 			}
 			g.emit(mainEnd)
+			jobEnds[jidx] = endT
 			if endT > wfEnd {
 				wfEnd = endT
 			}
