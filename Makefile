@@ -18,18 +18,22 @@ race:
 	$(GO) test -race ./...
 
 # A few seconds of coverage-guided fuzzing on the BP wire format
-# (round-trips Format→Parse on everything the fuzzer finds) and on the
-# scenario-config parser (must reject, never panic).
+# (round-trips Format→Parse on everything the fuzzer finds), on the
+# scenario-config parser (must reject, never panic), and on the event-log
+# record framing (corruption never panics, is always detected).
 fuzz:
 	$(GO) test ./internal/bp -run FuzzParse -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/synth -run FuzzScenarioConfig -fuzz FuzzScenarioConfig -fuzztime 10s
+	$(GO) test ./internal/eventlog -run FuzzRecordRoundTrip -fuzz FuzzRecordRoundTrip -fuzztime 10s
 
 # A 30-second fault-plan soak through the whole pipeline
-# (mq → loader → archive), paced in real time. The binary exits non-zero
-# unless every accounting, watermark and snapshot check passes; the JSON
-# report lands in soak-report.json for the CI artifact.
+# (mq → loader → archive), paced in real time, with ingest teed into an
+# event log so the audit replays from the log (and proves the replay
+# deterministic) instead of re-synthesizing the stream. The binary exits
+# non-zero unless every accounting, watermark and replay check passes;
+# the JSON report lands in soak-report.json for the CI artifact.
 soak-smoke:
-	$(GO) run ./cmd/stampede-soak -scenario examples/scenarios/fault-soak.json -duration 30s -out soak-report.json
+	$(GO) run ./cmd/stampede-soak -scenario examples/scenarios/fault-soak.json -duration 30s -eventlog /tmp/soak-eventlog -out soak-report.json
 
 # The loader benchmarks, including the snapshot-readers contention bench
 # and the pooled-parse micro-bench, parsed into BENCH_loader.json for
@@ -37,15 +41,18 @@ soak-smoke:
 # allocs/event (a MemStats delta over the timed region), the same quantity
 # production exposes as stampede_loader_allocs_per_event.
 bench:
-	$(GO) test -bench 'BenchmarkLoader|BenchmarkReadersUnderLoad|BenchmarkParseBytes' -benchmem -run XXX . \
+	$(GO) test -bench 'BenchmarkLoader|BenchmarkReadersUnderLoad|BenchmarkParseBytes|BenchmarkEventlog' -benchmem -run XXX . \
 		| $(GO) run ./cmd/benchjson -out BENCH_loader.json
 
 # The benchmark-regression gate: a quick subset of the loader benches
 # diffed against the committed baseline. Exits non-zero when events/s
 # drops or allocs/op rises by more than 15% — CI runs this as a
-# non-blocking step, so machine noise flags rather than fails.
+# non-blocking step, so machine noise flags rather than fails. The
+# whole-trace loads run 3x (each op is a full load); the micro-benches
+# need a real iteration count or three ops of noise would gate.
 bench-diff:
-	$(GO) test -bench 'BenchmarkLoaderScale1k$$|BenchmarkParseBytes' -benchmem -benchtime 3x -run XXX . \
+	{ $(GO) test -bench 'BenchmarkLoaderScale1k$$|BenchmarkLoaderScale10kEventlog$$' -benchmem -benchtime 3x -run XXX . ; \
+	  $(GO) test -bench 'BenchmarkParseBytes|BenchmarkEventlogAppend' -benchmem -benchtime 200000x -run XXX . ; } \
 		| $(GO) run ./cmd/benchjson -out /tmp/bench-head.json -diff BENCH_loader.json -threshold 0.15
 
 bench-full:

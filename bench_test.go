@@ -22,6 +22,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/bp"
 	"repro/internal/dart"
+	"repro/internal/eventlog"
 	"repro/internal/experiments"
 	"repro/internal/loader"
 	"repro/internal/mq"
@@ -150,6 +151,84 @@ func BenchmarkLoaderScale100(b *testing.B)  { benchLoad(b, 100, 512, true) }
 func BenchmarkLoaderScale1k(b *testing.B)   { benchLoad(b, 1000, 512, true) }
 func BenchmarkLoaderScale10k(b *testing.B)  { benchLoad(b, 10000, 512, true) }
 func BenchmarkLoaderScale100k(b *testing.B) { benchLoad(b, 100000, 512, true) }
+
+// BenchmarkLoaderScale10kEventlog is BenchmarkLoaderScale10k with the
+// event-log tap attached: every raw line is framed, content-hashed,
+// checksummed and group-flushed to a segment file on the way into the
+// parser. Its events/s against the untapped 10k bench is the measured
+// ingest cost of durable-log-as-source-of-truth; the <5% overhead claim
+// lives in BENCH_loader.json and make bench-diff guards it.
+func BenchmarkLoaderScale10kEventlog(b *testing.B) {
+	trace := experiments.TraceFor(10000)
+	var events int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		lg, err := eventlog.Open(b.TempDir(), eventlog.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := archive.NewInMemory()
+		l, err := loader.New(a, loader.Options{
+			BatchSize: 512,
+			Validate:  true,
+			Tap: func(line []byte) error {
+				_, terr := lg.Append(line)
+				return terr
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err := l.LoadReader(bytes.NewReader(trace))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := lg.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		events = int(st.Loaded)
+		if lg.Appends() != st.Read+st.Malformed {
+			b.Fatalf("log %d records, loader read %d", lg.Appends(), st.Read)
+		}
+		lg.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkEventlogAppend times the log's append fast path alone —
+// frame encode, FNV-1a content id, CRC32C, group-flush — on a realistic
+// BP line, reported in events/s like the loader benches.
+func BenchmarkEventlogAppend(b *testing.B) {
+	lg, err := eventlog.Open(b.TempDir(), eventlog.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lg.Close()
+	line := []byte(bp.New(schema.InvEnd, time.Now()).
+		Set(schema.AttrXwfID, uuid.New().String()).
+		Set(schema.AttrJobID, "processing.exec0").
+		SetInt(schema.AttrJobInstID, 1).
+		SetInt(schema.AttrInvID, 1).
+		Set(schema.AttrStartTime, "2012-03-13T12:35:38.000000Z").
+		SetFloat(schema.AttrDur, 51.0).
+		SetInt(schema.AttrExitcode, 0).
+		Set(schema.AttrTransform, "dart-exec").
+		Format())
+	b.ReportAllocs()
+	b.SetBytes(int64(len(line)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lg.Append(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
 
 // BenchmarkLoaderBatchSize is the batched-inserts ablation (§V-D): the
 // archive is persistent and durable, so every batch pays a WAL fsync —

@@ -11,7 +11,14 @@
 // With -diff the report is additionally compared against a committed
 // baseline: a drop in events/s or a rise in allocs/op beyond -threshold
 // (fractional, default 0.15) on any benchmark present in both reports
-// exits 1. CI runs this as a non-blocking step, so a regression flags the
+// exits 1; benchmarks missing from the baseline are skipped. This is the
+// bench-diff workflow — `make bench` refreshes the committed baseline,
+// `make bench-diff` gates quick re-runs against it:
+//
+//	go test -bench 'BenchmarkLoaderScale1k$' -benchmem -benchtime 3x -run XXX . \
+//	    | benchjson -out /tmp/bench-head.json -diff BENCH_loader.json -threshold 0.15
+//
+// CI runs the gate as a non-blocking step, so a regression flags the
 // commit without failing the build on machine noise.
 package main
 

@@ -23,6 +23,7 @@ func main() {
 		shards       = flag.Int("shards", 4, "loader apply shards")
 		speedup      = flag.Float64("speedup", 1, "publish this many times faster than planned; 0 = no pacing")
 		out          = flag.String("out", "", "also write the report as JSON to this file")
+		eventlogDir  = flag.String("eventlog", "", "tee ingest into an event log at this directory; the audit then replays from the log (see stampede-replay)")
 	)
 	flag.Parse()
 	if *scenarioPath == "" {
@@ -39,11 +40,14 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("scenario %q: %s\n", sc.Name, sc.Description)
-	res, err := soak.Run(sc, duration.Seconds(), soak.Options{Shards: *shards, Speedup: *speedup})
+	res, err := soak.Run(sc, duration.Seconds(), soak.Options{Shards: *shards, Speedup: *speedup, EventlogDir: *eventlogDir})
 	if err != nil {
 		fatal(err)
 	}
 	rep := soak.BuildReport(res)
+	if res.Eventlog != nil {
+		defer res.Eventlog.Close()
+	}
 	rep.Render(os.Stdout)
 	if *out != "" {
 		js, jerr := rep.JSON()

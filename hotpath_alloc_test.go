@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/bp"
+	"repro/internal/eventlog"
 	"repro/internal/experiments"
 	"repro/internal/loader"
 	"repro/internal/schema"
@@ -98,6 +99,58 @@ func TestLoadAllocCeiling(t *testing.T) {
 	t.Logf("load: %.2f allocs/event over %d events (ceiling %d)", perEvent, loaded, maxAllocsPerEvent)
 	if perEvent > maxAllocsPerEvent {
 		t.Errorf("hot path allocates %.2f/event, ceiling %d", perEvent, maxAllocsPerEvent)
+	}
+}
+
+// TestLoadAllocCeilingEventlog holds the same end-to-end budget with the
+// event-log tap enabled: teeing every raw line into the append-only log
+// must not add a single allocation per event to the hot path (the frame
+// encodes into the log's reused flush buffer).
+func TestLoadAllocCeilingEventlog(t *testing.T) {
+	trace := experiments.TraceFor(2000)
+	dir := t.TempDir()
+	load := func(sub string) uint64 {
+		lg, err := eventlog.Open(dir+"/"+sub, eventlog.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lg.Close()
+		a := archive.NewInMemory()
+		l, err := loader.New(a, loader.Options{
+			BatchSize: 512,
+			Validate:  true,
+			Tap: func(line []byte) error {
+				_, terr := lg.Append(line)
+				return terr
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := l.LoadReader(bytes.NewReader(trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lg.Appends() != st.Read+st.Malformed {
+			t.Fatalf("tap appended %d lines, loader read %d + malformed %d",
+				lg.Appends(), st.Read, st.Malformed)
+		}
+		return st.Loaded
+	}
+	load("warm")
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	loaded := load("measured")
+	runtime.ReadMemStats(&ms1)
+	if loaded == 0 {
+		t.Fatal("nothing loaded")
+	}
+	perEvent := float64(ms1.Mallocs-ms0.Mallocs) / float64(loaded)
+	t.Logf("load+eventlog: %.2f allocs/event over %d events (ceiling %d)", perEvent, loaded, maxAllocsPerEvent)
+	if perEvent > maxAllocsPerEvent {
+		t.Errorf("hot path with eventlog tap allocates %.2f/event, ceiling %d", perEvent, maxAllocsPerEvent)
 	}
 }
 

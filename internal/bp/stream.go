@@ -27,6 +27,11 @@ type Reader struct {
 	sampler  func([]byte) uint64
 	sampleID uint64
 	sampleT0 int64
+
+	// Ingest tap (SetTap): run on every content line before the parse,
+	// malformed ones included, so an event log sees the stream exactly as
+	// it arrived.
+	tap func([]byte) error
 }
 
 // NewReader wraps r for line-oriented BP decoding. The scanner buffer
@@ -63,6 +68,13 @@ func (r *Reader) Read() (*Event, error) {
 		line := bytes.TrimSpace(r.s.Bytes())
 		if len(line) == 0 || line[0] == '#' {
 			continue
+		}
+		if r.tap != nil {
+			if err := r.tap(line); err != nil {
+				// A tap failure is a durability failure, not a data
+				// problem: fatal even in lenient mode.
+				return nil, fmt.Errorf("line %d: tap: %w", r.line, err)
+			}
 		}
 		if r.sampler != nil {
 			if r.sampleID = r.sampler(line); r.sampleID != 0 {
@@ -113,6 +125,14 @@ func (r *Reader) SetSampler(fn func(line []byte) uint64) { r.sampler = fn }
 // successful Read and the pre-parse clock reading taken for it. id is 0
 // when the line was unsampled or no sampler is set.
 func (r *Reader) LastSample() (id uint64, t0 int64) { return r.sampleID, r.sampleT0 }
+
+// SetTap installs a function run on every content line (comments and
+// blanks excluded, malformed lines included) before it is parsed. The
+// loader uses it to append raw lines to the event log so the log, not
+// the parsed stream, is the source of truth. The line buffer is only
+// valid for the duration of the call. A tap error fails the Read even in
+// lenient mode: lenient tolerates bad data, not a broken log.
+func (r *Reader) SetTap(fn func(line []byte) error) { r.tap = fn }
 
 // ReadAll drains the stream into a slice. It stops at the first error in
 // strict mode.

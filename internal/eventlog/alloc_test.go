@@ -1,0 +1,39 @@
+//go:build !race
+
+// Allocation budget for the append fast path, enforced: a loader tap
+// that allocates per line would tax every ingested event. The race
+// detector inflates allocation counts, so this file is excluded from
+// -race runs; the plain CI pass runs it.
+
+package eventlog
+
+import "testing"
+
+// TestAppendAllocFree pins steady-state Append at zero allocations: the
+// frame encodes into the reused group-flush buffer, the content hash and
+// CRC are computed inline, and the telemetry increments are atomics. The
+// warm-up rounds grow the buffer to its steady size (flushes reslice it
+// to length zero, keeping capacity) and open the first segment, so the
+// measured runs do nothing but hash, checksum and memcpy.
+func TestAppendAllocFree(t *testing.T) {
+	lg, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	payload := line(1)
+	for i := 0; i < 4096; i++ {
+		if _, err := lg.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(10000, func() {
+		if _, err := lg.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("Append: %.3f allocs/record", avg)
+	if avg != 0 {
+		t.Errorf("Append allocates %.3f/record, want 0", avg)
+	}
+}

@@ -1,0 +1,174 @@
+package eventlog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Cursor streams records for a [from, to) seq range, in seq order,
+// across segment boundaries. Every frame it returns has passed the CRC,
+// content-id and seq-continuity checks; a bad frame in the body of the
+// log is reported as corruption, while a bad frame at the very tail of
+// the last segment (a torn write racing the cursor) ends the stream
+// cleanly at the last valid record.
+//
+// A cursor reads a point-in-time view: the segment list and flushed size
+// are snapshotted at creation, so records appended afterwards are not
+// seen. The Record returned by Next aliases an internal buffer — its
+// Line is valid only until the following Next call.
+type Cursor struct {
+	segs  []segment
+	limit uint64 // first seq NOT returned
+	last  int64  // flushed byte size of the final segment
+
+	from uint64 // next seq to return
+	si   int    // index into segs of the open segment
+	data []byte // current segment contents (up to the flushed size)
+	off  int64
+	want uint64 // seq the next frame in this segment must carry
+	err  error
+}
+
+// Cursor returns a cursor over [from, to). to==0 means "to the end of
+// the log as of this call". Pending appends are flushed first so the
+// cursor sees everything appended so far. Seqs below the log's first
+// record (or a from ≥ to) simply yield an empty stream.
+func (l *Log) Cursor(from, to uint64) (*Cursor, error) {
+	l.mu.Lock()
+	if !l.closed {
+		if err := l.flushAttachedLocked(); err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
+	}
+	segs := append([]segment(nil), l.segs...)
+	next := l.next
+	last := l.size
+	l.mu.Unlock()
+
+	if from == 0 {
+		from = 1
+	}
+	if to == 0 || to > next {
+		to = next
+	}
+	c := &Cursor{segs: segs, limit: to, last: last, from: from, si: -1}
+	return c, nil
+}
+
+// Next returns the next record in the range, or io.EOF when the range is
+// exhausted. Any other error means the log body is corrupt; the cursor
+// is then spent.
+func (c *Cursor) Next() (Record, error) {
+	if c.err != nil {
+		return Record{}, c.err
+	}
+	for {
+		if c.from >= c.limit {
+			return c.fail(io.EOF)
+		}
+		if c.si < 0 {
+			if err := c.seek(); err != nil {
+				return c.fail(err)
+			}
+			if c.si < 0 { // range starts past every segment
+				return c.fail(io.EOF)
+			}
+		}
+		rec, sz, err := decodeRecord(c.data[c.off:], MaxRecordBytes)
+		switch {
+		case err == nil && rec.Seq == c.want:
+			c.off += int64(sz)
+			c.want++
+			if rec.Seq < c.from {
+				continue // skipping up to the start of the range
+			}
+			c.from = rec.Seq + 1
+			return rec, nil
+		case errors.Is(err, errShort) && int(c.off) == len(c.data):
+			// Clean end of this segment's records.
+			if err := c.advance(); err != nil {
+				return c.fail(err)
+			}
+		case c.si == len(c.segs)-1:
+			// A torn or corrupt tail on the final segment: the log
+			// simply ends at the last valid record.
+			return c.fail(io.EOF)
+		default:
+			return c.fail(fmt.Errorf("eventlog: %s: %w at offset %d",
+				c.segs[c.si].path, ErrCorrupt, c.off))
+		}
+	}
+}
+
+func (c *Cursor) fail(err error) (Record, error) {
+	c.err = err
+	c.data = nil
+	return Record{}, err
+}
+
+// Err returns the error that ended iteration, nil while the cursor is
+// still live, and nil after a clean io.EOF.
+func (c *Cursor) Err() error {
+	if c.err == nil || errors.Is(c.err, io.EOF) {
+		return nil
+	}
+	return c.err
+}
+
+// seek opens the segment containing c.from (or the first segment after
+// it, when c.from predates the log).
+func (c *Cursor) seek() error {
+	if len(c.segs) == 0 {
+		return io.EOF
+	}
+	// Last segment whose base is ≤ from; if from predates all bases,
+	// start at segment 0 and skip forward.
+	i := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].base > c.from }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.open(i)
+}
+
+// open loads segment i and positions the cursor at its first record.
+func (c *Cursor) open(i int) error {
+	sg := c.segs[i]
+	data, err := os.ReadFile(sg.path)
+	if err != nil {
+		return err
+	}
+	if i == len(c.segs)-1 && int64(len(data)) > c.last {
+		// The writer appended (or a torn write landed) after our
+		// snapshot; honor the point-in-time view.
+		data = data[:c.last]
+	}
+	if len(data) < segHeaderSize || string(data[0:4]) != segMagic {
+		if i == len(c.segs)-1 {
+			return io.EOF // torn segment creation
+		}
+		return fmt.Errorf("eventlog: %s: bad segment header", sg.path)
+	}
+	c.si = i
+	c.data = data
+	c.off = segHeaderSize
+	c.want = sg.base
+	return nil
+}
+
+// advance moves to the next segment, verifying seq continuity across the
+// boundary.
+func (c *Cursor) advance() error {
+	if c.si+1 >= len(c.segs) {
+		return io.EOF
+	}
+	next := c.segs[c.si+1]
+	if next.base != c.want {
+		return fmt.Errorf("eventlog: gap between segments: %s ends at seq %d, %s starts at %d",
+			c.segs[c.si].path, c.want-1, next.path, next.base)
+	}
+	return c.open(c.si + 1)
+}

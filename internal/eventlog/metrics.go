@@ -1,0 +1,18 @@
+package eventlog
+
+import "repro/internal/telemetry"
+
+// Eventlog telemetry, registered on the process-wide default registry.
+// Append increments are single atomics so the write hot path stays
+// allocation-free (the alloc tests cover Append with these live).
+var (
+	mAppends = telemetry.NewCounter("stampede_eventlog_appends_total",
+		"Records appended to the event log.")
+	mBytes = telemetry.NewCounter("stampede_eventlog_bytes_total",
+		"Encoded bytes appended to the event log (framing included).")
+	mSegments = telemetry.NewGauge("stampede_eventlog_segments",
+		"Segment files in the event log directory.")
+	mFlushLatency = telemetry.NewHistogram("stampede_eventlog_flush_latency_seconds",
+		"Latency of group-flush writes to the active segment.",
+		telemetry.DurationBuckets)
+)

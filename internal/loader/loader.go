@@ -61,6 +61,15 @@ type Options struct {
 	// Clock drives the FlushEvery ticker. Nil means the wall clock;
 	// tests inject a wfclock.Manual to make timer flushes deterministic.
 	Clock wfclock.Clock
+	// Tap, when set, runs on every raw line before it is parsed —
+	// malformed lines included — on all ingest paths (file, reader,
+	// consume, sharded or not). The soak harness and ingest binaries use
+	// it to append lines to the event log, making the log a faithful
+	// record of the stream as it arrived, not of what parsed. The line
+	// buffer is only valid for the duration of the call. A Tap error is
+	// fatal to the load even in Lenient mode: leniency tolerates bad
+	// data, not a broken durability layer.
+	Tap func(line []byte) error
 }
 
 // Default tuning, matched to the loader-scaling bench.
@@ -437,6 +446,9 @@ func (l *Loader) LoadReader(r io.Reader) (Stats, error) {
 	br.SetLenient(l.opts.Lenient)
 	// Pooled mode: the batch owns each event until its flush releases it.
 	br.SetPooled(true)
+	if l.opts.Tap != nil {
+		br.SetTap(l.opts.Tap)
+	}
 	if trace.Enabled() {
 		br.SetSampler(trace.Sample)
 	}
@@ -518,6 +530,11 @@ func (l *Loader) Consume(ctx context.Context, msgs <-chan mq.Message) (Stats, er
 		case m, ok := <-msgs:
 			if !ok {
 				return finish(nil)
+			}
+			if l.opts.Tap != nil {
+				if err := l.opts.Tap(m.Body); err != nil {
+					return finish(err)
+				}
 			}
 			// Sampling runs on the raw body before the parse so the parse
 			// span has a start; unsampled messages pay one hash.

@@ -146,6 +146,9 @@ func (p *pipeline) produceReader(r io.Reader) {
 	// validator → apply shard, which releases them after its batch
 	// commits.
 	br.SetPooled(true)
+	if p.l.opts.Tap != nil {
+		br.SetTap(p.l.opts.Tap)
+	}
 	if trace.Enabled() {
 		br.SetSampler(trace.Sample)
 	}
@@ -183,6 +186,12 @@ func (p *pipeline) produceMsgs(msgs <-chan mq.Message) {
 		case m, ok := <-msgs:
 			if !ok {
 				return
+			}
+			if p.l.opts.Tap != nil {
+				if err := p.l.opts.Tap(m.Body); err != nil {
+					p.fail(err)
+					return
+				}
 			}
 			var id uint64
 			var recvNS int64

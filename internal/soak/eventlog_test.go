@@ -1,0 +1,95 @@
+package soak
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/synth"
+)
+
+// mustRunEventlog is mustRun with the ingest tee into an event log, so
+// the report audits by replaying the log instead of re-synthesizing.
+func mustRunEventlog(t *testing.T, sc *synth.Scenario, dir string) (*Result, *Report) {
+	t.Helper()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, 0, Options{Shards: 4, Speedup: 0, EventlogDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { res.Eventlog.Close() })
+	return res, BuildReport(res)
+}
+
+// TestSoakEventlogCleanRun: a fault-free run in eventlog mode passes the
+// replay audit and records every published line in the log.
+func TestSoakEventlogCleanRun(t *testing.T) {
+	res, rep := mustRunEventlog(t, testScenario(synth.Faults{}), t.TempDir())
+	requirePass(t, rep)
+	if rep.EventlogAppends != uint64(rep.Published) {
+		t.Fatalf("log holds %d records, published %d", rep.EventlogAppends, rep.Published)
+	}
+	if rep.ReplayHash == "" {
+		t.Fatal("report carries no replay hash")
+	}
+	if c := checkByName(rep, "eventlog replay is deterministic"); c == nil || !c.OK {
+		t.Fatalf("determinism check missing or failed: %+v", c)
+	}
+	if res.Eventlog.Appends() == 0 {
+		t.Fatal("result's log is empty")
+	}
+}
+
+// TestSoakEventlogFullFaultPlan: malformed lines, drops, retries, a slow
+// consumer and a mid-run loader restart — the log still captures exactly
+// what the loaders ingested and the replay audit stays exact across the
+// restart boundary (the handoff serializes ingest into a total order).
+func TestSoakEventlogFullFaultPlan(t *testing.T) {
+	sc := testScenario(synth.Faults{
+		JobFailureRate: 0.15,
+		MaxRetries:     2,
+		MalformedRate:  0.02,
+		BrokerDropRate: 0.005,
+		LoaderRestart:  &synth.LoaderRestart{AtFraction: 0.5},
+	})
+	res, rep := mustRunEventlog(t, sc, t.TempDir())
+	requirePass(t, rep)
+	if res.LoaderRuns != 2 {
+		t.Fatalf("restart fault did not restart the loader: %d runs", res.LoaderRuns)
+	}
+	if rep.Malformed == 0 || rep.InjectedDrops == 0 {
+		t.Fatalf("fault plan did not fire: %+v", rep)
+	}
+	if rep.EventlogAppends != rep.Read+rep.Malformed {
+		t.Fatalf("log holds %d records, read %d + malformed %d",
+			rep.EventlogAppends, rep.Read, rep.Malformed)
+	}
+}
+
+// TestSoakEventlogDirReuse: a second run into the same directory wipes
+// the first run's segments, so the log always describes the latest run.
+func TestSoakEventlogDirReuse(t *testing.T) {
+	dir := t.TempDir()
+	_, rep1 := mustRunEventlog(t, testScenario(synth.Faults{}), dir)
+	requirePass(t, rep1)
+	_, rep2 := mustRunEventlog(t, testScenario(synth.Faults{}), dir)
+	requirePass(t, rep2)
+	if rep2.EventlogAppends != rep1.EventlogAppends {
+		t.Fatalf("identical scenarios logged %d then %d records", rep1.EventlogAppends, rep2.EventlogAppends)
+	}
+	lg, err := eventlog.Open(filepath.Clean(dir), eventlog.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	info, err := lg.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(info.Records) != rep2.EventlogAppends {
+		t.Fatalf("directory holds %d records after reuse, want %d (first run's segments wiped)",
+			info.Records, rep2.EventlogAppends)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/bp"
+	"repro/internal/eventlog"
 	"repro/internal/schema"
 	"repro/internal/trace"
 )
@@ -53,6 +54,12 @@ type Report struct {
 	AllocsPerEvent    float64 `json:"allocs_per_event"`
 
 	Knee *Knee `json:"knee,omitempty"`
+
+	// Eventlog audit results, present when the run teed ingest into an
+	// event log (Options.EventlogDir).
+	EventlogAppends uint64 `json:"eventlog_appends,omitempty"`
+	EventlogBytes   uint64 `json:"eventlog_bytes,omitempty"`
+	ReplayHash      string `json:"replay_hash,omitempty"`
 }
 
 func (r *Report) check(name string, ok bool, format string, args ...any) {
@@ -129,11 +136,27 @@ func BuildReport(res *Result) *Report {
 			res.Stats.Read, s.Acct.Events, s.Acct.InjectedDrops)
 
 		checkWatermarks(r, res)
-		shadowAudit(r, res)
+		if res.Eventlog != nil {
+			replayAudit(r, res)
+		} else {
+			shadowAudit(r, res)
+		}
 	} else {
 		r.check("natural drops present; per-category audit skipped", true,
 			"%d overflow drops (queue capacity %d): totals above remain exact",
 			res.NaturalDrops, sc.Faults.QueueCapacity)
+	}
+
+	if res.Eventlog != nil {
+		// Regardless of drops: the log must hold exactly what the loader
+		// ingested — every parsed event and every malformed line, no
+		// more, no less. This is the "log is the source of truth" law.
+		r.EventlogAppends = res.Eventlog.Appends()
+		r.EventlogBytes = res.Eventlog.AppendedBytes()
+		r.check("eventlog appends = read + malformed",
+			r.EventlogAppends == res.Stats.Read+res.Stats.Malformed,
+			"appends %d, read %d + malformed %d",
+			r.EventlogAppends, res.Stats.Read, res.Stats.Malformed)
 	}
 
 	if sc.MaxAllocsPerEvent > 0 {
@@ -243,6 +266,73 @@ func shadowAudit(r *Report, res *Result) {
 		"%d tables compared%s", len(names), mismatch)
 }
 
+// replayAudit is the eventlog-mode exactness oracle: instead of
+// re-synthesizing the stream (shadowAudit), it rebuilds a fresh archive
+// from the run's own ingest log — the durable record of what actually
+// arrived — and compares outcome counts and per-table row counts against
+// the live run. It then rebuilds a second time and requires identical
+// snapshot hashes: the determinism law that makes the log the source of
+// truth and the store a disposable materialization.
+func replayAudit(r *Report, res *Result) {
+	arch1, stats, err := eventlog.Rebuild(res.Eventlog, 0)
+	if err != nil {
+		r.check("eventlog replay", false, "rebuild: %v", err)
+		return
+	}
+	defer arch1.Close()
+
+	r.check("loaded matches eventlog replay",
+		stats.Loaded == res.Stats.Loaded,
+		"replay %d, run %d", stats.Loaded, res.Stats.Loaded)
+	r.check("invalid matches eventlog replay",
+		stats.Invalid == res.Stats.Invalid && stats.Unknown == res.Stats.Unknown &&
+			stats.Malformed == res.Stats.Malformed,
+		"replay invalid %d unknown %d malformed %d, run invalid %d unknown %d malformed %d",
+		stats.Invalid, stats.Unknown, stats.Malformed,
+		res.Stats.Invalid, res.Stats.Unknown, res.Stats.Malformed)
+
+	names := []string{}
+	for _, ts := range archive.Schemas() {
+		names = append(names, ts.Name)
+	}
+	sort.Strings(names)
+	mismatch := ""
+	for _, t := range names {
+		want, werr := arch1.Store().Count(t)
+		got, gerr := res.Arch.Store().Count(t)
+		if werr != nil || gerr != nil || want != got {
+			mismatch += fmt.Sprintf(" %s: run %d want %d;", t, got, want)
+		}
+	}
+	r.check("archive row counts match eventlog replay",
+		mismatch == "",
+		"%d tables compared%s", len(names), mismatch)
+
+	hash1 := snapshotHash(r, arch1)
+	arch2, _, err := eventlog.Rebuild(res.Eventlog, 0)
+	if err != nil {
+		r.check("eventlog replay determinism", false, "second rebuild: %v", err)
+		return
+	}
+	defer arch2.Close()
+	hash2 := snapshotHash(r, arch2)
+	r.ReplayHash = hash1
+	r.check("eventlog replay is deterministic",
+		hash1 != "" && hash1 == hash2,
+		"snapshot hashes %.16s vs %.16s", hash1, hash2)
+}
+
+func snapshotHash(r *Report, arch *archive.Archive) string {
+	sn := arch.Snapshot()
+	defer sn.Close()
+	h, err := sn.Hash()
+	if err != nil {
+		r.check("snapshot hash", false, "%v", err)
+		return ""
+	}
+	return h
+}
+
 // measureKnee extracts the saturation plateau from the run's samples when
 // the scenario ramps or steps. The plateau is the highest applied rate
 // sustained over two consecutive windows; the knee is the offered rate at
@@ -294,6 +384,13 @@ func (r *Report) Render(w io.Writer) {
 		r.Published, r.Read, r.Malformed, r.Loaded, r.Invalid, r.Unknown, r.Applied)
 	fmt.Fprintf(w, "  workflows %d | loader runs %d | wall %.2fs | %.1f allocs/event\n",
 		r.Workflows, r.LoaderRuns, r.WallSeconds, r.AllocsPerEvent)
+	if r.EventlogAppends > 0 {
+		fmt.Fprintf(w, "  eventlog: %d records, %d bytes", r.EventlogAppends, r.EventlogBytes)
+		if r.ReplayHash != "" {
+			fmt.Fprintf(w, " | replay hash %.16s…", r.ReplayHash)
+		}
+		fmt.Fprintln(w)
+	}
 	if r.Knee != nil {
 		fmt.Fprintf(w, "  knee: plateau %.0f events/s", r.Knee.PlateauEventsPerSec)
 		if r.Knee.OfferedAtKnee > 0 {

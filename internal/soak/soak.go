@@ -10,11 +10,14 @@ package soak
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/eventlog"
 	"repro/internal/loader"
 	"repro/internal/mq"
 	"repro/internal/synth"
@@ -30,6 +33,13 @@ type Options struct {
 	Speedup float64
 	// SampleEvery is the throughput sampling interval (0 = 200ms).
 	SampleEvery time.Duration
+	// EventlogDir, when non-empty, tees every line the loader ingests
+	// (malformed included) into an event log at this directory, and the
+	// report's shadow audit replays from that log — the durable record of
+	// the run — instead of re-synthesizing the stream. Pre-existing
+	// segment files in the directory are removed first so each run's log
+	// is self-contained.
+	EventlogDir string
 }
 
 // Sample is one throughput observation.
@@ -52,6 +62,9 @@ type Result struct {
 	Applied      uint64 // archive's own applied-events counter
 	Samples      []Sample
 	WallSeconds  float64
+	// Eventlog is the run's ingest log when Options.EventlogDir was set
+	// (flushed, still open for reading; the caller closes it).
+	Eventlog *eventlog.Log
 	// AllocsPerEvent is heap allocations per applied event across the whole
 	// run (publisher included) — the end-to-end analogue of the hot-path
 	// allocation ceiling.
@@ -96,8 +109,23 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 	}
 	doneCh := make(chan runDone, 2)
 	lopts := loader.Options{Shards: opts.Shards, Validate: true, Lenient: true}
-	spawn := func(msgs <-chan mq.Message) {
+	if opts.EventlogDir != "" {
+		lg, lerr := openRunLog(opts.EventlogDir)
+		if lerr != nil {
+			return nil, lerr
+		}
+		res.Eventlog = lg
+		// One tap shared by every loader generation: a restart replaces
+		// the loader, not the log (Append serializes internally).
+		lopts.Tap = func(line []byte) error {
+			_, terr := lg.Append(line)
+			return terr
+		}
+	}
+	spawn := func(msgs <-chan mq.Message) chan struct{} {
+		done := make(chan struct{})
 		go func() {
+			defer close(done)
 			ld, lerr := loader.New(arch, lopts)
 			if lerr != nil {
 				doneCh <- runDone{err: lerr}
@@ -106,6 +134,7 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 			st, cerr := ld.Consume(context.Background(), msgs)
 			doneCh <- runDone{stats: st, err: cerr}
 		}()
+		return done
 	}
 
 	// Fault-plan thresholds, in units of messages forwarded to the loader.
@@ -129,15 +158,21 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 	in := q.Consume()
 	spawns := make(chan int, 1)
 	out := make(chan mq.Message, 256)
-	spawn(out)
+	cur := spawn(out)
 	go func() {
 		n := 0
 		nspawns := 1
 		for m := range in {
 			if n == restartAt {
 				close(out)
+				// Wait for the outgoing loader to drain and flush before
+				// its replacement starts: a real restart has downtime, and
+				// the serialization keeps ingest a total order — without
+				// it, the two generations' event-log taps interleave and
+				// the log order diverges from per-workflow apply order.
+				<-cur
 				out = make(chan mq.Message, 256)
-				spawn(out)
+				cur = spawn(out)
 				nspawns++
 			}
 			if n >= slowStart && n < slowEnd {
@@ -249,8 +284,32 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 	if res.Applied > 0 {
 		res.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Applied)
 	}
+	if res.Eventlog != nil {
+		if ferr := res.Eventlog.Flush(); ferr != nil && firstErr == nil {
+			firstErr = ferr
+		}
+	}
 	if firstErr != nil {
 		return res, fmt.Errorf("soak: loader: %w", firstErr)
 	}
 	return res, nil
+}
+
+// openRunLog prepares a fresh event log for one soak run: the directory
+// is created if needed and any segments from a previous run are removed,
+// so the log afterwards describes exactly this run.
+func openRunLog(dir string) (*eventlog.Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	old, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range old {
+		if err := os.Remove(p); err != nil {
+			return nil, err
+		}
+	}
+	return eventlog.Open(dir, eventlog.Options{})
 }
