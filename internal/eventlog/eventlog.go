@@ -369,7 +369,7 @@ func (l *Log) Append(line []byte) (uint64, error) {
 	mAppends.Inc()
 	mBytes.Add(grew)
 	if len(l.buf) >= l.opts.FlushBytes {
-		if err := l.flushLocked(); err != nil {
+		if err := l.flushAttachedLocked(); err != nil {
 			return 0, err
 		}
 	}
@@ -439,9 +439,12 @@ func (l *Log) closeActiveLocked() error {
 			return err
 		}
 	}
+	// l.size is deliberately left alone: it still describes the flushed
+	// bytes of the last segment, which cursors created after Close (an
+	// explicitly supported case) snapshot as their read limit. A roll
+	// resets it via openSegmentLocked when the next segment starts.
 	err := l.f.Close()
 	l.f = nil
-	l.size = 0
 	return err
 }
 

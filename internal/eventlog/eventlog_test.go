@@ -2,6 +2,7 @@ package eventlog
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -307,6 +308,81 @@ func TestReadOnlyOpen(t *testing.T) {
 	}
 	if _, err := Open(filepath.Join(dir, "missing"), Options{ReadOnly: true}); err == nil {
 		t.Fatal("read-only open of a missing dir succeeded")
+	}
+}
+
+// TestCursorAfterClose: Close documents that open cursors keep reading,
+// and Cursor() explicitly supports closed logs — so a cursor created
+// after Close must still see every flushed record, including the ones in
+// the final segment (regression: Close used to zero the flushed-size
+// snapshot, making post-Close cursors read the last segment as empty).
+func TestCursorAfterClose(t *testing.T) {
+	lg, err := Open(t.TempDir(), Options{SegmentBytes: 2 << 10, FlushBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := lg.Append(line(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lg.Segments() < 2 {
+		t.Fatalf("expected multiple segments, got %d", lg.Segments())
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := lg.Cursor(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, c)
+	if len(recs) != n {
+		t.Fatalf("cursor after Close got %d records, want %d", len(recs), n)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("cursor after Close: %v", err)
+	}
+}
+
+// TestAppendFlushReattachesRecoveredSegment: a crash between a roll's
+// header write and its first record flush leaves a header-only segment;
+// after reopen, the first group flush triggered from Append must re-open
+// that segment for appending (regression: Append's inline flush used to
+// create-with-O_EXCL and fail with "file exists").
+func TestAppendFlushReattachesRecoveredSegment(t *testing.T) {
+	dir := t.TempDir()
+	var h [segHeaderSize]byte
+	copy(h[0:4], segMagic)
+	binary.LittleEndian.PutUint32(h[4:8], segVersion)
+	binary.LittleEndian.PutUint64(h[8:16], 1)
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), h[:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := Open(dir, Options{FlushBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	if got := lg.NextSeq(); got != 1 {
+		t.Fatalf("NextSeq after header-only recovery = %d, want 1", got)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := lg.Append(line(i)); err != nil {
+			t.Fatalf("append %d after header-only recovery: %v", i, err)
+		}
+	}
+	if got := lg.Segments(); got != 1 {
+		t.Fatalf("log grew to %d segments, want the recovered one reused", got)
+	}
+	c, err := lg.Cursor(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs := collect(t, c); len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
 	}
 }
 

@@ -48,7 +48,10 @@ func (sn *Snapshot) Hash() (string, error) {
 		}
 		writeUint(uint64(len(rows)))
 		for _, row := range rows {
-			id, _ := row["id"].(int64)
+			id, ok := row["id"].(int64)
+			if !ok {
+				return "", fmt.Errorf("relstore: hash %s: row id %v (%T) is not int64", name, row["id"], row["id"])
+			}
 			writeStr("row")
 			writeUint(uint64(id))
 			for _, col := range t.schema.Columns {
