@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-diff bench-full bench-parallel lint verify soak-smoke
+.PHONY: build test race fuzz bench bench-diff bench-full bench-parallel crash-matrix lint verify soak-smoke
 
 build:
 	$(GO) build ./...
@@ -29,11 +29,13 @@ fuzz:
 # A 30-second fault-plan soak through the whole pipeline
 # (mq → loader → archive), paced in real time, with ingest teed into an
 # event log so the audit replays from the log (and proves the replay
-# deterministic) instead of re-synthesizing the stream. The binary exits
-# non-zero unless every accounting, watermark and replay check passes;
-# the JSON report lands in soak-report.json for the CI artifact.
+# deterministic) instead of re-synthesizing the stream. Four apply shards
+# map 1:1 onto four store partitions, so the soak drives the multi-writer
+# partitioned layout end to end. The binary exits non-zero unless every
+# accounting, watermark and replay check passes; the JSON report lands in
+# soak-report.json for the CI artifact.
 soak-smoke:
-	$(GO) run ./cmd/stampede-soak -scenario examples/scenarios/fault-soak.json -duration 30s -eventlog /tmp/soak-eventlog -out soak-report.json
+	$(GO) run ./cmd/stampede-soak -scenario examples/scenarios/fault-soak.json -duration 30s -shards 4 -eventlog /tmp/soak-eventlog -out soak-report.json
 
 # The loader benchmarks, including the snapshot-readers contention bench
 # and the pooled-parse micro-bench, parsed into BENCH_loader.json for
@@ -51,17 +53,26 @@ bench:
 # whole-trace loads run 3x (each op is a full load); the micro-benches
 # need a real iteration count or three ops of noise would gate.
 bench-diff:
-	{ $(GO) test -bench 'BenchmarkLoaderScale1k$$|BenchmarkLoaderScale10kEventlog$$' -benchmem -benchtime 3x -run XXX . ; \
+	{ $(GO) test -bench 'BenchmarkLoaderScale1k$$|BenchmarkLoaderScale10kEventlog$$|BenchmarkLoaderPartitioned4$$' -benchmem -benchtime 3x -run XXX . ; \
 	  $(GO) test -bench 'BenchmarkParseBytes|BenchmarkEventlogAppend' -benchmem -benchtime 200000x -run XXX . ; } \
 		| $(GO) run ./cmd/benchjson -out /tmp/bench-head.json -diff BENCH_loader.json -threshold 0.15
 
 bench-full:
 	$(GO) test -bench . -benchmem -run XXX .
 
-# The sharded-loader ablation: throughput at 1/2/4/8 apply shards
-# against a durable (fsynced) archive.
+# The sharded-loader ablation: throughput at 1/2/4/8 apply shards (each
+# shard committing through its own store partition and WAL segment) plus
+# the 1/4/16-partition checkpointed-store family, all fsync-on.
 bench-parallel:
-	$(GO) test -bench 'BenchmarkLoaderParallel' -benchtime 10x -run XXX .
+	$(GO) test -bench 'BenchmarkLoaderParallel|BenchmarkLoaderPartitioned' -benchtime 10x -run XXX .
+
+# The crash-recovery matrix under the race detector: torn WAL tails at
+# every record boundary and beyond, kill-points during parallel group
+# commit, checkpoint corruption fallback, and the system-level check that
+# checkpoint+WAL-tail recovery hashes bit-identical to an event-log
+# rebuild.
+crash-matrix:
+	$(GO) test -race -count=1 -run 'TestCrashMatrixTornWALTail|TestKillDuringParallelGroupCommit|TestRecoveryFallsBackPastInvalidCheckpoint|TestDurablePartitionedRecoveryMatchesRebuild' ./internal/relstore ./internal/eventlog
 
 # gofmt prints nothing when every file is formatted; any output fails the
 # target.
@@ -69,4 +80,4 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-verify: build test race fuzz lint
+verify: build test race fuzz crash-matrix lint

@@ -4,13 +4,17 @@
 // only logical seq clocks (no wall time) and the rebuild runs through
 // the same lenient loader as live ingest, a replay is deterministic: the
 // same log prefix always materializes the same store, byte for byte
-// (reported as the snapshot hash).
+// (reported as the snapshot hash). The hash is also independent of the
+// store's partition count, so a replay into a 16-partition store can be
+// checked against a single-partition rebuild.
 //
 //	stampede-replay -dir soak-eventlog                 # replay all, print stats + snapshot hash
 //	stampede-replay -dir soak-eventlog -upto 5000      # point-in-time: records [1, 5000)
 //	stampede-replay -dir soak-eventlog -verify         # replay twice, fail on hash mismatch
 //	stampede-replay -dir soak-eventlog -out pitr.db    # materialize into a durable archive
+//	stampede-replay -dir soak-eventlog -out st -parts 4  # materialize into a 4-partition store dir
 //	stampede-replay -dir soak-eventlog -info           # segment map, seq range, torn-tail bytes
+//	stampede-replay -store st -info                    # partition map, checkpoint high-water seqs
 package main
 
 import (
@@ -22,17 +26,25 @@ import (
 	"repro/internal/archive"
 	"repro/internal/eventlog"
 	"repro/internal/loader"
+	"repro/internal/relstore"
 )
 
 func main() {
 	var (
-		dir    = flag.String("dir", "", "event log directory (required)")
-		upto   = flag.Uint64("upto", 0, "replay records [1, upto); 0 = whole log")
-		verify = flag.Bool("verify", false, "replay twice and require identical snapshot hashes")
-		out    = flag.String("out", "", "materialize into a durable archive at this path instead of in memory")
-		info   = flag.Bool("info", false, "inspect the log (segments, seq range, integrity) without replaying")
+		dir      = flag.String("dir", "", "event log directory (required unless -store -info)")
+		upto     = flag.Uint64("upto", 0, "replay records [1, upto); 0 = whole log")
+		verify   = flag.Bool("verify", false, "replay twice and require identical snapshot hashes")
+		out      = flag.String("out", "", "materialize into a durable archive at this path instead of in memory")
+		parts    = flag.Int("parts", 0, "with -out: partition count for a checkpointed store directory (0 = legacy single-file WAL)")
+		storeDir = flag.String("store", "", "with -info: inspect a partitioned store directory instead of the event log")
+		info     = flag.Bool("info", false, "inspect the log (segments, seq range, integrity) without replaying")
 	)
 	flag.Parse()
+
+	if *info && *storeDir != "" {
+		printStoreInfo(*storeDir)
+		return
+	}
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "stampede-replay: -dir is required")
 		flag.Usage()
@@ -50,12 +62,12 @@ func main() {
 		return
 	}
 
-	hash1, stats := replay(lg, *upto, *out)
+	hash1, stats := replay(lg, *upto, *out, *parts)
 	fmt.Printf("replayed %s\n", stats.String())
 	fmt.Printf("snapshot hash %s\n", hash1)
 
 	if *verify {
-		hash2, _ := replay(lg, *upto, "")
+		hash2, _ := replay(lg, *upto, "", 0)
 		if hash2 != hash1 {
 			fmt.Fprintf(os.Stderr, "stampede-replay: NONDETERMINISTIC REPLAY: %s != %s\n", hash1, hash2)
 			os.Exit(1)
@@ -65,16 +77,25 @@ func main() {
 }
 
 // replay rebuilds [1, upto) and returns the resulting snapshot hash. An
-// empty out path means in memory; otherwise the store is durable at out.
-func replay(lg *eventlog.Log, upto uint64, out string) (string, loader.Stats) {
+// empty out path means in memory; otherwise the store is durable at out
+// — a legacy single-file WAL when parts is 0, a partitioned checkpointed
+// store directory when parts > 0.
+func replay(lg *eventlog.Log, upto uint64, out string, parts int) (string, loader.Stats) {
 	var (
 		arch  *archive.Archive
 		stats loader.Stats
 		err   error
 	)
-	if out == "" {
+	switch {
+	case out == "":
 		arch, stats, err = eventlog.Rebuild(lg, upto)
-	} else {
+	case parts > 0:
+		arch, err = archive.OpenDir(out, relstore.Options{Partitions: parts})
+		if err == nil {
+			defer arch.Close()
+			stats, err = eventlog.RebuildInto(lg, upto, arch)
+		}
+	default:
 		arch, err = archive.Open(out)
 		if err == nil {
 			defer arch.Close()
@@ -107,6 +128,26 @@ func printInfo(lg *eventlog.Log) {
 	fmt.Fprintln(w, "SEGMENT\tBASE\tLAST\tRECORDS\tBYTES")
 	for _, sg := range info.Segments {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", sg.Path, sg.Base, sg.LastSeq, sg.Records, sg.Bytes)
+	}
+	w.Flush()
+}
+
+// printStoreInfo prints a partitioned store directory's partition map:
+// per partition, the checkpoint high-water seq (every WAL record at or
+// below it is folded into the newest durable image), the live WAL
+// segment count, and the records a reopen would replay past the
+// checkpoint.
+func printStoreInfo(dir string) {
+	info, err := relstore.InspectDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("store %s: %d partition(s)\n", dir, info.Partitions)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "PARTITION\tCKPT_SEQ\tCKPT_BYTES\tWAL_SEGMENTS\tTAIL_RECORDS\tLAST_SEQ")
+	for _, p := range info.Parts {
+		fmt.Fprintf(w, "p%03d\t%d\t%d\t%d\t%d\t%d\n",
+			p.Partition, p.CheckpointSeq, p.CheckpointBytes, p.WALSegments, p.TailRecords, p.LastSeq)
 	}
 	w.Flush()
 }

@@ -61,6 +61,7 @@ const numStripes = 64
 // synchronisation than the stripe mutex.
 type stripe struct {
 	mu      sync.Mutex
+	w       relstore.Writer        // partition writer: stripe i -> partition i mod N
 	jobIDs  map[jobKey]boxed       // (wf row, exec_job_id) -> job row id
 	taskIDs map[jobKey]int64       // (wf row, abs_task_id) -> task row id
 	insts   map[instKey]*instState // (job row, submit seq) -> instance state
@@ -114,6 +115,11 @@ type instState struct {
 // from a single goroutine at a time — exactly what the sharded loader
 // guarantees by routing events to shards by xwf.id. Cross-workflow caches
 // (workflow uuid map, host map) take their own short-lived locks.
+// When the store is partitioned, stripes map onto partitions by index
+// modulo the partition count, so all events of one workflow commit
+// through one partition's writer (its own mutex, epoch, and WAL
+// segment) and distinct workflows on distinct partitions never contend.
+// Host rows are shared across workflows and pin to partition 0.
 type Archive struct {
 	store *relstore.Store
 
@@ -122,6 +128,8 @@ type Archive struct {
 
 	hostMu  sync.Mutex
 	hostIDs map[hostKey]int64 // (site, hostname, ip) -> host row id
+
+	host relstore.Writer // partition-0 writer for cross-workflow host rows
 
 	stripes [numStripes]stripe
 	applied atomic.Uint64
@@ -169,9 +177,12 @@ func New(store *relstore.Store) (*Archive, error) {
 		store:   store,
 		wfIDs:   map[string]boxed{},
 		hostIDs: map[hostKey]int64{},
+		host:    store.Writer(0),
 	}
+	nparts := store.NumPartitions()
 	for i := range a.stripes {
 		a.stripes[i] = stripe{
+			w:       store.Writer(i % nparts),
 			jobIDs:  map[jobKey]boxed{},
 			taskIDs: map[jobKey]int64{},
 			insts:   map[instKey]*instState{},
@@ -203,6 +214,18 @@ func NewInMemory() *Archive {
 	return a
 }
 
+// NewInMemoryN returns an archive over a fresh in-memory store with
+// parts partitions. Workflows route to partitions by the same uuid hash
+// the loader shards on, so apply shards and partitions line up 1:1 when
+// parts equals the shard count.
+func NewInMemoryN(parts int) *Archive {
+	a, err := New(relstore.NewStoreN(parts))
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
 // Open returns an archive over the persistent store at path, creating or
 // replaying it as needed.
 func Open(path string) (*Archive, error) {
@@ -211,6 +234,32 @@ func Open(path string) (*Archive, error) {
 		return nil, err
 	}
 	return New(store)
+}
+
+// OpenDir returns an archive over a partitioned durable store rooted at
+// dir (per-partition checkpoints plus WAL segments), creating or
+// recovering it as needed. The partition count recorded in the
+// directory's manifest wins over opts on reopen.
+func OpenDir(dir string, opts relstore.Options) (*Archive, error) {
+	store, err := relstore.OpenDir(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	a, err := New(store)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// writerFor returns the partition writer a workflow's rows commit
+// through: the one its stripe maps onto. ensureWF must use this (not a
+// caller's stripe writer) because any stripe may materialise any
+// workflow — a child's plan event references its parent — and the
+// parent's row has to land in the parent's own partition.
+func (a *Archive) writerFor(uuid string) relstore.Writer {
+	return a.stripes[StripeFor(uuid)].w
 }
 
 // warmCaches rebuilds the identity caches from an existing store so that
@@ -478,7 +527,7 @@ func (a *Archive) ensureWF(uuid string, ts time.Time) (boxed, error) {
 	if b, ok := a.wfIDs[uuid]; ok {
 		return b, nil
 	}
-	id, err := a.store.InsertOwned(TWorkflow, relstore.Row{
+	id, err := a.writerFor(uuid).InsertOwned(TWorkflow, relstore.Row{
 		"wf_uuid":   uuid,
 		"timestamp": ts,
 	})
@@ -550,7 +599,7 @@ func (a *Archive) applyPlan(ev *bp.Event) error {
 		return err
 	}
 	delete(fields, "wf_uuid")
-	return a.store.Update(TWorkflow, wf.id, fields)
+	return a.writerFor(uuid).Update(TWorkflow, wf.id, fields)
 }
 
 // applyWorkflowState takes state as an any so call sites hand in the
@@ -575,7 +624,7 @@ func (a *Archive) applyWorkflowState(st *stripe, ev *bp.Event, state any) error 
 		}
 		row["status"] = st
 	}
-	_, err = a.store.InsertOwned(TWorkflowState, row)
+	_, err = st.w.InsertOwned(TWorkflowState, row)
 	return err
 }
 
@@ -585,7 +634,7 @@ func (a *Archive) applyTaskInfo(st *stripe, ev *bp.Event) error {
 		return err
 	}
 	taskID := ev.Get(schema.AttrTaskID)
-	id, err := a.store.InsertOwned(TTask, relstore.Row{
+	id, err := st.w.InsertOwned(TTask, relstore.Row{
 		"wf_id":          wf.box,
 		"abs_task_id":    taskID,
 		"type_desc":      ev.Get("type_desc"),
@@ -604,7 +653,7 @@ func (a *Archive) applyTaskEdge(st *stripe, ev *bp.Event) error {
 	if err != nil {
 		return err
 	}
-	_, err = a.store.InsertOwned(TTaskEdge, relstore.Row{
+	_, err = st.w.InsertOwned(TTaskEdge, relstore.Row{
 		"wf_id":              wf.box,
 		"parent_abs_task_id": ev.Get("parent.task.id"),
 		"child_abs_task_id":  ev.Get("child.task.id"),
@@ -618,7 +667,7 @@ func (a *Archive) applyJobInfo(st *stripe, ev *bp.Event) error {
 		return err
 	}
 	execID := ev.Get(schema.AttrJobID)
-	id, err := a.store.InsertOwned(TJob, relstore.Row{
+	id, err := st.w.InsertOwned(TJob, relstore.Row{
 		"wf_id":       wf.box,
 		"exec_job_id": execID,
 		"type_desc":   ev.Get("type_desc"),
@@ -640,7 +689,7 @@ func (a *Archive) applyJobEdge(st *stripe, ev *bp.Event) error {
 	if err != nil {
 		return err
 	}
-	_, err = a.store.InsertOwned(TJobEdge, relstore.Row{
+	_, err = st.w.InsertOwned(TJobEdge, relstore.Row{
 		"wf_id":              wf.box,
 		"parent_exec_job_id": ev.Get("parent.job.id"),
 		"child_exec_job_id":  ev.Get("child.job.id"),
@@ -676,7 +725,7 @@ func (a *Archive) applyMapTaskJob(st *stripe, ev *bp.Event) error {
 		task = row.ID()
 		st.taskIDs[jobKey{wf.id, taskID}] = task
 	}
-	return a.store.Update(TTask, task, relstore.Row{"job_id": jobRow.box})
+	return st.w.Update(TTask, task, relstore.Row{"job_id": jobRow.box})
 }
 
 func (a *Archive) applyMapSubwfJob(st *stripe, ev *bp.Event) error {
@@ -684,7 +733,7 @@ func (a *Archive) applyMapSubwfJob(st *stripe, ev *bp.Event) error {
 	if err != nil {
 		return err
 	}
-	return a.store.Update(TJobInstance, is.id, relstore.Row{"subwf_uuid": ev.Get(schema.AttrSubwfID)})
+	return st.w.Update(TJobInstance, is.id, relstore.Row{"subwf_uuid": ev.Get(schema.AttrSubwfID)})
 }
 
 // jobRow resolves (wf row, exec job id) to the job table row, creating a
@@ -697,7 +746,7 @@ func (a *Archive) jobRow(st *stripe, wf boxed, execID string) (boxed, error) {
 	if b, ok := st.jobIDs[k]; ok {
 		return b, nil
 	}
-	id, err := a.store.InsertOwned(TJob, relstore.Row{"wf_id": wf.box, "exec_job_id": execID})
+	id, err := st.w.InsertOwned(TJob, relstore.Row{"wf_id": wf.box, "exec_job_id": execID})
 	if err != nil {
 		return boxed{}, err
 	}
@@ -725,7 +774,7 @@ func (a *Archive) instRow(st *stripe, ev *bp.Event) (*instState, error) {
 	if is, ok := st.insts[k]; ok {
 		return is, nil
 	}
-	id, err := a.store.InsertOwned(TJobInstance, relstore.Row{
+	id, err := st.w.InsertOwned(TJobInstance, relstore.Row{
 		"job_id":         jobRow.box,
 		"job_submit_seq": seq,
 	})
@@ -742,17 +791,17 @@ func (a *Archive) applyJobState(st *stripe, ev *bp.Event, state any) error {
 	if err != nil {
 		return err
 	}
-	return a.insertJobState(is, state, ev)
+	return a.insertJobState(st, is, state, ev)
 }
 
 // insertJobState is the hottest archive write: every lifecycle event of
 // every job instance lands here. state is any (not string) so the JS*
 // constants box statically at the call sites — see applyWorkflowState —
 // and the instance id goes in pre-boxed from the instState.
-func (a *Archive) insertJobState(is *instState, state any, ev *bp.Event) error {
+func (a *Archive) insertJobState(st *stripe, is *instState, state any, ev *bp.Event) error {
 	seq := is.stateSeq
 	is.stateSeq = seq + 1
-	_, err := a.store.InsertOwned(TJobState, relstore.Row{
+	_, err := st.w.InsertOwned(TJobState, relstore.Row{
 		"job_instance_id":     is.box,
 		"state":               state,
 		"timestamp":           ev.TS,
@@ -770,7 +819,7 @@ func (a *Archive) applyScriptEnd(st *stripe, ev *bp.Event, okState, failState an
 	if code, ok := intAttr(ev, schema.AttrExitcode); ok && code != 0 {
 		state = failState
 	}
-	return a.insertJobState(is, state, ev)
+	return a.insertJobState(st, is, state, ev)
 }
 
 func (a *Archive) applyMainStart(st *stripe, ev *bp.Event) error {
@@ -786,12 +835,12 @@ func (a *Archive) applyMainStart(st *stripe, ev *bp.Event) error {
 		changes["stderr_file"] = f
 	}
 	if len(changes) > 0 {
-		if err := a.store.Update(TJobInstance, is.id, changes); err != nil {
+		if err := st.w.Update(TJobInstance, is.id, changes); err != nil {
 			return err
 		}
 	}
 	is.execTS = ev.TS
-	return a.insertJobState(is, JSExecute, ev)
+	return a.insertJobState(st, is, JSExecute, ev)
 }
 
 func (a *Archive) applyMainEnd(st *stripe, ev *bp.Event) error {
@@ -828,14 +877,14 @@ func (a *Archive) applyMainEnd(st *stripe, ev *bp.Event) error {
 	if !is.execTS.IsZero() {
 		changes["local_duration"] = ev.TS.Sub(is.execTS).Seconds()
 	}
-	if err := a.store.Update(TJobInstance, is.id, changes); err != nil {
+	if err := st.w.Update(TJobInstance, is.id, changes); err != nil {
 		return err
 	}
 	var state any = JSSuccess
 	if exitcode != 0 {
 		state = JSFailure
 	}
-	return a.insertJobState(is, state, ev)
+	return a.insertJobState(st, is, state, ev)
 }
 
 func (a *Archive) applyHostInfo(st *stripe, ev *bp.Event) error {
@@ -857,7 +906,7 @@ func (a *Archive) applyHostInfo(st *stripe, ev *bp.Event) error {
 		if m, ok := intAttr(ev, "total_memory"); ok {
 			row["total_memory"] = m
 		}
-		hid, err = a.store.InsertOwned(THost, row)
+		hid, err = a.host.InsertOwned(THost, row)
 		if err != nil {
 			a.hostMu.Unlock()
 			return err
@@ -865,7 +914,7 @@ func (a *Archive) applyHostInfo(st *stripe, ev *bp.Event) error {
 		a.hostIDs[k] = hid
 	}
 	a.hostMu.Unlock()
-	return a.store.Update(TJobInstance, is.id, relstore.Row{
+	return st.w.Update(TJobInstance, is.id, relstore.Row{
 		"host_id": hid,
 		"site":    k.site,
 	})
@@ -908,7 +957,7 @@ func (a *Archive) applyInvEnd(st *stripe, ev *bp.Event) error {
 	if x, ok := intAttr(ev, schema.AttrExitcode); ok {
 		row["exitcode"] = x
 	}
-	_, err = a.store.InsertOwned(TInvocation, row)
+	_, err = st.w.InsertOwned(TInvocation, row)
 	return ignoreDuplicate(err)
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/bp"
 	"repro/internal/mq"
 	"repro/internal/query"
+	"repro/internal/relstore"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -311,6 +312,31 @@ func currentPoolStatus() *poolStatus {
 	}
 }
 
+// storeStatus is the partitioned-store line on the status page: the
+// partition count and, for durable stores, each partition's newest
+// checkpoint (sequence, size, age). In-memory stores show only the
+// partition count — they take no checkpoints.
+type storeStatus struct {
+	Partitions  int
+	Checkpoints []relstore.CheckpointStat
+}
+
+// currentStoreStatus returns nil when the dashboard's QI is pinned to a
+// snapshot rather than a live store (read-only report tooling).
+func (s *Server) currentStoreStatus() *storeStatus {
+	store := s.q.Store()
+	if store == nil {
+		return nil
+	}
+	st := &storeStatus{Partitions: store.NumPartitions()}
+	for _, cs := range store.CheckpointStats() {
+		if cs.Taken {
+			st.Checkpoints = append(st.Checkpoints, cs)
+		}
+	}
+	return st
+}
+
 var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <html><head><title>Stampede Dashboard</title>
 <style>
@@ -322,6 +348,7 @@ td, th { border: 1px solid #999; padding: 4px 10px; text-align: left; }
 <h1>Stampede Workflow Dashboard</h1>
 {{with .Bus}}<p class="bus">Bus: {{.Published}} published &middot; {{.Routed}} routed &middot; {{.Dropped}} dropped &middot; {{.Queues}} queues</p>
 {{end}}{{with .Pool}}<p class="pool">Event pool: {{.Hits}} hits &middot; {{.Misses}} misses &middot; {{.Returns}} returned &middot; {{printf "%.1f" .RatePct}}% hit rate</p>
+{{end}}{{with .Store}}<p class="store">Store: {{.Partitions}} partition{{if ne .Partitions 1}}s{{end}}{{range .Checkpoints}} &middot; p{{.Partition}} ckpt seq={{.Seq}} {{.Bytes}}B age={{printf "%.0f" .Age.Seconds}}s{{end}}</p>
 {{end}}<p><a href="/traces">Latency waterfall</a> &middot; <a href="/api/traces">traces JSON</a> &middot; <a href="/metrics">metrics</a></p>
 <table>
 <tr><th>Workflow</th><th>Label</th><th>State</th><th>Wall (s)</th><th>Submit host</th></tr>
@@ -364,7 +391,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request, sq *query.Q
 		Workflows []WorkflowStatus
 		Bus       *mq.Stats
 		Pool      *poolStatus
-	}{statuses, bus, currentPoolStatus()}
+		Store     *storeStatus
+	}{statuses, bus, currentPoolStatus(), s.currentStoreStatus()}
 	if err := indexTmpl.Execute(w, data); err != nil {
 		_ = err // response already partially written
 	}

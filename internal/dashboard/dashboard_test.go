@@ -240,7 +240,7 @@ func snapshotsLive(t *testing.T, base string) float64 {
 		t.Fatal(err)
 	}
 	for _, line := range strings.Split(string(body), "\n") {
-		if v, ok := strings.CutPrefix(line, "stampede_relstore_snapshots_live "); ok {
+		if v, ok := strings.CutPrefix(line, `stampede_relstore_snapshots_live{partition="0"} `); ok {
 			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
 			if err != nil {
 				t.Fatalf("bad gauge value %q: %v", v, err)

@@ -144,9 +144,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"stampede_loader_flush_seconds_bucket{shard=\"0\",le=",
 		"stampede_loader_batch_size_bucket{le=",
 		"stampede_loader_events_read_total",
-		"stampede_relstore_wal_fsyncs_total",
-		"stampede_relstore_wal_fsync_seconds_bucket{le=",
-		"stampede_relstore_wal_flushes_total",
+		"stampede_relstore_wal_fsyncs_total{partition=\"0\"}",
+		"stampede_relstore_wal_fsync_seconds_bucket{partition=\"0\",le=",
+		"stampede_relstore_wal_flushes_total{partition=",
 		"stampede_mq_published_total",
 		"stampede_mq_routed_total",
 		"stampede_mq_dropped_total",

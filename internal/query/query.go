@@ -33,6 +33,11 @@ func NewFromStore(s *relstore.Store) *QI { return &QI{r: s, store: s} }
 // snapshot. The caller owns the snapshot and its Close.
 func NewFromSnapshot(sn *relstore.Snapshot) *QI { return &QI{r: sn} }
 
+// Store returns the live store backing this QI, or nil when the QI is
+// pinned to a snapshot. The dashboard uses it for store-level status
+// (partition count, checkpoint ages) that has no place in the row model.
+func (q *QI) Store() *relstore.Store { return q.store }
+
 // Snapshot returns a QI pinned to a point-in-time snapshot of the
 // underlying store plus a release func. Every read through the pinned QI
 // sees one consistent state: a cross-table traversal (workflow → jobs →

@@ -1,0 +1,203 @@
+package relstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Canonical binary serialization of store state, shared by Snapshot.Hash
+// (which streams it into SHA-256) and the checkpoint writer/loader (which
+// stream it to and from disk). Because both consumers use the exact same
+// framing — tables in sorted-name order, rows in primary-key order,
+// columns in schema declaration order, every value type-tagged, nothing
+// wall-clock- or partition-dependent — a checkpoint image is precisely the
+// hashed state, and recovery equivalence can be asserted by comparing
+// hashes.
+
+// canonWriter emits the canonical encoding. Write errors stick: the first
+// one is kept and all later writes become no-ops, so serialization code
+// can stay unconditional and check err once at the end (hash.Hash writers
+// never error; file writers can).
+type canonWriter struct {
+	w       io.Writer
+	scratch [8]byte
+	err     error
+}
+
+func (c *canonWriter) uint(v uint64) {
+	if c.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(c.scratch[:], v)
+	_, c.err = c.w.Write(c.scratch[:])
+}
+
+func (c *canonWriter) str(s string) {
+	c.uint(uint64(len(s)))
+	if c.err != nil {
+		return
+	}
+	_, c.err = io.WriteString(c.w, s)
+}
+
+// value writes one canonical type-tagged value.
+func (c *canonWriter) value(v any) error {
+	switch x := v.(type) {
+	case nil:
+		c.str("n")
+	case int64:
+		c.str("i")
+		c.uint(uint64(x))
+	case float64:
+		c.str("f")
+		c.str(strconv.FormatFloat(x, 'g', -1, 64))
+	case string:
+		c.str("s")
+		c.str(x)
+	case bool:
+		c.str("b")
+		if x {
+			c.uint(1)
+		} else {
+			c.uint(0)
+		}
+	case time.Time:
+		c.str("t")
+		c.uint(uint64(x.UTC().UnixNano()))
+	default:
+		return fmt.Errorf("unhashable value type %T", v)
+	}
+	return c.err
+}
+
+// row writes one row: the "row" marker, the primary key, then every value
+// in schema column order. Error messages keep the shapes Hash has always
+// produced, since replay tests match on them.
+func (c *canonWriter) row(tableName string, cols []Column, r Row) error {
+	id, ok := r["id"].(int64)
+	if !ok {
+		return fmt.Errorf("relstore: hash %s: row id %v (%T) is not int64", tableName, r["id"], r["id"])
+	}
+	c.str("row")
+	c.uint(uint64(id))
+	for _, col := range cols {
+		if err := c.value(r[col.Name]); err != nil {
+			return fmt.Errorf("relstore: hash %s.%s id=%d: %w", tableName, col.Name, id, err)
+		}
+	}
+	return c.err
+}
+
+// writeTableState writes one table's visible rows at one epoch: the
+// "table" marker, name, row count, then rows in primary-key order.
+func (c *canonWriter) writeTableState(t *table, epoch uint64) error {
+	rows := make([]Row, 0, t.live.Load())
+	t.rows.Range(func(_ int64, ch *rowChain) bool {
+		if ver := ch.visibleAt(epoch); ver != nil {
+			rows = append(rows, ver.row)
+		}
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID() < rows[j].ID() })
+	name := t.schema.Name
+	c.str("table")
+	c.str(name)
+	c.uint(uint64(len(rows)))
+	for _, r := range rows {
+		if err := c.row(name, t.schema.Columns, r); err != nil {
+			return err
+		}
+	}
+	return c.err
+}
+
+// writeState writes a whole table set's visible state at one epoch, in
+// sorted table-name order — the framing Hash uses, applied to a single
+// partition. This is the checkpoint image body.
+func (c *canonWriter) writeState(ts *tableSet, epoch uint64) error {
+	names := append([]string(nil), ts.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		if err := c.writeTableState(ts.byName[name], epoch); err != nil {
+			return err
+		}
+	}
+	return c.err
+}
+
+// canonReader decodes the canonical encoding. The tag makes every value
+// self-describing, so decoding needs no schema — though the checkpoint
+// loader still walks schema column order, mirroring the writer.
+type canonReader struct {
+	r       io.Reader
+	scratch [8]byte
+}
+
+func (c *canonReader) uint() (uint64, error) {
+	if _, err := io.ReadFull(c.r, c.scratch[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(c.scratch[:]), nil
+}
+
+func (c *canonReader) str() (string, error) {
+	n, err := c.uint()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<30 {
+		return "", fmt.Errorf("relstore: canonical string length %d implausible", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(c.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// value reads one type-tagged value.
+func (c *canonReader) value() (any, error) {
+	tag, err := c.str()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case "n":
+		return nil, nil
+	case "i":
+		v, err := c.uint()
+		return int64(v), err
+	case "f":
+		s, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		return strconv.ParseFloat(s, 64)
+	case "s":
+		return c.str()
+	case "b":
+		v, err := c.uint()
+		return v != 0, err
+	case "t":
+		v, err := c.uint()
+		return time.Unix(0, int64(v)).UTC(), err
+	default:
+		return nil, fmt.Errorf("relstore: unknown canonical value tag %q", tag)
+	}
+}
+
+// expect reads a marker string and errors when it differs.
+func (c *canonReader) expect(marker string) error {
+	got, err := c.str()
+	if err != nil {
+		return err
+	}
+	if got != marker {
+		return fmt.Errorf("relstore: canonical stream: want %q marker, got %q", marker, got)
+	}
+	return nil
+}

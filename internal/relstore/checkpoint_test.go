@@ -1,0 +1,460 @@
+package relstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// openDirStore opens a store directory with automatic checkpoints
+// effectively off, so tests control checkpoint timing explicitly.
+func openDirStore(t *testing.T, dir string, parts int) *Store {
+	t.Helper()
+	s, err := OpenDir(dir, Options{Partitions: parts, CheckpointEvery: 1 << 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func storeHash(t *testing.T, s *Store) string {
+	t.Helper()
+	sn := s.Snapshot()
+	defer sn.Close()
+	h, err := sn.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// copyDir snapshots a store directory byte for byte — the moral
+// equivalent of a kill -9 plus a disk image, for crash tests.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenDirPersistReopen round-trips a partitioned store through
+// Close/OpenDir: the recovered state hashes identical to the live one,
+// partition count comes from the MANIFEST (opts cannot change it), and
+// writes continue cleanly after recovery.
+func TestOpenDirPersistReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openDirStore(t, dir, 4)
+	applyRoutedOps(t, s, 120)
+	want := storeHash(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDir(dir, Options{Partitions: 9}) // MANIFEST wins
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.NumPartitions(); got != 4 {
+		t.Fatalf("reopen partition count %d, want 4 from MANIFEST", got)
+	}
+	if got := storeHash(t, s2); got != want {
+		t.Fatalf("recovered hash %s, want %s", got, want)
+	}
+	if _, err := s2.Writer(3).Insert("parent", Row{"name": "post-recovery"}); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+// TestCheckpointTruncatesWAL checks the checkpoint protocol end to end:
+// the image covers the WAL high-water, segments at or below it are
+// deleted, recovery afterwards loads checkpoint + tail and hashes
+// identical to the pre-checkpoint live state plus the tail writes.
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openDirStore(t, dir, 2)
+	applyRoutedOps(t, s, 80)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.CheckpointStats()
+	for i, cs := range stats {
+		if !cs.Taken || cs.Seq == 0 || cs.Bytes == 0 {
+			t.Fatalf("partition %d checkpoint not taken: %+v", i, cs)
+		}
+		pdir := filepath.Join(dir, partDirName(i))
+		segs, err := listNumbered(pdir, "wal-", ".log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sg := range segs {
+			if sg.start <= cs.Seq {
+				t.Fatalf("partition %d: segment %s not truncated behind checkpoint seq %d", i, sg.path, cs.Seq)
+			}
+		}
+		if _, err := os.Stat(ckptPath(pdir, cs.Seq)); err != nil {
+			t.Fatalf("partition %d: checkpoint image missing: %v", i, err)
+		}
+	}
+
+	// Tail writes past the checkpoint land in fresh segments.
+	for i := 0; i < 20; i++ {
+		w := s.Writer(i % 2)
+		if _, err := w.Insert("parent", Row{"name": fmt.Sprintf("tail%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := storeHash(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := InspectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Partitions != 2 {
+		t.Fatalf("InspectDir partitions %d, want 2", info.Partitions)
+	}
+	var tail uint64
+	for _, pi := range info.Parts {
+		if pi.CheckpointSeq == 0 {
+			t.Fatalf("partition %d: InspectDir sees no checkpoint: %+v", pi.Partition, pi)
+		}
+		if pi.LastSeq < pi.CheckpointSeq {
+			t.Fatalf("partition %d: LastSeq %d below checkpoint %d", pi.Partition, pi.LastSeq, pi.CheckpointSeq)
+		}
+		tail += pi.TailRecords
+	}
+	if tail != 20 {
+		t.Fatalf("InspectDir tail records %d, want 20", tail)
+	}
+
+	s2 := openDirStore(t, dir, 2)
+	defer s2.Close()
+	if got := storeHash(t, s2); got != want {
+		t.Fatalf("checkpoint+tail recovery hash %s, want %s", got, want)
+	}
+}
+
+// TestAutoCheckpointTriggers checks the background trigger: once a
+// partition absorbs CheckpointEvery WAL records, a checkpoint appears
+// without any explicit call.
+func TestAutoCheckpointTriggers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDir(dir, Options{Partitions: 2, CheckpointEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.CreateTable(concurrencySchemas()[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := s.Writer(i%2).Insert("parent", Row{"name": fmt.Sprintf("auto%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		taken := 0
+		for _, cs := range s.CheckpointStats() {
+			if cs.Taken {
+				taken++
+			}
+		}
+		if taken == 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no automatic checkpoint after 64 records with CheckpointEvery=16: %+v", s.CheckpointStats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRecoveryFallsBackPastInvalidCheckpoint plants a garbage image newer
+// than the real one: recovery must reject it on footer verification,
+// fall back to the valid image, and still replay the WAL tail — ending
+// bit-identical to the pre-crash state.
+func TestRecoveryFallsBackPastInvalidCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openDirStore(t, dir, 1)
+	applyRoutedOps(t, s, 60)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	realSeq := s.CheckpointStats()[0].Seq
+	for i := 0; i < 15; i++ {
+		if _, err := s.Insert("parent", Row{"name": fmt.Sprintf("tail%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := storeHash(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pdir := filepath.Join(dir, partDirName(0))
+	bogus := ckptPath(pdir, realSeq+5)
+	if err := os.WriteFile(bogus, []byte("this is not a checkpoint image and fails sha256 verification"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openDirStore(t, dir, 1)
+	defer s2.Close()
+	if got := storeHash(t, s2); got != want {
+		t.Fatalf("fallback recovery hash %s, want %s", got, want)
+	}
+	if s2.CheckpointStats()[0].Seq != realSeq {
+		t.Fatalf("recovered from seq %d, want fallback to %d", s2.CheckpointStats()[0].Seq, realSeq)
+	}
+}
+
+// TestCrashMatrixTornWALTail is the byte-level crash matrix: the newest
+// WAL segment is cut (or garbage-extended) at a sweep of offsets, and
+// every mutilation must recover to exactly the intact-record prefix —
+// the state an in-memory store reaches after the same prefix of inserts.
+// Double recovery of the same crash image must also agree, and a second
+// reopen after the truncating recovery is clean.
+func TestCrashMatrixTornWALTail(t *testing.T) {
+	// Single partition, one insert per record: WAL record k is insert k,
+	// so a prefix of records maps to a prefix of inserts.
+	const inserts = 30
+	dir := t.TempDir()
+	s := openDirStore(t, dir, 1)
+	if err := s.CreateTable(concurrencySchemas()[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inserts; i++ {
+		if _, err := s.Insert("parent", Row{"name": fmt.Sprintf("row%04d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected hash for every prefix, from in-memory replays of the same
+	// logical history. wantHash[k] = state after k inserts. The create
+	// record is part of the WAL too: prefixes that cut into it recover an
+	// empty store with no tables; those land before firstRecOK below.
+	wantHash := make([]string, inserts+1)
+	for k := 0; k <= inserts; k++ {
+		m := NewStore()
+		if err := m.CreateTable(concurrencySchemas()[0]); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			if _, err := m.Insert("parent", Row{"name": fmt.Sprintf("row%04d", i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wantHash[k] = storeHash(t, m)
+	}
+
+	pdir := filepath.Join(dir, partDirName(0))
+	segs, err := listNumbered(pdir, "wal-", ".log")
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want one WAL segment, got %d (%v)", len(segs), err)
+	}
+	whole, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries: newline offsets. Line 0 is the create record,
+	// lines 1..inserts are the insert records.
+	var bounds []int
+	for i, b := range whole {
+		if b == '\n' {
+			bounds = append(bounds, i+1)
+		}
+	}
+	if len(bounds) != inserts+1 {
+		t.Fatalf("WAL has %d records, want %d", len(bounds), inserts+1)
+	}
+
+	// recordsIntact = whole newline-terminated records surviving a cut at
+	// byte offset cut, plus the complete-but-unterminated final record
+	// recovery also applies when nothing was appended after it (the cut
+	// removed exactly the trailing newline).
+	recordsIntact := func(cut int, garbage string) int {
+		n := 0
+		terminated := false
+		for _, b := range bounds {
+			if b <= cut {
+				n++
+			}
+			if garbage == "" && b == cut+1 {
+				terminated = true
+			}
+		}
+		if terminated {
+			n++
+		}
+		return n
+	}
+
+	offsets := []int{len(whole), len(whole) - 1, len(whole) - 7}
+	for _, b := range bounds {
+		offsets = append(offsets, b, b+1, b+half(bounds, b))
+	}
+	for _, cut := range offsets {
+		if cut < bounds[0] || cut > len(whole) {
+			continue // cutting inside the create record loses the schema; not a prefix state
+		}
+		for _, garbage := range []string{"", "{\"torn\":", "\xff\xfe not json"} {
+			name := fmt.Sprintf("cut%d-g%d", cut, len(garbage))
+			img := filepath.Join(t.TempDir(), "img")
+			copyDir(t, dir, img)
+			seg := filepath.Join(img, partDirName(0), filepath.Base(segs[0].path))
+			mut := append(append([]byte(nil), whole[:cut]...), garbage...)
+			if err := os.WriteFile(seg, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			img2 := filepath.Join(t.TempDir(), "img2")
+			copyDir(t, img, img2)
+
+			wantK := recordsIntact(cut, garbage) - 1 // minus the create record
+			r1 := openDirStore(t, img, 1)
+			got := storeHash(t, r1)
+			if got != wantHash[wantK] {
+				t.Fatalf("%s: recovered hash != in-memory prefix of %d inserts", name, wantK)
+			}
+			if err := r1.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// The truncating recovery must leave a cleanly reopenable dir.
+			r1b := openDirStore(t, img, 1)
+			if rh := storeHash(t, r1b); rh != got {
+				t.Fatalf("%s: second reopen diverged", name)
+			}
+			r1b.Close()
+
+			r2 := openDirStore(t, img2, 1)
+			if h2 := storeHash(t, r2); h2 != got {
+				t.Fatalf("%s: double recovery diverged: %s vs %s", name, got, h2)
+			}
+			r2.Close()
+		}
+	}
+}
+
+// half returns half the distance from b to the next boundary after it,
+// to generate mid-record cut offsets.
+func half(bounds []int, b int) int {
+	for _, nb := range bounds {
+		if nb > b {
+			return (nb - b) / 2
+		}
+	}
+	return 0
+}
+
+// TestKillDuringParallelGroupCommit images the store directory while
+// four partitions are group-committing fsynced batches in parallel —
+// the closest a test gets to kill -9 mid-commit without forking. Every
+// image must recover (possibly truncating a torn tail), recover the
+// same way twice, and contain only whole per-partition record prefixes.
+func TestKillDuringParallelGroupCommit(t *testing.T) {
+	const parts = 4
+	dir := t.TempDir()
+	s := openDirStore(t, dir, parts)
+	if err := s.CreateTable(concurrencySchemas()[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.SetSync(true)
+	// One durable row per partition before imaging starts, so every crash
+	// image holds at least the schema and a first record per partition.
+	for p := 0; p < parts; p++ {
+		if _, err := s.Writer(p).Insert("parent", Row{"name": fmt.Sprintf("seed%d", p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wwg.Add(1)
+		go func(p int) {
+			defer wwg.Done()
+			w := s.Writer(p)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := w.Insert("parent", Row{"name": fmt.Sprintf("p%d-%d", p, i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	images := make([]string, 3)
+	for i := range images {
+		time.Sleep(20 * time.Millisecond)
+		images[i] = filepath.Join(t.TempDir(), fmt.Sprintf("img%d", i))
+		copyDir(t, dir, images[i])
+	}
+	close(stop)
+	wwg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, img := range images {
+		img2 := filepath.Join(t.TempDir(), "again")
+		copyDir(t, img, img2)
+		r1 := openDirStore(t, img, parts)
+		h1 := storeHash(t, r1)
+		n, err := r1.Count("parent")
+		if err != nil {
+			t.Fatalf("image %d: %v", i, err)
+		}
+		if cn := len(mustSelect(t, r1, "parent")); cn != n {
+			t.Fatalf("image %d: Count %d != Select %d", i, n, cn)
+		}
+		r1.Close()
+		r2 := openDirStore(t, img2, parts)
+		if h2 := storeHash(t, r2); h2 != h1 {
+			t.Fatalf("image %d: double recovery diverged", i)
+		}
+		r2.Close()
+	}
+}
+
+func mustSelect(t *testing.T, s *Store, table string) []Row {
+	t.Helper()
+	rows, err := s.Select(Query{Table: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}

@@ -1,0 +1,376 @@
+package relstore
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// partition is one independently writable slice of a Store: its own writer
+// mutex, epoch counter, table instances, WAL segment chain, epoch-pin
+// registry and version-GC horizon. The single-writer / many-reader MVCC
+// discipline the store used to apply globally now applies per partition,
+// so writers on distinct partitions commit truly in parallel — each with
+// its own group-commit fsync — while readers stay lock-free.
+type partition struct {
+	idx int
+	// writeMu serializes this partition's Insert/InsertBatch/Update/Delete
+	// (and its slice of CreateTable). Multi-partition batches lock several
+	// writeMus in ascending partition order.
+	writeMu sync.Mutex
+	// epoch is the partition's newest published epoch. A mutation works at
+	// epoch+1 and publishes by storing the new value after all its versions
+	// are linked, so a reader that loads the epoch sees all of the mutation
+	// or none.
+	epoch atomic.Uint64
+	// tables is copy-on-write: CreateTable swaps in a whole new set, so
+	// readers resolve table names with one atomic load. Every partition
+	// holds its own instances of the same logical tables (shared schema and
+	// id allocator, disjoint rows).
+	tables atomic.Pointer[tableSet]
+	wal    atomic.Pointer[walWriter] // nil for purely in-memory partitions
+
+	// snapMu guards the pin registry (open snapshots plus in-flight
+	// Store-level reads); minLive caches the oldest pinned epoch
+	// (MaxUint64 when none) as the version-GC floor. gcHorizon reads
+	// minLive under snapMu too, so horizon computation serializes with
+	// pin registration — see pin.
+	snapMu  sync.Mutex
+	pins    map[*epochPin]struct{}
+	minLive atomic.Uint64
+
+	// Checkpoint state; dir is empty unless the store is directory-backed.
+	dir           string
+	ckptMu        sync.Mutex // one checkpoint at a time per partition
+	ckptRunning   atomic.Bool
+	recsSinceCkpt atomic.Uint64
+	lastCkptSeq   atomic.Uint64
+	lastCkptUnix  atomic.Int64 // UnixNano of last completed checkpoint; 0 = never
+	lastCkptBytes atomic.Int64
+	lastCkptDurNS atomic.Int64
+
+	// Pre-resolved per-partition telemetry children (Vec.With locks and
+	// must stay off hot paths).
+	mLive     *telemetry.Gauge
+	mReclaims *telemetry.Counter
+}
+
+func newPartition(idx int) *partition {
+	label := strconv.Itoa(idx)
+	p := &partition{
+		idx:       idx,
+		pins:      make(map[*epochPin]struct{}),
+		mLive:     mSnapshotsLive.With(label),
+		mReclaims: mVersionReclaims.With(label),
+	}
+	p.tables.Store(&tableSet{byName: make(map[string]*table)})
+	p.minLive.Store(^uint64(0))
+	return p
+}
+
+// table returns the partition's instance of tableName, or an error.
+func (p *partition) table(tableName string) (*table, error) {
+	t, ok := p.tables.Load().byName[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %s", tableName)
+	}
+	return t, nil
+}
+
+// insert runs Insert/InsertOwned against this partition. The caller does
+// not hold writeMu.
+func (p *partition) insert(s *Store, tableName string, row Row, owned bool) (int64, error) {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	t, err := p.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	var n Row
+	if owned {
+		n, err = t.normalizeOwned(row)
+	} else {
+		n, err = t.normalize(row)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return p.insertRowLocked(s, tableName, t, n)
+}
+
+// insertRowLocked runs the shared tail of the insert paths: uniqueness and
+// FK checks, id assignment, version linking and epoch publish. The caller
+// holds p.writeMu and has normalized n.
+func (p *partition) insertRowLocked(s *Store, tableName string, t *table, n Row) (int64, error) {
+	e := p.epoch.Load() + 1
+	keys := t.buildUniqueKeys(n)
+	if err := t.checkUniqueKeys(keys, 0); err != nil {
+		return 0, err
+	}
+	if err := s.checkForeignKeys(p, t, n); err != nil {
+		return 0, err
+	}
+	id := t.alloc.Add(1)
+	n["id"] = id
+	t.putRowKeys(n, e, keys)
+	p.epoch.Store(e)
+	t.live.Add(1)
+	if w := p.wal.Load(); w != nil {
+		if err := w.logInsertBatch(tableName, []Row{n}); err != nil {
+			return id, err
+		}
+		p.noteRecords(s, 1)
+	}
+	return id, nil
+}
+
+// insertBatch adds many rows under one lock acquisition, one epoch, and one
+// WAL record. It fails atomically: on any error no row from the batch is
+// applied; because the whole batch publishes as a single epoch, a snapshot
+// either sees all of the batch or none of it.
+func (p *partition) insertBatch(s *Store, tableName string, rows []Row) ([]int64, error) {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	t, err := p.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	normalized, err := p.validateBatch(s, tableName, t, rows)
+	if err != nil {
+		return nil, err
+	}
+	e := p.epoch.Load() + 1
+	ids := make([]int64, len(normalized))
+	for i, n := range normalized {
+		id := t.alloc.Add(1)
+		n["id"] = id
+		t.putRow(n, e)
+		ids[i] = id
+	}
+	p.epoch.Store(e)
+	t.live.Add(int64(len(normalized)))
+	if w := p.wal.Load(); w != nil {
+		if err := w.logInsertBatch(tableName, normalized); err != nil {
+			return ids, err
+		}
+		p.noteRecords(s, 1)
+	}
+	return ids, nil
+}
+
+// validateBatch normalizes and validates every row before any mutation, so
+// batch failure is atomic. Unique checks also consider earlier rows in the
+// same batch. The caller holds p.writeMu.
+func (p *partition) validateBatch(s *Store, tableName string, t *table, rows []Row) ([]Row, error) {
+	normalized := make([]Row, len(rows))
+	batchKeys := make([]map[string]bool, len(t.schema.Unique))
+	for i := range batchKeys {
+		batchKeys[i] = make(map[string]bool)
+	}
+	for i, r := range rows {
+		n, err := t.normalize(r)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		if err := t.checkUnique(n, 0); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		for u, cols := range t.schema.Unique {
+			key := compositeKey(n, cols)
+			if batchKeys[u][key] {
+				return nil, fmt.Errorf("row %d: %w", i, &UniqueError{Table: tableName, Columns: cols})
+			}
+			batchKeys[u][key] = true
+		}
+		if err := s.checkForeignKeys(p, t, n); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		normalized[i] = n
+	}
+	return normalized, nil
+}
+
+// update rewrites the named columns of the row with primary key id, which
+// must live in this partition.
+func (p *partition) update(s *Store, tableName string, id int64, changes Row) error {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	t, err := p.table(tableName)
+	if err != nil {
+		return err
+	}
+	chain, ok := t.rows.Load(id)
+	var old *rowVersion
+	if ok {
+		old = chain.liveVersion()
+	}
+	if old == nil {
+		return fmt.Errorf("relstore: %s has no row %d", tableName, id)
+	}
+	merged := old.row.Clone()
+	for k, v := range changes {
+		if k == "id" {
+			return fmt.Errorf("relstore: cannot update primary key")
+		}
+		ct, ok := t.colType[k]
+		if !ok {
+			return fmt.Errorf("relstore: table %s has no column %s", tableName, k)
+		}
+		cvv, err := coerce(tableName, k, ct, v)
+		if err != nil {
+			return err
+		}
+		if cvv == nil {
+			nullable := false
+			for _, c := range t.schema.Columns {
+				if c.Name == k {
+					nullable = c.Nullable
+					break
+				}
+			}
+			if !nullable {
+				return fmt.Errorf("relstore: table %s: column %s may not be null", tableName, k)
+			}
+		}
+		merged[k] = cvv
+	}
+	if err := t.checkUnique(merged, id); err != nil {
+		return err
+	}
+	if err := s.checkForeignKeys(p, t, merged); err != nil {
+		return err
+	}
+	e := p.epoch.Load() + 1
+	t.supersede(chain, old, merged, e)
+	p.gcAfterWrite(t, chain, id, old.row, merged, e-1)
+	p.epoch.Store(e)
+	if w := p.wal.Load(); w != nil {
+		if err := w.logUpdate(tableName, id, merged); err != nil {
+			return err
+		}
+		p.noteRecords(s, 1)
+	}
+	return nil
+}
+
+// delete removes a row; deleting an absent row is a no-op.
+func (p *partition) delete(s *Store, tableName string, id int64) error {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	t, err := p.table(tableName)
+	if err != nil {
+		return err
+	}
+	chain, ok := t.rows.Load(id)
+	if !ok {
+		return nil
+	}
+	old := chain.liveVersion()
+	if old == nil {
+		return nil
+	}
+	e := p.epoch.Load() + 1
+	t.kill(old, e)
+	p.gcAfterWrite(t, chain, id, old.row, nil, e-1)
+	p.epoch.Store(e)
+	t.live.Add(-1)
+	if w := p.wal.Load(); w != nil {
+		if err := w.logDelete(tableName, id); err != nil {
+			return err
+		}
+		p.noteRecords(s, 1)
+	}
+	return nil
+}
+
+// gcHorizon is the oldest epoch any current or future reader can pin on
+// this partition: the oldest registered pin's epoch, or the last published
+// epoch when none is open. minLive is read under snapMu so the computation
+// serializes with pin registration: a registration is one snapMu critical
+// section (epoch load + minLive publish), so it either lands before this
+// read — and minLive accounts for it — or it runs entirely after, in which
+// case it loads an epoch >= published and cannot observe anything pruned
+// at or below the horizon returned here.
+func (p *partition) gcHorizon(published uint64) uint64 {
+	p.snapMu.Lock()
+	m := p.minLive.Load()
+	p.snapMu.Unlock()
+	if m < published {
+		return m
+	}
+	return published
+}
+
+// gcAfterWrite prunes the version chains a mutation just touched — the
+// row's own chain plus the posting chains for the old and new key values —
+// so hot rows do not accumulate history when no snapshot needs it.
+func (p *partition) gcAfterWrite(t *table, c *rowChain, id int64, oldRow, newRow Row, published uint64) {
+	minE := p.gcHorizon(published)
+	n := pruneChain(c, minE)
+	if hv := c.head.Load(); hv != nil {
+		if end := hv.end.Load(); end != 0 && end <= minE {
+			// The whole chain is invisible at and after the horizon:
+			// drop the row entry itself. Primary keys are never reused,
+			// so a later insert cannot collide with a paused reader.
+			t.rows.Delete(id)
+			n++
+		}
+	}
+	if oldRow != nil {
+		n += t.pruneRowKeys(oldRow, minE)
+	}
+	if newRow != nil {
+		n += t.pruneRowKeys(newRow, minE)
+	}
+	if n > 0 {
+		p.mReclaims.Add(uint64(n))
+	}
+}
+
+// pin loads the partition's newest published epoch and registers it as a
+// floor for the version-GC horizon, in one snapMu critical section.
+func (p *partition) pin() *epochPin {
+	p.snapMu.Lock()
+	pin := &epochPin{epoch: p.epoch.Load()}
+	p.pins[pin] = struct{}{}
+	if pin.epoch < p.minLive.Load() {
+		p.minLive.Store(pin.epoch)
+	}
+	p.snapMu.Unlock()
+	return pin
+}
+
+// unpin releases a pin and recomputes the GC floor.
+func (p *partition) unpin(pin *epochPin) {
+	p.snapMu.Lock()
+	delete(p.pins, pin)
+	min := ^uint64(0)
+	for q := range p.pins {
+		if q.epoch < min {
+			min = q.epoch
+		}
+	}
+	p.minLive.Store(min)
+	p.snapMu.Unlock()
+}
+
+// noteRecords counts WAL records toward the automatic-checkpoint trigger
+// and kicks off a background checkpoint when the threshold is crossed.
+// Called under writeMu right after a successful WAL append.
+func (p *partition) noteRecords(s *Store, n uint64) {
+	if s.ckptEvery == 0 || p.dir == "" {
+		return
+	}
+	if p.recsSinceCkpt.Add(n) >= s.ckptEvery && p.ckptRunning.CompareAndSwap(false, true) {
+		go func() {
+			defer p.ckptRunning.Store(false)
+			// Best-effort: a failed background checkpoint leaves the WAL
+			// intact and the next threshold crossing retries. The error is
+			// surfaced via CheckpointStats.
+			_ = p.checkpoint(s)
+		}()
+	}
+}

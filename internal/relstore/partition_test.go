@@ -1,0 +1,265 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// applyRoutedOps drives one deterministic op sequence into a store with
+// any partition count, routing each logical row to partition key%N — the
+// same modular routing the archive uses for workflow stripes. Returned
+// ids feed the update/delete phases so every store sees the identical
+// logical history.
+func applyRoutedOps(t *testing.T, s *Store, rows int) {
+	t.Helper()
+	for _, ts := range concurrencySchemas() {
+		if err := s.CreateTable(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := s.NumPartitions()
+	parentIDs := make([]int64, rows)
+	childIDs := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		w := s.Writer(i % n)
+		id, err := w.Insert("parent", Row{"name": fmt.Sprintf("p%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parentIDs[i] = id
+	}
+	for i := 0; i < rows; i++ {
+		w := s.Writer(i % n)
+		id, err := w.Insert("child", Row{"parent_id": parentIDs[i], "n": int64(i * i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		childIDs[i] = id
+	}
+	for i := 0; i < rows; i += 3 {
+		w := s.Writer(i % n)
+		if err := w.Update("parent", parentIDs[i], Row{"name": fmt.Sprintf("p%d-renamed", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drop a scattering of child+parent pairs; both route to i%n, so the
+	// whole history of any one row plays out in a single partition.
+	for i := 5; i < rows; i += 7 {
+		w := s.Writer(i % n)
+		if err := w.Delete("child", childIDs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Delete("parent", parentIDs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHashIndependentOfPartitionCount is the acceptance property for the
+// partitioned refactor: the same logical history applied to 1-, 4- and
+// 16-partition stores materializes the same snapshot hash, because
+// primary keys come from per-table allocators shared across partitions
+// and Select merges partitions back into primary-key order.
+func TestHashIndependentOfPartitionCount(t *testing.T) {
+	hashes := map[int]string{}
+	for _, parts := range []int{1, 4, 16} {
+		s := NewStoreN(parts)
+		applyRoutedOps(t, s, 200)
+		sn := s.Snapshot()
+		h, err := sn.Hash()
+		sn.Close()
+		if err != nil {
+			t.Fatalf("%d partitions: %v", parts, err)
+		}
+		hashes[parts] = h
+	}
+	if hashes[1] != hashes[4] || hashes[4] != hashes[16] {
+		t.Fatalf("snapshot hash depends on partition count:\n 1: %s\n 4: %s\n16: %s",
+			hashes[1], hashes[4], hashes[16])
+	}
+}
+
+// TestWriterPartitionPinning checks a Writer commits into exactly its
+// partition: epochs move only there, and cross-partition reads still see
+// every row through the merged view.
+func TestWriterPartitionPinning(t *testing.T) {
+	s := NewStoreN(4)
+	if err := s.CreateTable(concurrencySchemas()[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Epochs()
+	w := s.Writer(2)
+	if w.Partition() != 2 {
+		t.Fatalf("Writer(2).Partition() = %d", w.Partition())
+	}
+	if _, err := w.Insert("parent", Row{"name": "pinned"}); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Epochs()
+	for i := range after {
+		want := before[i]
+		if i == 2 {
+			want++
+		}
+		if after[i] != want {
+			t.Fatalf("partition %d epoch %d, want %d (vector %v -> %v)", i, after[i], want, before, after)
+		}
+	}
+	rows, err := s.Select(Query{Table: "parent"})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("merged select saw %d rows, %v; want 1", len(rows), err)
+	}
+}
+
+// TestSnapshotNeverSeesTornMultiPartitionBatch hammers InsertBatchParts
+// batches that straddle every partition while snapshot readers count
+// rows per batch marker: any snapshot must see a whole batch or none of
+// it, never a prefix — the vector-epoch acquisition has to be atomic
+// with respect to the multi-partition commit.
+func TestSnapshotNeverSeesTornMultiPartitionBatch(t *testing.T) {
+	const parts = 4
+	const batchLen = 8 // 2 rows per partition
+	s := NewStoreN(parts)
+	if err := s.CreateTable(TableSchema{
+		Name: "events",
+		Columns: []Column{
+			{Name: "batch", Type: Int},
+		},
+		Indexes: [][]string{{"batch"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const totalBatches = 600
+	var batches atomic.Int64
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		for b := int64(0); b < totalBatches; b++ {
+			rows := make([]Row, batchLen)
+			routes := make([]int, batchLen)
+			for i := range rows {
+				rows[i] = Row{"batch": b}
+				routes[i] = i % parts
+			}
+			if _, err := s.InsertBatchParts("events", rows, routes); err != nil {
+				t.Error(err)
+				return
+			}
+			batches.Store(b + 1)
+		}
+	}()
+
+	// Readers probe through the batch index (bounded work per check, so
+	// the test stays sane on one core): the newest possibly-in-flight
+	// batch must be all-or-nothing, and batches committed strictly before
+	// the snapshot pin must be whole.
+	var rwg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			for k := 0; ; k++ {
+				hi := batches.Load() // committed strictly before the pin below
+				sn := s.Snapshot()
+				probe := []int64{hi} // in flight (or next) at pin time
+				if hi > 0 {
+					probe = append(probe, hi-1, int64(k)%hi)
+				}
+				for _, b := range probe {
+					rows, err := sn.Select(Query{Table: "events", Conds: []Cond{Eq("batch", b)}})
+					if err != nil {
+						t.Error(err)
+						sn.Close()
+						return
+					}
+					if n := len(rows); n != 0 && n != batchLen {
+						t.Errorf("snapshot %v saw torn batch %d: %d of %d rows", sn.Epochs(), b, n, batchLen)
+					}
+					if b < hi && len(rows) != batchLen {
+						t.Errorf("snapshot %v lost committed batch %d: saw %d of %d rows", sn.Epochs(), b, len(rows), batchLen)
+					}
+				}
+				sn.Close()
+				if hi >= totalBatches {
+					return
+				}
+			}
+		}(r)
+	}
+	wwg.Wait()
+	rwg.Wait()
+}
+
+// TestReadersNeverLoseRowsToGCPerPartition is the per-partition version
+// of TestReadersNeverLoseRowsToGC: every partition has its own writer
+// constantly superseding one pinned row while readers snapshot across
+// the whole vector. Run under -race this exercises each partition's
+// epoch-pin registry and GC horizon independently.
+func TestReadersNeverLoseRowsToGCPerPartition(t *testing.T) {
+	const parts = 4
+	s := NewStoreN(parts)
+	if err := s.CreateTable(concurrencySchemas()[0]); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int64, parts)
+	for p := 0; p < parts; p++ {
+		id, err := s.Writer(p).Insert("parent", Row{"name": fmt.Sprintf("pinned%d", p)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[p] = id
+	}
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wwg.Add(1)
+		go func(p int) {
+			defer wwg.Done()
+			w := s.Writer(p)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := w.Update("parent", ids[p], Row{"name": fmt.Sprintf("p%d-v%d", p, i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	var rwg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for k := 0; k < 300; k++ {
+				sn := s.Snapshot()
+				for p, id := range ids {
+					if row, err := sn.Get("parent", id); err != nil || row == nil {
+						t.Errorf("snapshot %v lost partition %d row %d: %v, %v", sn.Epochs(), p, id, row, err)
+						sn.Close()
+						return
+					}
+				}
+				if rows, err := sn.Select(Query{Table: "parent"}); err != nil || len(rows) != parts {
+					t.Errorf("snapshot Select = %d rows, %v, want %d", len(rows), err, parts)
+					sn.Close()
+					return
+				}
+				sn.Close()
+			}
+		}()
+	}
+	rwg.Wait()
+	close(stop)
+	wwg.Wait()
+	if n := s.GC(); n < 0 {
+		t.Fatalf("GC reclaimed %d", n)
+	}
+}

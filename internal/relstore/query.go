@@ -28,9 +28,9 @@ type Query struct {
 }
 
 // Select returns copies of all rows matching the query, as of the newest
-// published epoch. Rows come back in OrderBy order when set, otherwise in
-// primary-key order — on the indexed, unique, and scan paths alike — so
-// results are deterministic either way.
+// published epoch vector. Rows come back in OrderBy order when set,
+// otherwise in primary-key order — on the indexed, unique, and scan paths
+// alike, across partitions — so results are deterministic either way.
 func (s *Store) Select(q Query) ([]Row, error) {
 	v, release := s.pinnedView(true)
 	defer release()
@@ -45,12 +45,20 @@ func (s *Store) SelectOne(q Query) (Row, error) {
 	return v.selOne(q)
 }
 
-// sel evaluates a query against the view's epoch. Candidate rows come from
-// an index posting chain, a unique-constraint probe, or a full scan; all
-// three paths yield primary-key order before OrderBy applies.
+// sel evaluates a query against the view's epoch vector: each partition
+// yields its candidates in primary-key order, the per-partition results
+// merge into global primary-key order (ids are unique store-wide), and
+// Where/OrderBy/Limit apply to the merged set — so a query behaves
+// identically whatever the partition count.
 func (v view) sel(q Query) ([]Row, error) {
-	t, ok := v.ts.byName[q.Table]
-	if !ok {
+	var t *table
+	for _, pv := range v.parts {
+		if tt, ok := pv.ts.byName[q.Table]; ok {
+			t = tt
+			break
+		}
+	}
+	if t == nil {
 		return nil, fmt.Errorf("relstore: no table %s", q.Table)
 	}
 	for _, c := range q.Conds {
@@ -65,50 +73,22 @@ func (v view) sel(q Query) ([]Row, error) {
 	}
 
 	var out []Row
-	matched := false
-	if len(q.Conds) > 0 {
-		cols := make([]string, len(q.Conds))
-		probe := Row{}
-		for i, c := range q.Conds {
-			cols[i] = c.Column
-			cv, err := coerce(q.Table, c.Column, t.colType[c.Column], c.Value)
-			if err != nil {
-				return nil, err
-			}
-			probe[c.Column] = cv
+	for _, pv := range v.parts {
+		tt, ok := pv.ts.byName[q.Table]
+		if !ok {
+			continue
 		}
-		if ix := t.findIndex(cols); ix >= 0 {
-			for _, id := range t.indexes[ix].idsAt(compositeKey(probe, cols), v.epoch) {
-				if row := v.lookup(t, id); row != nil && condsMatch(t, q.Table, q.Conds, row) {
-					out = append(out, row)
-				}
-			}
-			matched = true
+		part, err := gather(tt, pv.epoch, q)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = part
 		} else {
-			for u, ucols := range t.schema.Unique {
-				if len(ucols) == len(cols) && sameCols(ucols, cols) {
-					if id, ok := t.uniques[u].idAt(compositeKey(probe, ucols), v.epoch); ok {
-						if row := v.lookup(t, id); row != nil && condsMatch(t, q.Table, q.Conds, row) {
-							out = append(out, row)
-						}
-					}
-					matched = true
-					break
-				}
-			}
+			out = append(out, part...)
 		}
 	}
-	if !matched {
-		t.rows.Range(func(_ int64, c *rowChain) bool {
-			ver := c.visibleAt(v.epoch)
-			if ver == nil {
-				return true
-			}
-			if condsMatch(t, q.Table, q.Conds, ver.row) {
-				out = append(out, ver.row)
-			}
-			return true
-		})
+	if len(v.parts) > 1 {
 		sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	}
 	if q.Where != nil {
@@ -140,13 +120,77 @@ func (v view) sel(q Query) ([]Row, error) {
 	return out, nil
 }
 
-// lookup resolves an index candidate id to its visible row, or nil.
-func (v view) lookup(t *table, id int64) Row {
+// gather collects one partition's matching rows at one epoch, in
+// primary-key order. Candidate rows come from an index posting chain, a
+// unique-constraint probe, or a full scan; all three paths yield
+// primary-key order.
+func gather(t *table, epoch uint64, q Query) ([]Row, error) {
+	var out []Row
+	matched := false
+	if len(q.Conds) > 0 {
+		cols := make([]string, len(q.Conds))
+		probe := Row{}
+		for i, c := range q.Conds {
+			cols[i] = c.Column
+			cv, err := coerce(q.Table, c.Column, t.colType[c.Column], c.Value)
+			if err != nil {
+				return nil, err
+			}
+			probe[c.Column] = cv
+		}
+		if ixn := t.findIndex(cols); ixn >= 0 {
+			ix := t.indexes[ixn]
+			var ids []int64
+			if ix.mi != nil {
+				v, isNil := intKeyOf(probe, ix.intCol)
+				ids = ix.idsAtInt(v, isNil, epoch)
+			} else {
+				ids = ix.idsAt(compositeKey(probe, cols), epoch)
+			}
+			for _, id := range ids {
+				if row := lookupAt(t, id, epoch); row != nil && condsMatch(t, q.Table, q.Conds, row) {
+					out = append(out, row)
+				}
+			}
+			matched = true
+		} else {
+			for u, ucols := range t.schema.Unique {
+				if len(ucols) == len(cols) && sameCols(ucols, cols) {
+					if id, ok := t.uniques[u].idAt(compositeKey(probe, ucols), epoch); ok {
+						if row := lookupAt(t, id, epoch); row != nil && condsMatch(t, q.Table, q.Conds, row) {
+							out = append(out, row)
+						}
+					}
+					matched = true
+					break
+				}
+			}
+		}
+	}
+	if !matched {
+		t.rows.Range(func(_ int64, c *rowChain) bool {
+			ver := c.visibleAt(epoch)
+			if ver == nil {
+				return true
+			}
+			if condsMatch(t, q.Table, q.Conds, ver.row) {
+				out = append(out, ver.row)
+			}
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	}
+	return out, nil
+}
+
+// lookupAt resolves an index candidate id to its row visible at epoch, or
+// nil.
+func lookupAt(t *table, id int64, epoch uint64) Row {
 	c, ok := t.rows.Load(id)
 	if !ok {
 		return nil
 	}
-	ver := c.visibleAt(v.epoch)
+	ver := c.visibleAt(epoch)
 	if ver == nil {
 		return nil
 	}

@@ -11,14 +11,18 @@ import (
 
 // Snapshot telemetry, shared by every store in the process. The age gauge
 // is the canary for snapshot leaks (a report that never calls Close pins
-// version history forever); reclaims make version GC observable.
+// version history forever); reclaims make version GC observable. Live
+// snapshots and reclaims are labeled by partition: a snapshot pins every
+// partition, so each open snapshot counts once under every partition
+// label, and a skewed reclaim distribution shows which partitions carry
+// the update-heavy workflows.
 var (
 	mSnapshots = telemetry.NewCounter("stampede_relstore_snapshots_total",
 		"Point-in-time snapshots taken.")
-	mSnapshotsLive = telemetry.NewGauge("stampede_relstore_snapshots_live",
-		"Snapshots currently open (pinning version history).")
-	mVersionReclaims = telemetry.NewCounter("stampede_relstore_version_reclaims_total",
-		"Dead row and index-posting versions reclaimed by version GC.")
+	mSnapshotsLive = telemetry.NewGaugeVec("stampede_relstore_snapshots_live",
+		"Snapshots currently open (pinning version history), by partition.", "partition")
+	mVersionReclaims = telemetry.NewCounterVec("stampede_relstore_version_reclaims_total",
+		"Dead row and index-posting versions reclaimed by version GC, by partition.", "partition")
 )
 
 func init() {
@@ -63,95 +67,86 @@ var (
 	_ Reader = (*Snapshot)(nil)
 )
 
-// Snapshot is an immutable point-in-time view across every table of a
-// store. Reads through a snapshot take no locks and return the stored
-// (immutable) row versions without copying; the caller must not mutate
-// them. A snapshot pins version history: Close releases it so version GC
-// can reclaim superseded rows. Close is idempotent.
+// Snapshot is an immutable point-in-time view across every table of every
+// partition. It pins a vector of partition epochs acquired atomically with
+// respect to multi-partition batches (see Store.pinAll), so a cross-table,
+// cross-partition traversal can never observe a torn batch. Reads through
+// a snapshot take no locks and return the stored (immutable) row versions
+// without copying; the caller must not mutate them. A snapshot pins
+// version history on every partition: Close releases it so version GC can
+// reclaim superseded rows. Close is idempotent.
 type Snapshot struct {
 	s      *Store
 	v      view
-	pin    *epochPin
+	pins   []*epochPin
 	t0     time.Time
 	closed atomic.Bool
 }
 
-// epochPin is one entry in the store's pin registry: an epoch some reader
-// (a Snapshot, or an in-flight Store-level read) can still observe, which
-// the GC horizon must therefore not pass.
+// epochPin is one entry in a partition's pin registry: an epoch some
+// reader (a Snapshot, or an in-flight Store-level read) can still observe,
+// which that partition's GC horizon must therefore not pass.
 type epochPin struct {
 	epoch uint64
 }
 
-// pin loads the newest published epoch and registers it as a floor for
-// the version-GC horizon, in one snapMu critical section. gcHorizon reads
-// minLive under the same mutex, so a writer can never compute a horizon
-// above an epoch a concurrent registration has loaded but not yet
-// published — either the registration completes first and minLive
-// accounts for it, or the writer's horizon read happens first and the
-// registration then loads an epoch at or above everything being pruned.
-func (s *Store) pin() *epochPin {
-	s.snapMu.Lock()
-	p := &epochPin{epoch: s.epoch.Load()}
-	s.pins[p] = struct{}{}
-	if p.epoch < s.minLive.Load() {
-		s.minLive.Store(p.epoch)
-	}
-	s.snapMu.Unlock()
-	return p
-}
-
-// unpin releases a pin and recomputes the GC floor.
-func (s *Store) unpin(p *epochPin) {
-	s.snapMu.Lock()
-	delete(s.pins, p)
-	min := ^uint64(0)
-	for q := range s.pins {
-		if q.epoch < min {
-			min = q.epoch
-		}
-	}
-	s.minLive.Store(min)
-	s.snapMu.Unlock()
-}
-
-// Snapshot pins the newest published epoch and returns a consistent view
-// of the whole store at that instant. Concurrent writers proceed
-// unhindered; their changes are simply invisible to this snapshot.
+// Snapshot pins the newest published epoch of every partition and returns
+// a consistent view of the whole store at that instant. Concurrent writers
+// proceed unhindered; their changes are simply invisible to this snapshot.
 func (s *Store) Snapshot() *Snapshot {
-	p := s.pin()
+	pins := s.pinAll()
 	sn := &Snapshot{
-		s:   s,
-		v:   view{ts: s.tables.Load(), epoch: p.epoch},
-		pin: p,
-		t0:  time.Now(),
+		s:    s,
+		v:    makeView(s, pins, false),
+		pins: pins,
+		t0:   time.Now(),
 	}
 	snapAgeMu.Lock()
 	snapAgeT0[sn] = sn.t0
 	snapAgeMu.Unlock()
 	mSnapshots.Inc()
-	mSnapshotsLive.Inc()
+	for _, p := range s.parts {
+		p.mLive.Inc()
+	}
 	return sn
 }
 
-// Close releases the snapshot, unpinning its epoch for version GC.
+// Close releases the snapshot, unpinning its epochs for version GC.
 func (sn *Snapshot) Close() {
 	if sn.closed.Swap(true) {
 		return
 	}
-	sn.s.unpin(sn.pin)
+	for i, p := range sn.s.parts {
+		p.unpin(sn.pins[i])
+		p.mLive.Dec()
+	}
 	snapAgeMu.Lock()
 	delete(snapAgeT0, sn)
 	snapAgeMu.Unlock()
-	mSnapshotsLive.Dec()
 }
 
-// Epoch reports the epoch this snapshot is pinned to.
-func (sn *Snapshot) Epoch() uint64 { return sn.v.epoch }
+// Epoch reports the sum of the snapshot's pinned partition epochs — the
+// same monotonic store version Store.Epoch reports.
+func (sn *Snapshot) Epoch() uint64 {
+	var sum uint64
+	for _, pv := range sn.v.parts {
+		sum += pv.epoch
+	}
+	return sum
+}
 
-// Select returns all rows matching the query as of the snapshot's epoch.
-// Unlike Store.Select, the rows are not copies — they are the immutable
-// stored versions and must not be mutated.
+// Epochs reports the pinned per-partition epoch vector.
+func (sn *Snapshot) Epochs() []uint64 {
+	out := make([]uint64, len(sn.v.parts))
+	for i, pv := range sn.v.parts {
+		out[i] = pv.epoch
+	}
+	return out
+}
+
+// Select returns all rows matching the query as of the snapshot's epoch
+// vector. Unlike Store.Select, the rows are not copies — they are the
+// immutable stored versions and must not be mutated.
 func (sn *Snapshot) Select(q Query) ([]Row, error) { return sn.v.sel(q) }
 
 // SelectOne returns the single matching row, nil when none match, and an
@@ -159,51 +154,76 @@ func (sn *Snapshot) Select(q Query) ([]Row, error) { return sn.v.sel(q) }
 func (sn *Snapshot) SelectOne(q Query) (Row, error) { return sn.v.selOne(q) }
 
 // Get returns the row with the given primary key as of the snapshot's
-// epoch, or nil when absent. The row must not be mutated.
+// epoch vector, or nil when absent. The row must not be mutated.
 func (sn *Snapshot) Get(tableName string, id int64) (Row, error) {
 	return sn.v.get(tableName, id)
 }
 
 // Count returns the number of rows visible in the snapshot.
 func (sn *Snapshot) Count(tableName string) (int, error) {
-	t, ok := sn.v.ts.byName[tableName]
-	if !ok {
+	total := 0
+	found := false
+	for _, pv := range sn.v.parts {
+		t, ok := pv.ts.byName[tableName]
+		if !ok {
+			continue
+		}
+		found = true
+		t.rows.Range(func(_ int64, c *rowChain) bool {
+			if c.visibleAt(pv.epoch) != nil {
+				total++
+			}
+			return true
+		})
+	}
+	if !found {
 		return 0, fmt.Errorf("relstore: no table %s", tableName)
 	}
-	n := 0
-	t.rows.Range(func(_ int64, c *rowChain) bool {
-		if c.visibleAt(sn.v.epoch) != nil {
-			n++
-		}
-		return true
-	})
-	return n, nil
+	return total, nil
 }
 
 // TableNames lists the snapshot's tables in creation order.
 func (sn *Snapshot) TableNames() []string {
-	return append([]string(nil), sn.v.ts.order...)
+	return append([]string(nil), sn.v.parts[0].ts.order...)
 }
 
-// view is the read-side engine: an immutable table set plus a visibility
-// epoch. Store reads build an ephemeral view at the newest epoch and clone
-// results (callers may mutate them); Snapshot pins one view and returns
-// the immutable versions directly.
+// view is the read-side engine: one (table set, visibility epoch) pair per
+// partition. Store reads build an ephemeral view at the newest epoch
+// vector and clone results (callers may mutate them); Snapshot pins one
+// view and returns the immutable versions directly.
 type view struct {
-	ts    *tableSet
-	epoch uint64
+	parts []partView
 	clone bool
 }
 
-// pinnedView captures the current epoch and table set for one Store-level
-// read, registering the epoch in the pin registry so version GC cannot
-// reclaim history the view can still see while the read is in flight; the
-// release func must be called when the read completes. The epoch is loaded
-// (inside pin) before the table set, so the table set can only be newer —
-// a table created after the epoch resolves but holds no rows visible at it.
+// partView is one partition's slice of a view. The epoch is loaded (inside
+// pin) before the table set, so the table set can only be newer — a table
+// created after the epoch resolves but holds no rows visible at it.
+type partView struct {
+	ts    *tableSet
+	epoch uint64
+}
+
+func makeView(s *Store, pins []*epochPin, clone bool) view {
+	v := view{parts: make([]partView, len(s.parts)), clone: clone}
+	for i, p := range s.parts {
+		v.parts[i] = partView{ts: p.tables.Load(), epoch: pins[i].epoch}
+	}
+	return v
+}
+
+// pinnedView captures the current epoch vector and table sets for one
+// Store-level read, registering each epoch in its partition's pin registry
+// so version GC cannot reclaim history the view can still see while the
+// read is in flight; the release func must be called when the read
+// completes.
 func (s *Store) pinnedView(clone bool) (view, func()) {
-	p := s.pin()
-	return view{ts: s.tables.Load(), epoch: p.epoch, clone: clone}, func() { s.unpin(p) }
+	pins := s.pinAll()
+	return makeView(s, pins, clone), func() {
+		for i, p := range s.parts {
+			p.unpin(pins[i])
+		}
+	}
 }
 
 func (v view) maybeClone(row Row) Row {
@@ -214,17 +234,25 @@ func (v view) maybeClone(row Row) Row {
 }
 
 func (v view) get(tableName string, id int64) (Row, error) {
-	t, ok := v.ts.byName[tableName]
-	if !ok {
+	found := false
+	for _, pv := range v.parts {
+		t, ok := pv.ts.byName[tableName]
+		if !ok {
+			continue
+		}
+		found = true
+		c, ok := t.rows.Load(id)
+		if !ok {
+			continue
+		}
+		ver := c.visibleAt(pv.epoch)
+		if ver == nil {
+			continue
+		}
+		return v.maybeClone(ver.row), nil
+	}
+	if !found {
 		return nil, fmt.Errorf("relstore: no table %s", tableName)
 	}
-	c, ok := t.rows.Load(id)
-	if !ok {
-		return nil, nil
-	}
-	ver := c.visibleAt(v.epoch)
-	if ver == nil {
-		return nil, nil
-	}
-	return v.maybeClone(ver.row), nil
+	return nil, nil
 }

@@ -316,16 +316,16 @@ func TestVersionGC(t *testing.T) {
 
 	// With no snapshot open, repeated updates must not grow the chain: the
 	// writer prunes as it goes.
-	before := mVersionReclaims.Value()
+	before := mVersionReclaims.With("0").Value()
 	for i := 1; i <= 50; i++ {
 		if err := s.Update("job", id, Row{"runtime": float64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := mVersionReclaims.Value(); got-before < 49 {
+	if got := mVersionReclaims.With("0").Value(); got-before < 49 {
 		t.Fatalf("reclaims grew by %d over 50 updates, want >= 49", got-before)
 	}
-	chainv, _ := s.tables.Load().byName["job"].rows.Load(id)
+	chainv, _ := s.parts[0].tables.Load().byName["job"].rows.Load(id)
 	if n := chainLen(chainv); n > 2 {
 		t.Fatalf("chain length %d after unpinned updates, want <= 2", n)
 	}
@@ -369,7 +369,7 @@ func TestVersionGC(t *testing.T) {
 	if n := s.GC(); n < 1 {
 		t.Fatalf("GC reclaimed %d, want >= 1", n)
 	}
-	if _, ok := s.tables.Load().byName["job"].rows.Load(id); ok {
+	if _, ok := s.parts[0].tables.Load().byName["job"].rows.Load(id); ok {
 		t.Fatal("deleted row's chain survived GC with no snapshot open")
 	}
 }
@@ -465,12 +465,12 @@ func TestSnapshotWALReplay(t *testing.T) {
 func TestSnapshotAgeAndClose(t *testing.T) {
 	s := newTestStore(t)
 	sn := s.Snapshot()
-	if sn.Epoch() != s.epoch.Load() {
-		t.Fatalf("snapshot epoch %d != store epoch %d", sn.Epoch(), s.epoch.Load())
+	if sn.Epoch() != s.Epoch() {
+		t.Fatalf("snapshot epoch %d != store epoch %d", sn.Epoch(), s.Epoch())
 	}
 	sn.Close()
 	sn.Close() // idempotent
-	if got := s.minLive.Load(); got != ^uint64(0) {
+	if got := s.parts[0].minLive.Load(); got != ^uint64(0) {
 		t.Fatalf("minLive after close = %d, want MaxUint64", got)
 	}
 	_ = time.Now // keep time imported for helpers above

@@ -2,94 +2,63 @@ package relstore
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"sort"
-	"strconv"
-	"time"
 )
 
 // Hash returns a deterministic digest of the snapshot's entire visible
-// state: SHA-256 over a canonical serialization of every table. Two
-// snapshots hash equal iff they hold the same rows with the same primary
-// keys and values — which is exactly the bit-identical-materialization
-// property the event log's replay tests assert (rebuild the store twice
-// from the same log prefix, hash both, compare).
+// state: SHA-256 over the canonical serialization (canon.go) of every
+// table. Two snapshots hash equal iff they hold the same rows with the
+// same primary keys and values — which is exactly the
+// bit-identical-materialization property the event log's replay tests
+// assert (rebuild the store twice from the same log prefix, hash both,
+// compare).
 //
 // The serialization is canonical, never "whatever iteration order the
 // maps had": tables in sorted-name order, rows in primary-key order (the
-// order Select already guarantees), columns in schema declaration order
-// with the id first, and every value rendered through an explicit
-// type-tagged encoding (times as UTC nanoseconds, so no location or
-// formatting ambiguity survives). Nothing wall-clock-dependent is
-// hashed: no epochs, no snapshot timestamps, no WAL positions.
+// order Select already guarantees, merged across partitions), columns in
+// schema declaration order with the id first, and every value rendered
+// through an explicit type-tagged encoding (times as UTC nanoseconds, so
+// no location or formatting ambiguity survives). Nothing
+// wall-clock-dependent is hashed: no epochs, no snapshot timestamps, no
+// WAL positions — and nothing partition-dependent either: primary keys
+// are allocated in call order from per-table counters shared across
+// partitions and Select merges partitions back into primary-key order, so
+// the same event history replayed into stores with different partition
+// counts hashes identically. Checkpoint images reuse this exact
+// serialization per partition.
 func (sn *Snapshot) Hash() (string, error) {
 	h := sha256.New()
-	var scratch [8]byte
-	writeUint := func(v uint64) {
-		binary.LittleEndian.PutUint64(scratch[:], v)
-		h.Write(scratch[:])
-	}
-	writeStr := func(s string) {
-		writeUint(uint64(len(s)))
-		h.Write([]byte(s))
-	}
-
+	cw := &canonWriter{w: h}
 	names := sn.TableNames()
 	sort.Strings(names)
 	for _, name := range names {
-		t := sn.v.ts.byName[name]
-		writeStr("table")
-		writeStr(name)
+		var t *table
+		for _, pv := range sn.v.parts {
+			if tt, ok := pv.ts.byName[name]; ok {
+				t = tt
+				break
+			}
+		}
+		if t == nil {
+			return "", fmt.Errorf("relstore: hash: no table %s", name)
+		}
+		cw.str("table")
+		cw.str(name)
 		rows, err := sn.Select(Query{Table: name})
 		if err != nil {
 			return "", err
 		}
-		writeUint(uint64(len(rows)))
+		cw.uint(uint64(len(rows)))
 		for _, row := range rows {
-			id, ok := row["id"].(int64)
-			if !ok {
-				return "", fmt.Errorf("relstore: hash %s: row id %v (%T) is not int64", name, row["id"], row["id"])
-			}
-			writeStr("row")
-			writeUint(uint64(id))
-			for _, col := range t.schema.Columns {
-				if err := hashValue(writeStr, writeUint, row[col.Name]); err != nil {
-					return "", fmt.Errorf("relstore: hash %s.%s id=%d: %w", name, col.Name, id, err)
-				}
+			if err := cw.row(name, t.schema.Columns, row); err != nil {
+				return "", err
 			}
 		}
+	}
+	if cw.err != nil {
+		return "", cw.err
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
-}
-
-// hashValue writes one canonical type-tagged value.
-func hashValue(writeStr func(string), writeUint func(uint64), v any) error {
-	switch x := v.(type) {
-	case nil:
-		writeStr("n")
-	case int64:
-		writeStr("i")
-		writeUint(uint64(x))
-	case float64:
-		writeStr("f")
-		writeStr(strconv.FormatFloat(x, 'g', -1, 64))
-	case string:
-		writeStr("s")
-		writeStr(x)
-	case bool:
-		writeStr("b")
-		if x {
-			writeUint(1)
-		} else {
-			writeUint(0)
-		}
-	case time.Time:
-		writeStr("t")
-		writeUint(uint64(x.UTC().UnixNano()))
-	default:
-		return fmt.Errorf("unhashable value type %T", v)
-	}
-	return nil
 }

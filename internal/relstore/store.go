@@ -2,42 +2,52 @@ package relstore
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// Store is a set of multi-version tables. Concurrency follows the classic
-// single-writer / many-reader MVCC shape: one store-wide writer mutex
-// serializes all mutations, and every mutation runs at a fresh epoch that
-// is published with one atomic store once the change is fully in place.
-// Readers never take a lock — Snapshot pins the newest published epoch and
-// reads version chains whose visible prefix at that epoch can no longer
-// change, so a heavy scan cannot stall the loader and a cross-table
-// traversal cannot observe a torn mid-batch state.
+// Store is a set of multi-version tables, split into N workflow-routed
+// partitions. Each partition follows the classic single-writer /
+// many-reader MVCC shape on its own: one per-partition writer mutex
+// serializes its mutations, every mutation runs at a fresh per-partition
+// epoch published with one atomic store, and readers never take a lock.
+// Writers on distinct partitions commit truly in parallel — each with its
+// own WAL segment chain and group-commit fsync — which is what breaks the
+// old store-wide single-writer wall for the loader's apply shards.
+//
+// Cross-partition reads stay point-in-time: Snapshot pins a vector of
+// partition epochs (see pinAll) so a traversal can never observe a torn
+// multi-partition batch. Primary keys are allocated from one shared
+// counter per logical table, so ids are unique store-wide and a row's id
+// says nothing about which partition holds it.
 type Store struct {
-	// writeMu serializes Insert/InsertBatch/Update/Delete/CreateTable.
-	// Multi-table invariants (foreign keys) stay simple because the single
-	// writer means a referenced row cannot disappear mid-check.
-	writeMu sync.Mutex
-	// epoch is the newest published epoch. A mutation works at epoch+1 and
-	// publishes by storing the new value after all its versions are linked,
-	// so a reader that loads the epoch sees all of the mutation or none.
-	epoch atomic.Uint64
-	// tables is copy-on-write: CreateTable swaps in a whole new set, so
-	// readers resolve table names with one atomic load.
-	tables atomic.Pointer[tableSet]
-	wal    atomic.Pointer[walWriter] // nil for purely in-memory stores
+	parts []*partition
+
+	// mpSeq is a seqlock guarding multi-partition atomic commits
+	// (InsertBatchParts). A writer makes the sequence odd, publishes every
+	// involved partition's epoch, then makes it even again; pinAll retries
+	// until it pins all partitions inside one even interval. Commits that
+	// touch a single partition never touch mpSeq — their epoch publish is
+	// already atomic on its own.
+	mpSeq atomic.Uint64
+
 	// checkFKs can be disabled for bulk replay of already-validated data.
 	checkFKs atomic.Bool
 
-	// snapMu guards the pin registry (open snapshots plus in-flight
-	// Store-level reads); minLive caches the oldest pinned epoch
-	// (MaxUint64 when none) as the version-GC floor. gcHorizon reads
-	// minLive under snapMu too, so horizon computation serializes with
-	// pin registration — see pin.
-	snapMu  sync.Mutex
-	pins    map[*epochPin]struct{}
-	minLive atomic.Uint64
+	// createMu serializes CreateTable (which swaps every partition's table
+	// set) and guards allocs.
+	createMu sync.Mutex
+	// allocs holds the shared per-logical-table primary-key allocators;
+	// every partition's instance of one table points at the same counter.
+	allocs map[string]*atomic.Int64
+
+	// dir is the backing directory for directory-mode stores (see OpenDir);
+	// empty for in-memory and legacy single-file stores.
+	dir string
+	// ckptEvery is the per-partition WAL-record count that triggers an
+	// automatic background checkpoint; 0 disables automatic checkpoints.
+	ckptEvery uint64
 }
 
 // tableSet is an immutable name→table mapping plus creation order.
@@ -46,90 +56,75 @@ type tableSet struct {
 	order  []string
 }
 
-// NewStore returns an empty in-memory store with foreign-key checking on.
-func NewStore() *Store {
-	s := &Store{pins: make(map[*epochPin]struct{})}
-	s.tables.Store(&tableSet{byName: make(map[string]*table)})
+// NewStore returns an empty single-partition in-memory store with
+// foreign-key checking on — the drop-in equivalent of the pre-partitioning
+// store.
+func NewStore() *Store { return NewStoreN(1) }
+
+// NewStoreN returns an empty in-memory store with n partitions (minimum 1).
+func NewStoreN(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{
+		parts:  make([]*partition, n),
+		allocs: make(map[string]*atomic.Int64),
+	}
+	for i := range s.parts {
+		s.parts[i] = newPartition(i)
+	}
 	s.checkFKs.Store(true)
-	s.minLive.Store(^uint64(0))
 	return s
 }
+
+// NumPartitions reports how many partitions the store has.
+func (s *Store) NumPartitions() int { return len(s.parts) }
 
 // SetForeignKeyChecks toggles FK enforcement (on by default).
 func (s *Store) SetForeignKeyChecks(on bool) { s.checkFKs.Store(on) }
 
-// Epoch returns the newest published epoch: the point-in-time a snapshot
-// taken now would pin. The tracing layer stamps it on commit spans as
-// "the version at which this event became visible to readers".
-func (s *Store) Epoch() uint64 { return s.epoch.Load() }
-
-// CreateTable registers a table. Creating a table that already exists with
-// an identical schema is a no-op, so archive initialisation is idempotent.
-func (s *Store) CreateTable(schema TableSchema) error {
-	if err := schema.validate(); err != nil {
-		return err
+// Epoch returns the sum of all partitions' published epochs: a monotonic
+// version counter for the whole store. The tracing layer stamps it on
+// commit spans as "the version at which this event became visible".
+func (s *Store) Epoch() uint64 {
+	var sum uint64
+	for _, p := range s.parts {
+		sum += p.epoch.Load()
 	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	ts := s.tables.Load()
-	if existing, ok := ts.byName[schema.Name]; ok {
-		if fmt.Sprintf("%+v", *existing.schema) == fmt.Sprintf("%+v", schema) {
-			return nil
-		}
-		return fmt.Errorf("relstore: table %s already exists with a different schema", schema.Name)
-	}
-	cp := schema
-	next := &tableSet{
-		byName: make(map[string]*table, len(ts.byName)+1),
-		order:  append(append([]string(nil), ts.order...), schema.Name),
-	}
-	for k, v := range ts.byName {
-		next.byName[k] = v
-	}
-	next.byName[schema.Name] = newTable(&cp)
-	s.tables.Store(next)
-	if w := s.wal.Load(); w != nil {
-		if err := w.logCreate(&cp); err != nil {
-			return err
-		}
-	}
-	return nil
+	return sum
 }
 
-// TableNames lists tables in creation order.
-func (s *Store) TableNames() []string {
-	return append([]string(nil), s.tables.Load().order...)
+// Epochs returns the current per-partition epoch vector. It is a
+// convenience for diagnostics; unlike Snapshot it makes no atomicity
+// claim across partitions.
+func (s *Store) Epochs() []uint64 {
+	out := make([]uint64, len(s.parts))
+	for i, p := range s.parts {
+		out[i] = p.epoch.Load()
+	}
+	return out
 }
 
-// Count returns the number of live rows. Each table keeps a live-row
-// counter, so this is O(1) and scan-free. The counter moves by one bulk
-// add per mutation, after its epoch publishes, so Count never includes a
-// partially applied batch — it reflects whole published mutations only,
-// though it may momentarily lag the very newest publish. Readers that
-// need a count exactly consistent with other reads should use
-// Snapshot().Count, which tallies at the pinned epoch.
-func (s *Store) Count(tableName string) (int, error) {
-	t, ok := s.tables.Load().byName[tableName]
-	if !ok {
-		return 0, fmt.Errorf("relstore: no table %s", tableName)
-	}
-	return int(t.live.Load()), nil
+// Writer is a handle bound to one partition. Loader apply shards hold one
+// writer each (shard i → partition i%N), so their commits serialize only
+// against writes to the same partition.
+type Writer struct {
+	s *Store
+	p *partition
 }
 
-// Insert adds one row and returns its assigned primary key. The row is
-// copied; the caller keeps ownership of row.
-func (s *Store) Insert(tableName string, row Row) (int64, error) {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	t, ok := s.tables.Load().byName[tableName]
-	if !ok {
-		return 0, fmt.Errorf("relstore: no table %s", tableName)
-	}
-	n, err := t.normalize(row)
-	if err != nil {
-		return 0, err
-	}
-	return s.insertRowLocked(tableName, t, n)
+// Writer returns the write handle for partition i.
+func (s *Store) Writer(i int) Writer {
+	return Writer{s: s, p: s.parts[i]}
+}
+
+// Partition reports which partition this writer commits to.
+func (w Writer) Partition() int { return w.p.idx }
+
+// Insert adds one row to the writer's partition and returns its assigned
+// primary key. The row is copied; the caller keeps ownership of row.
+func (w Writer) Insert(tableName string, row Row) (int64, error) {
+	return w.p.insert(w.s, tableName, row, false)
 }
 
 // InsertOwned is Insert for callers that hand over ownership of row: the
@@ -137,121 +132,312 @@ func (s *Store) Insert(tableName string, row Row) (int64, error) {
 // defensive copy Insert makes. The caller must not read or write row after
 // the call. This is the archive's hot path — every materialised event
 // builds exactly one fresh Row literal and donates it.
-func (s *Store) InsertOwned(tableName string, row Row) (int64, error) {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	t, ok := s.tables.Load().byName[tableName]
-	if !ok {
-		return 0, fmt.Errorf("relstore: no table %s", tableName)
-	}
-	n, err := t.normalizeOwned(row)
-	if err != nil {
-		return 0, err
-	}
-	return s.insertRowLocked(tableName, t, n)
+func (w Writer) InsertOwned(tableName string, row Row) (int64, error) {
+	return w.p.insert(w.s, tableName, row, true)
 }
 
-// insertRowLocked runs the shared tail of Insert/InsertOwned: uniqueness
-// and FK checks, id assignment, version linking and epoch publish. The
-// caller holds writeMu and has normalized n.
-func (s *Store) insertRowLocked(tableName string, t *table, n Row) (int64, error) {
-	e := s.epoch.Load() + 1
-	keys := t.buildUniqueKeys(n)
-	if err := t.checkUniqueKeys(keys, 0); err != nil {
-		return 0, err
+// InsertBatch adds many rows to the writer's partition under one lock
+// acquisition, one epoch, and one WAL write.
+func (w Writer) InsertBatch(tableName string, rows []Row) ([]int64, error) {
+	return w.p.insertBatch(w.s, tableName, rows)
+}
+
+// Update rewrites the named columns of the row with primary key id, which
+// must live in this writer's partition.
+func (w Writer) Update(tableName string, id int64, changes Row) error {
+	return w.p.update(w.s, tableName, id, changes)
+}
+
+// Delete removes a row from this writer's partition; deleting an absent
+// row is a no-op.
+func (w Writer) Delete(tableName string, id int64) error {
+	return w.p.delete(w.s, tableName, id)
+}
+
+// CreateTable registers a table in every partition. Each partition gets
+// its own instance (disjoint rows, private indexes) sharing one schema and
+// one primary-key allocator. Creating a table that already exists with an
+// identical schema is a no-op, so archive initialisation is idempotent.
+func (s *Store) CreateTable(schema TableSchema) error {
+	if err := schema.validate(); err != nil {
+		return err
 	}
-	if err := s.checkForeignKeys(t, n); err != nil {
-		return 0, err
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	if existing, ok := s.parts[0].tables.Load().byName[schema.Name]; ok {
+		if fmt.Sprintf("%+v", *existing.schema) == fmt.Sprintf("%+v", schema) {
+			return nil
+		}
+		return fmt.Errorf("relstore: table %s already exists with a different schema", schema.Name)
 	}
-	id := t.nextID
-	t.nextID++
-	n["id"] = id
-	t.putRowKeys(n, e, keys)
-	s.epoch.Store(e)
-	t.live.Add(1)
-	if w := s.wal.Load(); w != nil {
-		if err := w.logInsertBatch(tableName, []Row{n}); err != nil {
-			return id, err
+	cp := schema
+	alloc, ok := s.allocs[schema.Name]
+	if !ok {
+		alloc = &atomic.Int64{}
+		s.allocs[schema.Name] = alloc
+	}
+	for _, p := range s.parts {
+		p.writeMu.Lock()
+		ts := p.tables.Load()
+		next := &tableSet{
+			byName: make(map[string]*table, len(ts.byName)+1),
+			order:  append(append([]string(nil), ts.order...), schema.Name),
+		}
+		for k, v := range ts.byName {
+			next.byName[k] = v
+		}
+		next.byName[schema.Name] = newTable(&cp, alloc)
+		p.tables.Store(next)
+		// Log the create while still holding writeMu, so no insert into the
+		// new table can precede it in this partition's WAL.
+		if w := p.wal.Load(); w != nil {
+			if err := w.logCreate(&cp); err != nil {
+				p.writeMu.Unlock()
+				return err
+			}
+		}
+		p.writeMu.Unlock()
+	}
+	return nil
+}
+
+// TableNames lists tables in creation order.
+func (s *Store) TableNames() []string {
+	return append([]string(nil), s.parts[0].tables.Load().order...)
+}
+
+// Count returns the number of live rows across all partitions. Each
+// partition's table keeps a live-row counter, so this is O(partitions) and
+// scan-free. A counter moves by one bulk add per mutation, after its epoch
+// publishes, so Count never includes a partially applied batch. Readers
+// that need a count exactly consistent with other reads should use
+// Snapshot().Count, which tallies at the pinned epoch vector.
+func (s *Store) Count(tableName string) (int, error) {
+	total := 0
+	for _, p := range s.parts {
+		t, ok := p.tables.Load().byName[tableName]
+		if !ok {
+			return 0, fmt.Errorf("relstore: no table %s", tableName)
+		}
+		total += int(t.live.Load())
+	}
+	return total, nil
+}
+
+// Insert adds one row to partition 0 and returns its assigned primary key.
+// Partition-aware callers should route through Writer instead.
+func (s *Store) Insert(tableName string, row Row) (int64, error) {
+	return s.parts[0].insert(s, tableName, row, false)
+}
+
+// InsertOwned is Writer.InsertOwned against partition 0.
+func (s *Store) InsertOwned(tableName string, row Row) (int64, error) {
+	return s.parts[0].insert(s, tableName, row, true)
+}
+
+// InsertBatch adds many rows to partition 0 under one lock acquisition,
+// one epoch, and one WAL write — the fast path the stampede loader batches
+// into. It fails atomically: on any error no row from the batch is applied.
+// Because the whole batch publishes as a single epoch, a snapshot either
+// sees all of the batch or none of it.
+func (s *Store) InsertBatch(tableName string, rows []Row) ([]int64, error) {
+	return s.parts[0].insertBatch(s, tableName, rows)
+}
+
+// InsertBatchParts adds many rows in one atomic batch spanning partitions:
+// rows[i] goes to partition parts[i]. The involved partitions' writer
+// mutexes are taken in ascending order (deadlock-free against concurrent
+// multi-partition batches), every row is validated before any is applied,
+// primary keys are assigned in input order, and the per-partition epochs
+// publish inside one odd mpSeq interval — so a snapshot observes all of
+// the batch or none of it, never a torn subset.
+func (s *Store) InsertBatchParts(tableName string, rows []Row, parts []int) ([]int64, error) {
+	if len(rows) != len(parts) {
+		return nil, fmt.Errorf("relstore: InsertBatchParts: %d rows but %d partition assignments", len(rows), len(parts))
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	involved := make([]bool, len(s.parts))
+	for _, pi := range parts {
+		if pi < 0 || pi >= len(s.parts) {
+			return nil, fmt.Errorf("relstore: partition %d out of range [0,%d)", pi, len(s.parts))
+		}
+		involved[pi] = true
+	}
+	var locked []*partition
+	for i, p := range s.parts {
+		if involved[i] {
+			p.writeMu.Lock()
+			locked = append(locked, p)
 		}
 	}
-	return id, nil
-}
+	unlock := func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			locked[i].writeMu.Unlock()
+		}
+	}
 
-// InsertBatch adds many rows under one lock acquisition, one epoch, and
-// one WAL write — the fast path the stampede loader batches into. It fails
-// atomically: on any error no row from the batch is applied. Because the
-// whole batch publishes as a single epoch, a snapshot either sees all of
-// the batch or none of it.
-func (s *Store) InsertBatch(tableName string, rows []Row) ([]int64, error) {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	t, ok := s.tables.Load().byName[tableName]
-	if !ok {
-		return nil, fmt.Errorf("relstore: no table %s", tableName)
+	tbl := make([]*table, len(s.parts))
+	for i, p := range s.parts {
+		if !involved[i] {
+			continue
+		}
+		t, err := p.table(tableName)
+		if err != nil {
+			unlock()
+			return nil, err
+		}
+		tbl[i] = t
 	}
-	normalized := make([]Row, len(rows))
+
 	// Validate everything before mutating, so failure is atomic. Unique
-	// checks must also consider earlier rows in the same batch.
-	batchKeys := make([]map[string]bool, len(t.schema.Unique))
-	for i := range batchKeys {
-		batchKeys[i] = make(map[string]bool)
-	}
+	// checks consider earlier rows of the batch bound for the same
+	// partition (uniqueness is enforced per partition; rows that share a
+	// routing key land in the same partition, which is what makes the
+	// per-partition check globally sufficient under workflow routing).
+	normalized := make([]Row, len(rows))
+	batchKeys := make(map[int][]map[string]bool)
 	for i, r := range rows {
+		pi := parts[i]
+		t := tbl[pi]
 		n, err := t.normalize(r)
 		if err != nil {
+			unlock()
 			return nil, fmt.Errorf("row %d: %w", i, err)
 		}
 		if err := t.checkUnique(n, 0); err != nil {
+			unlock()
 			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		bk, ok := batchKeys[pi]
+		if !ok {
+			bk = make([]map[string]bool, len(t.schema.Unique))
+			for u := range bk {
+				bk[u] = make(map[string]bool)
+			}
+			batchKeys[pi] = bk
 		}
 		for u, cols := range t.schema.Unique {
 			key := compositeKey(n, cols)
-			if batchKeys[u][key] {
+			if bk[u][key] {
+				unlock()
 				return nil, fmt.Errorf("row %d: %w", i, &UniqueError{Table: tableName, Columns: cols})
 			}
-			batchKeys[u][key] = true
+			bk[u][key] = true
 		}
-		if err := s.checkForeignKeys(t, n); err != nil {
+		if err := s.checkForeignKeys(s.parts[pi], t, n); err != nil {
+			unlock()
 			return nil, fmt.Errorf("row %d: %w", i, err)
 		}
 		normalized[i] = n
 	}
-	e := s.epoch.Load() + 1
-	ids := make([]int64, len(normalized))
-	for i, n := range normalized {
-		id := t.nextID
-		t.nextID++
-		n["id"] = id
-		t.putRow(n, e)
-		ids[i] = id
-	}
-	s.epoch.Store(e)
-	t.live.Add(int64(len(normalized)))
-	if w := s.wal.Load(); w != nil {
-		if err := w.logInsertBatch(tableName, normalized); err != nil {
-			return ids, err
+
+	newE := make([]uint64, len(s.parts))
+	perPart := make([][]Row, len(s.parts))
+	counts := make([]int64, len(s.parts))
+	for i, p := range s.parts {
+		if involved[i] {
+			newE[i] = p.epoch.Load() + 1
 		}
 	}
-	return ids, nil
+	ids := make([]int64, len(rows))
+	for i, n := range normalized {
+		pi := parts[i]
+		id := tbl[pi].alloc.Add(1)
+		n["id"] = id
+		tbl[pi].putRow(n, newE[pi])
+		ids[i] = id
+		perPart[pi] = append(perPart[pi], n)
+		counts[pi]++
+	}
+	// Publish all involved epochs inside one odd seqlock interval.
+	s.mpSeq.Add(1)
+	for i, p := range s.parts {
+		if involved[i] {
+			p.epoch.Store(newE[i])
+		}
+	}
+	s.mpSeq.Add(1)
+	for i := range s.parts {
+		if involved[i] {
+			tbl[i].live.Add(counts[i])
+		}
+	}
+	var werr error
+	for i, p := range s.parts {
+		if !involved[i] {
+			continue
+		}
+		if w := p.wal.Load(); w != nil {
+			if err := w.logInsertBatch(tableName, perPart[i]); err != nil {
+				if werr == nil {
+					werr = err
+				}
+			} else {
+				p.noteRecords(s, 1)
+			}
+		}
+	}
+	unlock()
+	return ids, werr
 }
 
-// checkForeignKeys verifies row's FK values against the writer's view; the
-// caller holds writeMu, so referenced rows cannot vanish mid-check.
-func (s *Store) checkForeignKeys(t *table, row Row) error {
+// pinAll pins every partition's published epoch inside one even mpSeq
+// interval, so the resulting epoch vector can never straddle a
+// multi-partition batch commit.
+func (s *Store) pinAll() []*epochPin {
+	pins := make([]*epochPin, len(s.parts))
+	for {
+		s0 := s.mpSeq.Load()
+		if s0&1 == 0 {
+			for i, p := range s.parts {
+				pins[i] = p.pin()
+			}
+			if s.mpSeq.Load() == s0 {
+				return pins
+			}
+			for i, p := range s.parts {
+				p.unpin(pins[i])
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// checkForeignKeys verifies row's FK values. The caller holds p's writeMu,
+// so a reference within the same partition is checked against a stable
+// writer view. References into other partitions are probed lock-free
+// against their newest published state; under the archive's workflow
+// routing these are append-only parent rows (workflow, host), so the probe
+// is exact in practice.
+func (s *Store) checkForeignKeys(p *partition, t *table, row Row) error {
 	if !s.checkFKs.Load() {
 		return nil
 	}
-	ts := s.tables.Load()
 	for _, fk := range t.schema.ForeignKeys {
 		v := row[fk.Column]
 		if v == nil {
 			continue // null FK means "no reference", as in SQL
 		}
-		ref, ok := ts.byName[fk.RefTable]
+		ref, ok := p.tables.Load().byName[fk.RefTable]
 		if !ok {
 			return fmt.Errorf("relstore: %s.%s references missing table %s", t.schema.Name, fk.Column, fk.RefTable)
 		}
-		if !refExists(ref, fk.RefColumn, v) {
+		if refExists(ref, fk.RefColumn, v, true) {
+			continue
+		}
+		found := false
+		for _, q := range s.parts {
+			if q == p {
+				continue
+			}
+			if refq, ok := q.tables.Load().byName[fk.RefTable]; ok && refExists(refq, fk.RefColumn, v, false) {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return &FKError{
 				Table: t.schema.Name, Column: fk.Column,
 				RefTable: fk.RefTable, RefColumn: fk.RefColumn, Value: v,
@@ -261,7 +447,12 @@ func (s *Store) checkForeignKeys(t *table, row Row) error {
 	return nil
 }
 
-func refExists(ref *table, col string, v any) bool {
+// refExists probes one table instance for a live row with col = v.
+// writerView means the caller holds that partition's writeMu and may use
+// the writer-unlocked index read path; otherwise the reader-safe locked
+// path is used. Row-chain probes (the id fast path and the scan fallback)
+// are lock-free-safe either way.
+func refExists(ref *table, col string, v any, writerView bool) bool {
 	if col == "id" {
 		id, ok := v.(int64)
 		if !ok {
@@ -274,12 +465,32 @@ func refExists(ref *table, col string, v any) bool {
 	probe := Row{col: v}
 	for i, cols := range ref.schema.Unique {
 		if len(cols) == 1 && cols[0] == col {
-			_, ok := ref.uniques[i].liveID(compositeKey(probe, cols))
+			key := compositeKey(probe, cols)
+			if writerView {
+				_, ok := ref.uniques[i].liveID(key)
+				return ok
+			}
+			_, ok := ref.uniques[i].liveIDLocked(key)
 			return ok
 		}
 	}
-	if ix := ref.findIndex([]string{col}); ix >= 0 {
-		_, ok := ref.indexes[ix].liveID(compositeKey(probe, []string{col}))
+	if ixn := ref.findIndex([]string{col}); ixn >= 0 {
+		ix := ref.indexes[ixn]
+		if ix.mi != nil {
+			v, isNil := intKeyOf(probe, ix.intCol)
+			if writerView {
+				_, ok := ix.liveIDInt(v, isNil)
+				return ok
+			}
+			_, ok := ix.liveIDIntLocked(v, isNil)
+			return ok
+		}
+		key := compositeKey(probe, []string{col})
+		if writerView {
+			_, ok := ix.liveID(key)
+			return ok
+		}
+		_, ok := ix.liveIDLocked(key)
 		return ok
 	}
 	found := false
@@ -301,155 +512,64 @@ func (s *Store) Get(tableName string, id int64) (Row, error) {
 	return v.get(tableName, id)
 }
 
-// Update rewrites the named columns of the row with primary key id.
+// partitionOf finds the partition holding a live-or-recent chain for id,
+// or nil. Rows never migrate between partitions, so a lock-free probe
+// suffices to locate the owner before taking its writer mutex.
+func (s *Store) partitionOf(tableName string, id int64) *partition {
+	for _, p := range s.parts {
+		if t, ok := p.tables.Load().byName[tableName]; ok {
+			if _, ok := t.rows.Load(id); ok {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// Update rewrites the named columns of the row with primary key id,
+// wherever it lives.
 func (s *Store) Update(tableName string, id int64, changes Row) error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	t, ok := s.tables.Load().byName[tableName]
-	if !ok {
+	if p := s.partitionOf(tableName, id); p != nil {
+		return p.update(s, tableName, id, changes)
+	}
+	if _, ok := s.parts[0].tables.Load().byName[tableName]; !ok {
 		return fmt.Errorf("relstore: no table %s", tableName)
 	}
-	chain, ok := t.rows.Load(id)
-	var old *rowVersion
-	if ok {
-		old = chain.liveVersion()
-	}
-	if old == nil {
-		return fmt.Errorf("relstore: %s has no row %d", tableName, id)
-	}
-	merged := old.row.Clone()
-	for k, v := range changes {
-		if k == "id" {
-			return fmt.Errorf("relstore: cannot update primary key")
-		}
-		ct, ok := t.colType[k]
-		if !ok {
-			return fmt.Errorf("relstore: table %s has no column %s", tableName, k)
-		}
-		cvv, err := coerce(tableName, k, ct, v)
-		if err != nil {
-			return err
-		}
-		if cvv == nil {
-			nullable := false
-			for _, c := range t.schema.Columns {
-				if c.Name == k {
-					nullable = c.Nullable
-					break
-				}
-			}
-			if !nullable {
-				return fmt.Errorf("relstore: table %s: column %s may not be null", tableName, k)
-			}
-		}
-		merged[k] = cvv
-	}
-	if err := t.checkUnique(merged, id); err != nil {
-		return err
-	}
-	if err := s.checkForeignKeys(t, merged); err != nil {
-		return err
-	}
-	e := s.epoch.Load() + 1
-	t.supersede(chain, old, merged, e)
-	s.gcAfterWrite(t, chain, id, old.row, merged, e-1)
-	s.epoch.Store(e)
-	if w := s.wal.Load(); w != nil {
-		if err := w.logUpdate(tableName, id, merged); err != nil {
-			return err
-		}
-	}
-	return nil
+	return fmt.Errorf("relstore: %s has no row %d", tableName, id)
 }
 
-// Delete removes a row; deleting an absent row is a no-op.
+// Delete removes a row wherever it lives; deleting an absent row is a
+// no-op.
 func (s *Store) Delete(tableName string, id int64) error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	t, ok := s.tables.Load().byName[tableName]
-	if !ok {
+	if p := s.partitionOf(tableName, id); p != nil {
+		return p.delete(s, tableName, id)
+	}
+	if _, ok := s.parts[0].tables.Load().byName[tableName]; !ok {
 		return fmt.Errorf("relstore: no table %s", tableName)
-	}
-	chain, ok := t.rows.Load(id)
-	if !ok {
-		return nil
-	}
-	old := chain.liveVersion()
-	if old == nil {
-		return nil
-	}
-	e := s.epoch.Load() + 1
-	t.kill(old, e)
-	s.gcAfterWrite(t, chain, id, old.row, nil, e-1)
-	s.epoch.Store(e)
-	t.live.Add(-1)
-	if w := s.wal.Load(); w != nil {
-		if err := w.logDelete(tableName, id); err != nil {
-			return err
-		}
 	}
 	return nil
 }
 
-// gcHorizon is the oldest epoch any current or future reader can pin:
-// the oldest registered pin's epoch, or the last published epoch when
-// none is open. minLive is read under snapMu so the computation
-// serializes with pin registration: a registration is one snapMu
-// critical section (epoch load + minLive publish), so it either lands
-// before this read — and minLive accounts for it — or it runs entirely
-// after, in which case it loads an epoch >= published (the caller only
-// publishes a newer epoch after pruning) and cannot observe anything
-// pruned at or below the horizon returned here. Without the mutex a
-// registration preempted between loading epoch E and publishing
-// minLive=E would let a writer prune at a horizon above E, silently
-// emptying the not-yet-registered reader's view.
-func (s *Store) gcHorizon(published uint64) uint64 {
-	s.snapMu.Lock()
-	m := s.minLive.Load()
-	s.snapMu.Unlock()
-	if m < published {
-		return m
-	}
-	return published
-}
-
-// gcAfterWrite prunes the version chains a mutation just touched — the
-// row's own chain plus the posting chains for the old and new key values —
-// so hot rows (job-state updates, instance retries) do not accumulate
-// history when no snapshot needs it. oldRow/newRow may be nil.
-func (s *Store) gcAfterWrite(t *table, c *rowChain, id int64, oldRow, newRow Row, published uint64) {
-	minE := s.gcHorizon(published)
-	n := pruneChain(c, minE)
-	if hv := c.head.Load(); hv != nil {
-		if end := hv.end.Load(); end != 0 && end <= minE {
-			// The whole chain is invisible at and after the horizon:
-			// drop the row entry itself. Primary keys are never reused,
-			// so a later insert cannot collide with a paused reader.
-			t.rows.Delete(id)
-			n++
-		}
-	}
-	if oldRow != nil {
-		n += t.pruneRowKeys(oldRow, minE)
-	}
-	if newRow != nil {
-		n += t.pruneRowKeys(newRow, minE)
-	}
-	if n > 0 {
-		mVersionReclaims.Add(uint64(n))
-	}
-}
-
-// GC sweeps every table, pruning all row and posting versions that no live
-// or future snapshot can observe, and returns the number reclaimed.
+// GC sweeps every partition, pruning all row and posting versions that no
+// live or future snapshot can observe, and returns the number reclaimed.
 // Writers already prune the chains they touch as they go; GC is the full
-// sweep for workloads that update hot rows and then go quiet.
+// sweep for workloads that update hot rows and then go quiet. Partitions
+// are swept one at a time, so GC never stalls more than one writer.
 func (s *Store) GC() int {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	minE := s.gcHorizon(s.epoch.Load())
 	total := 0
-	ts := s.tables.Load()
+	for _, p := range s.parts {
+		total += p.gc()
+	}
+	return total
+}
+
+// gc sweeps one partition under its writer mutex.
+func (p *partition) gc() int {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	minE := p.gcHorizon(p.epoch.Load())
+	total := 0
+	ts := p.tables.Load()
 	for _, name := range ts.order {
 		t := ts.byName[name]
 		t.rows.Range(func(id int64, c *rowChain) bool {
@@ -470,7 +590,7 @@ func (s *Store) GC() int {
 		}
 	}
 	if total > 0 {
-		mVersionReclaims.Add(uint64(total))
+		p.mReclaims.Add(uint64(total))
 	}
 	return total
 }

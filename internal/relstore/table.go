@@ -20,8 +20,12 @@ import (
 type table struct {
 	schema  *TableSchema
 	colType map[string]ColType
-	rows    rowMap       // id -> *rowChain, see rowmap.go
-	nextID  int64        // writer-owned: only touched under Store.writeMu
+	rows    rowMap // id -> *rowChain, see rowmap.go
+	// alloc is the primary-key allocator, shared by every partition's
+	// instance of one logical table so ids are unique store-wide and —
+	// crucially — assigned in call order under sequential replay, which is
+	// what keeps Snapshot.Hash independent of the partition count.
+	alloc   *atomic.Int64
 	live    atomic.Int64 // rows visible at the newest epoch (O(1) Store.Count)
 	uniques []*postingIndex
 	indexes []*postingIndex
@@ -168,6 +172,48 @@ func pruneChain(c *rowChain, minE uint64) int {
 type postingIndex struct {
 	mu sync.RWMutex
 	m  map[string]*postingBucket
+	// mi replaces m for indexes over exactly one Int column (most of the
+	// archive's hot secondary indexes — wf_id, job_id, job_instance_id):
+	// buckets are keyed by the column value directly, so the insert path
+	// skips the composite-key encode, hashes an int64 instead of a byte
+	// string, and never materialises a key string for the map — at a
+	// million rows those per-new-key allocations and string rehashes are
+	// a measurable slice of load time. nilb is the bucket for rows whose
+	// indexed column is NULL (the "\x00nil" key of the string form).
+	// Locking is identical to m: the writer reads unlocked, map/nilb
+	// mutations and reader lookups synchronise on mu.
+	mi     map[int64]*postingBucket
+	nilb   *postingBucket
+	intCol string // the indexed column when mi is non-nil
+}
+
+// intKeyOf extracts row's value for a specialized index column. normalize
+// guarantees an Int column holds int64 or nil, so anything else is nil.
+func intKeyOf(row Row, col string) (v int64, isNil bool) {
+	if x, ok := row[col].(int64); ok {
+		return x, false
+	}
+	return 0, true
+}
+
+// bucketInt returns the bucket for value v (or the NULL bucket).
+// Writer-only: the unlocked map read mirrors addPosting's ix.m access.
+func (ix *postingIndex) bucketInt(v int64, isNil bool) *postingBucket {
+	if isNil {
+		return ix.nilb
+	}
+	return ix.mi[v]
+}
+
+// bucketIntLocked is bucketInt for goroutines not holding the partition's
+// writer mutex.
+func (ix *postingIndex) bucketIntLocked(v int64, isNil bool) *postingBucket {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if isNil {
+		return ix.nilb
+	}
+	return ix.mi[v]
 }
 
 // postingBucket is every row that ever matched one key. Readers walk
@@ -277,20 +323,85 @@ func (t *table) addPostingIn(ix *postingIndex, key []byte, b *postingBucket, id 
 	}
 	c := b.chainOf(id)
 	if c == nil {
-		c = t.newPChain(id)
-		c.next.Store(b.chains.Load())
-		b.chains.Store(c)
-		if b.wByID != nil {
-			b.wByID[id] = c
-		} else if b.ids >= bucketMapThreshold {
-			m := make(map[int64]*postingChain, 2*bucketMapThreshold)
-			for x := b.chains.Load(); x != nil; x = x.next.Load() {
-				m[x.id] = x
-			}
-			b.wByID = m
-		}
-		b.ids++
+		c = t.attachChain(b, id)
 	}
+	t.pushPosting(c, e)
+}
+
+// addFreshPosting is addPostingIn for a row id the index has never seen —
+// every brand-new insert, since primary keys are never reused. The
+// bucket's chainOf probe is skipped: in a hot many-row bucket (all jobs
+// of one workflow under the wf_id index, say) that probe is a lookup in
+// a wByID map the size of the table, paid per insert for a chain that
+// cannot exist.
+func (t *table) addFreshPosting(ix *postingIndex, key []byte, b *postingBucket, id int64, e uint64) {
+	if b == nil {
+		b = t.newBucket()
+		ix.mu.Lock()
+		ix.m[string(key)] = b
+		ix.mu.Unlock()
+	}
+	t.pushPosting(t.attachChain(b, id), e)
+}
+
+// addPostingInt is addPostingIn for a specialized single-Int index.
+func (t *table) addPostingInt(ix *postingIndex, v int64, isNil bool, id int64, e uint64) {
+	b := ix.bucketInt(v, isNil)
+	if b == nil {
+		b = t.newIntBucket(ix, v, isNil)
+	}
+	c := b.chainOf(id)
+	if c == nil {
+		c = t.attachChain(b, id)
+	}
+	t.pushPosting(c, e)
+}
+
+// addFreshPostingInt is addFreshPosting for a specialized single-Int
+// index: no key encode, no chainOf probe.
+func (t *table) addFreshPostingInt(ix *postingIndex, v int64, isNil bool, id int64, e uint64) {
+	b := ix.bucketInt(v, isNil)
+	if b == nil {
+		b = t.newIntBucket(ix, v, isNil)
+	}
+	t.pushPosting(t.attachChain(b, id), e)
+}
+
+// newIntBucket installs an empty bucket under value v (or NULL) of a
+// specialized index.
+func (t *table) newIntBucket(ix *postingIndex, v int64, isNil bool) *postingBucket {
+	b := t.newBucket()
+	ix.mu.Lock()
+	if isNil {
+		ix.nilb = b
+	} else {
+		ix.mi[v] = b
+	}
+	ix.mu.Unlock()
+	return b
+}
+
+// attachChain creates and links a new chain for row id into bucket b,
+// maintaining the wByID acceleration map. Writer-only.
+func (t *table) attachChain(b *postingBucket, id int64) *postingChain {
+	c := t.newPChain(id)
+	c.next.Store(b.chains.Load())
+	b.chains.Store(c)
+	if b.wByID != nil {
+		b.wByID[id] = c
+	} else if b.ids >= bucketMapThreshold {
+		m := make(map[int64]*postingChain, 2*bucketMapThreshold)
+		for x := b.chains.Load(); x != nil; x = x.next.Load() {
+			m[x.id] = x
+		}
+		b.wByID = m
+	}
+	b.ids++
+	return c
+}
+
+// pushPosting opens a live interval at epoch e on chain c. Writer-only.
+func (t *table) pushPosting(c *postingChain, e uint64) {
 	p := t.newPosting(e)
 	p.next.Store(c.head.Load())
 	c.head.Store(p)
@@ -324,6 +435,19 @@ func (ix *postingIndex) endPosting(key []byte, id int64, e uint64) {
 	if !ok {
 		return
 	}
+	endChainPosting(b, id, e)
+}
+
+// endPostingInt is endPosting for a specialized single-Int index.
+func (ix *postingIndex) endPostingInt(v int64, isNil bool, id int64, e uint64) {
+	b := ix.bucketInt(v, isNil)
+	if b == nil {
+		return
+	}
+	endChainPosting(b, id, e)
+}
+
+func endChainPosting(b *postingBucket, id int64, e uint64) {
 	if c := b.chainOf(id); c != nil {
 		if p := c.head.Load(); p != nil && p.end.Load() == 0 {
 			p.end.Store(e)
@@ -339,6 +463,46 @@ func (ix *postingIndex) liveID(key string) (int64, bool) {
 		return 0, false
 	}
 	return b.liveID()
+}
+
+// liveIDLocked is liveID for goroutines that do not hold this partition's
+// writer mutex (cross-partition FK probes): the map access takes the read
+// lock; the bucket walk is the same lock-free atomic traversal readers use.
+func (ix *postingIndex) liveIDLocked(key string) (int64, bool) {
+	ix.mu.RLock()
+	b, ok := ix.m[key]
+	ix.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	return b.liveID()
+}
+
+// liveIDInt / liveIDIntLocked are the liveID pair for a specialized
+// single-Int index.
+func (ix *postingIndex) liveIDInt(v int64, isNil bool) (int64, bool) {
+	b := ix.bucketInt(v, isNil)
+	if b == nil {
+		return 0, false
+	}
+	return b.liveID()
+}
+
+func (ix *postingIndex) liveIDIntLocked(v int64, isNil bool) (int64, bool) {
+	b := ix.bucketIntLocked(v, isNil)
+	if b == nil {
+		return 0, false
+	}
+	return b.liveID()
+}
+
+// noteID raises the shared id allocator to at least id; replay and
+// checkpoint load call it so post-recovery inserts continue above every
+// recovered primary key. Single-threaded (recovery) only.
+func (t *table) noteID(id int64) {
+	if id > t.alloc.Load() {
+		t.alloc.Store(id)
+	}
 }
 
 // idAt returns the id of the row holding key at epoch e. For unique keys
@@ -365,6 +529,22 @@ func (ix *postingIndex) idsAt(key string, e uint64) []int64 {
 	b, ok := ix.m[key]
 	ix.mu.RUnlock()
 	if !ok {
+		return nil
+	}
+	var ids []int64
+	for c := b.chains.Load(); c != nil; c = c.next.Load() {
+		if c.visibleIn(e) {
+			ids = append(ids, c.id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// idsAtInt is idsAt for a specialized single-Int index.
+func (ix *postingIndex) idsAtInt(v int64, isNil bool, e uint64) []int64 {
+	b := ix.bucketIntLocked(v, isNil)
+	if b == nil {
 		return nil
 	}
 	var ids []int64
@@ -446,9 +626,41 @@ func (ix *postingIndex) pruneID(key []byte, id int64, minE uint64) int {
 	if !ok {
 		return 0
 	}
+	n, emptied := pruneChainIn(b, id, minE)
+	if emptied {
+		ix.mu.Lock()
+		delete(ix.m, string(key))
+		ix.mu.Unlock()
+	}
+	return n
+}
+
+// pruneIDInt is pruneID for a specialized single-Int index.
+func (ix *postingIndex) pruneIDInt(v int64, isNil bool, id int64, minE uint64) int {
+	b := ix.bucketInt(v, isNil)
+	if b == nil {
+		return 0
+	}
+	n, emptied := pruneChainIn(b, id, minE)
+	if emptied {
+		ix.mu.Lock()
+		if isNil {
+			ix.nilb = nil
+		} else {
+			delete(ix.mi, v)
+		}
+		ix.mu.Unlock()
+	}
+	return n
+}
+
+// pruneChainIn prunes bucket b's chain for row id, reporting reclaimed
+// postings and whether the bucket emptied (the caller drops its key).
+// Writer-only.
+func pruneChainIn(b *postingBucket, id int64, minE uint64) (int, bool) {
 	c := b.chainOf(id)
 	if c == nil {
-		return 0
+		return 0, false
 	}
 	n, empty := pruneIntervals(c, minE)
 	if empty {
@@ -457,13 +669,8 @@ func (ix *postingIndex) pruneID(key []byte, id int64, minE uint64) int {
 			delete(b.wByID, id)
 		}
 		b.ids--
-		if b.ids == 0 {
-			ix.mu.Lock()
-			delete(ix.m, string(key))
-			ix.mu.Unlock()
-		}
 	}
-	return n
+	return n, b.ids == 0 && empty
 }
 
 // pruneAll prunes every chain in the index. Writer-only. Unlinking a
@@ -471,31 +678,49 @@ func (ix *postingIndex) pruneID(key []byte, id int64, minE uint64) int {
 func (ix *postingIndex) pruneAll(minE uint64) int {
 	n := 0
 	for key, b := range ix.m {
-		for c := b.chains.Load(); c != nil; c = c.next.Load() {
-			r, empty := pruneIntervals(c, minE)
-			n += r
-			if empty {
-				b.unlink(c)
-				if b.wByID != nil {
-					delete(b.wByID, c.id)
-				}
-				b.ids--
-			}
-		}
-		if b.ids == 0 {
+		if pruneBucketAll(b, minE, &n) {
 			ix.mu.Lock()
 			delete(ix.m, key)
 			ix.mu.Unlock()
 		}
 	}
+	for v, b := range ix.mi {
+		if pruneBucketAll(b, minE, &n) {
+			ix.mu.Lock()
+			delete(ix.mi, v)
+			ix.mu.Unlock()
+		}
+	}
+	if b := ix.nilb; b != nil && pruneBucketAll(b, minE, &n) {
+		ix.mu.Lock()
+		ix.nilb = nil
+		ix.mu.Unlock()
+	}
 	return n
 }
 
-func newTable(s *TableSchema) *table {
+// pruneBucketAll prunes every chain of one bucket, accumulating reclaimed
+// postings into *n and reporting whether the bucket emptied. Writer-only.
+func pruneBucketAll(b *postingBucket, minE uint64, n *int) bool {
+	for c := b.chains.Load(); c != nil; c = c.next.Load() {
+		r, empty := pruneIntervals(c, minE)
+		*n += r
+		if empty {
+			b.unlink(c)
+			if b.wByID != nil {
+				delete(b.wByID, c.id)
+			}
+			b.ids--
+		}
+	}
+	return b.ids == 0
+}
+
+func newTable(s *TableSchema, alloc *atomic.Int64) *table {
 	t := &table{
 		schema:   s,
 		colType:  make(map[string]ColType, len(s.Columns)+1),
-		nextID:   1,
+		alloc:    alloc,
 		ukeys:    make([][]byte, len(s.Unique)),
 		ubuckets: make([]*postingBucket, len(s.Unique)),
 	}
@@ -506,8 +731,13 @@ func newTable(s *TableSchema) *table {
 	for range s.Unique {
 		t.uniques = append(t.uniques, &postingIndex{m: map[string]*postingBucket{}})
 	}
-	for range s.Indexes {
-		t.indexes = append(t.indexes, &postingIndex{m: map[string]*postingBucket{}})
+	for _, cols := range s.Indexes {
+		ix := &postingIndex{m: map[string]*postingBucket{}}
+		if len(cols) == 1 && t.colType[cols[0]] == Int {
+			ix.mi = map[int64]*postingBucket{}
+			ix.intCol = cols[0]
+		}
+		t.indexes = append(t.indexes, ix)
 	}
 	return t
 }
@@ -529,11 +759,17 @@ func (t *table) putRowKeys(row Row, e uint64, ukeys [][]byte) {
 	id := row.ID()
 	t.rows.Store(id, c)
 	for i := range ukeys {
-		t.addPostingIn(t.uniques[i], ukeys[i], t.ubuckets[i], id, e)
+		t.addFreshPosting(t.uniques[i], ukeys[i], t.ubuckets[i], id, e)
 	}
 	for i, cols := range t.schema.Indexes {
+		if ix := t.indexes[i]; ix.mi != nil {
+			v, isNil := intKeyOf(row, ix.intCol)
+			t.addFreshPostingInt(ix, v, isNil, id, e)
+			continue
+		}
 		t.keyBuf = t.keyInto(t.keyBuf[:0], row, cols)
-		t.addPosting(t.indexes[i], t.keyBuf, id, e)
+		ix := t.indexes[i]
+		t.addFreshPosting(ix, t.keyBuf, ix.m[string(t.keyBuf)], id, e)
 	}
 }
 
@@ -549,6 +785,10 @@ func (t *table) supersede(c *rowChain, old *rowVersion, row Row, e uint64) {
 		t.reindexChanged(t.uniques[i], old.row, row, cols, id, e)
 	}
 	for i, cols := range t.schema.Indexes {
+		if ix := t.indexes[i]; ix.mi != nil {
+			t.reindexChangedInt(ix, old.row, row, id, e)
+			continue
+		}
 		t.reindexChanged(t.indexes[i], old.row, row, cols, id, e)
 	}
 	v := t.newVersion(row, e)
@@ -567,6 +807,21 @@ func (t *table) reindexChanged(ix *postingIndex, oldRow, newRow Row, cols []stri
 	}
 	ix.endPosting(t.keyBuf, id, e)
 	t.addPosting(ix, t.keyBuf2, id, e)
+}
+
+// reindexChangedInt is reindexChanged for a specialized single-Int index:
+// the old/new values compare directly, with no key encode at all on the
+// (dominant) unchanged path. The re-add goes through the chainOf-probing
+// addPostingInt — a value can flip back to one the row held before, whose
+// chain still exists.
+func (t *table) reindexChangedInt(ix *postingIndex, oldRow, newRow Row, id int64, e uint64) {
+	ov, onil := intKeyOf(oldRow, ix.intCol)
+	nv, nnil := intKeyOf(newRow, ix.intCol)
+	if ov == nv && onil == nnil {
+		return
+	}
+	ix.endPostingInt(ov, onil, id, e)
+	t.addPostingInt(ix, nv, nnil, id, e)
 }
 
 // kill tombstones the live version at epoch e (delete). As with putRow,
@@ -682,43 +937,16 @@ func (t *table) normalize(r Row) (Row, error) {
 	return out, nil
 }
 
-// normalizeOwned is normalize for callers that transfer ownership of r:
-// values are coerced in place and r itself becomes the stored row, saving
-// the per-insert defensive copy. The caller must not touch r afterwards
-// (InsertOwned documents the contract).
+// normalizeOwned is normalize for callers that transfer ownership of r.
+// The stored row is still a fresh map: callers typically pass a literal
+// holding only the present columns, and nil-filling the absent ones in
+// place would grow that undersized map through the runtime's incremental
+// rehash — hashing every key twice and churning allocations — which costs
+// more than one exactly-sized copy. Ownership transfer still matters for
+// the contract: the caller must not touch r afterwards, so coerced values
+// may alias it (InsertOwned documents this).
 func (t *table) normalizeOwned(r Row) (Row, error) {
-	delete(r, "id") // assigned by the table
-	n := len(r)
-	found := 0
-	for _, c := range t.schema.Columns {
-		v, present := r[c.Name]
-		if present {
-			found++
-		}
-		if !present || v == nil {
-			if !c.Nullable {
-				if !present {
-					return nil, fmt.Errorf("relstore: table %s: column %s is required", t.schema.Name, c.Name)
-				}
-				return nil, fmt.Errorf("relstore: table %s: column %s may not be null", t.schema.Name, c.Name)
-			}
-			if !present {
-				r[c.Name] = nil
-			}
-			continue
-		}
-		cv, err := coerce(t.schema.Name, c.Name, c.Type, v)
-		if err != nil {
-			return nil, err
-		}
-		if cv != v {
-			r[c.Name] = cv
-		}
-	}
-	if found != n {
-		return nil, t.unknownColumn(r)
-	}
-	return r, nil
+	return t.normalize(r)
 }
 
 // unknownColumn names a key of r that is not a column of t. Called only
@@ -758,6 +986,11 @@ func (t *table) unindexRow(row Row, e uint64) {
 		t.uniques[i].endPosting(t.keyBuf, id, e)
 	}
 	for i, cols := range t.schema.Indexes {
+		if ix := t.indexes[i]; ix.mi != nil {
+			v, isNil := intKeyOf(row, ix.intCol)
+			ix.endPostingInt(v, isNil, id, e)
+			continue
+		}
 		t.keyBuf = t.keyInto(t.keyBuf[:0], row, cols)
 		t.indexes[i].endPosting(t.keyBuf, id, e)
 	}
@@ -774,6 +1007,11 @@ func (t *table) pruneRowKeys(row Row, minE uint64) int {
 		n += t.uniques[i].pruneID(t.keyBuf, id, minE)
 	}
 	for i, cols := range t.schema.Indexes {
+		if ix := t.indexes[i]; ix.mi != nil {
+			v, isNil := intKeyOf(row, ix.intCol)
+			n += ix.pruneIDInt(v, isNil, id, minE)
+			continue
+		}
 		t.keyBuf = t.keyInto(t.keyBuf[:0], row, cols)
 		n += t.indexes[i].pruneID(t.keyBuf, id, minE)
 	}

@@ -7,32 +7,42 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/telemetry"
 )
 
-// WAL telemetry, shared by every store in the process. Flushes vs fsyncs
-// is the group-commit story in two counters: their ratio is how many
-// commit requests each disk sync absorbed.
+// WAL telemetry, shared by every store in the process and labeled by
+// partition. Flushes vs fsyncs is the group-commit story in two counters:
+// their ratio is how many commit requests each disk sync absorbed — now
+// observable per partition, since every partition runs its own independent
+// group commit.
 var (
-	mWALRecords = telemetry.NewCounter("stampede_relstore_wal_records_total",
-		"Records appended to write-ahead logs.")
-	mWALFlushes = telemetry.NewCounter("stampede_relstore_wal_flushes_total",
-		"Commit (Flush) requests; divide by fsyncs for the group-commit coalescing ratio.")
-	mWALFsyncs = telemetry.NewCounter("stampede_relstore_wal_fsyncs_total",
-		"fsyncs performed on write-ahead logs.")
-	mWALFsyncSeconds = telemetry.NewHistogram("stampede_relstore_wal_fsync_seconds",
-		"Latency of one WAL bufio flush + fsync.", telemetry.DurationBuckets)
+	mWALRecords = telemetry.NewCounterVec("stampede_relstore_wal_records_total",
+		"Records appended to write-ahead logs, by partition.", "partition")
+	mWALFlushes = telemetry.NewCounterVec("stampede_relstore_wal_flushes_total",
+		"Commit (Flush) requests; divide by fsyncs for the group-commit coalescing ratio.", "partition")
+	mWALFsyncs = telemetry.NewCounterVec("stampede_relstore_wal_fsyncs_total",
+		"fsyncs performed on write-ahead logs, by partition.", "partition")
+	mWALFsyncSeconds = telemetry.NewHistogramVec("stampede_relstore_wal_fsync_seconds",
+		"Latency of one WAL bufio flush + fsync.", telemetry.DurationBuckets, "partition")
 )
 
-// Persistence: every mutation appends one JSON record to a write-ahead
-// log. Open replays the log to rebuild the store, so a database file is
-// exactly the history of committed mutations — simple, crash-tolerant
-// (a torn final line is detected and ignored), and adequate for the
-// monitoring archive's append-mostly workload.
+// Persistence: every mutation appends one JSON record to its partition's
+// write-ahead log. Open (legacy single file) and OpenDir (partitioned
+// segments + checkpoints) replay the log to rebuild the store, so a
+// database is exactly the history of committed mutations — simple,
+// crash-tolerant (a torn final line is detected, and truncated in
+// directory mode), and adequate for the monitoring archive's
+// append-mostly workload. In directory mode each partition owns a chain
+// of segment files named wal-<start>.log, where <start> is the sequence
+// number of the segment's first record; checkpoints cut segments at their
+// exact high-water, so recovery's skip rule is simply "replay segments
+// whose start exceeds the checkpoint seq".
 
 type walRecord struct {
 	Op    string           `json:"op"` // create, insert, update, delete
@@ -43,26 +53,49 @@ type walRecord struct {
 }
 
 type walWriter struct {
-	mu   sync.Mutex // guards f, w, sync flag, seq
+	mu   sync.Mutex // guards f, w, sync flag, seq, fileStart
 	f    *os.File
 	w    *bufio.Writer
 	sync bool
-	seq  uint64 // records appended so far
+	seq  uint64 // records appended so far (absolute in directory mode)
+
+	// Directory mode: dir is the partition's segment directory and
+	// fileStart the seq of the current segment's first record. Empty dir
+	// means legacy single-file mode, which never rotates.
+	dir       string
+	fileStart uint64
 
 	// Group-commit state. Concurrent Flush callers elect one leader that
 	// flushes (and fsyncs) everything appended so far; the rest wait on
 	// cond and return as soon as `committed` covers the records they saw.
 	// With per-shard loader flushes this coalesces many ~200µs fsyncs
-	// into one.
+	// into one. rotate() also rides this state to exclude a leader whose
+	// fsync holds f outside mu.
 	cmu        sync.Mutex
 	cond       *sync.Cond
 	committing bool
 	committed  uint64 // highest seq known flushed (and synced, if enabled)
 	syncs      uint64 // fsyncs performed, for observing group-commit coalescing
+
+	// Pre-resolved per-partition telemetry children (Vec.With locks and
+	// must stay off the append path).
+	mRecords  *telemetry.Counter
+	mFlushes  *telemetry.Counter
+	mFsyncs   *telemetry.Counter
+	mFsyncLat *telemetry.Histogram
 }
 
-func newWalWriter(f *os.File) *walWriter {
-	w := &walWriter{f: f, w: bufio.NewWriterSize(f, 256*1024)}
+func newWalWriter(f *os.File, part int) *walWriter {
+	label := strconv.Itoa(part)
+	w := &walWriter{
+		f:         f,
+		w:         bufio.NewWriterSize(f, 256*1024),
+		fileStart: 1,
+		mRecords:  mWALRecords.With(label),
+		mFlushes:  mWALFlushes.With(label),
+		mFsyncs:   mWALFsyncs.With(label),
+		mFsyncLat: mWALFsyncSeconds.With(label),
+	}
 	w.cond = sync.NewCond(&w.cmu)
 	return w
 }
@@ -81,7 +114,7 @@ func (w *walWriter) append(rec walRecord) error {
 		return err
 	}
 	w.seq++
-	mWALRecords.Inc()
+	w.mRecords.Inc()
 	return nil
 }
 
@@ -118,7 +151,7 @@ func (w *walWriter) logDelete(tbl string, id int64) error {
 // without holding the append mutex, so shards keep appending while the
 // disk syncs.
 func (w *walWriter) flush() error {
-	mWALFlushes.Inc()
+	w.mFlushes.Inc()
 	w.mu.Lock()
 	target := w.seq
 	w.mu.Unlock()
@@ -176,8 +209,8 @@ func (w *walWriter) flush() error {
 	w.cmu.Lock()
 	if err == nil && doSync {
 		w.syncs++
-		mWALFsyncs.Inc()
-		mWALFsyncSeconds.ObserveSince(t0)
+		w.mFsyncs.Inc()
+		w.mFsyncLat.ObserveSince(t0)
 	}
 	w.committing = false
 	if err == nil && upto > w.committed {
@@ -188,6 +221,63 @@ func (w *walWriter) flush() error {
 	return err
 }
 
+// rotate cuts the WAL at its current record high-water S: it flushes (and
+// fsyncs, when sync is on) and closes the current segment, then opens a
+// fresh one starting at S+1. The caller holds the partition's writeMu, so
+// no append can interleave; rotate still excludes an in-flight group-commit
+// leader, which touches f outside mu during its fsync. When the current
+// segment holds no records it is reused and nothing is cut. Returns S.
+func (w *walWriter) rotate() (uint64, error) {
+	w.cmu.Lock()
+	for w.committing {
+		w.cond.Wait()
+	}
+	w.committing = true
+	w.cmu.Unlock()
+
+	done := func(committed uint64) {
+		w.cmu.Lock()
+		w.committing = false
+		if committed > w.committed {
+			w.committed = committed
+		}
+		w.cond.Broadcast()
+		w.cmu.Unlock()
+	}
+
+	w.mu.Lock()
+	S := w.seq
+	if w.dir == "" || S+1 == w.fileStart {
+		w.mu.Unlock()
+		done(0)
+		return S, nil
+	}
+	err := w.w.Flush()
+	if err == nil && w.sync {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		w.mu.Unlock()
+		done(0)
+		return S, err
+	}
+	nf, err := os.OpenFile(walPath(w.dir, S+1), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		w.mu.Unlock()
+		done(0)
+		return S, err
+	}
+	w.f = nf
+	w.w = bufio.NewWriterSize(nf, 256*1024)
+	w.fileStart = S + 1
+	w.mu.Unlock()
+	done(S)
+	return S, nil
+}
+
 func (w *walWriter) close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -196,6 +286,10 @@ func (w *walWriter) close() error {
 		return err
 	}
 	return w.f.Close()
+}
+
+func walPath(dir string, start uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%020d.log", start))
 }
 
 // encodeRow renders times as RFC 3339 strings so JSON round-trips; the
@@ -212,8 +306,10 @@ func encodeRow(r Row) map[string]any {
 	return out
 }
 
-// Open opens (or creates) a persistent store backed by the WAL file at
-// path, replaying any existing history first.
+// Open opens (or creates) a persistent single-partition store backed by
+// the one WAL file at path, replaying any existing history first. This is
+// the legacy single-file layout; OpenDir is the partitioned,
+// checkpoint-capable layout.
 func Open(path string) (*Store, error) {
 	s := NewStore()
 	if f, err := os.Open(path); err == nil {
@@ -229,58 +325,103 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.wal.Store(newWalWriter(f))
+	s.parts[0].wal.Store(newWalWriter(f, 0))
 	return s, nil
 }
 
-// SetSync makes every Flush also fsync the WAL file: full durability at
-// the cost of one disk sync per commit, the trade a production archive
-// makes and the reason the loader batches inserts. No-op for in-memory
-// stores.
+// SetSync makes every Flush also fsync the WAL files: full durability at
+// the cost of one disk sync per commit per partition, the trade a
+// production archive makes and the reason the loader batches inserts.
+// No-op for in-memory stores.
 func (s *Store) SetSync(on bool) {
-	if w := s.wal.Load(); w != nil {
-		w.setSync(on)
+	for _, p := range s.parts {
+		if w := p.wal.Load(); w != nil {
+			w.setSync(on)
+		}
 	}
 }
 
-// Syncs reports how many fsyncs the WAL has performed. With concurrent
-// Flush callers this is typically far below the number of Flush calls —
-// the visible effect of group commit. In-memory stores report 0.
+// Syncs reports how many fsyncs the WALs have performed, summed over
+// partitions. With concurrent Flush callers this is typically far below
+// the number of Flush calls — the visible effect of group commit.
+// In-memory stores report 0.
 func (s *Store) Syncs() uint64 {
-	w := s.wal.Load()
-	if w == nil {
-		return 0
+	var total uint64
+	for _, p := range s.parts {
+		w := p.wal.Load()
+		if w == nil {
+			continue
+		}
+		w.cmu.Lock()
+		total += w.syncs
+		w.cmu.Unlock()
 	}
-	w.cmu.Lock()
-	defer w.cmu.Unlock()
-	return w.syncs
+	return total
 }
 
-// Flush forces buffered WAL records to the OS. In-memory stores return nil.
+// Flush forces buffered WAL records to the OS on every partition,
+// flushing partitions in parallel — each partition's group commit and
+// fsync is independent, which is the point of the parallel WAL.
+// In-memory stores return nil.
 func (s *Store) Flush() error {
-	w := s.wal.Load()
-	if w == nil {
-		return nil
+	if len(s.parts) == 1 {
+		w := s.parts[0].wal.Load()
+		if w == nil {
+			return nil
+		}
+		return w.flush()
 	}
-	return w.flush()
+	errs := make([]error, len(s.parts))
+	var wg sync.WaitGroup
+	for i, p := range s.parts {
+		w := p.wal.Load()
+		if w == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, w *walWriter) {
+			defer wg.Done()
+			errs[i] = w.flush()
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// Close flushes and closes the WAL. The store remains usable in memory but
-// stops persisting. In-memory stores return nil.
+// Close flushes and closes every partition's WAL, waiting out any
+// in-flight background checkpoint first. The store remains usable in
+// memory but stops persisting. In-memory stores return nil.
 func (s *Store) Close() error {
-	w := s.wal.Swap(nil)
-	if w == nil {
-		return nil
+	var first error
+	for _, p := range s.parts {
+		// Taking ckptMu waits for a running checkpoint; a checkpoint that
+		// starts later sees the nil wal and no-ops.
+		p.ckptMu.Lock()
+		w := p.wal.Swap(nil)
+		p.ckptMu.Unlock()
+		if w != nil {
+			if err := w.close(); err != nil && first == nil {
+				first = err
+			}
+		}
 	}
-	return w.close()
+	unregisterCheckpointTelemetry(s)
+	return first
 }
 
-// replay applies WAL records to an empty store. Replay bypasses FK and
-// unique re-validation (the records were valid when written) but rebuilds
-// all indexes. Every record lands at epoch 1 — the store starts with a
-// flat, single-version history — and epoch 1 is published at the end. A
-// torn trailing record (crash mid-write) ends the replay cleanly.
+// replay applies legacy single-file WAL records into partition 0 of an
+// empty store. Replay bypasses FK and unique re-validation (the records
+// were valid when written) but rebuilds all indexes. Every record lands at
+// epoch 1 — the store starts with a flat, single-version history — and
+// epoch 1 is published at the end. A torn trailing record (crash
+// mid-write) ends the replay cleanly.
 func (s *Store) replay(r io.Reader) error {
+	p := s.parts[0]
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 256*1024), 64<<20)
 	line := 0
@@ -294,20 +435,23 @@ func (s *Store) replay(r io.Reader) error {
 		if err := json.Unmarshal(raw, &rec); err != nil {
 			// Only tolerate a torn *final* line; corruption mid-file is an error.
 			if !sc.Scan() {
-				s.epoch.Store(1)
+				p.epoch.Store(1)
 				return nil
 			}
 			return fmt.Errorf("line %d: %v", line, err)
 		}
-		if err := s.apply(rec); err != nil {
+		if err := s.applyRecord(p, rec); err != nil {
 			return fmt.Errorf("line %d: %w", line, err)
 		}
 	}
-	s.epoch.Store(1)
+	p.epoch.Store(1)
 	return sc.Err()
 }
 
-func (s *Store) apply(rec walRecord) error {
+// applyRecord applies one WAL record into partition p at epoch 1. Create
+// records go through CreateTable (idempotent, installs the table in every
+// partition); row records touch only p's table instances.
+func (s *Store) applyRecord(p *partition, rec walRecord) error {
 	const e = 1 // all replayed history lands in one epoch
 	switch rec.Op {
 	case "create":
@@ -316,7 +460,7 @@ func (s *Store) apply(rec walRecord) error {
 		}
 		return s.CreateTable(*rec.Sch)
 	case "insert":
-		t, ok := s.tables.Load().byName[rec.Table]
+		t, ok := p.tables.Load().byName[rec.Table]
 		if !ok {
 			return fmt.Errorf("insert into unknown table %s", rec.Table)
 		}
@@ -331,13 +475,11 @@ func (s *Store) apply(rec walRecord) error {
 			}
 			t.putRow(row, e)
 			t.live.Add(1)
-			if id >= t.nextID {
-				t.nextID = id + 1
-			}
+			t.noteID(id)
 		}
 		return nil
 	case "update":
-		t, ok := s.tables.Load().byName[rec.Table]
+		t, ok := p.tables.Load().byName[rec.Table]
 		if !ok {
 			return fmt.Errorf("update of unknown table %s", rec.Table)
 		}
@@ -363,7 +505,7 @@ func (s *Store) apply(rec walRecord) error {
 		t.live.Add(1)
 		return nil
 	case "delete":
-		t, ok := s.tables.Load().byName[rec.Table]
+		t, ok := p.tables.Load().byName[rec.Table]
 		if !ok {
 			return fmt.Errorf("delete from unknown table %s", rec.Table)
 		}

@@ -98,7 +98,12 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 		return nil, err
 	}
 
-	arch := archive.NewInMemory()
+	// One store partition per apply shard: shard routing and partition
+	// routing use the same workflow-uuid hash, so each shard commits
+	// through its own partition's writer mutex, epoch and (when durable)
+	// WAL segment — the soak exercises the same multi-writer layout the
+	// partitioned-store benches measure.
+	arch := archive.NewInMemoryN(opts.Shards)
 	res := &Result{Stream: stream, Arch: arch, LoaderRuns: 1}
 
 	// Loader lifecycle. Each run is a fresh Loader on the same archive (a
