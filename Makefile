@@ -41,9 +41,13 @@ soak-smoke:
 # and the pooled-parse micro-bench, parsed into BENCH_loader.json for
 # archiving and cross-run diffing. The loader benches also report
 # allocs/event (a MemStats delta over the timed region), the same quantity
-# production exposes as stampede_loader_allocs_per_event.
+# production exposes as stampede_loader_allocs_per_event. The subscriber
+# fan-out family runs at a fixed iteration count: its acceptance is a
+# ratio (10k-subscriber throughput vs 0), so the three variants need
+# enough iterations that GC and flush-burst placement average out.
 bench:
-	$(GO) test -bench 'BenchmarkLoader|BenchmarkReadersUnderLoad|BenchmarkParseBytes|BenchmarkEventlog' -benchmem -run XXX . \
+	{ $(GO) test -bench 'BenchmarkLoader|BenchmarkReadersUnderLoad|BenchmarkParseBytes|BenchmarkEventlog|BenchmarkDashboardRequests' -benchmem -run XXX . ; \
+	  $(GO) test -bench 'BenchmarkSubscribersUnderLoad' -benchmem -benchtime 250x -run XXX . ; } \
 		| $(GO) run ./cmd/benchjson -out BENCH_loader.json
 
 # The benchmark-regression gate: a quick subset of the loader benches
@@ -54,7 +58,8 @@ bench:
 # need a real iteration count or three ops of noise would gate.
 bench-diff:
 	{ $(GO) test -bench 'BenchmarkLoaderScale1k$$|BenchmarkLoaderScale10kEventlog$$|BenchmarkLoaderPartitioned4$$' -benchmem -benchtime 3x -run XXX . ; \
-	  $(GO) test -bench 'BenchmarkParseBytes|BenchmarkEventlogAppend' -benchmem -benchtime 200000x -run XXX . ; } \
+	  $(GO) test -bench 'BenchmarkParseBytes|BenchmarkEventlogAppend' -benchmem -benchtime 200000x -run XXX . ; \
+	  $(GO) test -bench 'BenchmarkDashboardRequestsView$$' -benchmem -benchtime 2000x -run XXX . ; } \
 		| $(GO) run ./cmd/benchjson -out /tmp/bench-head.json -diff BENCH_loader.json -threshold 0.15
 
 bench-full:

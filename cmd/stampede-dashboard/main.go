@@ -21,12 +21,16 @@ import (
 	"repro/internal/query"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/views"
 )
 
-// reloadingHandler swaps in a freshly replayed archive on an interval.
+// reloadingHandler swaps in a freshly replayed archive on an interval,
+// tearing down the previous generation's resources (the materialized
+// views' flush goroutine) once it is out of the serve path.
 type reloadingHandler struct {
 	mu      sync.RWMutex
 	current http.Handler
+	cleanup func()
 }
 
 func (h *reloadingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -36,10 +40,18 @@ func (h *reloadingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	cur.ServeHTTP(w, r)
 }
 
-func (h *reloadingHandler) swap(next http.Handler) {
+func (h *reloadingHandler) swap(next http.Handler, cleanup func()) {
 	h.mu.Lock()
+	old := h.cleanup
 	h.current = next
+	h.cleanup = cleanup
 	h.mu.Unlock()
+	// In-flight requests against the old generation may still be running;
+	// views.Close only stops the flusher and leaves the state readable, so
+	// tearing down immediately after the swap is safe.
+	if old != nil {
+		old()
+	}
 }
 
 func main() {
@@ -65,28 +77,40 @@ func main() {
 		fmt.Printf("pprof on http://%s\n", addr)
 	}
 
-	load := func() (http.Handler, error) {
+	load := func() (http.Handler, func(), error) {
 		arch, err := archive.Open(*dbPath)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Read-only use: close the WAL writer, keep the in-memory state.
 		if err := arch.Close(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return dashboard.New(query.New(arch)), nil
+		// Materialized views over the replayed state: the listing and the
+		// SSE endpoints serve O(delta) instead of scanning per request.
+		v := views.New(views.Options{})
+		sn := arch.Snapshot()
+		err = v.BuildFromSnapshot(sn)
+		sn.Close()
+		if err != nil {
+			v.Close()
+			return nil, nil, err
+		}
+		srv := dashboard.New(query.New(arch))
+		srv.SetViews(v)
+		return srv, v.Close, nil
 	}
-	first, err := load()
+	first, firstCleanup, err := load()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stampede-dashboard: %v\n", err)
 		os.Exit(1)
 	}
-	h := &reloadingHandler{current: first}
+	h := &reloadingHandler{current: first, cleanup: firstCleanup}
 	if *follow > 0 {
 		go func() {
 			for range time.Tick(*follow) {
-				if next, err := load(); err == nil {
-					h.swap(next)
+				if next, cleanup, err := load(); err == nil {
+					h.swap(next, cleanup)
 				}
 			}
 		}()

@@ -21,6 +21,8 @@ import (
 	"repro/internal/schema"
 	"repro/internal/trace"
 	"repro/internal/uuid"
+	"repro/internal/views"
+	"repro/internal/wfclock"
 )
 
 // The ceilings are enforced upper bounds, not targets: measured values sit
@@ -151,6 +153,45 @@ func TestLoadAllocCeilingEventlog(t *testing.T) {
 	t.Logf("load+eventlog: %.2f allocs/event over %d events (ceiling %d)", perEvent, loaded, maxAllocsPerEvent)
 	if perEvent > maxAllocsPerEvent {
 		t.Errorf("hot path with eventlog tap allocates %.2f/event, ceiling %d", perEvent, maxAllocsPerEvent)
+	}
+}
+
+// TestLoadAllocCeilingViews holds the same end-to-end budget with the
+// materialized-view layer attached: incremental view maintenance runs in
+// the apply path post-commit, so its steady-state cost — fixed job-state
+// arrays, memoised stripe lookups, P² estimators with constant marker
+// state — must fit inside the existing per-event ceiling, not on top of
+// it.
+func TestLoadAllocCeilingViews(t *testing.T) {
+	trace := experiments.TraceFor(2000)
+	load := func() uint64 {
+		v := views.New(views.Options{Clock: wfclock.NewManual(time.Unix(0, 0))})
+		defer v.Close()
+		a := archive.NewInMemory()
+		l, err := loader.New(a, loader.Options{BatchSize: 512, Validate: true, Views: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := l.LoadReader(bytes.NewReader(trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Loaded
+	}
+	load() // warm: intern table, schema singletons, event pool, view maps
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	loaded := load()
+	runtime.ReadMemStats(&ms1)
+	if loaded == 0 {
+		t.Fatal("nothing loaded")
+	}
+	perEvent := float64(ms1.Mallocs-ms0.Mallocs) / float64(loaded)
+	t.Logf("load+views: %.2f allocs/event over %d events (ceiling %d)", perEvent, loaded, maxAllocsPerEvent)
+	if perEvent > maxAllocsPerEvent {
+		t.Errorf("hot path with views allocates %.2f/event, ceiling %d", perEvent, maxAllocsPerEvent)
 	}
 }
 

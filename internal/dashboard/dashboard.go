@@ -24,6 +24,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/views"
 )
 
 // Dashboard HTTP telemetry, labeled by route pattern (fixed cardinality:
@@ -37,10 +38,11 @@ var (
 
 // Server is the dashboard HTTP handler set.
 type Server struct {
-	q    *query.QI
-	mux  *http.ServeMux
-	bus  func() mq.Stats // optional broker traffic snapshot for the status page
-	ring *trace.Ring     // span source for /traces and /api/traces
+	q     *query.QI
+	mux   *http.ServeMux
+	bus   func() mq.Stats // optional broker traffic snapshot for the status page
+	ring  *trace.Ring     // span source for /traces and /api/traces
+	views *views.Views    // optional materialized views; nil = scan per request
 }
 
 // New builds a dashboard over a query interface. The handler set includes
@@ -51,6 +53,8 @@ func New(q *query.QI) *Server {
 	s.handle("GET /traces", s.handleWaterfall)
 	s.handle("GET /api/traces", s.handleTraces)
 	s.handle("GET /api/workflows", s.handleWorkflows)
+	s.handleStream("GET /api/stream/workflows", s.streamWorkflows)
+	s.handleStream("GET /api/stream/workflow/{uuid}", s.streamWorkflow)
 	s.handle("GET /api/workflow/{uuid}", s.handleWorkflow)
 	s.handle("GET /api/workflow/{uuid}/statistics", s.handleStatistics)
 	s.handle("GET /api/workflow/{uuid}/jobs", s.handleJobs)
@@ -86,6 +90,15 @@ func (s *Server) handle(pattern string, h func(http.ResponseWriter, *http.Reques
 		h(w, r, sq)
 	})
 }
+
+// SetViews attaches a materialized-view layer: the workflow listing and
+// status page serve from it (O(workflows present), no store scan, no
+// per-row state re-derivation) and the /api/stream endpoints begin
+// accepting SSE subscribers. Attach the same instance the loader updates.
+func (s *Server) SetViews(v *views.Views) { s.views = v }
+
+// Views returns the attached view layer (nil when serving by scan).
+func (s *Server) Views() *views.Views { return s.views }
 
 // SetBus adds broker traffic counters (published/routed/dropped) to the
 // HTML status page, the unified view the drops satellite asks for.
@@ -171,20 +184,51 @@ func (s *Server) resolve(sq *query.QI, w http.ResponseWriter, r *http.Request) (
 	return wf, true
 }
 
-func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request, sq *query.QI) {
+// statusFromDelta converts a materialized view row to the listing shape
+// the scan produces; the equality of the two paths is property-tested.
+func statusFromDelta(d views.WorkflowDelta) WorkflowStatus {
+	return WorkflowStatus{
+		UUID:       d.UUID,
+		Label:      d.Label,
+		SubmitHost: d.SubmitHost,
+		State:      d.State,
+		Planned:    d.Planned,
+		WallSecs:   d.WallSecs,
+		IsRoot:     d.IsRoot,
+	}
+}
+
+// listWorkflows produces the workflow listing: O(delta) from the view
+// when one is attached, otherwise the classic snapshot scan.
+func (s *Server) listWorkflows(sq *query.QI) ([]WorkflowStatus, error) {
+	if v := s.views; v != nil {
+		ds := v.Workflows()
+		out := make([]WorkflowStatus, 0, len(ds))
+		for _, d := range ds {
+			out = append(out, statusFromDelta(d))
+		}
+		return out, nil
+	}
 	wfs, err := sq.Workflows()
 	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, "%v", err)
-		return
+		return nil, err
 	}
 	out := make([]WorkflowStatus, 0, len(wfs))
 	for _, wf := range wfs {
 		ws, err := s.workflowStatus(sq, wf)
 		if err != nil {
-			s.httpError(w, http.StatusInternalServerError, "%v", err)
-			return
+			return nil, err
 		}
 		out = append(out, ws)
+	}
+	return out, nil
+}
+
+func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request, sq *query.QI) {
+	out, err := s.listWorkflows(sq)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
 	s.writeJSON(w, out)
 }
@@ -349,6 +393,7 @@ td, th { border: 1px solid #999; padding: 4px 10px; text-align: left; }
 {{with .Bus}}<p class="bus">Bus: {{.Published}} published &middot; {{.Routed}} routed &middot; {{.Dropped}} dropped &middot; {{.Queues}} queues</p>
 {{end}}{{with .Pool}}<p class="pool">Event pool: {{.Hits}} hits &middot; {{.Misses}} misses &middot; {{.Returns}} returned &middot; {{printf "%.1f" .RatePct}}% hit rate</p>
 {{end}}{{with .Store}}<p class="store">Store: {{.Partitions}} partition{{if ne .Partitions 1}}s{{end}}{{range .Checkpoints}} &middot; p{{.Partition}} ckpt seq={{.Seq}} {{.Bytes}}B age={{printf "%.0f" .Age.Seconds}}s{{end}}</p>
+{{end}}{{with .Views}}<p class="views">Views: {{.Workflows}} workflows &middot; {{.Hosts}} hosts &middot; {{.Subscribers}} subscribers &middot; {{.Updates}} updates &middot; {{.Dropped}} dropped deltas &middot; {{.Resyncs}} resyncs &middot; <a href="/api/stream/workflows">live stream</a></p>
 {{end}}<p><a href="/traces">Latency waterfall</a> &middot; <a href="/api/traces">traces JSON</a> &middot; <a href="/metrics">metrics</a></p>
 <table>
 <tr><th>Workflow</th><th>Label</th><th>State</th><th>Wall (s)</th><th>Submit host</th></tr>
@@ -367,24 +412,20 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request, sq *query.Q
 		http.NotFound(w, r)
 		return
 	}
-	wfs, err := sq.Workflows()
+	statuses, err := s.listWorkflows(sq)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
-	}
-	statuses := make([]WorkflowStatus, 0, len(wfs))
-	for _, wf := range wfs {
-		st, err := s.workflowStatus(sq, wf)
-		if err != nil {
-			s.httpError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		statuses = append(statuses, st)
 	}
 	var bus *mq.Stats
 	if s.bus != nil {
 		st := s.bus()
 		bus = &st
+	}
+	var vst *views.Stats
+	if s.views != nil {
+		st := s.views.Stats()
+		vst = &st
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	data := struct {
@@ -392,7 +433,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request, sq *query.Q
 		Bus       *mq.Stats
 		Pool      *poolStatus
 		Store     *storeStatus
-	}{statuses, bus, currentPoolStatus(), s.currentStoreStatus()}
+		Views     *views.Stats
+	}{statuses, bus, currentPoolStatus(), s.currentStoreStatus(), vst}
 	if err := indexTmpl.Execute(w, data); err != nil {
 		_ = err // response already partially written
 	}

@@ -31,6 +31,15 @@ import (
 	"repro/internal/wfclock"
 )
 
+// ViewObserver receives successfully applied events right after their
+// batch commits, while the pooled events are still valid. Satisfied by
+// *views.Views; an interface here keeps the loader free of a dependency
+// on the serving layer (which itself builds on loader-adjacent packages
+// for rebuilds and tests).
+type ViewObserver interface {
+	ObserveBatch(evs []*bp.Event)
+}
+
 // Options configures a Loader.
 type Options struct {
 	// BatchSize is how many events are folded into the archive per batch.
@@ -70,6 +79,13 @@ type Options struct {
 	// fatal to the load even in Lenient mode: leniency tolerates bad
 	// data, not a broken durability layer.
 	Tap func(line []byte) error
+	// Views, when set, receives every successfully applied event right
+	// after its batch commits (and before the events are recycled), so
+	// materialized aggregates stay incremental with the archive — the
+	// dashboard serves from them instead of scanning snapshots. All
+	// ingest paths, sharded or not, feed the same instance. Must be a
+	// non-nil implementation when set (typically *views.Views).
+	Views ViewObserver
 }
 
 // Default tuning, matched to the loader-scaling bench.
@@ -378,6 +394,13 @@ func (b *batch) applyAndCommit() error {
 	for len(rest) > 0 {
 		n, err := b.arch.ApplyBatch(rest)
 		b.stats.Loaded += uint64(n)
+		if b.opts.Views != nil && n > 0 {
+			// Fold the applied prefix into the materialized views before
+			// the events are recycled. ApplyBatch published its epoch, so
+			// every event observed here is already visible to snapshot
+			// readers — the views trail the store, never lead it.
+			b.opts.Views.ObserveBatch(rest[:n])
+		}
 		if err == nil {
 			break
 		}

@@ -3,6 +3,7 @@ package mq
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -114,7 +115,17 @@ func (q *Queue) Len() int { return len(q.ch) }
 type Broker struct {
 	mu       sync.RWMutex
 	queues   map[string]*Queue
-	bindings map[string][]string // queue name -> patterns
+	bindings map[string][]string // queue name -> patterns (source of truth)
+
+	// Routing index, derived from bindings whenever they change. Literal
+	// patterns (no '*'/'#' word) land in exact — a straight map hit per
+	// publish, so 10k single-workflow subscribers cost O(1) routing, not a
+	// scan. Queues with wildcard patterns keep their patterns pre-split in
+	// wild, so the scan re-splits neither pattern nor key. Both structures
+	// are rebuilt fresh (never mutated in place) so Publish may snapshot
+	// them under RLock and deliver after releasing it.
+	exact map[string][]*Queue
+	wild  []wildBind
 
 	published   atomic.Uint64
 	routed      atomic.Uint64
@@ -122,11 +133,105 @@ type Broker struct {
 	subSeq      atomic.Uint64
 }
 
+// wildBind is one queue's wildcard bindings, patterns pre-split.
+type wildBind struct {
+	q    *Queue
+	pats [][]string
+}
+
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
 	return &Broker{
 		queues:   make(map[string]*Queue),
 		bindings: make(map[string][]string),
+		exact:    make(map[string][]*Queue),
+	}
+}
+
+// isWildcard reports whether a pattern needs the matcher. A pattern is
+// literal only when it contains no '*' or '#' at all; a word merely
+// containing one (not valid AMQP anyway) is conservatively routed
+// through the matcher, which treats it as a literal word — so over-
+// classification costs a scan entry, never a missed route.
+func isWildcard(pattern string) bool { return strings.ContainsAny(pattern, "*#") }
+
+// addBinding indexes one new (queue, pattern) pair. Caller holds b.mu.
+// Exact lists grow by in-place append: a concurrent Publish snapshotted
+// the slice header under RLock with the old length, so the new element is
+// invisible to it rather than racy. The wild slice is copied on write
+// because extending an existing entry's pattern list would mutate a
+// struct a reader is walking.
+func (b *Broker) addBinding(q *Queue, pattern string) {
+	if !isWildcard(pattern) {
+		b.exact[pattern] = append(b.exact[pattern], q)
+		return
+	}
+	nw := make([]wildBind, 0, len(b.wild)+1)
+	replaced := false
+	for _, w := range b.wild {
+		if w.q == q {
+			np := make([][]string, 0, len(w.pats)+1)
+			np = append(np, w.pats...)
+			np = append(np, splitTopic(pattern))
+			w = wildBind{q: q, pats: np}
+			replaced = true
+		}
+		nw = append(nw, w)
+	}
+	if !replaced {
+		nw = append(nw, wildBind{q: q, pats: [][]string{splitTopic(pattern)}})
+	}
+	b.wild = nw
+}
+
+// dropBindings unindexes a deleted queue's patterns. Caller holds b.mu.
+// Filtered lists are fresh copies for the same snapshot-under-RLock
+// reason addBinding copies the wild slice.
+func (b *Broker) dropBindings(q *Queue, pats []string) {
+	hasWild := false
+	for _, p := range pats {
+		if isWildcard(p) {
+			hasWild = true
+			continue
+		}
+		old := b.exact[p]
+		kept := make([]*Queue, 0, len(old))
+		for _, eq := range old {
+			if eq != q {
+				kept = append(kept, eq)
+			}
+		}
+		if len(kept) == 0 {
+			delete(b.exact, p)
+		} else {
+			b.exact[p] = kept
+		}
+	}
+	if hasWild {
+		kept := make([]wildBind, 0, len(b.wild))
+		for _, w := range b.wild {
+			if w.q != q {
+				kept = append(kept, w)
+			}
+		}
+		b.wild = kept
+	}
+}
+
+// appendSplit splits s on '.' into buf, with splitTopic's semantics
+// ("" yields no words, "a." yields ["a",""]), allocating only if the
+// word count outgrows buf's capacity.
+func appendSplit(buf []string, s string) []string {
+	if s == "" {
+		return buf
+	}
+	for {
+		i := strings.IndexByte(s, '.')
+		if i < 0 {
+			return append(buf, s)
+		}
+		buf = append(buf, s[:i])
+		s = s[i+1:]
 	}
 }
 
@@ -170,6 +275,7 @@ func (b *Broker) Bind(queueName, pattern string) error {
 		}
 	}
 	b.bindings[queueName] = append(b.bindings[queueName], pattern)
+	b.addBinding(b.queues[queueName], pattern)
 	return nil
 }
 
@@ -180,7 +286,10 @@ func (b *Broker) DeleteQueue(name string) {
 	q, ok := b.queues[name]
 	if ok {
 		delete(b.queues, name)
-		delete(b.bindings, name)
+		if pats, bound := b.bindings[name]; bound {
+			delete(b.bindings, name)
+			b.dropBindings(q, pats)
+		}
 	}
 	b.mu.Unlock()
 	if ok {
@@ -199,28 +308,48 @@ func (b *Broker) DeleteQueue(name string) {
 	}
 }
 
-// Publish routes one message to every queue with a matching binding. It
-// never blocks; full queues drop and count.
+// Publish routes one message to every queue with a matching binding — at
+// most one copy per queue, however many of its patterns match. It never
+// blocks; full queues drop and count. Routing snapshots the index under
+// RLock and delivers after releasing it: literal bindings are a single
+// map hit, wildcard bindings a pre-split scan with no allocation.
 func (b *Broker) Publish(key string, body []byte) {
 	m := Message{Key: key, Body: body, TS: time.Now()}
 	b.mu.RLock()
-	var targets []*Queue
-	for name, patterns := range b.bindings {
-		for _, p := range patterns {
-			if MatchTopic(p, key) {
-				targets = append(targets, b.queues[name])
-				break
+	exact := b.exact[key]
+	wild := b.wild
+	b.mu.RUnlock()
+	b.published.Add(1)
+	mPublished.Inc()
+	routed := 0
+	for _, q := range exact {
+		q.offer(m)
+		routed++
+	}
+	if len(wild) > 0 {
+		var kbuf [8]string
+		kw := appendSplit(kbuf[:0], key)
+	scan:
+		for i := range wild {
+			w := &wild[i]
+			// A queue holding both a matching literal and a wildcard
+			// binding already got its copy above.
+			for _, eq := range exact {
+				if eq == w.q {
+					continue scan
+				}
+			}
+			for _, p := range w.pats {
+				if matchWords(p, kw) {
+					w.q.offer(m)
+					routed++
+					break
+				}
 			}
 		}
 	}
-	b.mu.RUnlock()
-	b.published.Add(1)
-	b.routed.Add(uint64(len(targets)))
-	mPublished.Inc()
-	mRouted.Add(uint64(len(targets)))
-	for _, q := range targets {
-		q.offer(m)
-	}
+	b.routed.Add(uint64(routed))
+	mRouted.Add(uint64(routed))
 }
 
 // Stats summarises broker traffic.

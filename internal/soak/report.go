@@ -53,6 +53,13 @@ type Report struct {
 	WallSeconds       float64 `json:"wall_seconds"`
 	AllocsPerEvent    float64 `json:"allocs_per_event"`
 
+	// Push-serving audit, present when the scenario set subscribers.
+	Subscribers   int    `json:"subscribers,omitempty"`
+	SSEEvents     uint64 `json:"sse_events,omitempty"`
+	SSESnapshots  uint64 `json:"sse_snapshots,omitempty"`
+	ViewWorkflows int    `json:"view_workflows,omitempty"`
+	ViewHosts     int    `json:"view_hosts,omitempty"`
+
 	Knee *Knee `json:"knee,omitempty"`
 
 	// Eventlog audit results, present when the run teed ingest into an
@@ -157,6 +164,25 @@ func BuildReport(res *Result) *Report {
 			r.EventlogAppends == res.Stats.Read+res.Stats.Malformed,
 			"appends %d, read %d + malformed %d",
 			r.EventlogAppends, res.Stats.Read, res.Stats.Malformed)
+	}
+
+	if res.Subscribers > 0 {
+		r.Subscribers = res.Subscribers
+		r.SSEEvents = res.SSEEvents
+		r.SSESnapshots = res.SSESnapshots
+		r.ViewWorkflows = res.ViewWorkflows
+		r.ViewHosts = res.ViewHosts
+		// The views were maintained incrementally in the apply path; the
+		// store is the ground truth they must not drift from.
+		wfRows, cerr := res.Arch.Store().Count(archive.TWorkflow)
+		r.check("view workflow count = archive workflow count",
+			cerr == nil && r.ViewWorkflows == wfRows,
+			"view %d, archive %d", r.ViewWorkflows, wfRows)
+		// Every subscriber gets at least the connect-time snapshot; slow
+		// consumers may add resyncs on top.
+		r.check("every subscriber received a snapshot",
+			r.SSESnapshots >= uint64(res.Subscribers),
+			"%d snapshot/resync frames across %d subscribers", r.SSESnapshots, res.Subscribers)
 	}
 
 	if sc.MaxAllocsPerEvent > 0 {
@@ -390,6 +416,10 @@ func (r *Report) Render(w io.Writer) {
 			fmt.Fprintf(w, " | replay hash %.16s…", r.ReplayHash)
 		}
 		fmt.Fprintln(w)
+	}
+	if r.Subscribers > 0 {
+		fmt.Fprintf(w, "  push: %d subscribers | %d SSE frames (%d snapshot/resync) | view %d workflows, %d hosts\n",
+			r.Subscribers, r.SSEEvents, r.SSESnapshots, r.ViewWorkflows, r.ViewHosts)
 	}
 	if r.Knee != nil {
 		fmt.Fprintf(w, "  knee: plateau %.0f events/s", r.Knee.PlateauEventsPerSec)

@@ -8,19 +8,25 @@
 package soak
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/dashboard"
 	"repro/internal/eventlog"
 	"repro/internal/loader"
 	"repro/internal/mq"
+	"repro/internal/query"
 	"repro/internal/synth"
+	"repro/internal/views"
 )
 
 // Options tunes a soak run.
@@ -69,6 +75,15 @@ type Result struct {
 	// run (publisher included) — the end-to-end analogue of the hot-path
 	// allocation ceiling.
 	AllocsPerEvent float64
+
+	// Push-serving results, populated when the scenario sets Subscribers:
+	// the run attaches that many SSE clients to the dashboard stream
+	// endpoint, fed by materialized views maintained in the apply path.
+	Subscribers   int
+	SSEEvents     uint64 // SSE frames received across all subscribers
+	SSESnapshots  uint64 // snapshot/resync frames among them
+	ViewWorkflows int    // workflows in the materialized view at drain
+	ViewHosts     int    // hosts in the materialized view at drain
 }
 
 const soakQueue = "soak"
@@ -127,6 +142,38 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 			return terr
 		}
 	}
+	// Push serving: when the scenario asks for subscribers, materialized
+	// views are maintained in the loader's apply path, an in-process
+	// dashboard serves them, and N SSE clients drive the real stream
+	// handler — ServeHTTP onto counting sinks, so thousands of subscribers
+	// cost no sockets.
+	var vw *views.Views
+	var subCancel context.CancelFunc
+	var subWG sync.WaitGroup
+	var sinks []*sseSink
+	if sc.Subscribers > 0 {
+		vw = views.New(views.Options{})
+		lopts.Views = vw
+		srv := dashboard.New(query.New(arch))
+		srv.SetViews(vw)
+		var subCtx context.Context
+		subCtx, subCancel = context.WithCancel(context.Background())
+		defer subCancel() // also covers error returns before the drain
+		for i := 0; i < sc.Subscribers; i++ {
+			sink := newSSESink()
+			sinks = append(sinks, sink)
+			subWG.Add(1)
+			go func() {
+				defer subWG.Done()
+				req, rerr := http.NewRequestWithContext(subCtx, http.MethodGet, "/api/stream/workflows", nil)
+				if rerr != nil {
+					return
+				}
+				srv.ServeHTTP(sink, req)
+			}()
+		}
+	}
+
 	spawn := func(msgs <-chan mq.Message) chan struct{} {
 		done := make(chan struct{})
 		go func() {
@@ -284,6 +331,22 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 	res.WallSeconds = time.Since(start).Seconds()
 	res.Applied = arch.Applied()
 
+	// Push-serving drain: flush the last coalesced deltas, let every
+	// subscriber's handler unwind, then total what the clients received.
+	if vw != nil {
+		res.Subscribers = sc.Subscribers
+		res.ViewWorkflows = len(vw.Workflows())
+		res.ViewHosts = len(vw.Hosts())
+		vw.FlushNow()
+		subCancel()
+		subWG.Wait()
+		for _, s := range sinks {
+			res.SSEEvents += s.events.Load()
+			res.SSESnapshots += s.snapshots.Load()
+		}
+		vw.Close()
+	}
+
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
 	if res.Applied > 0 {
@@ -298,6 +361,29 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 		return res, fmt.Errorf("soak: loader: %w", firstErr)
 	}
 	return res, nil
+}
+
+// sseSink is the in-process SSE client the soak attaches: a
+// ResponseWriter + Flusher that counts frames instead of writing to a
+// socket. One writeSSE frame arrives as one Write call, but the counters
+// scan for markers rather than assume it.
+type sseSink struct {
+	hdr       http.Header
+	events    atomic.Uint64
+	snapshots atomic.Uint64
+}
+
+func newSSESink() *sseSink { return &sseSink{hdr: make(http.Header)} }
+
+func (s *sseSink) Header() http.Header { return s.hdr }
+func (s *sseSink) WriteHeader(int)     {}
+func (s *sseSink) Flush()              {}
+
+func (s *sseSink) Write(p []byte) (int, error) {
+	s.events.Add(uint64(bytes.Count(p, []byte("event: "))))
+	s.snapshots.Add(uint64(bytes.Count(p, []byte("event: snapshot\n"))) +
+		uint64(bytes.Count(p, []byte("event: resync\n"))))
+	return len(p), nil
 }
 
 // openRunLog prepares a fresh event log for one soak run: the directory

@@ -173,6 +173,32 @@ func TestSoakReportRenderAndJSON(t *testing.T) {
 	}
 }
 
+func TestSoakSubscribersPushEndToEnd(t *testing.T) {
+	sc := testScenario(synth.Faults{JobFailureRate: 0.1, MaxRetries: 1})
+	sc.Subscribers = 6
+	res, rep := mustRun(t, sc)
+	requirePass(t, rep)
+	if res.Subscribers != 6 {
+		t.Fatalf("subscribers = %d, want 6", res.Subscribers)
+	}
+	// Every client gets a connect-time snapshot at minimum.
+	if res.SSESnapshots < 6 {
+		t.Fatalf("snapshot/resync frames %d < subscribers 6", res.SSESnapshots)
+	}
+	if res.SSEEvents < res.SSESnapshots {
+		t.Fatalf("frames %d < snapshots %d", res.SSEEvents, res.SSESnapshots)
+	}
+	if res.ViewWorkflows == 0 || res.ViewHosts == 0 {
+		t.Fatalf("views stayed empty: %d workflows, %d hosts", res.ViewWorkflows, res.ViewHosts)
+	}
+	if c := checkByName(rep, "view workflow count = archive workflow count"); c == nil || !c.OK {
+		t.Fatalf("view-vs-store check missing or failing: %+v", c)
+	}
+	if c := checkByName(rep, "every subscriber received a snapshot"); c == nil || !c.OK {
+		t.Fatalf("subscriber snapshot check missing or failing: %+v", c)
+	}
+}
+
 func TestSoakRampMeasuresKnee(t *testing.T) {
 	sc := &synth.Scenario{
 		Name: "ramp-test",

@@ -34,6 +34,12 @@ type Scenario struct {
 	// MaxEvents bounds the built stream (0 = DefaultMaxEvents): a schedule
 	// asking for more events than this is a config error, not an OOM.
 	MaxEvents int `json:"max_events,omitempty"`
+
+	// Subscribers attaches this many live SSE clients to the soak run's
+	// dashboard stream endpoint, exercising the materialized-view push
+	// path (delta coalescing, bounded buffers, slow-consumer resync)
+	// end to end under ingest load. 0 = no push serving.
+	Subscribers int `json:"subscribers,omitempty"`
 }
 
 // DefaultMaxEvents bounds a built scenario stream when Scenario.MaxEvents
@@ -263,6 +269,9 @@ func (s *Scenario) Validate() error {
 	}
 	if s.MaxEvents < 0 {
 		return fmt.Errorf("scenario %q: max_events must be >= 0", s.Name)
+	}
+	if s.Subscribers < 0 || s.Subscribers > 100_000 {
+		return fmt.Errorf("scenario %q: subscribers %d out of range [0, 100000]", s.Name, s.Subscribers)
 	}
 	return nil
 }

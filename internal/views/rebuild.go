@@ -1,0 +1,212 @@
+package views
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/relstore"
+)
+
+// BuildFromSnapshot rebuilds the materialized views from a store snapshot
+// — the recovery path: after a checkpoint+WAL restart the views (which
+// live only in memory) are reconstructed from the recovered store before
+// the loader resumes, so incremental maintenance continues from exactly
+// the state a from-scratch scan would produce.
+//
+// It must be called on a fresh Views before any ObserveBatch. Row scans
+// come back in primary-key order; row ids are allocated at apply time
+// from shared per-table counters, so each workflow's rows replay in its
+// original apply order — which makes even the order-sensitive P² quantile
+// estimators land in the same state as live maintenance. Mirroring the
+// archive's own reopen behaviour (warmCaches), the per-instance auto
+// invocation counter is *not* restored; invSeen is, so replayed
+// duplicates are still rejected.
+//
+// The anomaly detector is warmed with the recovered durations but alerts
+// are suppressed: they were already published (or deliberately dropped)
+// when the events first applied.
+func (v *Views) BuildFromSnapshot(sn *relstore.Snapshot) error {
+	// The flush ticker is already running; hold every stripe lock for the
+	// rebuild's duration so a tick (or an early reader) observes either
+	// nothing or the complete rebuilt state. FlushNow locks stripes one at
+	// a time and hostFor manages its own lock, so this cannot deadlock.
+	for i := range v.stripes {
+		v.stripes[i].mu.Lock()
+	}
+	defer func() {
+		for i := range v.stripes {
+			v.stripes[i].mu.Unlock()
+		}
+	}()
+
+	str := func(r relstore.Row, k string) string { s, _ := r[k].(string); return s }
+	i64 := func(r relstore.Row, k string) int64 { n, _ := r[k].(int64); return n }
+	f64 := func(r relstore.Row, k string) (float64, bool) { f, ok := r[k].(float64); return f, ok }
+	tsOf := func(r relstore.Row, k string) time.Time { t, _ := r[k].(time.Time); return t }
+
+	// Workflows, in pk order = creation order.
+	wfRows, err := sn.Select(relstore.Query{Table: archive.TWorkflow})
+	if err != nil {
+		return err
+	}
+	wfByID := make(map[int64]*wfView, len(wfRows))
+	for _, r := range wfRows {
+		uuid := str(r, "wf_uuid")
+		st := v.stripeFor(uuid)
+		w := v.wfFor(st, uuid, tsOf(r, "timestamp"))
+		w.label = str(r, "dax_label")
+		w.submitHost = str(r, "submit_hostname")
+		w.planned = tsOf(r, "timestamp")
+		// The plan writer stores the key with a nil value for roots, so
+		// presence alone doesn't mean a parent — a typed id does.
+		if _, isID := r["parent_wf_id"].(int64); isID {
+			w.hasParent = true
+		}
+		wfByID[r.ID()] = w
+	}
+
+	// Workflow states: global pk order preserves each workflow's arrival
+	// order, which is what the last-wins-on-timestamp-ties rule needs.
+	stRows, err := sn.Select(relstore.Query{Table: archive.TWorkflowState})
+	if err != nil {
+		return err
+	}
+	for _, r := range stRows {
+		w := wfByID[i64(r, "wf_id")]
+		if w == nil {
+			continue
+		}
+		ts := tsOf(r, "timestamp")
+		switch str(r, "state") {
+		case archive.WFStateStarted:
+			w.noteState(wfRunning, ts)
+		case archive.WFStateTerminated:
+			state := uint8(wfSuccess)
+			if n, ok := r["status"].(int64); ok && n != 0 {
+				state = wfFailure
+			}
+			w.noteState(state, ts)
+		}
+	}
+
+	// Jobs: resolve instance rows back to (workflow, exec job id).
+	jobRows, err := sn.Select(relstore.Query{Table: archive.TJob})
+	if err != nil {
+		return err
+	}
+	jobWF := make(map[int64]*wfView, len(jobRows))
+	jobName := make(map[int64]string, len(jobRows))
+	for _, r := range jobRows {
+		jobWF[r.ID()] = wfByID[i64(r, "wf_id")]
+		jobName[r.ID()] = str(r, "exec_job_id")
+	}
+
+	// Hosts, in pk order = creation order.
+	hostRows, err := sn.Select(relstore.Query{Table: archive.THost})
+	if err != nil {
+		return err
+	}
+	hostByID := make(map[int64]*hostView, len(hostRows))
+	for _, r := range hostRows {
+		hostByID[r.ID()] = v.hostFor(str(r, "site"), str(r, "hostname"), str(r, "ip"))
+	}
+
+	// Job instances: host attribution comes straight from the stored
+	// host_id + local_duration columns.
+	instRows, err := sn.Select(relstore.Query{Table: archive.TJobInstance})
+	if err != nil {
+		return err
+	}
+	instByID := make(map[int64]*vinst, len(instRows))
+	instWF := make(map[int64]*wfView, len(instRows))
+	for _, r := range instRows {
+		jid := i64(r, "job_id")
+		w := jobWF[jid]
+		if w == nil {
+			continue
+		}
+		st := v.stripeFor(w.uuid)
+		is := v.instFor(st, w, jobName[jid], i64(r, "job_submit_seq"))
+		if d, ok := f64(r, "local_duration"); ok {
+			is.dur, is.hasDur = d, true
+		}
+		if hid, isID := r["host_id"].(int64); isID {
+			if h := hostByID[hid]; h != nil {
+				is.host = h
+				dur := 0.0
+				if is.hasDur {
+					dur = is.dur
+				}
+				h.add(dur, 1)
+			}
+		}
+		instByID[r.ID()] = is
+		instWF[r.ID()] = w
+	}
+
+	// Job states: per-workflow counts, plus warming each instance's
+	// latest-EXECUTE timestamp exactly as archive.warmCaches does.
+	jsRows, err := sn.Select(relstore.Query{Table: archive.TJobState})
+	if err != nil {
+		return err
+	}
+	execSeq := make(map[*vinst]int64)
+	for _, r := range jsRows {
+		id := i64(r, "job_instance_id")
+		w := instWF[id]
+		if w == nil {
+			continue
+		}
+		state := str(r, "state")
+		idx, ok := jsIndexByName[state]
+		if !ok {
+			return fmt.Errorf("views: unknown jobstate %q in rebuild", state)
+		}
+		w.js[idx]++
+		if state == archive.JSExecute {
+			is := instByID[id]
+			seq := i64(r, "jobstate_submit_seq")
+			if s, seen := execSeq[is]; !seen || seq >= s {
+				execSeq[is] = seq
+				is.execTS = tsOf(r, "timestamp")
+			}
+		}
+	}
+
+	// Invocations: counts, duplicate memory, and the P² estimators in
+	// original per-workflow order.
+	invRows, err := sn.Select(relstore.Query{Table: archive.TInvocation})
+	if err != nil {
+		return err
+	}
+	for _, r := range invRows {
+		id := i64(r, "job_instance_id")
+		w := instWF[id]
+		if w == nil {
+			continue
+		}
+		is := instByID[id]
+		if is.invSeen == nil {
+			is.invSeen = make(map[int64]struct{}, 4)
+		}
+		is.invSeen[i64(r, "task_submit_seq")] = struct{}{}
+		w.invs++
+		if d, ok := f64(r, "remote_duration"); ok {
+			w.q50.Observe(d)
+			w.q95.Observe(d)
+			w.q99.Observe(d)
+			if tr := str(r, "transformation"); tr != "" {
+				v.det.Observe(tr, d) // warm baseline; alerts suppressed
+			}
+		}
+	}
+
+	// The rebuild is the baseline, not a change to stream: nothing above
+	// called touch(), so no deltas are queued — but clear the stripe
+	// memos wfFor left behind so the first live batch starts clean.
+	for i := range v.stripes {
+		v.stripes[i].lastUUID, v.stripes[i].lastWF = "", nil
+	}
+	return nil
+}

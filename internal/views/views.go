@@ -1,0 +1,853 @@
+// Package views maintains incremental materialized aggregates over the
+// ingest stream: per-workflow state and job-state counts, per-host
+// utilization, and p50/p95/p99 task latency (P² quantile estimators), all
+// updated in the loader's apply path right after a batch commits instead
+// of recomputed from a store scan per request. Serving a dashboard page
+// or an SSE delta is then O(changed workflows), not O(rows × clients).
+//
+// Updates are batched (ObserveBatch runs once per committed loader batch,
+// holding one stripe lock across runs of same-workflow events) and
+// publication is coalesced: a wfclock ticker flushes dirty workflows as
+// JSON deltas onto an internal mq broker, so N subscribers to the same
+// workflow share one marshal. Broadcast subscribers additionally share
+// one pre-rendered message per flush tick (BatchTopic), so a tick costs
+// one queue delivery per subscriber no matter how many workflows went
+// dirty. Subscribers get bounded queues; a slow
+// consumer drops deltas (counted) and re-syncs from the view snapshot —
+// never from a store scan — because every delta carries full workflow
+// state (latest wins), so a drop only costs freshness, not correctness.
+//
+// The online anomaly detectors from internal/analysis run in the same
+// apply-time path: invocation runtimes feed a per-transformation 3σ
+// detector and anomalies are published as in-stream alert events.
+package views
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/archive"
+	"repro/internal/bp"
+	"repro/internal/mq"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+	"repro/internal/wfclock"
+)
+
+// Workflow top-level states, mirroring the dashboard's scan rule: the
+// highest-timestamp workflowstate row wins (ties broken by arrival order,
+// matching the stable timestamp sort a scan performs).
+const (
+	StateUnknown = "UNKNOWN"
+	StateRunning = "RUNNING"
+	StateSuccess = "SUCCESS"
+	StateFailure = "FAILURE"
+)
+
+const (
+	wfUnknown = iota
+	wfRunning
+	wfSuccess
+	wfFailure
+)
+
+var stateNames = [...]string{StateUnknown, StateRunning, StateSuccess, StateFailure}
+
+// Job-state vocabulary, indexed densely so per-workflow counts are a
+// fixed array touched without allocation on the hot path. Names match
+// the archive's jobstate table values.
+const (
+	jsSubmit = iota
+	jsSubmitted
+	jsHeld
+	jsReleased
+	jsExecute
+	jsTerminated
+	jsMainError
+	jsSuccess
+	jsFailure
+	jsAborted
+	jsPreStarted
+	jsPreSuccess
+	jsPreFailure
+	jsPostStarted
+	jsPostSuccess
+	jsPostFailure
+	numJS
+)
+
+var jsNames = [numJS]string{
+	archive.JSSubmit, archive.JSSubmitted, archive.JSHeld, archive.JSReleased,
+	archive.JSExecute, archive.JSTerminated, archive.JSMainError,
+	archive.JSSuccess, archive.JSFailure, archive.JSAborted,
+	archive.JSPreStarted, archive.JSPreSuccess, archive.JSPreFailure,
+	archive.JSPostStarted, archive.JSPostSuccess, archive.JSPostFailure,
+}
+
+var jsIndexByName = func() map[string]int {
+	m := make(map[string]int, numJS)
+	for i, n := range jsNames {
+		m[n] = i
+	}
+	return m
+}()
+
+// WorkflowDelta is the full materialized state of one workflow — both the
+// snapshot row and the streamed delta (full-state, latest-wins; a client
+// that misses deltas loses freshness, never correctness).
+type WorkflowDelta struct {
+	UUID        string           `json:"uuid"`
+	Label       string           `json:"label"`
+	SubmitHost  string           `json:"submit_host"`
+	State       string           `json:"state"`
+	Planned     time.Time        `json:"planned"`
+	WallSecs    float64          `json:"wall_seconds"`
+	IsRoot      bool             `json:"is_root"`
+	JobStates   map[string]int64 `json:"job_states,omitempty"`
+	Invocations int64            `json:"invocations"`
+	Failures    int64            `json:"failures"`
+	P50         float64          `json:"p50_seconds"`
+	P95         float64          `json:"p95_seconds"`
+	P99         float64          `json:"p99_seconds"`
+	Seq         uint64           `json:"seq"`
+}
+
+// Alert is an apply-time anomaly, published in-stream.
+type Alert struct {
+	UUID           string  `json:"uuid"`
+	Transformation string  `json:"transformation"`
+	Value          float64 `json:"value"`
+	Expected       float64 `json:"expected"`
+	Score          float64 `json:"score"`
+	Detail         string  `json:"detail,omitempty"`
+}
+
+// HostUtilization is the materialized per-host aggregate.
+type HostUtilization struct {
+	Site      string  `json:"site"`
+	Hostname  string  `json:"hostname"`
+	IP        string  `json:"ip"`
+	Instances int64   `json:"instances"`
+	BusySecs  float64 `json:"busy_seconds"`
+}
+
+// Stats is a point-in-time summary for the status page.
+type Stats struct {
+	Workflows   int
+	Hosts       int
+	Subscribers int
+	Updates     uint64
+	Dropped     uint64
+	Resyncs     uint64
+}
+
+// Options tunes a Views instance.
+type Options struct {
+	// Clock drives the coalescing flush ticker (nil = wall clock).
+	Clock wfclock.Clock
+	// FlushEvery is the delta coalescing interval (0 = 200ms).
+	FlushEvery time.Duration
+	// QueueCapacity bounds each subscriber's delta buffer (0 = 32).
+	// A full buffer drops the delta; the subscriber re-syncs. Deep
+	// buffers buy nothing here — deltas are full-state and a resync is
+	// one view marshal — they only add staleness and, at high fan-out,
+	// live heap the collector must mark (10k subscribers × 256 slots is
+	// ~120MB of idle channel buffer).
+	QueueCapacity int
+	// Detector is the anomaly detector fed invocation runtimes
+	// (nil = a fresh analysis.NewRuntimeDetector).
+	Detector *analysis.RuntimeDetector
+	// FanoutCoalesce adapts the flush rate to fan-out: the effective
+	// flush interval is FlushEvery × (1 + subscribers/FanoutCoalesce),
+	// so delivery work per second (one queue offer + one consumer
+	// wake-up per subscriber per flush) stays roughly constant no
+	// matter how many clients are connected. Deltas are full-state, so
+	// the stretch costs freshness only, never correctness (0 = 1000).
+	FanoutCoalesce int
+}
+
+var (
+	mUpdates = telemetry.NewCounter("stampede_views_updates_total",
+		"Materialized-view workflow updates applied (events observed post-commit).")
+	mSubscribers = telemetry.NewGauge("stampede_views_subscribers",
+		"Live SSE/delta subscribers across all Views instances.")
+	mDroppedDeltas = telemetry.NewCounter("stampede_views_dropped_deltas_total",
+		"Deltas dropped on full subscriber buffers (each triggers a resync).")
+	mResyncs = telemetry.NewCounter("stampede_views_resyncs_total",
+		"Slow-consumer resyncs served from the view snapshot.")
+	mFlushSeconds = telemetry.NewHistogram("stampede_views_flush_seconds",
+		"Latency from a workflow first going dirty to its delta being published.",
+		telemetry.DurationBuckets)
+)
+
+// NoteResync counts a slow-consumer resync (called by the SSE layer when
+// it serves a snapshot after TakeDropped reported drops).
+func NoteResync() { mResyncs.Inc() }
+
+// hostKey matches the archive's host identity (site, hostname, ip) so a
+// rebuild from the store produces the same host set.
+type hostKey struct{ site, hostname, ip string }
+
+type hostView struct {
+	site, hostname, ip string
+	mu                 sync.Mutex
+	instances          int64
+	busy               float64 // summed local_duration seconds
+}
+
+func (h *hostView) add(dBusy float64, dInst int64) {
+	h.mu.Lock()
+	h.instances += dInst
+	h.busy += dBusy
+	h.mu.Unlock()
+}
+
+// vinst is the per-job-instance scratch state a view needs to mirror the
+// archive's derived columns (local_duration, host attribution, invocation
+// sequence numbering).
+type vinst struct {
+	execTS  time.Time
+	dur     float64 // local duration attributed to host (last main.end)
+	hasDur  bool
+	host    *hostView
+	invSeq  int64
+	invSeen map[int64]struct{}
+}
+
+type vinstKey struct {
+	wf  *wfView
+	job string
+	seq int64
+}
+
+type wfView struct {
+	uuid       string
+	createSeq  uint64
+	label      string
+	submitHost string
+	planned    time.Time
+	hasParent  bool
+
+	state         uint8
+	firstStart    time.Time // earliest WORKFLOW_STARTED
+	lastStateTS   time.Time // max workflowstate timestamp
+	js            [numJS]int64
+	invs          int64
+	q50, q95, q99 *analysis.P2Quantile
+
+	seq     uint64 // bumped on every change; carried in deltas
+	dirty   bool
+	dirtyAt time.Time
+}
+
+type vstripe struct {
+	mu       sync.Mutex
+	wfs      map[string]*wfView
+	insts    map[vinstKey]*vinst
+	lastUUID string
+	lastWF   *wfView
+	dirty    []*wfView
+	alerts   []Alert
+}
+
+// Views is the materialized-view layer. One instance serves one archive.
+type Views struct {
+	opts  Options
+	det   *analysis.RuntimeDetector
+	bus   *mq.Broker
+	clock wfclock.Clock
+
+	stripes [64]vstripe
+
+	hostMu   sync.Mutex
+	hosts    map[hostKey]*hostView
+	hostList []*hostView
+
+	createSeq atomic.Uint64
+	subSeq    atomic.Uint64
+	nsubs     atomic.Int64
+
+	flushMu  sync.Mutex
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+}
+
+// New builds a Views and starts its coalescing flusher.
+func New(opts Options) *Views {
+	if opts.Clock == nil {
+		opts.Clock = wfclock.Real
+	}
+	if opts.FlushEvery == 0 {
+		opts.FlushEvery = 200 * time.Millisecond
+	}
+	if opts.QueueCapacity == 0 {
+		opts.QueueCapacity = 32
+	}
+	if opts.FanoutCoalesce <= 0 {
+		opts.FanoutCoalesce = 1000
+	}
+	det := opts.Detector
+	if det == nil {
+		det = analysis.NewRuntimeDetector()
+	}
+	v := &Views{
+		opts:   opts,
+		det:    det,
+		bus:    mq.NewBroker(),
+		clock:  opts.Clock,
+		hosts:  make(map[hostKey]*hostView),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	for i := range v.stripes {
+		v.stripes[i].wfs = make(map[string]*wfView)
+		v.stripes[i].insts = make(map[vinstKey]*vinst)
+	}
+	go v.run()
+	return v
+}
+
+// Close stops the flusher and publishes any remaining dirty state.
+func (v *Views) Close() {
+	v.stopOnce.Do(func() {
+		close(v.stopCh)
+		<-v.doneCh
+		v.FlushNow()
+	})
+}
+
+// run drives coalesced publication. The ticker fires every FlushEvery,
+// but the flusher skips ticks until the fan-out-adapted interval
+// (FlushEvery × (1 + subscribers/FanoutCoalesce)) has elapsed: each
+// flush costs one queue offer and one consumer wake-up per subscriber,
+// so stretching the interval as subscribers grow bounds delivery work
+// per second. The stretch trades freshness, never correctness — deltas
+// carry full state and explicit FlushNow calls always publish.
+func (v *Views) run() {
+	defer close(v.doneCh)
+	t := wfclock.NewTicker(v.clock, v.opts.FlushEvery)
+	defer t.Stop()
+	last := v.clock.Now()
+	for {
+		select {
+		case <-v.stopCh:
+			return
+		case <-t.C():
+			now := v.clock.Now()
+			every := v.opts.FlushEvery * time.Duration(1+int(v.nsubs.Load())/v.opts.FanoutCoalesce)
+			if now.Sub(last) < every {
+				continue
+			}
+			last = now
+			v.FlushNow()
+		}
+	}
+}
+
+// stripeFor returns the stripe for a workflow uuid; routing matches the
+// archive's lock striping so apply order per workflow is preserved.
+func (v *Views) stripeFor(uuid string) *vstripe {
+	return &v.stripes[archive.StripeFor(uuid)]
+}
+
+// intAttr mirrors archive.intAttr: an optional integer attribute, alloc
+// free, ok only when present and well-formed.
+func intAttr(ev *bp.Event, key string) (int64, bool) {
+	s, ok := ev.Lookup(key)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	return n, err == nil
+}
+
+func floatAttr(ev *bp.Event, key string) (float64, bool) {
+	s, ok := ev.Lookup(key)
+	if !ok {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}
+
+// ObserveBatch folds one committed loader batch into the views. Called
+// from the loader's apply path after ApplyBatch succeeds for these events
+// and before they are recycled; events for the same workflow arrive here
+// in apply order because loader shards route by workflow uuid.
+func (v *Views) ObserveBatch(evs []*bp.Event) {
+	var st *vstripe
+	locked := ""
+	for _, ev := range evs {
+		uuid := ev.Get(schema.AttrXwfID)
+		if uuid == "" {
+			continue
+		}
+		if st == nil || uuid != locked {
+			// Same-uuid runs keep the stripe lock; a different uuid may
+			// still land on the same stripe, but re-locking keeps the
+			// invariant simple: at most one stripe lock held at a time.
+			if st != nil {
+				st.mu.Unlock()
+			}
+			// A plan event naming a parent must ensure the parent's view
+			// exists; that takes the parent's stripe lock, so do it while
+			// holding none (never two stripe locks at once).
+			if ev.Type == schema.WfPlan {
+				if p := ev.Get(schema.AttrParentXwf); p != "" && p != uuid {
+					v.ensure(p, ev.TS)
+				}
+			}
+			st = v.stripeFor(uuid)
+			st.mu.Lock()
+			locked = uuid
+		} else if ev.Type == schema.WfPlan {
+			if p := ev.Get(schema.AttrParentXwf); p != "" && p != uuid {
+				st.mu.Unlock()
+				v.ensure(p, ev.TS)
+				st.mu.Lock()
+			}
+		}
+		v.observeLocked(st, uuid, ev)
+	}
+	if st != nil {
+		st.mu.Unlock()
+	}
+}
+
+// ensure creates a placeholder view for uuid if none exists (the parent
+// of a planned sub-workflow, mirroring archive.ensureWF).
+func (v *Views) ensure(uuid string, ts time.Time) {
+	st := v.stripeFor(uuid)
+	st.mu.Lock()
+	v.wfFor(st, uuid, ts)
+	st.mu.Unlock()
+}
+
+// wfFor returns (creating if needed) the view for uuid. A fresh view
+// records ts as its planned time, mirroring archive.ensureWF writing the
+// first referencing event's timestamp onto the placeholder row (a later
+// plan event overwrites it). Caller holds st.mu.
+func (v *Views) wfFor(st *vstripe, uuid string, ts time.Time) *wfView {
+	if st.lastUUID == uuid && st.lastWF != nil {
+		return st.lastWF
+	}
+	w := st.wfs[uuid]
+	if w == nil {
+		w = &wfView{uuid: uuid, createSeq: v.createSeq.Add(1), planned: ts}
+		w.q50, _ = analysis.NewP2Quantile(0.50)
+		w.q95, _ = analysis.NewP2Quantile(0.95)
+		w.q99, _ = analysis.NewP2Quantile(0.99)
+		st.wfs[uuid] = w
+	}
+	st.lastUUID, st.lastWF = uuid, w
+	return w
+}
+
+func (v *Views) touch(st *vstripe, w *wfView) {
+	w.seq++
+	mUpdates.Inc()
+	if !w.dirty {
+		w.dirty = true
+		w.dirtyAt = v.clock.Now()
+		st.dirty = append(st.dirty, w)
+	}
+}
+
+// noteState applies a workflowstate transition under the scan-equivalent
+// rule: the row with the max timestamp wins, ties going to the later
+// arrival (a stable sort by timestamp keeps arrival order within ties).
+func (w *wfView) noteState(state uint8, ts time.Time) {
+	if w.lastStateTS.IsZero() || !ts.Before(w.lastStateTS) {
+		w.state = state
+		w.lastStateTS = ts
+	}
+	if state == wfRunning && (w.firstStart.IsZero() || ts.Before(w.firstStart)) {
+		w.firstStart = ts
+	}
+}
+
+func (v *Views) hostFor(site, hostname, ip string) *hostView {
+	k := hostKey{site, hostname, ip}
+	v.hostMu.Lock()
+	h := v.hosts[k]
+	if h == nil {
+		h = &hostView{site: site, hostname: hostname, ip: ip}
+		v.hosts[k] = h
+		v.hostList = append(v.hostList, h)
+	}
+	v.hostMu.Unlock()
+	return h
+}
+
+func (v *Views) instFor(st *vstripe, w *wfView, job string, seq int64) *vinst {
+	k := vinstKey{wf: w, job: job, seq: seq}
+	is := st.insts[k]
+	if is == nil {
+		is = &vinst{}
+		st.insts[k] = is
+	}
+	return is
+}
+
+// observeLocked applies one event to the views. Caller holds st.mu for
+// the event's workflow stripe. The dispatch mirrors archive.applyLocked:
+// only events that change materialized aggregates do work here.
+func (v *Views) observeLocked(st *vstripe, uuid string, ev *bp.Event) {
+	switch ev.Type {
+	case schema.WfPlan:
+		w := v.wfFor(st, uuid, ev.TS)
+		w.label = ev.Get("dax.label")
+		w.submitHost = ev.Get("submit.hostname")
+		w.planned = ev.TS
+		if ev.Get(schema.AttrParentXwf) != "" {
+			// Mirrors applyPlan: any named parent (self included) sets
+			// parent_wf_id, so the scan reports the workflow non-root.
+			w.hasParent = true
+		}
+		v.touch(st, w)
+
+	case schema.XwfStart:
+		w := v.wfFor(st, uuid, ev.TS)
+		w.noteState(wfRunning, ev.TS)
+		v.touch(st, w)
+
+	case schema.XwfEnd:
+		w := v.wfFor(st, uuid, ev.TS)
+		state := uint8(wfSuccess)
+		if s, ok := intAttr(ev, schema.AttrStatus); ok && s != 0 {
+			state = wfFailure
+		}
+		w.noteState(state, ev.TS)
+		v.touch(st, w)
+
+	case schema.StaticStart, schema.StaticEnd, schema.TaskInfo, schema.TaskEdge,
+		schema.JobInfo, schema.JobEdge, schema.MapTaskJob, schema.MapSubwfJob,
+		schema.ImageInfo, schema.InvStart:
+		// Structural / no materialized effect.
+
+	case schema.MainStart:
+		w := v.wfFor(st, uuid, ev.TS)
+		job := ev.Get(schema.AttrJobID)
+		seq, _ := intAttr(ev, schema.AttrJobInstID)
+		is := v.instFor(st, w, job, seq)
+		is.execTS = ev.TS
+		w.js[jsExecute]++
+		v.touch(st, w)
+
+	case schema.MainEnd:
+		w := v.wfFor(st, uuid, ev.TS)
+		job := ev.Get(schema.AttrJobID)
+		seq, _ := intAttr(ev, schema.AttrJobInstID)
+		is := v.instFor(st, w, job, seq)
+		if !is.execTS.IsZero() {
+			d := ev.TS.Sub(is.execTS).Seconds()
+			if is.host != nil {
+				// Re-emission replaces the attributed duration rather
+				// than double-counting it, mirroring a row Update.
+				prev := 0.0
+				if is.hasDur {
+					prev = is.dur
+				}
+				is.host.add(d-prev, 0)
+			}
+			is.dur, is.hasDur = d, true
+		}
+		if ec, ok := intAttr(ev, schema.AttrExitcode); ok && ec != 0 {
+			w.js[jsFailure]++
+		} else {
+			w.js[jsSuccess]++
+		}
+		v.touch(st, w)
+
+	case schema.HostInfo:
+		w := v.wfFor(st, uuid, ev.TS)
+		h := v.hostFor(ev.Get(schema.AttrSite), ev.Get(schema.AttrHostname), ev.Get("ip"))
+		job := ev.Get(schema.AttrJobID)
+		seq, _ := intAttr(ev, schema.AttrJobInstID)
+		is := v.instFor(st, w, job, seq)
+		if is.host != h {
+			dur := 0.0
+			if is.hasDur {
+				dur = is.dur
+			}
+			if is.host != nil {
+				is.host.add(-dur, -1)
+			}
+			h.add(dur, 1)
+			is.host = h
+		}
+		v.touch(st, w)
+
+	case schema.InvEnd:
+		w := v.wfFor(st, uuid, ev.TS)
+		job := ev.Get(schema.AttrJobID)
+		seq, _ := intAttr(ev, schema.AttrJobInstID)
+		is := v.instFor(st, w, job, seq)
+		invSeq, ok := intAttr(ev, schema.AttrInvID)
+		if !ok {
+			// Mirrors applyInvEnd's auto-numbering: first unnumbered
+			// invocation gets 0. Note the archive resets this counter on
+			// reopen (warmCaches does not restore it); BuildFromSnapshot
+			// leaves it 0 for the same reason.
+			invSeq = is.invSeq
+			is.invSeq = invSeq + 1
+		}
+		if is.invSeen == nil {
+			is.invSeen = make(map[int64]struct{}, 4)
+		}
+		if _, dup := is.invSeen[invSeq]; dup {
+			// The archive's unique constraint rejects the duplicate row;
+			// mirror that so view counts equal a rebuild from the store.
+			return
+		}
+		is.invSeen[invSeq] = struct{}{}
+		w.invs++
+		if d, ok := floatAttr(ev, schema.AttrDur); ok {
+			w.q50.Observe(d)
+			w.q95.Observe(d)
+			w.q99.Observe(d)
+			if tr := ev.Get(schema.AttrTransform); tr != "" {
+				if an, bad := v.det.Observe(tr, d); bad {
+					st.alerts = append(st.alerts, Alert{
+						UUID:           uuid,
+						Transformation: an.Group,
+						Value:          an.Value,
+						Expected:       an.Expected,
+						Score:          an.Score,
+						Detail:         an.Detail,
+					})
+				}
+			}
+		}
+		v.touch(st, w)
+
+	default:
+		if idx, ok := jsForEvent(ev); ok {
+			w := v.wfFor(st, uuid, ev.TS)
+			w.js[idx]++
+			v.touch(st, w)
+		}
+	}
+}
+
+// jsForEvent maps the remaining jobstate-bearing event types to their
+// dense index, mirroring archive.applyLocked's jobstate rows.
+func jsForEvent(ev *bp.Event) (int, bool) {
+	switch ev.Type {
+	case schema.JobInstPre:
+		return jsPreStarted, true
+	case schema.JobInstPreEnd:
+		if ec, ok := intAttr(ev, schema.AttrExitcode); ok && ec != 0 {
+			return jsPreFailure, true
+		}
+		return jsPreSuccess, true
+	case schema.SubmitStart:
+		return jsSubmit, true
+	case schema.SubmitEnd:
+		return jsSubmitted, true
+	case schema.HeldStart:
+		return jsHeld, true
+	case schema.HeldEnd:
+		return jsReleased, true
+	case schema.MainTerm:
+		return jsTerminated, true
+	case schema.MainError:
+		return jsMainError, true
+	case schema.AbortInfo:
+		return jsAborted, true
+	case schema.PostStart:
+		return jsPostStarted, true
+	case schema.PostEnd:
+		if ec, ok := intAttr(ev, schema.AttrExitcode); ok && ec != 0 {
+			return jsPostFailure, true
+		}
+		return jsPostSuccess, true
+	}
+	return 0, false
+}
+
+// delta materializes the full-state delta for a workflow. Caller holds
+// the stripe lock.
+func (w *wfView) delta() WorkflowDelta {
+	d := WorkflowDelta{
+		UUID:        w.uuid,
+		Label:       w.label,
+		SubmitHost:  w.submitHost,
+		State:       stateNames[w.state],
+		Planned:     w.planned,
+		IsRoot:      !w.hasParent,
+		Invocations: w.invs,
+		Failures:    w.js[jsFailure],
+		Seq:         w.seq,
+	}
+	if !w.firstStart.IsZero() && w.lastStateTS.After(w.firstStart) {
+		d.WallSecs = w.lastStateTS.Sub(w.firstStart).Seconds()
+	}
+	var jm map[string]int64
+	for i, n := range w.js {
+		if n != 0 {
+			if jm == nil {
+				jm = make(map[string]int64, 8)
+			}
+			jm[jsNames[i]] = n
+		}
+	}
+	d.JobStates = jm
+	if w.q50.N() > 0 {
+		d.P50 = w.q50.Value()
+		d.P95 = w.q95.Value()
+		d.P99 = w.q99.Value()
+	}
+	return d
+}
+
+// BatchTopic is the broadcast channel: one message per flush tick
+// carrying the whole tick's deltas and alerts pre-framed as SSE wire
+// bytes. All-workflows subscribers bind this single literal key, so a
+// flush costs one queue delivery and one consumer wake-up per subscriber
+// — not one per dirty workflow. The render is shared by every
+// subscriber; the SSE layer writes the body verbatim.
+const BatchTopic = "views.batch"
+
+// appendFrame appends one SSE-framed event ("event: <name>\ndata:
+// <body>\n\n") to the shared batch render.
+func appendFrame(b []byte, event string, body []byte) []byte {
+	b = append(b, "event: "...)
+	b = append(b, event...)
+	b = append(b, "\ndata: "...)
+	b = append(b, body...)
+	b = append(b, "\n\n"...)
+	return b
+}
+
+// FlushNow publishes every dirty workflow's delta and queued alerts to
+// subscribers. Marshalling happens once per dirty workflow regardless of
+// subscriber count; publication happens outside the stripe locks.
+// Per-workflow topics fan out to exact-match single-workflow bindings;
+// the broadcast stream gets the whole tick as one BatchTopic message.
+func (v *Views) FlushNow() {
+	v.flushMu.Lock()
+	defer v.flushMu.Unlock()
+	type out struct {
+		key  string
+		body []byte
+	}
+	var msgs []out
+	var batch []byte
+	now := v.clock.Now()
+	for i := range v.stripes {
+		st := &v.stripes[i]
+		st.mu.Lock()
+		for _, w := range st.dirty {
+			body, err := json.Marshal(w.delta())
+			if err == nil {
+				msgs = append(msgs, out{key: "views.wf." + w.uuid, body: body})
+				batch = appendFrame(batch, "delta", body)
+			}
+			mFlushSeconds.Observe(now.Sub(w.dirtyAt).Seconds())
+			w.dirty = false
+		}
+		st.dirty = st.dirty[:0]
+		for _, a := range st.alerts {
+			body, err := json.Marshal(a)
+			if err == nil {
+				msgs = append(msgs, out{key: "views.alert." + a.UUID, body: body})
+				batch = appendFrame(batch, "alert", body)
+			}
+		}
+		st.alerts = st.alerts[:0]
+		st.mu.Unlock()
+	}
+	for _, m := range msgs {
+		v.bus.Publish(m.key, m.body)
+	}
+	if len(batch) > 0 {
+		v.bus.Publish(BatchTopic, batch)
+	}
+}
+
+// Workflows returns a point-in-time snapshot of every workflow view, in
+// view-creation order (under single-shard loading this equals the
+// archive's primary-key scan order).
+func (v *Views) Workflows() []WorkflowDelta {
+	type entry struct {
+		cs uint64
+		d  WorkflowDelta
+	}
+	var all []entry
+	for i := range v.stripes {
+		st := &v.stripes[i]
+		st.mu.Lock()
+		for _, w := range st.wfs {
+			all = append(all, entry{cs: w.createSeq, d: w.delta()})
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].cs < all[j].cs })
+	out := make([]WorkflowDelta, len(all))
+	for i := range all {
+		out[i] = all[i].d
+	}
+	return out
+}
+
+// Workflow returns the view for one workflow.
+func (v *Views) Workflow(uuid string) (WorkflowDelta, bool) {
+	st := v.stripeFor(uuid)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w := st.wfs[uuid]
+	if w == nil {
+		return WorkflowDelta{}, false
+	}
+	return w.delta(), true
+}
+
+// Hosts returns the per-host utilization aggregates in creation order.
+func (v *Views) Hosts() []HostUtilization {
+	v.hostMu.Lock()
+	list := make([]*hostView, len(v.hostList))
+	copy(list, v.hostList)
+	v.hostMu.Unlock()
+	out := make([]HostUtilization, 0, len(list))
+	for _, h := range list {
+		h.mu.Lock()
+		out = append(out, HostUtilization{
+			Site: h.site, Hostname: h.hostname, IP: h.ip,
+			Instances: h.instances, BusySecs: h.busy,
+		})
+		h.mu.Unlock()
+	}
+	return out
+}
+
+// SubscriberCount reports live subscribers on this instance.
+func (v *Views) SubscriberCount() int { return int(v.nsubs.Load()) }
+
+// Stats summarizes the instance for the status page.
+func (v *Views) Stats() Stats {
+	n := 0
+	for i := range v.stripes {
+		st := &v.stripes[i]
+		st.mu.Lock()
+		n += len(st.wfs)
+		st.mu.Unlock()
+	}
+	v.hostMu.Lock()
+	nh := len(v.hostList)
+	v.hostMu.Unlock()
+	return Stats{
+		Workflows:   n,
+		Hosts:       nh,
+		Subscribers: v.SubscriberCount(),
+		Updates:     mUpdates.Value(),
+		Dropped:     mDroppedDeltas.Value(),
+		Resyncs:     mResyncs.Value(),
+	}
+}

@@ -1,0 +1,203 @@
+package views_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/loader"
+	"repro/internal/relstore"
+	"repro/internal/synth"
+	"repro/internal/views"
+	"repro/internal/wfclock"
+)
+
+// multiTrace renders several independent synthetic workflows (failures
+// and retries included) interleaved round-robin, so sharded loading
+// exercises concurrent view updates across stripes.
+func multiTrace(t *testing.T, workflows, jobs int, seed int64) []byte {
+	t.Helper()
+	type cursor struct {
+		lines [][]byte
+		next  int
+	}
+	curs := make([]*cursor, workflows)
+	for i := range curs {
+		tr := synth.Generate(synth.Config{
+			Seed:         seed + int64(i),
+			Jobs:         jobs,
+			Width:        4,
+			Hosts:        6,
+			SlotsPerHost: 2,
+			FailureRate:  0.15,
+			MaxRetries:   2,
+			Label:        "views-eq",
+		})
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		curs[i] = &cursor{lines: bytes.SplitAfter(buf.Bytes(), []byte("\n"))}
+	}
+	var out bytes.Buffer
+	for {
+		remaining := false
+		for _, c := range curs {
+			for k := 0; k < 5 && c.next < len(c.lines); k++ {
+				out.Write(c.lines[c.next])
+				c.next++
+			}
+			if c.next < len(c.lines) {
+				remaining = true
+			}
+		}
+		if !remaining {
+			return out.Bytes()
+		}
+	}
+}
+
+// canonical renders the deltas of a Views keyed by workflow uuid with the
+// change sequence number zeroed (seq counts update events, which differ
+// between live maintenance and a rebuild).
+func canonical(t *testing.T, v *views.Views) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, d := range v.Workflows() {
+		d.Seq = 0
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[d.UUID] = string(b)
+	}
+	return out
+}
+
+func requireViewsEqual(t *testing.T, live, rebuilt *views.Views) {
+	t.Helper()
+	lm, rm := canonical(t, live), canonical(t, rebuilt)
+	if len(lm) != len(rm) {
+		t.Fatalf("workflow count: live %d vs rebuilt %d", len(lm), len(rm))
+	}
+	for uuid, lj := range lm {
+		if rj, ok := rm[uuid]; !ok {
+			t.Errorf("workflow %s missing from rebuild", uuid)
+		} else if lj != rj {
+			t.Errorf("workflow %s diverges:\n live    %s\n rebuilt %s", uuid, lj, rj)
+		}
+	}
+	// Hosts: identity and instance counts must be exact; busy seconds are
+	// float sums whose addition order differs under sharded loading.
+	lh, rh := live.Hosts(), rebuilt.Hosts()
+	if len(lh) != len(rh) {
+		t.Fatalf("host count: live %d vs rebuilt %d", len(lh), len(rh))
+	}
+	type hkey struct{ site, host, ip string }
+	rmap := make(map[hkey]views.HostUtilization, len(rh))
+	for _, h := range rh {
+		rmap[hkey{h.Site, h.Hostname, h.IP}] = h
+	}
+	for _, h := range lh {
+		rhv, ok := rmap[hkey{h.Site, h.Hostname, h.IP}]
+		if !ok {
+			t.Errorf("host %s/%s missing from rebuild", h.Site, h.Hostname)
+			continue
+		}
+		if h.Instances != rhv.Instances {
+			t.Errorf("host %s instances: live %d vs rebuilt %d", h.Hostname, h.Instances, rhv.Instances)
+		}
+		if math.Abs(h.BusySecs-rhv.BusySecs) > 1e-6*(1+math.Abs(h.BusySecs)) {
+			t.Errorf("host %s busy: live %g vs rebuilt %g", h.Hostname, h.BusySecs, rhv.BusySecs)
+		}
+	}
+}
+
+// TestViewMatchesScanAfterLoad is the equality property test: live
+// incremental maintenance through a sharded loader must land in exactly
+// the state BuildFromSnapshot derives from the committed store.
+func TestViewMatchesScanAfterLoad(t *testing.T) {
+	stream := multiTrace(t, 8, 40, 41)
+	arch := archive.NewInMemoryN(4)
+	live := views.New(views.Options{Clock: wfclock.NewManual(time.Unix(0, 0))})
+	defer live.Close()
+	ld, err := loader.New(arch, loader.Options{Shards: 4, Views: live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.LoadReader(bytes.NewReader(stream)); err != nil {
+		t.Fatal(err)
+	}
+
+	rebuilt := views.New(views.Options{Clock: wfclock.NewManual(time.Unix(0, 0))})
+	defer rebuilt.Close()
+	sn := arch.Snapshot()
+	err = rebuilt.BuildFromSnapshot(sn)
+	sn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireViewsEqual(t, live, rebuilt)
+}
+
+// TestViewMatchesScanAfterCheckpointRecovery loads half the stream into a
+// durable partitioned store, restarts it (checkpoint + WAL-tail
+// recovery), rebuilds views from the recovered snapshot, streams the rest
+// incrementally, and requires the result to equal a from-scratch rebuild
+// of the final store — the views survive the PR 8 recovery path.
+func TestViewMatchesScanAfterCheckpointRecovery(t *testing.T) {
+	stream := multiTrace(t, 6, 30, 99)
+	half := bytes.LastIndexByte(stream[:len(stream)/2], '\n') + 1
+
+	dir := t.TempDir()
+	arch, err := archive.OpenDir(dir, relstore.Options{Partitions: 4, CheckpointEvery: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := loader.New(arch, loader.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.LoadReader(bytes.NewReader(stream[:half])); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: recovery replays checkpoint images + WAL tails, then the
+	// views are rebuilt from the recovered snapshot before ingest resumes.
+	arch, err = archive.OpenDir(dir, relstore.Options{Partitions: 4, CheckpointEvery: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	live := views.New(views.Options{Clock: wfclock.NewManual(time.Unix(0, 0))})
+	defer live.Close()
+	sn := arch.Snapshot()
+	err = live.BuildFromSnapshot(sn)
+	sn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err = loader.New(arch, loader.Options{Shards: 4, Views: live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.LoadReader(bytes.NewReader(stream[half:])); err != nil {
+		t.Fatal(err)
+	}
+
+	rebuilt := views.New(views.Options{Clock: wfclock.NewManual(time.Unix(0, 0))})
+	defer rebuilt.Close()
+	sn2 := arch.Snapshot()
+	err = rebuilt.BuildFromSnapshot(sn2)
+	sn2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireViewsEqual(t, live, rebuilt)
+}
