@@ -34,8 +34,11 @@ fuzz:
 # partitioned layout end to end. The binary exits non-zero unless every
 # accounting, watermark and replay check passes; the JSON report lands in
 # soak-report.json for the CI artifact.
+# -bundle-dir attaches the SLO health engine: the run fails if any alert
+# is still firing at the end, and a firing alert drops a diagnostics
+# bundle (bundle-*.tar.gz) here for stampede-doctor / the CI artifact.
 soak-smoke:
-	$(GO) run ./cmd/stampede-soak -scenario examples/scenarios/fault-soak.json -duration 30s -shards 4 -eventlog /tmp/soak-eventlog -out soak-report.json
+	$(GO) run ./cmd/stampede-soak -scenario examples/scenarios/fault-soak.json -duration 30s -shards 4 -eventlog /tmp/soak-eventlog -bundle-dir . -out soak-report.json
 
 # The loader benchmarks, including the snapshot-readers contention bench
 # and the pooled-parse micro-bench, parsed into BENCH_loader.json for

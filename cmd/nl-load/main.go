@@ -16,8 +16,10 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/health"
 	"repro/internal/loader"
 	"repro/internal/mq"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +33,8 @@ func main() {
 		noValidate = flag.Bool("no-validate", false, "skip schema validation")
 		lenient    = flag.Bool("lenient", false, "skip malformed/invalid events instead of failing")
 		verbose    = flag.Bool("v", false, "print per-source statistics")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/pprof, /healthz and /readyz on this address (empty = off)")
+		bundleDir  = flag.String("bundle-dir", ".", "firing alerts write diagnostics bundles here (empty = off)")
 	)
 	flag.Parse()
 
@@ -39,6 +43,29 @@ func main() {
 		fatal("open archive: %v", err)
 	}
 	defer arch.Close()
+
+	// The loader node is where durability SLOs live: WAL fsync latency,
+	// checkpoint age, and apply/commit p99 all come from this process.
+	eng := health.New(health.Config{
+		BundleDir:  *bundleDir,
+		Partitions: health.PartitionsOf(arch.Store()),
+	})
+	defer eng.Close()
+	eng.RegisterStandard(health.Sources{Store: arch.Store()})
+	if _, err := eng.AddObjectives(health.DefaultObjectives()...); err != nil {
+		fatal("objectives: %v", err)
+	}
+	eng.Start()
+	eng.AttachDebug()
+
+	if *debugAddr != "" {
+		addr, stopDebug, derr := telemetry.StartDebugServer(*debugAddr)
+		if derr != nil {
+			fatal("debug server: %v", derr)
+		}
+		defer stopDebug()
+		fmt.Printf("metrics, pprof and health on http://%s\n", addr)
+	}
 	l, err := loader.New(arch, loader.Options{
 		BatchSize: *batchSize,
 		Validate:  !*noValidate,

@@ -12,6 +12,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/mq"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -21,11 +22,24 @@ func main() {
 	var (
 		listen      = flag.String("listen", ":7000", "address to listen on")
 		stats       = flag.Duration("stats", 30*time.Second, "how often to print traffic counters (0 disables)")
-		debugAddr   = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (empty = off)")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/pprof, /healthz and /readyz on this address (empty = off)")
 		traceSample = flag.Int("trace-sample", trace.DefaultSampleEvery, "trace 1 in N events end to end (0 disables tracing)")
+		bundleDir   = flag.String("bundle-dir", ".", "firing alerts write diagnostics bundles here (empty = off)")
 	)
 	flag.Parse()
 	trace.SetSampleEvery(*traceSample)
+
+	broker := mq.NewBroker()
+
+	eng := health.New(health.Config{BundleDir: *bundleDir})
+	defer eng.Close()
+	eng.RegisterStandard(health.Sources{Broker: broker})
+	if _, err := eng.AddObjectives(health.DefaultObjectives()...); err != nil {
+		fmt.Fprintf(os.Stderr, "stampede-broker: objectives: %v\n", err)
+		os.Exit(1)
+	}
+	eng.Start()
+	eng.AttachDebug()
 
 	if *debugAddr != "" {
 		addr, stopDebug, err := telemetry.StartDebugServer(*debugAddr)
@@ -34,10 +48,8 @@ func main() {
 			os.Exit(1)
 		}
 		defer stopDebug()
-		fmt.Printf("metrics and pprof on http://%s\n", addr)
+		fmt.Printf("metrics, pprof and health on http://%s\n", addr)
 	}
-
-	broker := mq.NewBroker()
 	srv, err := mq.NewServer(broker, *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stampede-broker: %v\n", err)

@@ -9,15 +9,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/archive"
 	"repro/internal/dashboard"
+	"repro/internal/health"
 	"repro/internal/query"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -61,9 +64,33 @@ func main() {
 		follow      = flag.Duration("follow", 0, "re-read the database at this interval (0 = once)")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof (and a second /metrics) on this address (empty = off)")
 		traceSample = flag.Int("trace-sample", trace.DefaultSampleEvery, "trace 1 in N events end to end (0 disables tracing)")
+		bundleDir   = flag.String("bundle-dir", ".", "firing alerts write diagnostics bundles here (empty = off)")
 	)
 	flag.Parse()
 	trace.SetSampleEvery(*traceSample)
+
+	// One health engine outlives every -follow reload generation; alert
+	// transitions are pushed onto whichever views bus currently serves the
+	// SSE stream, so connected dashboards see them live.
+	var curViews atomic.Pointer[views.Views]
+	eng := health.New(health.Config{
+		BundleDir: *bundleDir,
+		OnAlert: func(a health.Alert) {
+			if v := curViews.Load(); v != nil {
+				if js, err := json.Marshal(a); err == nil {
+					v.PublishFrame("health", js)
+				}
+			}
+		},
+	})
+	defer eng.Close()
+	eng.RegisterStandard(health.Sources{})
+	if _, err := eng.AddObjectives(health.DefaultObjectives()...); err != nil {
+		fmt.Fprintf(os.Stderr, "stampede-dashboard: objectives: %v\n", err)
+		os.Exit(1)
+	}
+	eng.Start()
+	eng.AttachDebug()
 
 	// /metrics is always part of the dashboard mux itself; -debug-addr adds
 	// pprof on a separate listener that can stay firewalled off.
@@ -74,7 +101,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer stopDebug()
-		fmt.Printf("pprof on http://%s\n", addr)
+		fmt.Printf("pprof and health on http://%s\n", addr)
 	}
 
 	load := func() (http.Handler, func(), error) {
@@ -98,6 +125,8 @@ func main() {
 		}
 		srv := dashboard.New(query.New(arch))
 		srv.SetViews(v)
+		srv.SetHealth(eng)
+		curViews.Store(v)
 		return srv, v.Close, nil
 	}
 	first, firstCleanup, err := load()

@@ -1,0 +1,89 @@
+// stampede-doctor turns a diagnostics bundle into a triage report: the
+// triggering alert, the objectives and their burn rates at capture time,
+// the flight-recorder tail, span coverage, the partition map, and
+// runtime vitals. Bundles come from a file (written by a firing alert or
+// saved earlier) or straight from a running node's /debug/bundle.
+//
+//	stampede-doctor -bundle bundle-1a2b3c4d5e6f7081.tar.gz
+//	stampede-doctor -addr localhost:6060 -save .
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/health"
+)
+
+func main() {
+	var (
+		bundle = flag.String("bundle", "", "read a bundle-<id>.tar.gz file")
+		addr   = flag.String("addr", "", "fetch a fresh bundle from a node's debug listener (host:port)")
+		save   = flag.String("save", "", "with -addr: also keep the fetched bundle in this directory")
+	)
+	flag.Parse()
+	if (*bundle == "") == (*addr == "") {
+		fmt.Fprintln(os.Stderr, "stampede-doctor: exactly one of -bundle or -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var raw []byte
+	var err error
+	switch {
+	case *bundle != "":
+		raw, err = os.ReadFile(*bundle)
+	default:
+		raw, err = fetch(*addr, *save)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	bi, err := health.ReadBundle(bytes.NewReader(raw))
+	if err != nil {
+		fatal(err)
+	}
+	bi.Render(os.Stdout)
+}
+
+// fetch pulls /debug/bundle from a running node, optionally saving the
+// raw archive next to the report so the evidence outlives the process.
+func fetch(addr, save string) ([]byte, error) {
+	cl := &http.Client{Timeout: 30 * time.Second}
+	resp, err := cl.Get("http://" + addr + "/debug/bundle")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/bundle: %s", resp.Status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if save != "" {
+		id := resp.Header.Get("X-Bundle-ID")
+		if id == "" {
+			id = "fetched"
+		}
+		path := filepath.Join(save, "bundle-"+id+".tar.gz")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "saved %s (%d bytes)\n", path, len(raw))
+	}
+	return raw, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stampede-doctor:", err)
+	os.Exit(1)
+}

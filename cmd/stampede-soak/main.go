@@ -24,6 +24,7 @@ func main() {
 		speedup      = flag.Float64("speedup", 1, "publish this many times faster than planned; 0 = no pacing")
 		out          = flag.String("out", "", "also write the report as JSON to this file")
 		eventlogDir  = flag.String("eventlog", "", "tee ingest into an event log at this directory; the audit then replays from the log (see stampede-replay)")
+		bundleDir    = flag.String("bundle-dir", "", "attach an SLO health engine; firing alerts write diagnostics bundles here (inspect with stampede-doctor)")
 	)
 	flag.Parse()
 	if *scenarioPath == "" {
@@ -40,7 +41,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("scenario %q: %s\n", sc.Name, sc.Description)
-	res, err := soak.Run(sc, duration.Seconds(), soak.Options{Shards: *shards, Speedup: *speedup, EventlogDir: *eventlogDir})
+	opts := soak.Options{Shards: *shards, Speedup: *speedup, EventlogDir: *eventlogDir}
+	if *bundleDir != "" {
+		opts.SLO = &soak.SLOOptions{BundleDir: *bundleDir}
+	}
+	res, err := soak.Run(sc, duration.Seconds(), opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/bp"
 	"repro/internal/eventlog"
 	"repro/internal/experiments"
+	"repro/internal/health"
 	"repro/internal/loader"
 	"repro/internal/schema"
 	"repro/internal/trace"
@@ -192,6 +193,56 @@ func TestLoadAllocCeilingViews(t *testing.T) {
 	t.Logf("load+views: %.2f allocs/event over %d events (ceiling %d)", perEvent, loaded, maxAllocsPerEvent)
 	if perEvent > maxAllocsPerEvent {
 		t.Errorf("hot path with views allocates %.2f/event, ceiling %d", perEvent, maxAllocsPerEvent)
+	}
+}
+
+// TestLoadAllocCeilingHealth holds the same end-to-end budget with a live
+// health engine ticking on the wall clock throughout the load: SLO
+// evaluation reads scrape-side registry state and cached atomics only, so
+// attaching it must leave the per-event allocation ceiling intact. The
+// engine's own tick allocations amortize across the load (a 10ms tick
+// over a ~2000-event run is a rounding error against the ceiling); what
+// this guards is any per-event cost leaking into the apply path.
+func TestLoadAllocCeilingHealth(t *testing.T) {
+	tr := experiments.TraceFor(2000)
+	load := func() uint64 {
+		v := views.New(views.Options{Clock: wfclock.NewManual(time.Unix(0, 0))})
+		defer v.Close()
+		a := archive.NewInMemory()
+		eng := health.New(health.Config{
+			Every:      10 * time.Millisecond,
+			Partitions: health.PartitionsOf(a.Store()),
+		})
+		defer eng.Close()
+		eng.RegisterStandard(health.Sources{Store: a.Store()})
+		if _, err := eng.AddObjectives(health.DefaultObjectives()...); err != nil {
+			t.Fatal(err)
+		}
+		eng.Start()
+		l, err := loader.New(a, loader.Options{BatchSize: 512, Validate: true, Views: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := l.LoadReader(bytes.NewReader(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Loaded
+	}
+	load() // warm: intern table, schema singletons, event pool, signal baselines
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	loaded := load()
+	runtime.ReadMemStats(&ms1)
+	if loaded == 0 {
+		t.Fatal("nothing loaded")
+	}
+	perEvent := float64(ms1.Mallocs-ms0.Mallocs) / float64(loaded)
+	t.Logf("load+health: %.2f allocs/event over %d events (ceiling %d)", perEvent, loaded, maxAllocsPerEvent)
+	if perEvent > maxAllocsPerEvent {
+		t.Errorf("hot path with health engine allocates %.2f/event, ceiling %d", perEvent, maxAllocsPerEvent)
 	}
 }
 

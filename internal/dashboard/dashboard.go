@@ -18,6 +18,7 @@ import (
 	"repro/internal/analyzer"
 	"repro/internal/archive"
 	"repro/internal/bp"
+	"repro/internal/health"
 	"repro/internal/mq"
 	"repro/internal/query"
 	"repro/internal/relstore"
@@ -107,6 +108,21 @@ func (s *Server) SetBus(b *mq.Broker) { s.bus = b.Stats }
 // SetTraceRing points the trace endpoints at a specific ring instead of
 // the process-wide default; tests inject a hand-built ring here.
 func (s *Server) SetTraceRing(r *trace.Ring) { s.ring = r }
+
+// SetHealth mounts a health engine's endpoints on the dashboard itself —
+// /healthz, /readyz, the alert lifecycle at /api/alerts, /api/buildinfo,
+// and on-demand diagnostics bundles at /debug/bundle — so the main
+// serving port answers the same questions as the -debug-addr listener.
+// When the dashboard also has views attached, alert transitions are
+// additionally pushed to every broadcast SSE subscriber as "health"
+// events on the stream clients already watch.
+func (s *Server) SetHealth(e *health.Engine) {
+	s.mux.Handle("GET /healthz", e.HealthzHandler())
+	s.mux.Handle("GET /readyz", e.ReadyzHandler())
+	s.mux.Handle("GET /api/alerts", e.AlertsHandler())
+	s.mux.Handle("GET /api/buildinfo", e.BuildinfoHandler())
+	s.mux.Handle("GET /debug/bundle", e.BundleHandler())
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

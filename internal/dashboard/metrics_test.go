@@ -11,13 +11,16 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/archive"
+	"repro/internal/health"
 	"repro/internal/loader"
 	"repro/internal/mq"
 	"repro/internal/query"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
+	"repro/internal/wfclock"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files under testdata/")
@@ -102,10 +105,38 @@ func TestMetricsEndpoint(t *testing.T) {
 		broker.Publish("stampede.xwf.start", []byte("x=1"))
 	}
 
+	// A health engine over the same stack: its families must join the
+	// exposition, and its endpoints must answer on the dashboard mux.
+	clk := wfclock.NewManual(time.Date(2012, 3, 13, 12, 0, 0, 0, time.UTC))
+	eng := health.New(health.Config{Clock: clk, Every: time.Second})
+	defer eng.Close()
+	eng.RegisterStandard(health.Sources{
+		Clock: clk, Store: arch.Store(), Broker: broker,
+		FreshnessLag: func() (float64, bool) { return 0, true },
+	})
+	if _, err := eng.AddObjectives(health.DefaultObjectives()...); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	eng.Tick()
+
 	srv := New(query.New(arch))
 	srv.SetBus(broker)
+	srv.SetHealth(eng)
 	if rec := get(t, srv, "/api/workflows"); rec.Code != http.StatusOK {
 		t.Fatalf("GET /api/workflows = %d", rec.Code)
+	}
+	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", rec.Code)
+	}
+	if rec := get(t, srv, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("GET /readyz = %d (engine is clean)", rec.Code)
+	}
+	if rec := get(t, srv, "/api/alerts"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "objectives") {
+		t.Fatalf("GET /api/alerts = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, srv, "/api/buildinfo"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "go_version") {
+		t.Fatalf("GET /api/buildinfo = %d: %s", rec.Code, rec.Body.String())
 	}
 	index := get(t, srv, "/")
 	if index.Code != http.StatusOK {
@@ -161,6 +192,18 @@ func TestMetricsEndpoint(t *testing.T) {
 		"stampede_trace_freshness_seconds{workflow=",
 		"stampede_http_requests_total{route=\"/api/workflows\"}",
 		"stampede_http_request_seconds_bucket{route=\"/api/workflows\",le=",
+		"stampede_health_evals_total",
+		"stampede_health_ready",
+		"stampede_health_bundles_total",
+		"stampede_health_signal{signal=\"apply_p99_seconds\"}",
+		"stampede_health_signal{signal=\"checkpoint_age_seconds\"}",
+		"stampede_health_burn_rate{slo=\"ingest-freshness\",window=\"fast\"}",
+		"stampede_health_burn_rate{slo=\"mq-drop-rate\",window=\"slow\"}",
+		"stampede_alerts_firing",
+		"stampede_alerts_pending",
+		"stampede_alerts_transitions_total{state=\"firing\"}",
+		"stampede_alerts_transitions_total{state=\"resolved\"}",
+		"stampede_views_anomaly_alerts_total",
 	} {
 		if !strings.Contains(body, name) {
 			t.Errorf("exposition missing %s", name)

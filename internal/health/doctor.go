@@ -1,0 +1,246 @@
+package health
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BundleInfo is a parsed diagnostics bundle — everything stampede-doctor
+// needs to render a triage report.
+type BundleInfo struct {
+	Meta       Meta
+	Alerts     AlertsDump
+	Signals    SignalsDump
+	Notes      []Note
+	Spans      []SpanRecord
+	Partitions []Partition
+	Metrics    []byte // raw Prometheus exposition
+	Goroutines []byte // text goroutine profile (debug=1)
+	Files      []string
+}
+
+// ReadBundle parses a diagnostics bundle tar.gz. Unknown files are
+// listed but otherwise ignored, so newer bundles stay readable.
+func ReadBundle(r io.Reader) (*BundleInfo, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("health: not a gzip bundle: %w", err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	b := &BundleInfo{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("health: bad bundle archive: %w", err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			return nil, fmt.Errorf("health: reading %s: %w", hdr.Name, err)
+		}
+		b.Files = append(b.Files, hdr.Name)
+		switch hdr.Name {
+		case "meta.json":
+			err = json.Unmarshal(data, &b.Meta)
+		case "alerts.json":
+			err = json.Unmarshal(data, &b.Alerts)
+		case "signals.json":
+			err = json.Unmarshal(data, &b.Signals)
+		case "notes.json":
+			err = json.Unmarshal(data, &b.Notes)
+		case "spans.json":
+			err = json.Unmarshal(data, &b.Spans)
+		case "partitions.json":
+			err = json.Unmarshal(data, &b.Partitions)
+		case "metrics.prom":
+			b.Metrics = data
+		case "goroutines.txt":
+			b.Goroutines = data
+		}
+		if err != nil {
+			return nil, fmt.Errorf("health: parsing %s: %w", hdr.Name, err)
+		}
+	}
+	if len(b.Files) == 0 {
+		return nil, fmt.Errorf("health: empty bundle")
+	}
+	return b, nil
+}
+
+// MetricValue scans the raw exposition for an unlabeled (or first
+// matching) sample of the named metric.
+func (b *BundleInfo) MetricValue(name string) (string, bool) {
+	for _, line := range strings.Split(string(b.Metrics), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if len(rest) == 0 {
+			continue
+		}
+		if rest[0] != ' ' && rest[0] != '{' {
+			continue // longer metric name sharing the prefix
+		}
+		if i := strings.LastIndexByte(rest, ' '); i >= 0 {
+			return rest[i+1:], true
+		}
+	}
+	return "", false
+}
+
+// GoroutineCount parses the total from the goroutine profile header.
+func (b *BundleInfo) GoroutineCount() int {
+	var n int
+	fmt.Sscanf(string(b.Goroutines), "goroutine profile: total %d", &n)
+	return n
+}
+
+// Render pretty-prints the triage report: build identity, the triggering
+// alert, the alert lifecycle, signals versus thresholds, recorder notes,
+// span coverage by stage, and the partition map.
+func (b *BundleInfo) Render(w io.Writer) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("== diagnostics bundle ==\n")
+	bi := b.Meta.Build
+	p("created   %s\n", b.Meta.CreatedAt.Format("2006-01-02 15:04:05.000 MST"))
+	p("build     %s %s (%s", orDash(bi.Module), orDash(bi.Version), bi.GoVersion)
+	if bi.Revision != "" {
+		rev := bi.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		p(", rev %s", rev)
+		if bi.Dirty {
+			p("+dirty")
+		}
+	}
+	p(")\n")
+	p("node      pid %d, %d partition(s), up %.1fs\n", bi.PID, bi.Partitions, bi.UptimeSeconds)
+
+	if t := b.Meta.Trigger; t != nil {
+		p("\n-- trigger --\n")
+		p("%s -> %s  signal %s = %.4g (threshold %.4g), burn fast %.2fx slow %.2fx\n",
+			t.SLO, t.State, t.Signal, t.Value, t.Threshold, t.FastBurn, t.SlowBurn)
+	}
+
+	p("\n-- alerts --\n")
+	if len(b.Alerts.Active) == 0 {
+		p("no active alerts\n")
+	}
+	for _, a := range b.Alerts.Active {
+		p("ACTIVE  %-24s %-8s %s=%.4g (thr %.4g) burn %.2f/%.2f\n",
+			a.SLO, a.State, a.Signal, a.Value, a.Threshold, a.FastBurn, a.SlowBurn)
+	}
+	recent := b.Alerts.Recent
+	if len(recent) > 10 {
+		recent = recent[len(recent)-10:]
+	}
+	for _, a := range recent {
+		p("%s  %-24s %-8s value %.4g burn %.2f/%.2f\n",
+			a.At.Format("15:04:05.000"), a.SLO, a.State, a.Value, a.FastBurn, a.SlowBurn)
+	}
+
+	p("\n-- objectives --\n")
+	for _, o := range b.Signals.Objectives {
+		breaches := 0
+		for _, s := range o.Samples {
+			if s.Breach {
+				breaches++
+			}
+		}
+		p("%-24s %-8s thr %.4g  burn fast %.2fx slow %.2fx (max %.2fx)  %d/%d samples breaching\n",
+			o.Name, o.State, o.Threshold, o.FastBurn, o.SlowBurn, o.MaxBurn, breaches, len(o.Samples))
+	}
+
+	if len(b.Signals.Signals) > 0 {
+		p("\n-- signals --\n")
+		names := make([]string, 0, len(b.Signals.Signals))
+		for n := range b.Signals.Signals {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			sv := b.Signals.Signals[n]
+			if sv.OK {
+				p("%-32s %.6g\n", n, sv.Value)
+			} else {
+				p("%-32s (no data)\n", n)
+			}
+		}
+	}
+
+	notes := b.Notes
+	if len(notes) > 12 {
+		notes = notes[len(notes)-12:]
+	}
+	if len(notes) > 0 {
+		p("\n-- flight recorder (last %d) --\n", len(notes))
+		for _, n := range notes {
+			p("%s  [%s] %s\n", n.At.Format("15:04:05.000"), n.Kind, n.Msg)
+		}
+	}
+
+	if len(b.Spans) > 0 {
+		p("\n-- spans --\n")
+		byStage := map[string]int{}
+		for _, sp := range b.Spans {
+			byStage[sp.Stage]++
+		}
+		stages := make([]string, 0, len(byStage))
+		for s := range byStage {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		p("%d spans in ring:", len(b.Spans))
+		for _, s := range stages {
+			p(" %s=%d", s, byStage[s])
+		}
+		p("\n")
+	}
+
+	if len(b.Partitions) > 0 {
+		p("\n-- partitions --\n")
+		for _, pt := range b.Partitions {
+			p("partition %d  epoch %d", pt.Partition, pt.Epoch)
+			if pt.CheckpointTaken {
+				p("  checkpoint seq %d (%.1fs old, %d bytes)",
+					pt.CheckpointSeq, pt.CheckpointAgeSeconds, pt.CheckpointBytes)
+			} else {
+				p("  never checkpointed")
+			}
+			p("\n")
+		}
+	}
+
+	p("\n-- runtime --\n")
+	if n := b.GoroutineCount(); n > 0 {
+		p("goroutines %d\n", n)
+	}
+	for _, m := range []string{
+		"stampede_loader_events_read_total",
+		"stampede_mq_dropped_total",
+		"stampede_views_resyncs_total",
+		"stampede_health_bundles_total",
+	} {
+		if v, ok := b.MetricValue(m); ok {
+			p("%-36s %s\n", m, v)
+		}
+	}
+	p("files: %s\n", strings.Join(b.Files, ", "))
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -378,6 +378,19 @@ func (b *Broker) Stats() Stats {
 	}
 }
 
+// Backlog returns the total number of messages currently buffered across
+// every queue — the broker-wide depth the health engine samples at tick
+// time as an SLO signal.
+func (b *Broker) Backlog() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	depth := 0
+	for _, q := range b.queues {
+		depth += q.Len()
+	}
+	return depth
+}
+
 // Subscribe is the convenience path for a single consumer: it declares a
 // transient uniquely-suffixed queue, binds it to the pattern, and returns
 // the queue. Callers use q.Consume() for the channel and q.Cancel() when

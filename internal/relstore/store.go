@@ -105,6 +105,38 @@ func (s *Store) Epochs() []uint64 {
 	return out
 }
 
+// PartitionStatus describes one live partition for operator tooling: its
+// current visibility epoch and last-checkpoint high-water state (the
+// on-disk counterpart is PartitionInfo / InspectDir). The health engine's
+// diagnostics bundles embed this map so a triage report can say which
+// partition fell behind.
+type PartitionStatus struct {
+	Partition            int     `json:"partition"`
+	Epoch                uint64  `json:"epoch"`
+	CheckpointTaken      bool    `json:"checkpoint_taken"`
+	CheckpointSeq        uint64  `json:"checkpoint_seq"`
+	CheckpointBytes      int64   `json:"checkpoint_bytes,omitempty"`
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
+}
+
+// PartitionMap reports the per-partition epoch vector joined with each
+// partition's checkpoint state. Like Epochs it makes no cross-partition
+// atomicity claim — it is a diagnostics read, not a snapshot.
+func (s *Store) PartitionMap() []PartitionStatus {
+	stats := s.CheckpointStats()
+	out := make([]PartitionStatus, len(s.parts))
+	for i, p := range s.parts {
+		out[i] = PartitionStatus{Partition: i, Epoch: p.epoch.Load()}
+		if i < len(stats) && stats[i].Taken {
+			out[i].CheckpointTaken = true
+			out[i].CheckpointSeq = stats[i].Seq
+			out[i].CheckpointBytes = stats[i].Bytes
+			out[i].CheckpointAgeSeconds = stats[i].Age.Seconds()
+		}
+	}
+	return out
+}
+
 // Writer is a handle bound to one partition. Loader apply shards hold one
 // writer each (shard i → partition i%N), so their commits serialize only
 // against writes to the same partition.

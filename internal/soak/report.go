@@ -60,6 +60,10 @@ type Report struct {
 	ViewWorkflows int    `json:"view_workflows,omitempty"`
 	ViewHosts     int    `json:"view_hosts,omitempty"`
 
+	// SLO audit, present when the run attached a health engine
+	// (Options.SLO).
+	SLO *SLOReport `json:"slo,omitempty"`
+
 	Knee *Knee `json:"knee,omitempty"`
 
 	// Eventlog audit results, present when the run teed ingest into an
@@ -67,6 +71,18 @@ type Report struct {
 	EventlogAppends uint64 `json:"eventlog_appends,omitempty"`
 	EventlogBytes   uint64 `json:"eventlog_bytes,omitempty"`
 	ReplayHash      string `json:"replay_hash,omitempty"`
+}
+
+// SLOReport summarizes the run's health engine for the report artifact.
+type SLOReport struct {
+	Objectives  int      `json:"objectives"`
+	Fired       int      `json:"fired"`
+	Resolved    int      `json:"resolved"`
+	Canceled    int      `json:"canceled"`
+	StillFiring []string `json:"still_firing,omitempty"`
+	MaxBurnSLO  string   `json:"max_burn_slo,omitempty"`
+	MaxBurn     float64  `json:"max_burn"`
+	Bundles     []string `json:"bundles,omitempty"`
 }
 
 func (r *Report) check(name string, ok bool, format string, args ...any) {
@@ -183,6 +199,33 @@ func BuildReport(res *Result) *Report {
 		r.check("every subscriber received a snapshot",
 			r.SSESnapshots >= uint64(res.Subscribers),
 			"%d snapshot/resync frames across %d subscribers", r.SSESnapshots, res.Subscribers)
+	}
+
+	if res.SLO != nil {
+		r.SLO = &SLOReport{
+			Objectives:  res.SLO.Objectives,
+			Fired:       res.SLO.Fired,
+			Resolved:    res.SLO.Resolved,
+			Canceled:    res.SLO.Canceled,
+			StillFiring: res.SLO.StillFiring,
+			MaxBurnSLO:  res.SLO.MaxBurnSLO,
+			MaxBurn:     res.SLO.MaxBurn,
+			Bundles:     res.SLO.Bundles,
+		}
+		// A firing alert must clear once ingest ends and the pipeline
+		// drains; one still firing after the settle is a real failure —
+		// either the run left permanent lag or the engine cannot resolve.
+		r.check("no alert still firing at run end",
+			len(res.SLO.StillFiring) == 0,
+			"fired %d, resolved %d, canceled %d, still firing %v",
+			res.SLO.Fired, res.SLO.Resolved, res.SLO.Canceled, res.SLO.StillFiring)
+		// Every transition into Firing captured its diagnostics bundle
+		// (files only exist when the run configured a bundle directory).
+		if res.SLO.BundleDir != "" {
+			r.check("every firing alert captured a bundle",
+				len(res.SLO.Bundles) >= res.SLO.Fired,
+				"%d bundles for %d firings", len(res.SLO.Bundles), res.SLO.Fired)
+		}
 	}
 
 	if sc.MaxAllocsPerEvent > 0 {
@@ -420,6 +463,17 @@ func (r *Report) Render(w io.Writer) {
 	if r.Subscribers > 0 {
 		fmt.Fprintf(w, "  push: %d subscribers | %d SSE frames (%d snapshot/resync) | view %d workflows, %d hosts\n",
 			r.Subscribers, r.SSEEvents, r.SSESnapshots, r.ViewWorkflows, r.ViewHosts)
+	}
+	if r.SLO != nil {
+		fmt.Fprintf(w, "  slo: %d objectives | fired %d, resolved %d, canceled %d | max burn %.2f",
+			r.SLO.Objectives, r.SLO.Fired, r.SLO.Resolved, r.SLO.Canceled, r.SLO.MaxBurn)
+		if r.SLO.MaxBurnSLO != "" {
+			fmt.Fprintf(w, " (%s)", r.SLO.MaxBurnSLO)
+		}
+		if len(r.SLO.Bundles) > 0 {
+			fmt.Fprintf(w, " | bundles %v", r.SLO.Bundles)
+		}
+		fmt.Fprintln(w)
 	}
 	if r.Knee != nil {
 		fmt.Fprintf(w, "  knee: plateau %.0f events/s", r.Knee.PlateauEventsPerSec)

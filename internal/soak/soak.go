@@ -22,10 +22,12 @@ import (
 	"repro/internal/archive"
 	"repro/internal/dashboard"
 	"repro/internal/eventlog"
+	"repro/internal/health"
 	"repro/internal/loader"
 	"repro/internal/mq"
 	"repro/internal/query"
 	"repro/internal/synth"
+	"repro/internal/trace"
 	"repro/internal/views"
 )
 
@@ -46,6 +48,63 @@ type Options struct {
 	// segment files in the directory are removed first so each run's log
 	// is self-contained.
 	EventlogDir string
+	// SLO, when non-nil, attaches a health engine to the run: burn-rate
+	// objectives are evaluated on a wall-clock ticker while the stream
+	// plays, alert transitions land in the report's slo section, and any
+	// alert reaching Firing captures a diagnostics bundle.
+	SLO *SLOOptions
+}
+
+// SLOOptions tunes the run's health engine. Ingest freshness is measured
+// in event time — published watermark minus the applied watermark over
+// this run's own workflows — so it is meaningful at any Speedup.
+type SLOOptions struct {
+	// Every is the evaluation tick (0 = 50ms wall).
+	Every time.Duration
+	// BundleDir is where a firing alert writes bundle-<id>.tar.gz
+	// (empty: no bundle files, alert lifecycle still fully evaluated).
+	BundleDir string
+	// Objectives overrides the soak default set: a single short-window
+	// ingest-freshness objective sized for runs lasting seconds.
+	Objectives []health.Objective
+	// FreshnessThreshold is the event-time lag in seconds the default
+	// freshness objective tolerates (0 = 5s).
+	FreshnessThreshold float64
+}
+
+// soakObjectives is the default SLO set for a soak run. The windows are
+// deliberately tiny — a soak lasts seconds, not the minutes the
+// production DefaultObjectives assume — so a sustained ingest stall
+// inside the run walks the full pending → firing → resolved lifecycle.
+func soakObjectives(threshold float64) []health.Objective {
+	if threshold == 0 {
+		threshold = 5
+	}
+	return []health.Objective{{
+		Name: "ingest-freshness", Severity: "page", Signal: health.SigFreshnessLag,
+		Help:      "Applied watermark must track the published stream (event time).",
+		Threshold: threshold, Budget: 0.1, BurnRate: 2,
+		Fast: 1500 * time.Millisecond, Slow: 4 * time.Second,
+		For: 300 * time.Millisecond, ClearFor: 500 * time.Millisecond,
+		GateReady: true,
+	}}
+}
+
+// SLORun is what the run's health engine observed, summarized for the
+// report after the post-drain settle.
+type SLORun struct {
+	Objectives  int            // objectives installed
+	Fired       int            // transitions into Firing
+	Resolved    int            // transitions out of Firing
+	Canceled    int            // pendings that cleared before their For
+	StillFiring []string       // objectives firing when the run ended
+	MaxBurnSLO  string         // objective with the highest fast burn
+	MaxBurn     float64        // that burn rate
+	Bundles     []string       // diagnostics bundle IDs captured
+	BundleDir   string         // where their files were written ("" = memory only)
+	WentUnready bool           // a ready-gating alert fired mid-run
+	ReadyAtEnd  bool           // engine readiness after the settle
+	Transitions []health.Alert // the retained transition history
 }
 
 // Sample is one throughput observation.
@@ -75,6 +134,8 @@ type Result struct {
 	// run (publisher included) — the end-to-end analogue of the hot-path
 	// allocation ceiling.
 	AllocsPerEvent float64
+	// SLO is the health engine's summary when Options.SLO was set.
+	SLO *SLORun
 
 	// Push-serving results, populated when the scenario sets Subscribers:
 	// the run attaches that many SSE clients to the dashboard stream
@@ -120,6 +181,68 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 	// partitioned-store benches measure.
 	arch := archive.NewInMemoryN(opts.Shards)
 	res := &Result{Stream: stream, Arch: arch, LoaderRuns: 1}
+
+	// Health engine: evaluates the run's SLOs on a wall-clock ticker while
+	// the stream plays. Freshness is event time — the max TS handed to the
+	// broker versus the max TS the archive applied for this run's own
+	// workflows (the watermark table is process-global; scoping the read
+	// keeps other tests' workflows out of the audit).
+	var eng *health.Engine
+	var pubWM atomic.Int64  // max published event TS, unix nanos
+	var sloDone atomic.Bool // run over: freshness is moot, signal goes absent
+	var wentUnready atomic.Bool
+	if opts.SLO != nil {
+		wfs := make([]string, 0, len(stream.WFLastTS))
+		for wf := range stream.WFLastTS {
+			wfs = append(wfs, wf)
+		}
+		every := opts.SLO.Every
+		if every == 0 {
+			every = 50 * time.Millisecond
+		}
+		eng = health.New(health.Config{
+			Every:      every,
+			BundleDir:  opts.SLO.BundleDir,
+			Partitions: health.PartitionsOf(arch.Store()),
+			OnAlert: func(a health.Alert) {
+				if a.State == "firing" && !eng.Ready() {
+					wentUnready.Store(true)
+				}
+			},
+		})
+		defer eng.Close()
+		eng.RegisterStandard(health.Sources{
+			Store:  arch.Store(),
+			Broker: broker,
+			FreshnessLag: health.WatermarkLagSignal(
+				func() (time.Time, bool) {
+					if sloDone.Load() {
+						return time.Time{}, false
+					}
+					ns := pubWM.Load()
+					if ns == 0 {
+						return time.Time{}, false
+					}
+					return time.Unix(0, ns).UTC(), true
+				},
+				func() (time.Time, bool) {
+					if ts, ok := trace.WatermarkMax(wfs); ok {
+						return ts, true
+					}
+					// Published but nothing applied yet: maximal lag.
+					return time.Time{}, true
+				},
+			),
+		})
+		objs := opts.SLO.Objectives
+		if objs == nil {
+			objs = soakObjectives(opts.SLO.FreshnessThreshold)
+		}
+		if _, aerr := eng.AddObjectives(objs...); aerr != nil {
+			return nil, aerr
+		}
+		eng.Start()
+	}
 
 	// Loader lifecycle. Each run is a fresh Loader on the same archive (a
 	// real restart keeps the database); stats from every run are summed.
@@ -216,6 +339,9 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 		nspawns := 1
 		for m := range in {
 			if n == restartAt {
+				if eng != nil {
+					eng.Recorder().Note("loader", "restart at message %d of %d", n, toPublish)
+				}
 				close(out)
 				// Wait for the outgoing loader to drain and flush before
 				// its replacement starts: a real restart has downtime, and
@@ -303,6 +429,11 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 		broker.Publish(ln.Key, ln.Body)
 		res.Published++
 		publishedAtomic.Store(uint64(res.Published))
+		if eng != nil && !ln.TS.IsZero() {
+			if ns := ln.TS.UnixNano(); ns > pubWM.Load() {
+				pubWM.Store(ns)
+			}
+		}
 	}
 
 	// Drain: deleting the queue closes the delivery channel; messages
@@ -345,6 +476,44 @@ func Run(sc *synth.Scenario, durationSeconds float64, opts Options) (*Result, er
 			res.SSESnapshots += s.snapshots.Load()
 		}
 		vw.Close()
+	}
+
+	// SLO settle: ingest is over, so the freshness signal goes absent
+	// (clean) and any alert the run provoked gets its ClearFor to resolve.
+	// A bounded wait, not an unbounded one: a still-firing alert after the
+	// settle is exactly what the report's slo check must surface.
+	if eng != nil {
+		sloDone.Store(true)
+		deadline := time.Now().Add(5 * time.Second)
+		for (eng.FiringCount() > 0 || eng.PendingCount() > 0) && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+		}
+		slo := &SLORun{
+			Objectives:  len(eng.Objectives()),
+			Bundles:     eng.Bundles(),
+			BundleDir:   opts.SLO.BundleDir,
+			WentUnready: wentUnready.Load(),
+			ReadyAtEnd:  eng.Ready(),
+			Transitions: eng.Recent(),
+		}
+		for _, a := range slo.Transitions {
+			switch a.State {
+			case "firing":
+				slo.Fired++
+			case "resolved":
+				slo.Resolved++
+			case "canceled":
+				slo.Canceled++
+			}
+		}
+		for _, a := range eng.Active() {
+			if a.State == "firing" {
+				slo.StillFiring = append(slo.StillFiring, a.SLO)
+			}
+		}
+		slo.MaxBurnSLO, slo.MaxBurn = eng.MaxBurn()
+		res.SLO = slo
+		eng.Close()
 	}
 
 	var ms1 runtime.MemStats

@@ -13,8 +13,9 @@ import (
 // for Drop lines, discards-and-counts) these in order; the report audits
 // the run against the same annotations.
 type Line struct {
-	At        float64 // planned publish offset, seconds from run start
-	Key       string  // routing key (the BP event type)
+	At        float64   // planned publish offset, seconds from run start
+	TS        time.Time // event timestamp; zero for malformed lines
+	Key       string    // routing key (the BP event type)
 	Body      []byte
 	WF        string // workflow uuid; "" for malformed lines
 	Malformed bool   // injected garbage: the loader must count it Malformed
@@ -183,6 +184,7 @@ func BuildStream(sc *Scenario, durationSeconds float64) (*Stream, error) {
 		}
 		ln := Line{
 			At:   plan.TimeAt(i),
+			TS:   ev.TS.Truncate(time.Microsecond),
 			Key:  ev.Type,
 			Body: []byte(ev.Format()),
 			WF:   wfUUID,

@@ -1,0 +1,81 @@
+package telemetry
+
+// Scrape-time read access for the health engine (internal/health): SLO
+// signals are derived from metrics the hot paths already maintain, so
+// evaluating them must not add instrumentation — only reads. Both
+// accessors take the same locks as the exposition path and evaluate
+// func-backed children outside any lock, exactly like WritePrometheus.
+
+// SumValue returns the sum of a scalar (counter or gauge) family's
+// children. With label values it returns just the child for that exact
+// label-value combination. ok is false when the family does not exist,
+// is a histogram, or the requested child is absent — callers treat that
+// as "signal not available here", not zero.
+func (r *Registry) SumValue(name string, labels ...string) (float64, bool) {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok || f.kind == kindHistogram {
+		return 0, false
+	}
+	fns := make([]func() float64, 0, 4)
+	sum := 0.0
+	found := false
+	f.mu.RLock()
+	for key, c := range f.children {
+		if len(labels) > 0 && key != labelKey(labels) {
+			continue
+		}
+		found = true
+		switch c := c.(type) {
+		case *Counter:
+			sum += float64(c.Value())
+		case *Gauge:
+			sum += float64(c.Value())
+		case funcGauge:
+			fns = append(fns, c.fn)
+		case funcCounter:
+			fns = append(fns, c.fn)
+		}
+	}
+	f.mu.RUnlock()
+	for _, fn := range fns {
+		sum += fn()
+	}
+	return sum, found
+}
+
+// SumBuckets returns a histogram family's bucket layout and per-bucket
+// observation counts (non-cumulative; the final slot is the +Inf
+// bucket), summed across children or, with label values, for one exact
+// child. The caller can difference successive reads to compute windowed
+// quantiles without the hot path ever knowing.
+func (r *Registry) SumBuckets(name string, labels ...string) (upper []float64, counts []uint64, ok bool) {
+	r.mu.RLock()
+	f, fok := r.families[name]
+	r.mu.RUnlock()
+	if !fok || f.kind != kindHistogram {
+		return nil, nil, false
+	}
+	found := false
+	f.mu.RLock()
+	for key, c := range f.children {
+		if len(labels) > 0 && key != labelKey(labels) {
+			continue
+		}
+		h, hok := c.(*Histogram)
+		if !hok {
+			continue
+		}
+		if counts == nil {
+			upper = h.upper
+			counts = make([]uint64, len(h.counts))
+		}
+		found = true
+		for i := range h.counts {
+			counts[i] += h.counts[i].Load()
+		}
+	}
+	f.mu.RUnlock()
+	return upper, counts, found
+}

@@ -180,6 +180,8 @@ var (
 		"Deltas dropped on full subscriber buffers (each triggers a resync).")
 	mResyncs = telemetry.NewCounter("stampede_views_resyncs_total",
 		"Slow-consumer resyncs served from the view snapshot.")
+	mAnomalyAlerts = telemetry.NewCounter("stampede_views_anomaly_alerts_total",
+		"In-stream 3-sigma anomaly alerts raised by the runtime detector.")
 	mFlushSeconds = telemetry.NewHistogram("stampede_views_flush_seconds",
 		"Latency from a workflow first going dirty to its delta being published.",
 		telemetry.DurationBuckets)
@@ -614,6 +616,7 @@ func (v *Views) observeLocked(st *vstripe, uuid string, ev *bp.Event) {
 			w.q99.Observe(d)
 			if tr := ev.Get(schema.AttrTransform); tr != "" {
 				if an, bad := v.det.Observe(tr, d); bad {
+					mAnomalyAlerts.Inc()
 					st.alerts = append(st.alerts, Alert{
 						UUID:           uuid,
 						Transformation: an.Group,
@@ -770,6 +773,14 @@ func (v *Views) FlushNow() {
 	if len(batch) > 0 {
 		v.bus.Publish(BatchTopic, batch)
 	}
+}
+
+// PublishFrame pushes one out-of-band SSE event to every broadcast
+// subscriber, pre-framed exactly like a flush batch so the SSE layer
+// writes it verbatim. The health engine uses this to put alert lifecycle
+// transitions on the same stream clients already watch.
+func (v *Views) PublishFrame(event string, body []byte) {
+	v.bus.Publish(BatchTopic, appendFrame(nil, event, body))
 }
 
 // Workflows returns a point-in-time snapshot of every workflow view, in
